@@ -1,0 +1,290 @@
+// Command geoblocks builds and queries GeoBlocks from the command line.
+//
+// Subcommands:
+//
+//	build  -dataset taxi|tweets|osm -rows N -level L [-filter "col op val"] -out FILE
+//	       generate a synthetic dataset, run extract+build, persist the block
+//	info   -block FILE
+//	       print a block's header and configuration
+//	query  -block FILE -poly "x,y x,y x,y ..." [-agg count,sum:col,...] [-cache PCT]
+//	       run a polygon aggregate query against a persisted block
+//
+// The polygon is given as a space-separated list of comma-separated
+// lon,lat vertex pairs. Aggregates default to count.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flag"
+
+	"geoblocks"
+	"geoblocks/internal/column"
+	"geoblocks/internal/core"
+	"geoblocks/internal/dataset"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = runBuild(os.Args[2:])
+	case "info":
+		err = runInfo(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "geoblocks: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geoblocks: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  geoblocks build -dataset taxi|tweets|osm -rows N -level L [-filter "col op val"] -out FILE
+  geoblocks info  -block FILE
+  geoblocks query -block FILE -poly "x,y x,y x,y ..." [-agg count,sum:col,...] [-repeat N]`)
+}
+
+func specFor(name string) (dataset.Spec, error) {
+	switch name {
+	case "taxi":
+		return dataset.NYCTaxi(), nil
+	case "tweets":
+		return dataset.USTweets(), nil
+	case "osm":
+		return dataset.OSMAmericas(), nil
+	}
+	return dataset.Spec{}, fmt.Errorf("unknown dataset %q (want taxi, tweets or osm)", name)
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	dsName := fs.String("dataset", "taxi", "dataset: taxi, tweets or osm")
+	rows := fs.Int("rows", 100_000, "rows to generate")
+	level := fs.Int("level", 10, "block level (domain levels, 0-30)")
+	filterStr := fs.String("filter", "", "filter, e.g. \"fare_amount > 20\"")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("out", "block.gb", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec, err := specFor(*dsName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generating %d rows of %s...\n", *rows, spec.Name)
+	raw := dataset.Generate(spec, *rows, *seed)
+
+	var filter column.Filter
+	if *filterStr != "" {
+		filter, err = parseFilter(spec.Schema, *filterStr)
+		if err != nil {
+			return err
+		}
+	}
+
+	base, stats, err := raw.Extract(*level)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("extract: kept %d/%d rows, clean %v, sort %v\n",
+		stats.RowsKept, stats.RowsIn, stats.CleanTime.Round(1e6), stats.SortTime.Round(1e6))
+
+	blk, err := core.Build(base, core.BuildOptions{Level: *level, Filter: filter})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %v\n", blk)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := blk.WriteTo(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	path := fs.String("block", "block.gb", "block file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	blk, err := openBlock(*path)
+	if err != nil {
+		return err
+	}
+	inner := blk.Inner()
+	h := inner.Header()
+	fmt.Printf("file:       %s\n", *path)
+	fmt.Printf("domain:     %v\n", inner.Domain().Bound())
+	fmt.Printf("level:      %d (error bound %.6f domain units)\n", blk.Level(), blk.ErrorBound())
+	fmt.Printf("schema:     %s\n", strings.Join(inner.Schema().Names, ", "))
+	fmt.Printf("filter:     %s\n", inner.Filter().Describe(inner.Schema()))
+	fmt.Printf("cells:      %d\n", blk.NumCells())
+	fmt.Printf("tuples:     %d\n", blk.NumTuples())
+	fmt.Printf("size:       %d bytes\n", blk.SizeBytes())
+	fmt.Printf("cell range: %v .. %v\n", h.MinCell, h.MaxCell)
+	for c, agg := range h.Cols {
+		fmt.Printf("col %-16s min=%.3f max=%.3f sum=%.3f\n",
+			inner.Schema().Names[c], agg.Min, agg.Max, agg.Sum)
+	}
+	return nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	path := fs.String("block", "block.gb", "block file")
+	polyStr := fs.String("poly", "", "polygon vertices: \"x,y x,y x,y ...\"")
+	aggStr := fs.String("agg", "count", "aggregates: count,sum:col,min:col,max:col,avg:col")
+	repeat := fs.Int("repeat", 1, "repeat the query N times (timing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *polyStr == "" {
+		return fmt.Errorf("missing -poly")
+	}
+	blk, err := openBlock(*path)
+	if err != nil {
+		return err
+	}
+	poly, err := parsePolygon(*polyStr)
+	if err != nil {
+		return err
+	}
+	reqs, names, err := parseAggs(*aggStr)
+	if err != nil {
+		return err
+	}
+
+	var res geoblocks.Result
+	for i := 0; i < max(*repeat, 1); i++ {
+		res, err = blk.Query(poly, reqs...)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("covering cells: %d combined aggregates, %d tuples\n", res.CellsVisited, res.Count)
+	for i, name := range names {
+		fmt.Printf("%-12s %g\n", name, res.Values[i])
+	}
+	return nil
+}
+
+func openBlock(path string) (*geoblocks.GeoBlock, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return geoblocks.ReadGeoBlock(f)
+}
+
+func parsePolygon(s string) (*geoblocks.Polygon, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 3 {
+		return nil, fmt.Errorf("polygon needs at least 3 vertices, got %d", len(fields))
+	}
+	ring := make([]geoblocks.Point, len(fields))
+	for i, fstr := range fields {
+		parts := strings.Split(fstr, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad vertex %q (want x,y)", fstr)
+		}
+		x, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad x in %q: %v", fstr, err)
+		}
+		y, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad y in %q: %v", fstr, err)
+		}
+		ring[i] = geoblocks.Pt(x, y)
+	}
+	return geoblocks.NewPolygon(ring)
+}
+
+func parseAggs(s string) ([]geoblocks.AggRequest, []string, error) {
+	var reqs []geoblocks.AggRequest
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fn, col, _ := strings.Cut(part, ":")
+		switch strings.ToLower(fn) {
+		case "count":
+			reqs = append(reqs, geoblocks.Count())
+		case "sum":
+			reqs = append(reqs, geoblocks.Sum(col))
+		case "min":
+			reqs = append(reqs, geoblocks.Min(col))
+		case "max":
+			reqs = append(reqs, geoblocks.Max(col))
+		case "avg":
+			reqs = append(reqs, geoblocks.Avg(col))
+		default:
+			return nil, nil, fmt.Errorf("unknown aggregate %q", fn)
+		}
+		names = append(names, part)
+	}
+	if len(reqs) == 0 {
+		return nil, nil, fmt.Errorf("no aggregates requested")
+	}
+	return reqs, names, nil
+}
+
+// parseFilter parses "col op value", e.g. "fare_amount > 20".
+func parseFilter(schema column.Schema, s string) (column.Filter, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 3 {
+		return nil, fmt.Errorf("filter must be \"col op value\", got %q", s)
+	}
+	idx := schema.ColIndex(fields[0])
+	if idx < 0 {
+		return nil, fmt.Errorf("unknown column %q (schema: %s)", fields[0], strings.Join(schema.Names, ", "))
+	}
+	var op column.Op
+	switch fields[1] {
+	case "==", "=":
+		op = column.OpEq
+	case "!=":
+		op = column.OpNe
+	case "<":
+		op = column.OpLt
+	case "<=":
+		op = column.OpLe
+	case ">":
+		op = column.OpGt
+	case ">=":
+		op = column.OpGe
+	default:
+		return nil, fmt.Errorf("unknown operator %q", fields[1])
+	}
+	val, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad value %q: %v", fields[2], err)
+	}
+	return column.Filter{{Col: idx, Op: op, Value: val}}, nil
+}

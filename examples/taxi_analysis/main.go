@@ -1,0 +1,108 @@
+// Taxi analysis: the exploratory-analytics session the paper's
+// introduction motivates. An analyst examines NYC taxi data: neighborhood
+// aggregates for a heat map, a zoom into Manhattan with changing
+// aggregates, and a filter change (expensive rides) answered by an
+// incremental build from the shared sorted base data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"geoblocks"
+	"geoblocks/internal/dataset"
+	"geoblocks/internal/workload"
+)
+
+func main() {
+	// Generate the synthetic stand-in for the TLC trip records (see
+	// DESIGN.md for the substitution rationale) and feed it through the
+	// public API.
+	const rows = 500_000
+	raw := dataset.Generate(dataset.NYCTaxi(), rows, 42)
+
+	builder, err := geoblocks.NewBuilder(raw.Spec.Bound, raw.Spec.Schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	builder.SetCleanRule(raw.CleanRule())
+	if err := builder.AddRows(raw.Points, raw.Cols); err != nil {
+		log.Fatal(err)
+	}
+
+	extractStart := time.Now()
+	if err := builder.Extract(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("extract phase (clean+sort %d rows): %v\n", rows, time.Since(extractStart).Round(time.Millisecond))
+
+	buildStart := time.Now()
+	block, err := builder.Build(10, nil) // ~100 m cells over NYC
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("build phase: %v -> %d cells for %d trips\n\n",
+		time.Since(buildStart).Round(time.Millisecond), block.NumCells(), block.NumTuples())
+
+	// 1. Heat map: count + avg fare for every neighborhood.
+	neighborhoods := workload.Neighborhoods(raw.Spec.Bound, 7)
+	heatStart := time.Now()
+	busiest, busiestCount := -1, uint64(0)
+	for i, poly := range neighborhoods {
+		res, err := block.Query(poly, geoblocks.Count(), geoblocks.Avg("fare_amount"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Count > busiestCount {
+			busiest, busiestCount = i, res.Count
+		}
+	}
+	fmt.Printf("heat map over %d neighborhoods: %v total\n",
+		len(neighborhoods), time.Since(heatStart).Round(time.Microsecond))
+	fmt.Printf("busiest neighborhood: #%d with %d trips (centroid %v)\n\n",
+		busiest, busiestCount, neighborhoods[busiest].Centroid())
+
+	// 2. Zoom into Manhattan; same region, different aggregates — the
+	// repetitive pattern the query cache exploits.
+	manhattan, err := geoblocks.NewPolygon([]geoblocks.Point{
+		geoblocks.Pt(-74.02, 40.70), geoblocks.Pt(-73.97, 40.69),
+		geoblocks.Pt(-73.93, 40.78), geoblocks.Pt(-73.95, 40.82),
+		geoblocks.Pt(-74.01, 40.76),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, reqs := range [][]geoblocks.AggRequest{
+		{geoblocks.Count()},
+		{geoblocks.Sum("fare_amount"), geoblocks.Sum("tip_amount")},
+		{geoblocks.Avg("tip_rate"), geoblocks.Max("trip_distance")},
+	} {
+		res, err := block.Query(manhattan, reqs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("manhattan query -> count=%d values=%v\n", res.Count, res.Values)
+	}
+
+	// 3. Filter change: compare expensive rides against all rides. The
+	// new block builds incrementally from the already-sorted base data.
+	incStart := time.Now()
+	expensive, err := builder.Build(10, geoblocks.Where(raw.Spec.Schema, "fare_amount", geoblocks.OpGt, 20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nincremental build for fare_amount > 20: %v (%d trips)\n",
+		time.Since(incStart).Round(time.Millisecond), expensive.NumTuples())
+
+	all, err := block.Query(manhattan, geoblocks.Avg("tip_rate"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp, err := expensive.Query(manhattan, geoblocks.Avg("tip_rate"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("manhattan tip rate: all rides %.3f vs expensive rides %.3f\n",
+		all.Values[0], exp.Values[0])
+}

@@ -1,0 +1,351 @@
+// Package geoblocks is a pre-aggregating data structure for spatial
+// aggregation over arbitrary polygons, reproducing "GeoBlocks: A
+// Query-Cache Accelerated Data Structure for Spatial Aggregation over
+// Polygons" (EDBT 2021).
+//
+// A GeoBlock is a materialized view over geospatial point data: it
+// subdivides the spatial domain into fine-grained grid cells along a
+// Hilbert-ordered quadtree, pre-computes per-cell aggregates (count, min,
+// max, sum per column), and answers aggregate queries over arbitrary
+// polygons by combining the aggregates of an error-bounded cell covering
+// of the query polygon. The only approximation is the covering itself:
+// every point of the covering lies within one grid-cell diagonal of the
+// polygon outline, a bound the user controls by choosing the block level.
+// An optional trie-based query cache ("BlockQC") adapts to workload skew
+// by pre-combining aggregates of frequently queried regions.
+//
+// # Quick start
+//
+//	schema := geoblocks.NewSchema("fare", "distance")
+//	b := geoblocks.NewBuilder(bound, schema)
+//	b.AddRows(points, cols)
+//	if err := b.Extract(); err != nil { ... }
+//	blk, err := b.Build(17, nil) // ~level-17 grid, no filter
+//	res, err := blk.Query(polygon, geoblocks.Count(), geoblocks.Sum("fare"))
+//
+// See the examples directory for complete programs.
+package geoblocks
+
+import (
+	"fmt"
+	"io"
+
+	"geoblocks/internal/aggtrie"
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+	"geoblocks/internal/core"
+	"geoblocks/internal/cover"
+	"geoblocks/internal/geom"
+)
+
+// Geometry and schema types, re-exported for the public API. X is
+// longitude and Y latitude for geographic data, but any planar coordinates
+// work.
+type (
+	// Point is a location in the plane.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle.
+	Rect = geom.Rect
+	// Polygon is a simple polygon with optional holes.
+	Polygon = geom.Polygon
+	// Schema names the value columns of a dataset.
+	Schema = column.Schema
+	// Filter is a conjunction of column predicates.
+	Filter = column.Filter
+	// Predicate is a single column comparison.
+	Predicate = column.Predicate
+	// Result is a query answer: tuple count plus one value per AggSpec.
+	Result = core.Result
+	// AggSpec requests one aggregate over one column.
+	AggSpec = core.AggSpec
+	// CellID identifies a cell of the spatial decomposition.
+	CellID = cellid.ID
+	// CacheMetrics reports query-cache effectiveness.
+	CacheMetrics = aggtrie.Metrics
+	// UpdateBatch is a set of new tuples for GeoBlock.Update.
+	UpdateBatch = core.UpdateBatch
+)
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// NewSchema builds a schema from column names.
+func NewSchema(names ...string) Schema { return column.NewSchema(names...) }
+
+// NewPolygon builds a polygon from an outer ring (at least three
+// non-collinear vertices; orientation is normalised).
+func NewPolygon(ring []Point) (*Polygon, error) { return geom.TryPolygon(ring) }
+
+// Comparison operators for Where.
+const (
+	OpEq = column.OpEq
+	OpNe = column.OpNe
+	OpLt = column.OpLt
+	OpLe = column.OpLe
+	OpGt = column.OpGt
+	OpGe = column.OpGe
+)
+
+// Where builds a single-predicate filter on a named column.
+func Where(schema Schema, col string, op column.Op, value float64) Filter {
+	return column.Pred(schema, col, op, value)
+}
+
+// MaxLevel is the finest grid level of the spatial decomposition.
+const MaxLevel = cellid.MaxLevel
+
+// Aggregate request constructors. Column-taking constructors resolve the
+// name at query time against the block's schema.
+
+// Count requests the number of tuples in the query region.
+func Count() AggRequest { return AggRequest{fn: core.AggCount} }
+
+// Sum requests the sum of the named column.
+func Sum(col string) AggRequest { return AggRequest{fn: core.AggSum, col: col} }
+
+// Min requests the minimum of the named column.
+func Min(col string) AggRequest { return AggRequest{fn: core.AggMin, col: col} }
+
+// Max requests the maximum of the named column.
+func Max(col string) AggRequest { return AggRequest{fn: core.AggMax, col: col} }
+
+// Avg requests the average of the named column (derived from sum/count).
+func Avg(col string) AggRequest { return AggRequest{fn: core.AggAvg, col: col} }
+
+// AggRequest is a named-column aggregate request, resolved against the
+// block schema at query time.
+type AggRequest struct {
+	fn  core.AggFunc
+	col string
+}
+
+func resolveSpecs(schema Schema, reqs []AggRequest) ([]AggSpec, error) {
+	specs := make([]AggSpec, len(reqs))
+	for i, r := range reqs {
+		spec := AggSpec{Func: r.fn}
+		if r.fn != core.AggCount {
+			idx := schema.ColIndex(r.col)
+			if idx < 0 {
+				return nil, fmt.Errorf("geoblocks: unknown column %q", r.col)
+			}
+			spec.Col = idx
+		}
+		specs[i] = spec
+	}
+	return specs, nil
+}
+
+// GeoBlock is the public handle to a built block: the pre-aggregated cell
+// grid, a region coverer configured for the block's level, and an optional
+// query cache.
+type GeoBlock struct {
+	inner   *core.GeoBlock
+	coverer *cover.Coverer
+	cached  *aggtrie.CachedBlock
+
+	// autoRefresh rebuilds the cache every n queries (0 = manual).
+	autoRefresh int
+	queries     int
+}
+
+func wrapBlock(b *core.GeoBlock) (*GeoBlock, error) {
+	cov, err := cover.NewCoverer(b.Domain(), cover.DefaultOptions(b.Level()))
+	if err != nil {
+		return nil, err
+	}
+	return &GeoBlock{inner: b, coverer: cov}, nil
+}
+
+// Level returns the block level (grid granularity).
+func (g *GeoBlock) Level() int { return g.inner.Level() }
+
+// Schema returns the block's value-column schema.
+func (g *GeoBlock) Schema() Schema { return g.inner.Schema() }
+
+// Filter returns the filter the block was built with.
+func (g *GeoBlock) Filter() Filter { return g.inner.Filter() }
+
+// NumCells returns the number of non-empty grid cells.
+func (g *GeoBlock) NumCells() int { return g.inner.NumCells() }
+
+// NumTuples returns the number of aggregated tuples.
+func (g *GeoBlock) NumTuples() uint64 { return g.inner.NumTuples() }
+
+// SizeBytes returns the in-memory size of the aggregate storage.
+func (g *GeoBlock) SizeBytes() int { return g.inner.SizeBytes() }
+
+// ErrorBound returns the block's spatial error bound in domain units: the
+// diagonal of one grid cell. Any point of a covering is within this
+// distance of the query polygon's outline (paper Sec. 3.2).
+func (g *GeoBlock) ErrorBound() float64 {
+	return g.inner.Domain().CellDiagonal(g.inner.Level())
+}
+
+// Inner exposes the underlying core block for advanced use (experiments,
+// serialization internals).
+func (g *GeoBlock) Inner() *core.GeoBlock { return g.inner }
+
+// Cover computes the block-level cell covering of a polygon, exposed for
+// diagnostics and repeated-query optimisation.
+func (g *GeoBlock) Cover(poly *Polygon) []CellID {
+	return g.coverer.Cover(poly).Cells
+}
+
+// CoverRect computes the covering of a rectangle.
+func (g *GeoBlock) CoverRect(r Rect) []CellID {
+	return g.coverer.CoverRect(r).Cells
+}
+
+// Query answers a SELECT aggregate query over an arbitrary polygon.
+func (g *GeoBlock) Query(poly *Polygon, reqs ...AggRequest) (Result, error) {
+	return g.queryCovering(g.Cover(poly), reqs)
+}
+
+// QueryRect answers a SELECT aggregate query over a rectangle (rectangles
+// are just constrained polygons; the same covering machinery applies).
+func (g *GeoBlock) QueryRect(r Rect, reqs ...AggRequest) (Result, error) {
+	return g.queryCovering(g.CoverRect(r), reqs)
+}
+
+// QueryCovering answers a SELECT query over a pre-computed covering.
+func (g *GeoBlock) QueryCovering(cov []CellID, reqs ...AggRequest) (Result, error) {
+	return g.queryCovering(cov, reqs)
+}
+
+func (g *GeoBlock) queryCovering(cov []CellID, reqs []AggRequest) (Result, error) {
+	specs, err := resolveSpecs(g.inner.Schema(), reqs)
+	if err != nil {
+		return Result{}, err
+	}
+	if g.cached != nil {
+		res, err := g.cached.Select(cov, specs)
+		if err != nil {
+			return Result{}, err
+		}
+		g.maybeAutoRefresh()
+		return res, nil
+	}
+	return g.inner.SelectCovering(cov, specs)
+}
+
+// Count answers a COUNT query over a polygon with the specialised
+// range-sum algorithm (paper Listing 2).
+func (g *GeoBlock) Count(poly *Polygon) uint64 {
+	cov := g.Cover(poly)
+	if g.cached != nil {
+		n := g.cached.Count(cov)
+		g.maybeAutoRefresh()
+		return n
+	}
+	return g.inner.CountCovering(cov)
+}
+
+// CountRect is Count over a rectangle.
+func (g *GeoBlock) CountRect(r Rect) uint64 {
+	cov := g.CoverRect(r)
+	if g.cached != nil {
+		n := g.cached.Count(cov)
+		g.maybeAutoRefresh()
+		return n
+	}
+	return g.inner.CountCovering(cov)
+}
+
+// EnableCache attaches an AggregateTrie query cache with a budget of
+// threshold × the block's aggregate storage size (the paper's aggregate
+// threshold, Fig. 18). autoRefreshEvery > 0 rebuilds the cache from query
+// statistics every that many queries; 0 leaves refresh manual.
+func (g *GeoBlock) EnableCache(threshold float64, autoRefreshEvery int) {
+	g.cached = aggtrie.NewWithThreshold(g.inner, threshold)
+	g.autoRefresh = autoRefreshEvery
+	g.queries = 0
+}
+
+// DisableCache detaches the query cache.
+func (g *GeoBlock) DisableCache() { g.cached = nil }
+
+// RefreshCache rebuilds the query cache from accumulated statistics. It is
+// a no-op without an enabled cache.
+func (g *GeoBlock) RefreshCache() {
+	if g.cached != nil {
+		g.cached.Refresh()
+	}
+}
+
+// CacheMetrics returns cache effectiveness counters (zero value without a
+// cache).
+func (g *GeoBlock) CacheMetrics() CacheMetrics {
+	if g.cached == nil {
+		return CacheMetrics{}
+	}
+	return g.cached.Metrics()
+}
+
+// CacheSizeBytes returns the current cache arena size.
+func (g *GeoBlock) CacheSizeBytes() int {
+	if g.cached == nil {
+		return 0
+	}
+	return g.cached.Trie().SizeBytes()
+}
+
+func (g *GeoBlock) maybeAutoRefresh() {
+	if g.autoRefresh <= 0 {
+		return
+	}
+	g.queries++
+	if g.queries >= g.autoRefresh {
+		g.queries = 0
+		// Rebuild only while misses persist: a cache that fits the
+		// workload is left untouched (warm arenas included).
+		g.cached.MaybeRefresh(0.10)
+	}
+}
+
+// Coarsen derives a coarser-grained GeoBlock without re-scanning base data
+// (paper Sec. 3.4).
+func (g *GeoBlock) Coarsen(level int) (*GeoBlock, error) {
+	nb, err := core.Coarsen(g.inner, level)
+	if err != nil {
+		return nil, err
+	}
+	return wrapBlock(nb)
+}
+
+// Update folds a batch of new tuples into the block's aggregates (paper
+// Sec. 5). It returns core.ErrRebuildRequired when tuples land outside all
+// existing cell aggregates; rebuild with Builder in that case. Updating
+// invalidates cached aggregates, so an enabled cache is rebuilt.
+func (g *GeoBlock) Update(batch *UpdateBatch) error {
+	if err := g.inner.Update(batch); err != nil {
+		return err
+	}
+	if g.cached != nil {
+		g.cached.Refresh()
+	}
+	return nil
+}
+
+// WriteTo serialises the block (without base data or cache).
+func (g *GeoBlock) WriteTo(w io.Writer) (int64, error) { return g.inner.WriteTo(w) }
+
+// ReadGeoBlock deserialises a block written with WriteTo. The result
+// supports queries but not rebuilds (no base-data reference).
+func ReadGeoBlock(r io.Reader) (*GeoBlock, error) {
+	b, err := core.ReadBlock(r)
+	if err != nil {
+		return nil, err
+	}
+	return wrapBlock(b)
+}
+
+// LevelForError returns the coarsest block level whose cell diagonal does
+// not exceed maxError over the given domain bound — the user-facing way to
+// turn a spatial error bound into a block level.
+func LevelForError(bound Rect, maxError float64) (int, error) {
+	dom, err := cellid.NewDomain(bound)
+	if err != nil {
+		return 0, err
+	}
+	return dom.LevelForMaxDiagonal(maxError), nil
+}

@@ -1,0 +1,212 @@
+package geoblocks_test
+
+import (
+	"math"
+	"testing"
+
+	"geoblocks/internal/aggtrie"
+	"geoblocks/internal/baseline"
+	"geoblocks/internal/btree"
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+	"geoblocks/internal/core"
+	"geoblocks/internal/cover"
+	"geoblocks/internal/dataset"
+	"geoblocks/internal/geom"
+	"geoblocks/internal/phtree"
+	"geoblocks/internal/rtree"
+	"geoblocks/internal/workload"
+)
+
+// TestAllApproachesAgree is the repository's cross-module integration
+// test: it runs the full pipeline (generate → extract → build) for the
+// GeoBlock and every baseline, then checks on a real polygon workload that
+//
+//   - Block, BlockQC, BinarySearch and BTree produce identical results
+//     over identical coverings (they share the decomposition);
+//   - COUNT queries agree with SELECT counts everywhere;
+//   - the covering result over-approximates the exact polygon count but
+//     never by more than the boundary cells can explain;
+//   - the PH-tree's interior-rectangle count never exceeds the exact
+//     polygon count (interior rect ⊆ polygon, up to quantization).
+func TestAllApproachesAgree(t *testing.T) {
+	raw := dataset.Generate(dataset.NYCTaxi(), 60_000, 3)
+	base, _, err := raw.Extract(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := raw.Domain()
+	const level = 9
+
+	blk, err := core.Build(base, core.BuildOptions{Level: level})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := aggtrie.NewWithThreshold(blk, 0.20)
+	bin := baseline.NewBinarySearch(base.Table)
+	bt := btree.NewIndex(base.Table)
+	pointAt := func(row int) geom.Point { return dom.CellCenter(cellid.ID(base.Table.Keys[row])) }
+	ph := phtree.New(base.Table, dom.Bound(), pointAt)
+	art := rtree.New(base.Table, pointAt)
+
+	coverer := cover.MustCoverer(dom, cover.DefaultOptions(level))
+	polys := workload.Neighborhoods(raw.Spec.Bound, 5)[:40]
+	specs := []core.AggSpec{
+		{Func: core.AggCount},
+		{Col: 0, Func: core.AggSum},
+		{Col: 0, Func: core.AggMin},
+		{Col: 1, Func: core.AggMax},
+		{Col: 3, Func: core.AggAvg},
+	}
+
+	// Two passes so the second exercises a warm cache.
+	for pass := 0; pass < 2; pass++ {
+		for pi, poly := range polys {
+			cov := coverer.Cover(poly).Cells
+
+			want, err := blk.SelectCovering(cov, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromQC, err := qc.Select(cov, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromBin := bin.AggregateCovering(cov, specs)
+			fromBT := bt.AggregateCovering(cov, specs)
+
+			for name, got := range map[string]core.Result{
+				"BlockQC": fromQC, "BinarySearch": fromBin, "BTree": fromBT,
+			} {
+				if got.Count != want.Count {
+					t.Fatalf("pass %d poly %d: %s count %d != Block %d", pass, pi, name, got.Count, want.Count)
+				}
+				for i := range got.Values {
+					a, b := got.Values[i], want.Values[i]
+					if math.IsNaN(a) && math.IsNaN(b) {
+						continue
+					}
+					if diff := math.Abs(a - b); diff > 1e-6*math.Max(1, math.Abs(b)) {
+						t.Fatalf("pass %d poly %d: %s value %d = %g, Block %g", pass, pi, name, i, a, b)
+					}
+				}
+			}
+
+			// COUNT agreement across count paths.
+			cnt := blk.CountCovering(cov)
+			if cnt != want.Count {
+				t.Fatalf("poly %d: CountCovering %d != select %d", pi, cnt, want.Count)
+			}
+			if got := qc.Count(cov); got != cnt {
+				t.Fatalf("poly %d: cached count %d != %d", pi, got, cnt)
+			}
+			if got := bin.CountCovering(cov); got != cnt {
+				t.Fatalf("poly %d: binary count %d != %d", pi, got, cnt)
+			}
+			if got := bt.CountCovering(cov); got != cnt {
+				t.Fatalf("poly %d: btree count %d != %d", pi, got, cnt)
+			}
+
+			if pass == 1 {
+				continue // ground-truth checks only once
+			}
+			exact := baseline.ExactPolygonCount(base.Table, dom, poly)
+			if want.Count < exact {
+				t.Fatalf("poly %d: covering count %d below exact %d (false negatives impossible)", pi, want.Count, exact)
+			}
+			ir := poly.InteriorRect(24)
+			if ir.IsValid() {
+				phCount := ph.CountWindow(ir)
+				// Interior rect is contained in the polygon; allow a tiny
+				// quantization margin.
+				if float64(phCount) > float64(exact)*1.02+5 {
+					t.Fatalf("poly %d: PH-tree interior count %d exceeds exact %d", pi, phCount, exact)
+				}
+				_ = art.CountRect(ir) // must not panic; accuracy covered in rtree tests
+			}
+		}
+		qc.Refresh()
+	}
+
+	// The warm cache must actually have been used.
+	if qc.Metrics().FullHits == 0 {
+		t.Fatal("integration workload produced no cache hits")
+	}
+}
+
+// TestErrorShrinksMonotonically checks the end-to-end error bound story on
+// the public API: finer levels never increase the covering count error.
+func TestErrorShrinksMonotonically(t *testing.T) {
+	raw := dataset.Generate(dataset.NYCTaxi(), 40_000, 9)
+	base, _, err := raw.Extract(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := raw.Domain()
+	poly := geom.RegularPolygon(geom.Pt(-73.97, 40.75), 0.05, 9)
+	exact := baseline.ExactPolygonCount(base.Table, dom, poly)
+	if exact == 0 {
+		t.Fatal("test polygon empty")
+	}
+	prevErr := math.Inf(1)
+	for _, level := range []int{5, 7, 9, 11} {
+		blk, err := core.Build(base, core.BuildOptions{Level: level})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cov := cover.MustCoverer(dom, cover.DefaultOptions(level)).Cover(poly)
+		got := blk.CountCovering(cov.Cells)
+		if got < exact {
+			t.Fatalf("level %d: covering lost tuples (%d < %d)", level, got, exact)
+		}
+		relErr := float64(got-exact) / float64(exact)
+		if relErr > prevErr+1e-9 {
+			t.Fatalf("level %d: error %.4f grew from %.4f", level, relErr, prevErr)
+		}
+		prevErr = relErr
+	}
+	if prevErr > 0.10 {
+		t.Fatalf("finest level error %.4f too large", prevErr)
+	}
+}
+
+// TestFilteredPipelineEndToEnd drives the whole pipeline with a filter:
+// filtered blocks, filtered baselines (filter applied at build for blocks,
+// at scan time for brute force) and the COUNT path must tell one story.
+func TestFilteredPipelineEndToEnd(t *testing.T) {
+	raw := dataset.Generate(dataset.NYCTaxi(), 50_000, 13)
+	base, _, err := raw.Extract(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := raw.Domain()
+	filter := column.Pred(raw.Spec.Schema, "passenger_count", column.OpEq, 1)
+
+	blk, err := core.Build(base, core.BuildOptions{Level: 9, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coverer := cover.MustCoverer(dom, cover.DefaultOptions(9))
+	for _, poly := range workload.Neighborhoods(raw.Spec.Bound, 2)[:20] {
+		cov := coverer.Cover(poly).Cells
+		got := blk.CountCovering(cov)
+
+		// Brute force with filter over the covering.
+		var want uint64
+		for i := 0; i < base.Table.NumRows(); i++ {
+			if !filter.MatchesRow(base.Table, i) {
+				continue
+			}
+			leaf := cellid.ID(base.Table.Keys[i])
+			for _, qc := range cov {
+				if qc.Contains(leaf) {
+					want++
+					break
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("filtered count %d != brute force %d", got, want)
+		}
+	}
+}

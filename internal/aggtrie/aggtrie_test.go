@@ -1,0 +1,442 @@
+package aggtrie
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+	"geoblocks/internal/core"
+	"geoblocks/internal/cover"
+	"geoblocks/internal/geom"
+)
+
+func buildTestBlock(t testing.TB, n int, level int, seed int64) *core.GeoBlock {
+	t.Helper()
+	dom := cellid.MustDomain(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)})
+	schema := column.NewSchema("fare", "distance")
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	cols := [][]float64{make([]float64, n), make([]float64, n)}
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			pts[i] = geom.Pt(40+rng.NormFloat64()*8, 55+rng.NormFloat64()*8)
+		} else {
+			pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		cols[0][i] = rng.Float64() * 80
+		cols[1][i] = rng.Float64() * 15
+	}
+	base, _, err := core.Extract(dom, pts, schema, cols, core.CleanRule{}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Build(base, core.BuildOptions{Level: level})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func testCovering(b *core.GeoBlock, poly *geom.Polygon) []cellid.ID {
+	c := cover.MustCoverer(b.Domain(), cover.DefaultOptions(b.Level()))
+	return c.Cover(poly).Cells
+}
+
+func queryPolys() []*geom.Polygon {
+	return []*geom.Polygon{
+		geom.NewPolygon([]geom.Point{geom.Pt(30, 40), geom.Pt(55, 35), geom.Pt(60, 65), geom.Pt(35, 70)}),
+		geom.NewPolygon([]geom.Point{geom.Pt(10, 10), geom.Pt(30, 12), geom.Pt(25, 30)}),
+		geom.NewPolygon([]geom.Point{geom.Pt(60, 60), geom.Pt(90, 62), geom.Pt(88, 90), geom.Pt(62, 88)}),
+		geom.RegularPolygon(geom.Pt(45, 50), 20, 7),
+	}
+}
+
+func allSpecs() []core.AggSpec {
+	return []core.AggSpec{
+		{Func: core.AggCount},
+		{Col: 0, Func: core.AggSum},
+		{Col: 0, Func: core.AggMin},
+		{Col: 1, Func: core.AggMax},
+		{Col: 1, Func: core.AggAvg},
+	}
+}
+
+func approxEqual(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= 1e-9 || d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestTrieLookupMatchesAggregateCell(t *testing.T) {
+	b := buildTestBlock(t, 20000, 12, 1)
+	// Cache a spread of cells at different levels.
+	root := enclosingRoot(b)
+	cells := []cellid.ID{root}
+	for _, c := range root.Children() {
+		cells = append(cells, c)
+		cells = append(cells, c.Children()[1])
+	}
+	trie := BuildTrie(b, cells, 1<<20)
+	if err := trie.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range cells {
+		count, cols, ok := trie.Lookup(cell)
+		if !ok {
+			t.Fatalf("cell %v not cached", cell)
+		}
+		wantCount, wantCols := b.AggregateCell(cell)
+		if count != wantCount {
+			t.Fatalf("cell %v count = %d, want %d", cell, count, wantCount)
+		}
+		for c := range cols {
+			if !approxEqual(cols[c].Sum, wantCols[c].Sum) || cols[c].Min != wantCols[c].Min || cols[c].Max != wantCols[c].Max {
+				t.Fatalf("cell %v col %d record differs", cell, c)
+			}
+		}
+	}
+}
+
+func TestTrieBudgetRespected(t *testing.T) {
+	b := buildTestBlock(t, 20000, 14, 2)
+	root := enclosingRoot(b)
+	// Generate many candidate cells.
+	var cells []cellid.ID
+	for _, c1 := range root.Children() {
+		for _, c2 := range c1.Children() {
+			for _, c3 := range c2.Children() {
+				cells = append(cells, c3)
+			}
+		}
+	}
+	for _, budget := range []int{64, 256, 1024, 4096, 1 << 20} {
+		trie := BuildTrie(b, cells, budget)
+		if err := trie.Validate(); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if trie.SizeBytes() > budget && trie.NumCached() > 0 {
+			t.Fatalf("budget %d: size %d exceeds budget", budget, trie.SizeBytes())
+		}
+	}
+	// A big budget caches everything.
+	trie := BuildTrie(b, cells, 1<<24)
+	if trie.NumCached() != len(cells) {
+		t.Fatalf("unlimited budget cached %d of %d cells", trie.NumCached(), len(cells))
+	}
+}
+
+func TestTrieNodeBlocksOfFour(t *testing.T) {
+	b := buildTestBlock(t, 5000, 12, 3)
+	root := enclosingRoot(b)
+	cells := []cellid.ID{root.Children()[2].Children()[3]}
+	trie := BuildTrie(b, cells, 1<<20)
+	if err := trie.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Root + two levels of child blocks = 1 + 4 + 4.
+	if got := trie.NumNodes(); got != 9 {
+		t.Fatalf("node count = %d, want 9", got)
+	}
+	if got := trie.NumCached(); got != 1 {
+		t.Fatalf("cached = %d, want 1", got)
+	}
+}
+
+func TestTrieSkipsDuplicatesAndForeignCells(t *testing.T) {
+	// Confine all data to one quadrant so the enclosing root is below the
+	// hierarchy root and foreign (coarser) cells exist.
+	dom := cellid.MustDomain(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)})
+	schema := column.NewSchema("v")
+	rng := rand.New(rand.NewSource(4))
+	var pts []geom.Point
+	var vals []float64
+	for i := 0; i < 2000; i++ {
+		pts = append(pts, geom.Pt(rng.Float64()*20, rng.Float64()*20))
+		vals = append(vals, rng.Float64())
+	}
+	base, _, err := core.Extract(dom, pts, schema, [][]float64{vals}, core.CleanRule{}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Build(base, core.BuildOptions{Level: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := enclosingRoot(b)
+	if root.Level() == 0 {
+		t.Fatal("test setup: data should not span the whole domain")
+	}
+	child := root.Children()[0]
+	foreign := cellid.Root() // coarser than the enclosing root: not cacheable
+	trie := BuildTrie(b, []cellid.ID{child, child, foreign}, 1<<20)
+	if got := trie.NumCached(); got != 1 {
+		t.Fatalf("cached = %d, want 1 (duplicate and foreign skipped)", got)
+	}
+}
+
+func TestStatsRecordAndRanking(t *testing.T) {
+	root := cellid.Root().Children()[0]
+	s := NewStats(root)
+	a := root.Children()[0]
+	bCell := root.Children()[1]
+	aChild := a.Children()[2]
+
+	for i := 0; i < 5; i++ {
+		s.Record([]cellid.ID{a})
+	}
+	for i := 0; i < 3; i++ {
+		s.Record([]cellid.ID{bCell})
+	}
+	s.Record([]cellid.ID{aChild})
+
+	if s.Hits(a) != 5 || s.Hits(bCell) != 3 || s.Hits(aChild) != 1 {
+		t.Fatalf("hit counts wrong: %d %d %d", s.Hits(a), s.Hits(bCell), s.Hits(aChild))
+	}
+
+	ranked := s.RankedCells()
+	// aChild scores 1 + parent(5) = 6 > a (5 + root hits 0) > bCell (3).
+	if ranked[0] != aChild {
+		t.Fatalf("ranked[0] = %v, want child with parent-transfer score", ranked[0])
+	}
+	if ranked[1] != a || ranked[2] != bCell {
+		t.Fatalf("ranking = %v", ranked)
+	}
+
+	// Own-hits ranking puts a first.
+	own := s.RankedCellsOwnHitsOnly()
+	if own[0] != a {
+		t.Fatalf("own-hits ranked[0] = %v, want a", own[0])
+	}
+}
+
+func TestStatsTieBreaks(t *testing.T) {
+	root := cellid.Root()
+	s := NewStats(root)
+	coarse := root.Children()[1]
+	fine := root.Children()[0].Children()[0]
+	s.Record([]cellid.ID{coarse, fine})
+	ranked := s.RankedCells()
+	// Equal scores: coarser level first.
+	if ranked[0] != coarse {
+		t.Fatalf("tie break by level failed: %v", ranked)
+	}
+
+	// Equal score and level: ascending key.
+	s2 := NewStats(root)
+	c1, c2 := root.Children()[2], root.Children()[1]
+	s2.Record([]cellid.ID{c1, c2})
+	r2 := s2.RankedCells()
+	if r2[0] != c2 || r2[1] != c1 {
+		t.Fatalf("tie break by key failed: %v", r2)
+	}
+}
+
+func TestStatsIgnoresCellsOutsideRoot(t *testing.T) {
+	root := cellid.Root().Children()[0]
+	s := NewStats(root)
+	s.Record([]cellid.ID{cellid.Root().Children()[1]}) // sibling of root
+	if s.NumCells() != 0 {
+		t.Fatal("foreign cell recorded")
+	}
+}
+
+func TestCachedSelectEqualsPlainSelect(t *testing.T) {
+	b := buildTestBlock(t, 30000, 13, 5)
+	cb := New(b, 1<<20)
+	specs := allSpecs()
+
+	coverings := make([][]cellid.ID, 0)
+	for _, p := range queryPolys() {
+		coverings = append(coverings, testCovering(b, p))
+	}
+
+	// Cold cache, then warm after refreshes — results must never change.
+	for round := 0; round < 3; round++ {
+		for qi, cov := range coverings {
+			want, err := b.SelectCovering(cov, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cb.Select(cov, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Count != want.Count {
+				t.Fatalf("round %d query %d: count %d, want %d", round, qi, got.Count, want.Count)
+			}
+			for i := range got.Values {
+				if !approxEqual(got.Values[i], want.Values[i]) {
+					t.Fatalf("round %d query %d value %d: %g, want %g", round, qi, i, got.Values[i], want.Values[i])
+				}
+			}
+		}
+		cb.Refresh()
+		if err := cb.Trie().Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCacheHitsAfterRefresh(t *testing.T) {
+	b := buildTestBlock(t, 20000, 13, 6)
+	cb := New(b, 1<<22)
+	specs := allSpecs()
+	cov := testCovering(b, queryPolys()[0])
+
+	if _, err := cb.Select(cov, specs); err != nil {
+		t.Fatal(err)
+	}
+	m := cb.Metrics()
+	if m.FullHits != 0 {
+		t.Fatalf("cold cache produced %d full hits", m.FullHits)
+	}
+
+	cb.Refresh()
+	cb.ResetMetrics()
+	if _, err := cb.Select(cov, specs); err != nil {
+		t.Fatal(err)
+	}
+	m = cb.Metrics()
+	// Only coarse cells are probed: covering cells at or near the block
+	// level hold too few aggregates to beat the direct scan and bypass
+	// the cache.
+	coarse := uint64(0)
+	for _, qc := range cov {
+		if qc.Level() <= b.Level()-probeMargin {
+			coarse++
+		}
+	}
+	if coarse == 0 {
+		t.Fatal("test covering has no coarse cells")
+	}
+	if m.Probes != coarse {
+		t.Fatalf("probes = %d, want %d coarse cells", m.Probes, coarse)
+	}
+	if m.FullHits != coarse {
+		t.Fatalf("warm cache full hits = %d, want %d", m.FullHits, coarse)
+	}
+	if got := m.HitRate(); got != 1 {
+		t.Fatalf("hit rate = %g, want 1", got)
+	}
+}
+
+func TestPartialHitViaCachedChildren(t *testing.T) {
+	b := buildTestBlock(t, 20000, 13, 7)
+	root := enclosingRoot(b)
+	parent := root.Children()[0]
+	children := parent.Children()
+
+	// Cache two of the four children explicitly.
+	trie := BuildTrie(b, []cellid.ID{children[0], children[2]}, 1<<20)
+	cb := New(b, 1<<20)
+	cb.trie = trie
+
+	res, err := cb.Select([]cellid.ID{parent}, allSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cb.Metrics()
+	if m.PartialHits != 1 {
+		t.Fatalf("partial hits = %d, want 1", m.PartialHits)
+	}
+	want, err := b.SelectCovering([]cellid.ID{parent}, allSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want.Count {
+		t.Fatalf("partial-hit count = %d, want %d", res.Count, want.Count)
+	}
+	for i := range res.Values {
+		if !approxEqual(res.Values[i], want.Values[i]) {
+			t.Fatalf("partial-hit value[%d] = %g, want %g", i, res.Values[i], want.Values[i])
+		}
+	}
+}
+
+func TestZeroBudgetNeverCaches(t *testing.T) {
+	b := buildTestBlock(t, 10000, 12, 8)
+	cb := New(b, 0)
+	cov := testCovering(b, queryPolys()[0])
+	for i := 0; i < 3; i++ {
+		if _, err := cb.Select(cov, allSpecs()); err != nil {
+			t.Fatal(err)
+		}
+		cb.Refresh()
+	}
+	if cb.Trie().NumCached() != 0 {
+		t.Fatalf("zero budget cached %d cells", cb.Trie().NumCached())
+	}
+	if cb.Metrics().FullHits != 0 {
+		t.Fatal("zero budget produced hits")
+	}
+}
+
+func TestThresholdBudget(t *testing.T) {
+	b := buildTestBlock(t, 20000, 13, 9)
+	cb := NewWithThreshold(b, 0.05)
+	if want := int(0.05 * float64(b.SizeBytes())); cb.BudgetBytes() != want {
+		t.Fatalf("budget = %d, want %d", cb.BudgetBytes(), want)
+	}
+	// After heavy skewed use and a refresh the trie must stay in budget.
+	cov := testCovering(b, queryPolys()[0])
+	for i := 0; i < 10; i++ {
+		if _, err := cb.Select(cov, allSpecs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cb.Refresh()
+	if cb.Trie().SizeBytes() > cb.BudgetBytes() {
+		t.Fatalf("trie size %d exceeds budget %d", cb.Trie().SizeBytes(), cb.BudgetBytes())
+	}
+}
+
+func TestCountDelegatesAndRecords(t *testing.T) {
+	b := buildTestBlock(t, 20000, 13, 10)
+	cb := New(b, 1<<20)
+	cov := testCovering(b, queryPolys()[0])
+	got := cb.Count(cov)
+	want := b.CountCovering(cov)
+	if got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	if cb.Stats().NumCells() == 0 {
+		t.Fatal("COUNT did not record statistics")
+	}
+}
+
+func TestOwnHitsAblationDiffersUnderParentSkew(t *testing.T) {
+	b := buildTestBlock(t, 20000, 13, 11)
+	root := enclosingRoot(b)
+	parent := root.Children()[0]
+	child := parent.Children()[1]
+
+	s := NewStats(root)
+	for i := 0; i < 10; i++ {
+		s.Record([]cellid.ID{parent})
+	}
+	s.Record([]cellid.ID{child})
+
+	withTransfer := s.RankedCells()
+	ownOnly := s.RankedCellsOwnHitsOnly()
+	// With parent transfer the child ties the parent at 11 vs 10 — child
+	// scores 1+10=11, parent 10+rootHits. Child must come first.
+	if withTransfer[0] != child {
+		t.Fatalf("parent-transfer ranking = %v, want child first", withTransfer)
+	}
+	if ownOnly[0] != parent {
+		t.Fatalf("own-hits ranking = %v, want parent first", ownOnly)
+	}
+}
+
+func TestEnclosingRootCoversAllCells(t *testing.T) {
+	b := buildTestBlock(t, 10000, 12, 12)
+	root := enclosingRoot(b)
+	h := b.Header()
+	if !root.Contains(h.MinCell) || !root.Contains(h.MaxCell) {
+		t.Fatal("root does not cover header extremes")
+	}
+}

@@ -1,0 +1,241 @@
+package aggtrie
+
+import (
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/core"
+)
+
+// CachedBlock is "BlockQC" from the paper's evaluation: a GeoBlock plus an
+// AggregateTrie query cache and the adapted query algorithm of Fig. 8. The
+// cache is rebuilt from observed query statistics on Refresh, within a
+// fixed byte budget (the aggregate threshold).
+type CachedBlock struct {
+	block  *core.GeoBlock
+	stats  *Stats
+	trie   *Trie
+	budget int
+
+	// ScoreOwnHitsOnly switches to the ablation ranking that ignores
+	// parent hits (DESIGN.md Sec. 5).
+	ScoreOwnHitsOnly bool
+
+	// DeriveFromSiblings enables the paper's future-work extension: an
+	// uncached cell whose parent and all three siblings are cached is
+	// answered as parent − siblings. Only count/sum/avg queries qualify
+	// (min/max are not invertible).
+	DeriveFromSiblings bool
+
+	metrics Metrics
+	// sinceRefresh counts probe outcomes since the last Refresh, driving
+	// the MaybeRefresh policy. Unlike metrics it is not caller-resettable.
+	sinceRefresh Metrics
+}
+
+// Metrics are cache effectiveness counters, reset with ResetMetrics.
+type Metrics struct {
+	// Probes counts query cells that went through the cache probe.
+	Probes uint64
+	// FullHits counts query cells answered entirely by one cached record.
+	FullHits uint64
+	// PartialHits counts query cells answered by a mix of cached direct
+	// children and aggregate scans.
+	PartialHits uint64
+	// Misses counts query cells answered by the unmodified algorithm.
+	Misses uint64
+	// DerivedHits counts query cells answered by sibling derivation
+	// (parent − siblings), when enabled.
+	DerivedHits uint64
+}
+
+// HitRate returns the full-hit fraction over all probes, the quantity
+// plotted in paper Fig. 18.
+func (m Metrics) HitRate() float64 {
+	if m.Probes == 0 {
+		return 0
+	}
+	return float64(m.FullHits) / float64(m.Probes)
+}
+
+// New creates a CachedBlock over b with the given cache budget in bytes.
+// The cache starts empty (cold); it fills on the first Refresh after
+// queries have been recorded.
+func New(b *core.GeoBlock, budgetBytes int) *CachedBlock {
+	root := enclosingRoot(b)
+	return &CachedBlock{
+		block:  b,
+		stats:  NewStats(root),
+		budget: budgetBytes,
+		trie:   BuildTrie(b, nil, budgetBytes),
+	}
+}
+
+// NewWithThreshold creates a CachedBlock whose budget is the given
+// fraction of the block's cell-aggregate storage size — the paper's
+// aggregate threshold (Fig. 18).
+func NewWithThreshold(b *core.GeoBlock, threshold float64) *CachedBlock {
+	return New(b, int(threshold*float64(b.SizeBytes())))
+}
+
+// Block returns the underlying GeoBlock.
+func (cb *CachedBlock) Block() *core.GeoBlock { return cb.block }
+
+// Stats returns the query statistics collected so far.
+func (cb *CachedBlock) Stats() *Stats { return cb.stats }
+
+// Trie returns the current cache trie.
+func (cb *CachedBlock) Trie() *Trie { return cb.trie }
+
+// BudgetBytes returns the cache budget.
+func (cb *CachedBlock) BudgetBytes() int { return cb.budget }
+
+// Metrics returns a copy of the effectiveness counters.
+func (cb *CachedBlock) Metrics() Metrics { return cb.metrics }
+
+// ResetMetrics zeroes the effectiveness counters.
+func (cb *CachedBlock) ResetMetrics() { cb.metrics = Metrics{} }
+
+// Refresh rebuilds the cache trie from the accumulated statistics: cells
+// are ranked by score and inserted best-first until the byte budget is
+// exhausted.
+func (cb *CachedBlock) Refresh() {
+	var ranked []cellid.ID
+	if cb.ScoreOwnHitsOnly {
+		ranked = cb.stats.RankedCellsOwnHitsOnly()
+	} else {
+		ranked = cb.stats.RankedCells()
+	}
+	cb.trie = BuildTrie(cb.block, ranked, cb.budget)
+	cb.sinceRefresh = Metrics{}
+}
+
+// MaybeRefresh rebuilds the cache only when the miss share among probes
+// since the last refresh exceeds maxMissRate — the adaptive policy that
+// keeps a well-fitted cache (and its warm arenas) untouched while the
+// workload is served. It reports whether a refresh happened.
+func (cb *CachedBlock) MaybeRefresh(maxMissRate float64) bool {
+	m := cb.sinceRefresh
+	if m.Probes == 0 {
+		return false
+	}
+	missRate := float64(m.Misses+m.PartialHits) / float64(m.Probes)
+	if missRate <= maxMissRate {
+		return false
+	}
+	cb.Refresh()
+	return true
+}
+
+// probeMargin is how many levels above the block level a query cell must
+// sit before the cache is probed for it. A cell k levels up pre-combines
+// up to 4^k grid cells; with a margin of 2 a cached record replaces the
+// scan of up to 16 cell aggregates, comfortably above the cost of the trie
+// walk plus statistics update. Cells closer to the block level are served
+// directly by the cursor-bounded scan.
+const probeMargin = 2
+
+// probeWorthwhile reports whether the cache can beat the plain scan for a
+// query cell. Cells at or near the block level contain few cell
+// aggregates, so a cached record saves (almost) nothing over the sorted
+// aggregate array's sequential scan; probing the trie for them is pure
+// overhead — the effect the paper observes as the base workload being
+// "always slightly faster for Block". Only coarser cells, which
+// pre-combine many grid cells, are worth probing and caching.
+func (cb *CachedBlock) probeWorthwhile(qc cellid.ID) bool {
+	return qc.Level() <= cb.block.Level()-probeMargin
+}
+
+// Select answers a SELECT query over a covering with the adapted algorithm
+// (paper Fig. 8): for each query cell, probe the trie; use the cell's
+// cached record if present; otherwise combine cached direct children with
+// scans for the uncached ones; otherwise fall back to the plain algorithm.
+// Every query cell is also recorded in the statistics.
+func (cb *CachedBlock) Select(cov []cellid.ID, specs []core.AggSpec) (core.Result, error) {
+	acc, err := cb.block.NewAccumulator(specs)
+	if err != nil {
+		return core.Result{}, err
+	}
+	derivable := cb.DeriveFromSiblings && sumOnlySpecs(specs)
+	cb.recordCoarse(cov)
+	for _, qc := range cov {
+		if !cb.probeWorthwhile(qc) {
+			acc.AccumulateCell(qc)
+			continue
+		}
+		cb.metrics.Probes++
+		cb.sinceRefresh.Probes++
+		nodeIdx, found := cb.trie.locate(qc)
+		if !found {
+			if derivable {
+				if count, cols, ok := cb.deriveFromSiblings(qc); ok {
+					acc.AddRecord(count, cols)
+					cb.metrics.DerivedHits++
+					cb.sinceRefresh.FullHits++
+					continue
+				}
+			}
+			cb.metrics.Misses++
+			cb.sinceRefresh.Misses++
+			acc.AccumulateCell(qc)
+			continue
+		}
+		if off := cb.trie.nodes[nodeIdx].aggOff; off != 0 {
+			count, cols, end := cb.trie.record(off)
+			acc.AddRecord(count, cols)
+			acc.SkipTo(end)
+			cb.metrics.FullHits++
+			cb.sinceRefresh.FullHits++
+			continue
+		}
+		st := cb.trie.children(nodeIdx)
+		anyCached := st.present && (st.cached[0] != 0 || st.cached[1] != 0 || st.cached[2] != 0 || st.cached[3] != 0)
+		if !anyCached {
+			if derivable {
+				if count, cols, ok := cb.deriveFromSiblings(qc); ok {
+					acc.AddRecord(count, cols)
+					cb.metrics.DerivedHits++
+					cb.sinceRefresh.FullHits++
+					continue
+				}
+			}
+			cb.metrics.Misses++
+			cb.sinceRefresh.Misses++
+			acc.AccumulateCell(qc)
+			continue
+		}
+		// Combine cached children; scan the rest. Beyond direct children
+		// the bookkeeping cost outweighs the benefit (paper Sec. 3.6).
+		children := qc.Children()
+		for i, child := range children {
+			if st.cached[i] != 0 {
+				count, cols, end := cb.trie.record(st.cached[i])
+				acc.AddRecord(count, cols)
+				acc.SkipTo(end)
+			} else {
+				acc.AccumulateCell(child)
+			}
+		}
+		cb.metrics.PartialHits++
+		cb.sinceRefresh.PartialHits++
+	}
+	return acc.Result(), nil
+}
+
+// Count answers a COUNT query. COUNT runtime is nearly independent of the
+// cell level (only the first and last aggregate per query cell are
+// touched), so the paper applies the cache only to SELECT queries; Count
+// therefore delegates to the plain range-sum algorithm but still records
+// statistics so mixed workloads warm the cache.
+func (cb *CachedBlock) Count(cov []cellid.ID) uint64 {
+	cb.recordCoarse(cov)
+	return cb.block.CountCovering(cov)
+}
+
+// recordCoarse records only the cells the cache would probe, keeping
+// block-level boundary cells out of the statistics and the budget.
+func (cb *CachedBlock) recordCoarse(cov []cellid.ID) {
+	for _, qc := range cov {
+		if cb.probeWorthwhile(qc) {
+			cb.stats.RecordOne(qc)
+		}
+	}
+}

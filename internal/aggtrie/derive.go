@@ -1,0 +1,76 @@
+package aggtrie
+
+import (
+	"math"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/core"
+)
+
+// Sibling derivation is the extension the paper's Sec. 3.6 leaves as
+// future work: "the count for a cell could be calculated by subtracting
+// the count of its sibling cells from the count of its parent cell".
+// Counts and sums are invertible, so when a query cell is uncached but its
+// parent and all three siblings are, the cell's record follows by
+// subtraction. Minimum and maximum are not invertible; derivation is
+// attempted only when the requested aggregates avoid them.
+
+// sumOnlySpecs reports whether every requested aggregate is derivable by
+// subtraction (count, sum, avg).
+func sumOnlySpecs(specs []core.AggSpec) bool {
+	for _, s := range specs {
+		if s.Func == core.AggMin || s.Func == core.AggMax {
+			return false
+		}
+	}
+	return true
+}
+
+// deriveFromSiblings attempts to reconstruct qc's aggregate record as
+// parent − siblings. It returns the derived count and per-column records
+// (with poisoned min/max fields that callers must not read — guaranteed by
+// the sumOnlySpecs precondition).
+func (cb *CachedBlock) deriveFromSiblings(qc cellid.ID) (uint64, []core.ColAggregate, bool) {
+	rootLevel := cb.trie.rootCell.Level()
+	if qc.Level() <= rootLevel {
+		return 0, nil, false
+	}
+	parent := qc.ImmediateParent()
+	pIdx, ok := cb.trie.locate(parent)
+	if !ok || cb.trie.nodes[pIdx].aggOff == 0 {
+		return 0, nil, false
+	}
+	childBlock := cb.trie.nodes[pIdx].childOff
+	if childBlock == 0 {
+		return 0, nil, false
+	}
+	own := qc.ChildPosition()
+	pCount, pCols, _ := cb.trie.record(cb.trie.nodes[pIdx].aggOff)
+
+	count := pCount
+	cols := make([]core.ColAggregate, len(pCols))
+	for c := range cols {
+		cols[c] = core.ColAggregate{
+			Min: math.Inf(1), Max: math.Inf(-1), // not derivable: poisoned
+			Sum: pCols[c].Sum,
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if i == own {
+			continue
+		}
+		sibOff := cb.trie.nodes[int(childBlock)+i].aggOff
+		if sibOff == 0 {
+			return 0, nil, false
+		}
+		sCount, sCols, _ := cb.trie.record(sibOff)
+		if sCount > count {
+			return 0, nil, false // stale cache; be safe
+		}
+		count -= sCount
+		for c := range cols {
+			cols[c].Sum -= sCols[c].Sum
+		}
+	}
+	return count, cols, true
+}

@@ -1,0 +1,144 @@
+package aggtrie
+
+import (
+	"testing"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/core"
+)
+
+// deriveFixture caches a parent and exactly three of its children so the
+// fourth is derivable.
+func deriveFixture(t *testing.T) (*core.GeoBlock, *CachedBlock, cellid.ID) {
+	t.Helper()
+	b := buildTestBlock(t, 30000, 13, 41)
+	root := enclosingRoot(b)
+	parent := root.Children()[0]
+	children := parent.Children()
+	cells := []cellid.ID{parent, children[0], children[1], children[3]}
+	cb := New(b, 1<<20)
+	cb.trie = BuildTrie(b, cells, 1<<20)
+	cb.DeriveFromSiblings = true
+	return b, cb, children[2]
+}
+
+func sumSpecs() []core.AggSpec {
+	return []core.AggSpec{
+		{Func: core.AggCount},
+		{Col: 0, Func: core.AggSum},
+		{Col: 1, Func: core.AggAvg},
+	}
+}
+
+func TestSiblingDerivationMatchesDirect(t *testing.T) {
+	b, cb, target := deriveFixture(t)
+
+	got, err := cb.Select([]cellid.ID{target}, sumSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := b.SelectCovering([]cellid.ID{target}, sumSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != want.Count {
+		t.Fatalf("derived count %d, want %d", got.Count, want.Count)
+	}
+	for i := range got.Values {
+		if !approxEqual(got.Values[i], want.Values[i]) {
+			t.Fatalf("derived value %d = %g, want %g", i, got.Values[i], want.Values[i])
+		}
+	}
+	if cb.Metrics().DerivedHits != 1 {
+		t.Fatalf("derived hits = %d, want 1", cb.Metrics().DerivedHits)
+	}
+}
+
+func TestSiblingDerivationRefusedForMinMax(t *testing.T) {
+	b, cb, target := deriveFixture(t)
+	specs := []core.AggSpec{{Func: core.AggCount}, {Col: 0, Func: core.AggMin}}
+
+	got, err := cb.Select([]cellid.ID{target}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Metrics().DerivedHits != 0 {
+		t.Fatal("min/max query must not use derivation")
+	}
+	want, err := b.SelectCovering([]cellid.ID{target}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != want.Count || !approxEqual(got.Values[1], want.Values[1]) {
+		t.Fatal("fallback result differs")
+	}
+}
+
+func TestSiblingDerivationNeedsAllSiblings(t *testing.T) {
+	b := buildTestBlock(t, 20000, 13, 42)
+	root := enclosingRoot(b)
+	parent := root.Children()[0]
+	children := parent.Children()
+	// Only two siblings cached: derivation impossible.
+	cb := New(b, 1<<20)
+	cb.trie = BuildTrie(b, []cellid.ID{parent, children[0], children[1]}, 1<<20)
+	cb.DeriveFromSiblings = true
+
+	got, err := cb.Select([]cellid.ID{children[2]}, sumSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Metrics().DerivedHits != 0 {
+		t.Fatal("derivation with missing sibling")
+	}
+	want, err := b.SelectCovering([]cellid.ID{children[2]}, sumSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != want.Count {
+		t.Fatal("fallback result differs")
+	}
+}
+
+func TestSiblingDerivationDisabledByDefault(t *testing.T) {
+	b, cb, target := deriveFixture(t)
+	cb.DeriveFromSiblings = false
+	if _, err := cb.Select([]cellid.ID{target}, sumSpecs()); err != nil {
+		t.Fatal(err)
+	}
+	if cb.Metrics().DerivedHits != 0 {
+		t.Fatal("derivation used while disabled")
+	}
+	_ = b
+}
+
+func TestSiblingDerivationInWorkload(t *testing.T) {
+	// End-to-end: derivation on a realistic workload never changes
+	// results.
+	b := buildTestBlock(t, 30000, 13, 43)
+	cb := New(b, 1<<18)
+	cb.DeriveFromSiblings = true
+	specs := sumSpecs()
+	for round := 0; round < 3; round++ {
+		for _, p := range queryPolys() {
+			cov := testCovering(b, p)
+			got, err := cb.Select(cov, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := b.SelectCovering(cov, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Count != want.Count {
+				t.Fatalf("round %d: %d != %d", round, got.Count, want.Count)
+			}
+			for i := range got.Values {
+				if !approxEqual(got.Values[i], want.Values[i]) {
+					t.Fatalf("round %d value %d differs", round, i)
+				}
+			}
+		}
+		cb.Refresh()
+	}
+}

@@ -1,0 +1,174 @@
+package aggtrie
+
+import (
+	"sync"
+	"testing"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/core"
+)
+
+func TestMaybeRefreshPolicy(t *testing.T) {
+	b := buildTestBlock(t, 20000, 13, 31)
+	cb := New(b, 1<<22)
+	cov := testCovering(b, queryPolys()[0])
+	specs := allSpecs()
+
+	// No probes yet: nothing to decide.
+	if cb.MaybeRefresh(0.1) {
+		t.Fatal("refresh without probes")
+	}
+
+	// Cold cache: all probes miss, refresh must trigger.
+	if _, err := cb.Select(cov, specs); err != nil {
+		t.Fatal(err)
+	}
+	if !cb.MaybeRefresh(0.1) {
+		t.Fatal("cold cache did not refresh")
+	}
+
+	// Warm cache fitting the workload: no further refresh.
+	if _, err := cb.Select(cov, specs); err != nil {
+		t.Fatal(err)
+	}
+	if cb.MaybeRefresh(0.1) {
+		t.Fatal("fitting cache refreshed needlessly")
+	}
+
+	// A new region of queries reintroduces misses.
+	cov2 := testCovering(b, queryPolys()[2])
+	if _, err := cb.Select(cov2, specs); err != nil {
+		t.Fatal(err)
+	}
+	if !cb.MaybeRefresh(0.1) {
+		t.Fatal("new workload region did not trigger refresh")
+	}
+}
+
+func TestCacheHitAdvancesCursorConsistently(t *testing.T) {
+	// Mixed hit/miss coverings must produce results identical to the plain
+	// path even when hits skip aggregate ranges (the SkipTo plumbing).
+	b := buildTestBlock(t, 30000, 13, 32)
+	cb := New(b, 1<<16) // small budget: partial caching guaranteed
+	specs := allSpecs()
+
+	covs := make([][]cellid.ID, 0)
+	for _, p := range queryPolys() {
+		covs = append(covs, testCovering(b, p))
+	}
+	for round := 0; round < 4; round++ {
+		for qi, cov := range covs {
+			want, err := b.SelectCovering(cov, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cb.Select(cov, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Count != want.Count {
+				t.Fatalf("round %d query %d: %d != %d", round, qi, got.Count, want.Count)
+			}
+			for i := range got.Values {
+				if !approxEqual(got.Values[i], want.Values[i]) {
+					t.Fatalf("round %d query %d value %d differs", round, qi, i)
+				}
+			}
+		}
+		cb.MaybeRefresh(0.05)
+	}
+	m := cb.Metrics()
+	if m.FullHits == 0 || m.Misses == 0 {
+		t.Fatalf("test should exercise both hits and misses, got %+v", m)
+	}
+}
+
+func TestTrieEndsMatchUpperBound(t *testing.T) {
+	b := buildTestBlock(t, 20000, 12, 33)
+	root := enclosingRoot(b)
+	var cells []cellid.ID
+	for _, c1 := range root.Children() {
+		cells = append(cells, c1)
+		for _, c2 := range c1.Children() {
+			cells = append(cells, c2)
+		}
+	}
+	trie := BuildTrie(b, cells, 1<<24)
+	if err := trie.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range cells {
+		idx, ok := trie.locate(cell)
+		if !ok || trie.nodes[idx].aggOff == 0 {
+			t.Fatalf("cell %v not cached", cell)
+		}
+		count, _, end := trie.record(trie.nodes[idx].aggOff)
+		wantCount, _, wantEnd := b.AggregateCellRange(cell)
+		if count != wantCount || end != wantEnd {
+			t.Fatalf("cell %v: (count,end) = (%d,%d), want (%d,%d)", cell, count, end, wantCount, wantEnd)
+		}
+	}
+}
+
+func TestStatsTrieGrowthAndReset(t *testing.T) {
+	root := cellid.Root()
+	s := NewStats(root)
+	if s.SizeBytes() != 8 {
+		t.Fatalf("empty stats size = %d", s.SizeBytes())
+	}
+	c := root.Children()[1].Children()[2]
+	for i := 0; i < 5; i++ {
+		s.RecordOne(c)
+	}
+	if s.Hits(c) != 5 {
+		t.Fatalf("hits = %d", s.Hits(c))
+	}
+	if s.NumCells() != 1 {
+		t.Fatalf("distinct = %d", s.NumCells())
+	}
+	// Two levels of child blocks were allocated.
+	if s.SizeBytes() != (1+8)*8 {
+		t.Fatalf("stats size = %d, want %d", s.SizeBytes(), (1+8)*8)
+	}
+	s.Reset()
+	if s.NumCells() != 0 || s.Hits(c) != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}
+
+func TestConcurrentWarmReads(t *testing.T) {
+	// A built GeoBlock is safe for concurrent readers; verify with the
+	// race detector in mind (plain SelectCovering only — the cached block
+	// mutates statistics and is documented as not concurrency-safe).
+	b := buildTestBlock(t, 20000, 12, 34)
+	cov := testCovering(b, queryPolys()[0])
+	specs := allSpecs()
+	want, err := b.SelectCovering(cov, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, err := b.SelectCovering(cov, specs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.Count != want.Count {
+					errs <- core.ErrRebuildRequired // any sentinel
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent read failed: %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+package aggtrie
+
+import (
+	"sort"
+
+	"geoblocks/internal/cellid"
+)
+
+// Stats tracks how often each query cell has been seen, the signal the
+// cache uses to decide which areas are worth pre-aggregating (paper
+// Sec. 3.6, "Determining Relevant Aggregates"). As in the paper, the
+// counters live in a trie-like structure: a flat arena of fanout-4 nodes
+// mirroring the cell hierarchy, so recording a query cell is a short array
+// walk instead of a hash operation — recording happens on every query
+// cell, so it must be nearly free.
+//
+// Only cells contained in the tracked root are recorded: cells outside the
+// block's data region cannot be cached and would be pruned by the header
+// anyway.
+type Stats struct {
+	root cellid.ID
+	// nodes[0] is the root; children are allocated as contiguous blocks
+	// of four, exactly like the AggregateTrie arena.
+	nodes []statNode
+	// distinct counts recorded cells (hits transitioning 0 -> 1).
+	distinct int
+}
+
+type statNode struct {
+	childOff uint32
+	hits     uint32
+}
+
+// NewStats creates empty statistics scoped to the given root cell.
+func NewStats(root cellid.ID) *Stats {
+	return &Stats{root: root, nodes: make([]statNode, 1, 64)}
+}
+
+// Record notes one query for each covering cell.
+func (s *Stats) Record(cov []cellid.ID) {
+	for _, c := range cov {
+		s.RecordOne(c)
+	}
+}
+
+// RecordOne notes one query for a single cell, extending the trie path on
+// first sight. Like Trie.locate, the walk reads child steps from the
+// Hilbert position bits — two bits per level below the root.
+func (s *Stats) RecordOne(c cellid.ID) {
+	if !s.root.Contains(c) {
+		return
+	}
+	depth := c.Level() - s.root.Level()
+	pos := c.Pos()
+	idx := 0
+	for d := depth - 1; d >= 0; d-- {
+		if s.nodes[idx].childOff == 0 {
+			off := uint32(len(s.nodes))
+			s.nodes = append(s.nodes, statNode{}, statNode{}, statNode{}, statNode{})
+			s.nodes[idx].childOff = off
+		}
+		idx = int(s.nodes[idx].childOff) + int(pos>>uint(2*d))&3
+	}
+	if s.nodes[idx].hits == 0 {
+		s.distinct++
+	}
+	s.nodes[idx].hits++
+}
+
+// Hits returns the recorded hit count of cell.
+func (s *Stats) Hits(cell cellid.ID) uint64 {
+	if !s.root.Contains(cell) {
+		return 0
+	}
+	depth := cell.Level() - s.root.Level()
+	pos := cell.Pos()
+	idx := 0
+	for d := depth - 1; d >= 0; d-- {
+		off := s.nodes[idx].childOff
+		if off == 0 {
+			return 0
+		}
+		idx = int(off) + int(pos>>uint(2*d))&3
+	}
+	return uint64(s.nodes[idx].hits)
+}
+
+// NumCells returns how many distinct cells have been recorded.
+func (s *Stats) NumCells() int { return s.distinct }
+
+// SizeBytes returns the arena footprint of the statistics trie.
+func (s *Stats) SizeBytes() int { return len(s.nodes) * 8 }
+
+// Reset clears all statistics.
+func (s *Stats) Reset() {
+	s.nodes = make([]statNode, 1, 64)
+	s.distinct = 0
+}
+
+// scored pairs a cell with its cache priority.
+type scored struct {
+	cell  cellid.ID
+	score uint64
+	level int
+}
+
+// RankedCells returns all recorded cells ordered by cache priority. The
+// score of a cell is its own hits plus its parent's hits — child cells can
+// serve parent queries, so parent popularity transfers down (paper
+// Sec. 3.6). Ties break towards coarser cells (bigger impact), then by
+// ascending spatial key for determinism.
+func (s *Stats) RankedCells() []cellid.ID {
+	return s.ranked(true)
+}
+
+// RankedCellsOwnHitsOnly is the ablation variant that scores cells by
+// their own hits alone, ignoring the parent transfer (DESIGN.md Sec. 5).
+func (s *Stats) RankedCellsOwnHitsOnly() []cellid.ID {
+	return s.ranked(false)
+}
+
+func (s *Stats) ranked(parentTransfer bool) []cellid.ID {
+	cand := make([]scored, 0, s.distinct)
+	var walk func(idx int, cell cellid.ID, parentHits uint32)
+	walk = func(idx int, cell cellid.ID, parentHits uint32) {
+		n := s.nodes[idx]
+		if n.hits > 0 {
+			score := uint64(n.hits)
+			if parentTransfer {
+				score += uint64(parentHits)
+			}
+			cand = append(cand, scored{cell: cell, score: score, level: cell.Level()})
+		}
+		if n.childOff == 0 || cell.IsLeaf() {
+			return
+		}
+		children := cell.Children()
+		for i := 0; i < 4; i++ {
+			walk(int(n.childOff)+i, children[i], n.hits)
+		}
+	}
+	walk(0, s.root, 0)
+
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].score != cand[j].score {
+			return cand[i].score > cand[j].score
+		}
+		if cand[i].level != cand[j].level {
+			return cand[i].level < cand[j].level
+		}
+		return cand[i].cell < cand[j].cell
+	})
+	out := make([]cellid.ID, len(cand))
+	for i, c := range cand {
+		out[i] = c.cell
+	}
+	return out
+}

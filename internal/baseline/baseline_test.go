@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+	"geoblocks/internal/core"
+	"geoblocks/internal/cover"
+	"geoblocks/internal/geom"
+)
+
+func fixture(t testing.TB, n int, seed int64) (cellid.Domain, *column.Table) {
+	t.Helper()
+	dom := cellid.MustDomain(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)})
+	schema := column.NewSchema("a", "b")
+	rng := rand.New(rand.NewSource(seed))
+	tbl := column.NewTable(schema)
+	for i := 0; i < n; i++ {
+		p := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		tbl.AppendRow(uint64(dom.FromPoint(p)), rng.Float64()*10, rng.NormFloat64())
+	}
+	tbl.SortByKey()
+	return dom, tbl
+}
+
+func specs() []core.AggSpec {
+	return []core.AggSpec{
+		{Func: core.AggCount},
+		{Col: 0, Func: core.AggSum},
+		{Col: 0, Func: core.AggMin},
+		{Col: 1, Func: core.AggMax},
+		{Col: 1, Func: core.AggAvg},
+	}
+}
+
+func approxEqual(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= 1e-9 || d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// bruteCovering aggregates rows in the covering by scanning every row.
+func bruteCovering(tbl *column.Table, cov []cellid.ID, sp []core.AggSpec) core.Result {
+	acc := NewRowAccumulator(sp)
+	for i := 0; i < tbl.NumRows(); i++ {
+		leaf := cellid.ID(tbl.Keys[i])
+		for _, qc := range cov {
+			if qc.Contains(leaf) {
+				acc.AddRow(tbl, i)
+				break
+			}
+		}
+	}
+	return acc.Result()
+}
+
+func TestBinarySearchMatchesBruteForce(t *testing.T) {
+	dom, tbl := fixture(t, 20000, 1)
+	bs := NewBinarySearch(tbl)
+	poly := geom.NewPolygon([]geom.Point{
+		geom.Pt(20, 30), geom.Pt(70, 25), geom.Pt(65, 75), geom.Pt(30, 70),
+	})
+	cov := cover.MustCoverer(dom, cover.DefaultOptions(11)).Cover(poly)
+
+	got := bs.AggregateCovering(cov.Cells, specs())
+	want := bruteCovering(tbl, cov.Cells, specs())
+	if got.Count != want.Count || got.Count == 0 {
+		t.Fatalf("count = %d, want %d (nonzero)", got.Count, want.Count)
+	}
+	for i := range got.Values {
+		if !approxEqual(got.Values[i], want.Values[i]) {
+			t.Fatalf("value %d = %g, want %g", i, got.Values[i], want.Values[i])
+		}
+	}
+	if cnt := bs.CountCovering(cov.Cells); cnt != want.Count {
+		t.Fatalf("CountCovering = %d, want %d", cnt, want.Count)
+	}
+}
+
+func TestBinarySearchAgreesWithGeoBlock(t *testing.T) {
+	dom, tbl := fixture(t, 20000, 2)
+	bs := NewBinarySearch(tbl)
+	base := &core.BaseData{Domain: dom, Table: tbl, PiggyLevel: -1}
+	blk, err := core.Build(base, core.BuildOptions{Level: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly := geom.RegularPolygon(geom.Pt(50, 50), 25, 6)
+	cov := cover.MustCoverer(dom, cover.DefaultOptions(12)).Cover(poly)
+
+	got := bs.AggregateCovering(cov.Cells, specs())
+	want, err := blk.SelectCovering(cov.Cells, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != want.Count {
+		t.Fatalf("count = %d, want %d", got.Count, want.Count)
+	}
+	for i := range got.Values {
+		if !approxEqual(got.Values[i], want.Values[i]) {
+			t.Fatalf("value %d = %g, want %g", i, got.Values[i], want.Values[i])
+		}
+	}
+}
+
+func TestBinarySearchPanicsOnUnsorted(t *testing.T) {
+	_, tbl := fixture(t, 100, 3)
+	tbl.Sorted = false
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unsorted table")
+		}
+	}()
+	NewBinarySearch(tbl)
+}
+
+func TestRowAccumulatorEmpty(t *testing.T) {
+	acc := NewRowAccumulator(specs())
+	res := acc.Result()
+	if res.Count != 0 {
+		t.Fatal("empty accumulator has nonzero count")
+	}
+	if !math.IsNaN(res.Values[2]) || !math.IsNaN(res.Values[3]) || !math.IsNaN(res.Values[4]) {
+		t.Fatalf("empty min/max/avg should be NaN, got %v", res.Values)
+	}
+	if res.Values[0] != 0 || res.Values[1] != 0 {
+		t.Fatalf("empty count/sum should be 0, got %v", res.Values)
+	}
+}
+
+func TestAddAggregateMatchesRowByRow(t *testing.T) {
+	_, tbl := fixture(t, 1000, 4)
+	// Fold rows one way via AddRow, the other via one AddAggregate record.
+	a1 := NewRowAccumulator(specs())
+	for i := 0; i < tbl.NumRows(); i++ {
+		a1.AddRow(tbl, i)
+	}
+	want := a1.Result()
+
+	count := uint64(tbl.NumRows())
+	cols := make([]core.ColAggregate, 2)
+	for c := range cols {
+		cols[c] = core.ColAggregate{Min: math.Inf(1), Max: math.Inf(-1)}
+		for i := 0; i < tbl.NumRows(); i++ {
+			v := tbl.Cols[c][i]
+			if v < cols[c].Min {
+				cols[c].Min = v
+			}
+			if v > cols[c].Max {
+				cols[c].Max = v
+			}
+			cols[c].Sum += v
+		}
+	}
+	a2 := NewRowAccumulator(specs())
+	a2.AddAggregate(count, cols)
+	got := a2.Result()
+
+	if got.Count != want.Count {
+		t.Fatalf("count %d != %d", got.Count, want.Count)
+	}
+	for i := range got.Values {
+		if !approxEqual(got.Values[i], want.Values[i]) {
+			t.Fatalf("value %d: %g != %g", i, got.Values[i], want.Values[i])
+		}
+	}
+}
+
+func TestExactPolygonCount(t *testing.T) {
+	dom, tbl := fixture(t, 10000, 5)
+	// Half-domain rectangle as polygon: count should be ~half the rows.
+	poly := geom.NewPolygon([]geom.Point{
+		geom.Pt(0, 0), geom.Pt(50, 0), geom.Pt(50, 100), geom.Pt(0, 100),
+	})
+	got := ExactPolygonCount(tbl, dom, poly)
+	if got < 4500 || got > 5500 {
+		t.Fatalf("half-domain count = %d, want ~5000", got)
+	}
+	r := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(50, 100)}
+	if rc := ExactRectCount(tbl, dom, r); rc != got {
+		t.Fatalf("rect count %d != polygon count %d", rc, got)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); !approxEqual(got, 0.1) {
+		t.Fatalf("RelativeError(110,100) = %g", got)
+	}
+	if got := RelativeError(90, 100); !approxEqual(got, 0.1) {
+		t.Fatalf("RelativeError(90,100) = %g", got)
+	}
+	if got := RelativeError(0, 0); got != 0 {
+		t.Fatalf("RelativeError(0,0) = %g", got)
+	}
+	if got := RelativeError(5, 0); !math.IsInf(got, 1) {
+		t.Fatalf("RelativeError(5,0) = %g", got)
+	}
+}

@@ -1,0 +1,244 @@
+// Package btree implements an in-memory B+-tree keyed by 64-bit spatial
+// keys, the secondary-index baseline of the paper's evaluation (Sec. 4.1,
+// standing in for Google's cpp-btree). The tree maps each base-data row's
+// spatial key to its row index; queries probe the tree for the first key of
+// a covering cell's range and then scan the sorted raw data until no
+// further tuple qualifies.
+package btree
+
+import (
+	"sort"
+
+	"geoblocks/internal/baseline"
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+	"geoblocks/internal/core"
+)
+
+// order is the maximum number of children per internal node. 64 keeps
+// nodes around one cache line multiple, matching typical in-memory B-tree
+// tuning.
+const order = 64
+
+// maxLeafEntries is the leaf capacity.
+const maxLeafEntries = 64
+
+type leaf struct {
+	keys []uint64
+	rows []uint32
+	next *leaf
+}
+
+type internal struct {
+	// keys[i] is the smallest key reachable via children[i+1].
+	keys     []uint64
+	children []interface{} // *internal or *leaf
+}
+
+// Tree is the B+-tree secondary index. Build it with New (bulk insert of a
+// sorted table) or insert rows individually with Insert.
+type Tree struct {
+	root    interface{}
+	height  int
+	numKeys int
+}
+
+// New builds a tree over every row of the sorted base table by sequential
+// insertion — the same indexing work the paper charges to the BTree
+// baseline's build phase.
+func New(t *column.Table) *Tree {
+	tr := &Tree{}
+	for i, k := range t.Keys {
+		tr.Insert(k, uint32(i))
+	}
+	return tr
+}
+
+// Len returns the number of indexed entries.
+func (t *Tree) Len() int { return t.numKeys }
+
+// Height returns the tree height (1 = only a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Insert adds one (key, row) entry. Duplicate keys are kept; within a key,
+// rows preserve insertion order.
+func (t *Tree) Insert(key uint64, row uint32) {
+	t.numKeys++
+	if t.root == nil {
+		t.root = &leaf{keys: []uint64{key}, rows: []uint32{row}}
+		t.height = 1
+		return
+	}
+	newChild, splitKey := t.insert(t.root, key, row)
+	if newChild != nil {
+		t.root = &internal{
+			keys:     []uint64{splitKey},
+			children: []interface{}{t.root, newChild},
+		}
+		t.height++
+	}
+}
+
+// insert descends to the leaf, inserts, and propagates splits upward. It
+// returns the new right sibling and its separator key when the node split.
+func (t *Tree) insert(n interface{}, key uint64, row uint32) (interface{}, uint64) {
+	switch node := n.(type) {
+	case *leaf:
+		idx := sort.Search(len(node.keys), func(i int) bool { return node.keys[i] > key })
+		node.keys = append(node.keys, 0)
+		copy(node.keys[idx+1:], node.keys[idx:])
+		node.keys[idx] = key
+		node.rows = append(node.rows, 0)
+		copy(node.rows[idx+1:], node.rows[idx:])
+		node.rows[idx] = row
+		if len(node.keys) <= maxLeafEntries {
+			return nil, 0
+		}
+		mid := len(node.keys) / 2
+		right := &leaf{
+			keys: append([]uint64(nil), node.keys[mid:]...),
+			rows: append([]uint32(nil), node.rows[mid:]...),
+			next: node.next,
+		}
+		node.keys = node.keys[:mid]
+		node.rows = node.rows[:mid]
+		node.next = right
+		return right, right.keys[0]
+
+	case *internal:
+		idx := sort.Search(len(node.keys), func(i int) bool { return node.keys[i] > key })
+		newChild, splitKey := t.insert(node.children[idx], key, row)
+		if newChild == nil {
+			return nil, 0
+		}
+		node.keys = append(node.keys, 0)
+		copy(node.keys[idx+1:], node.keys[idx:])
+		node.keys[idx] = splitKey
+		node.children = append(node.children, nil)
+		copy(node.children[idx+2:], node.children[idx+1:])
+		node.children[idx+1] = newChild
+		if len(node.children) <= order {
+			return nil, 0
+		}
+		midKey := len(node.keys) / 2
+		sep := node.keys[midKey]
+		right := &internal{
+			keys:     append([]uint64(nil), node.keys[midKey+1:]...),
+			children: append([]interface{}(nil), node.children[midKey+1:]...),
+		}
+		node.keys = node.keys[:midKey]
+		node.children = node.children[:midKey+1]
+		return right, sep
+	}
+	panic("btree: unknown node type")
+}
+
+// SeekGE returns the row index of the first entry with key >= key, and
+// false when no such entry exists.
+func (t *Tree) SeekGE(key uint64) (uint32, bool) {
+	n := t.root
+	for {
+		switch node := n.(type) {
+		case nil:
+			return 0, false
+		case *internal:
+			// Descend left of an equal separator: duplicates of the probe
+			// key may live in the left subtree, and the leaf next-pointer
+			// chain recovers from descending too far left.
+			idx := sort.Search(len(node.keys), func(i int) bool { return node.keys[i] >= key })
+			n = node.children[idx]
+		case *leaf:
+			idx := sort.Search(len(node.keys), func(i int) bool { return node.keys[i] >= key })
+			if idx < len(node.keys) {
+				return node.rows[idx], true
+			}
+			if node.next != nil && len(node.next.keys) > 0 {
+				return node.next.rows[0], true
+			}
+			return 0, false
+		default:
+			return 0, false
+		}
+	}
+}
+
+// SizeBytes returns the index's memory footprint: per leaf entry 12 bytes
+// (key + row) plus per node slice headers and per internal entry key +
+// child pointer. This is the overhead plotted in paper Fig. 11b.
+func (t *Tree) SizeBytes() int {
+	size := 0
+	var walk func(n interface{})
+	walk = func(n interface{}) {
+		switch node := n.(type) {
+		case *leaf:
+			size += 8*cap(node.keys) + 4*cap(node.rows) + 48 // slice headers + next
+		case *internal:
+			size += 8*cap(node.keys) + 16*cap(node.children) + 48
+			for _, c := range node.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return size
+}
+
+// Index is the BTree baseline: the tree plus the sorted base data it
+// indexes.
+type Index struct {
+	tree  *Tree
+	table *column.Table
+}
+
+// NewIndex builds the baseline over a sorted base table.
+func NewIndex(t *column.Table) *Index {
+	if !t.Sorted {
+		panic("btree: index requires sorted base data")
+	}
+	return &Index{tree: New(t), table: t}
+}
+
+// Name identifies the baseline in experiment output.
+func (ix *Index) Name() string { return "BTree" }
+
+// SizeBytes returns the index overhead beyond the base data.
+func (ix *Index) SizeBytes() int { return ix.tree.SizeBytes() }
+
+// Tree exposes the underlying B+-tree.
+func (ix *Index) Tree() *Tree { return ix.tree }
+
+// AggregateCovering probes the tree for the first tuple of each covering
+// cell and scans the sorted raw data until the cell's key range is
+// exhausted, aggregating on the fly (paper Sec. 4.1).
+func (ix *Index) AggregateCovering(cov []cellid.ID, specs []core.AggSpec) core.Result {
+	acc := baseline.NewRowAccumulator(specs)
+	for _, qc := range cov {
+		start, ok := ix.tree.SeekGE(uint64(qc.RangeMin()))
+		if !ok {
+			continue
+		}
+		hi := uint64(qc.RangeMax())
+		for i := int(start); i < ix.table.NumRows() && ix.table.Keys[i] <= hi; i++ {
+			acc.AddRow(ix.table, i)
+		}
+	}
+	return acc.Result()
+}
+
+// CountCovering counts tuples per covering cell by seeking both range ends.
+func (ix *Index) CountCovering(cov []cellid.ID) uint64 {
+	var total uint64
+	n := ix.table.NumRows()
+	for _, qc := range cov {
+		start, ok := ix.tree.SeekGE(uint64(qc.RangeMin()))
+		if !ok {
+			continue
+		}
+		end, ok := ix.tree.SeekGE(uint64(qc.RangeMax()) + 1)
+		if !ok {
+			end = uint32(n)
+		}
+		total += uint64(end - start)
+	}
+	return total
+}

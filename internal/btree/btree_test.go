@@ -1,0 +1,179 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"geoblocks/internal/baseline"
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+	"geoblocks/internal/core"
+	"geoblocks/internal/cover"
+	"geoblocks/internal/geom"
+)
+
+func TestInsertAndSeek(t *testing.T) {
+	tr := &Tree{}
+	keys := []uint64{50, 10, 90, 30, 70, 20, 80, 40, 60, 100}
+	for i, k := range keys {
+		tr.Insert(k, uint32(i))
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	// SeekGE on present and absent keys.
+	row, ok := tr.SeekGE(30)
+	if !ok || row != 3 {
+		t.Fatalf("SeekGE(30) = %d,%t", row, ok)
+	}
+	// 31 -> first key >= 31 is 40, which was inserted as row 7.
+	row, ok = tr.SeekGE(31)
+	if !ok || row != 7 {
+		t.Fatalf("SeekGE(31) = %d,%t, want 7", row, ok)
+	}
+	if _, ok := tr.SeekGE(101); ok {
+		t.Fatal("SeekGE beyond max should fail")
+	}
+	row, ok = tr.SeekGE(0)
+	if !ok || row != 1 { // smallest key 10 was inserted as row 1
+		t.Fatalf("SeekGE(0) = %d,%t, want 1", row, ok)
+	}
+}
+
+func TestManyInsertsSplitCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := &Tree{}
+	const n = 50000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % (n * 4)
+	}
+	// Insert in sorted order with row = position, mimicking index builds
+	// over sorted base data.
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i, k := range keys {
+		tr.Insert(k, uint32(i))
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("tree of %d entries has height %d", n, tr.Height())
+	}
+	// SeekGE must return the first row whose key >= probe for random probes.
+	for trial := 0; trial < 2000; trial++ {
+		probe := rng.Uint64() % (n * 4)
+		want := sort.Search(n, func(i int) bool { return keys[i] >= probe })
+		row, ok := tr.SeekGE(probe)
+		if want == n {
+			if ok {
+				t.Fatalf("probe %d: expected miss, got row %d", probe, row)
+			}
+			continue
+		}
+		if !ok || int(row) != want {
+			t.Fatalf("probe %d: row = %d,%t, want %d", probe, row, ok, want)
+		}
+	}
+}
+
+func TestQuickSeekMatchesSortSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 5000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 100000
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	tr := &Tree{}
+	for i, k := range keys {
+		tr.Insert(k, uint32(i))
+	}
+	f := func(probe uint32) bool {
+		p := uint64(probe) % 110000
+		want := sort.Search(n, func(i int) bool { return keys[i] >= p })
+		row, ok := tr.SeekGE(p)
+		if want == n {
+			return !ok
+		}
+		return ok && int(row) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fixtureIndex(t testing.TB, n int, seed int64) (cellid.Domain, *column.Table, *Index) {
+	t.Helper()
+	dom := cellid.MustDomain(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)})
+	schema := column.NewSchema("v")
+	rng := rand.New(rand.NewSource(seed))
+	tbl := column.NewTable(schema)
+	for i := 0; i < n; i++ {
+		p := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		tbl.AppendRow(uint64(dom.FromPoint(p)), rng.Float64())
+	}
+	tbl.SortByKey()
+	return dom, tbl, NewIndex(tbl)
+}
+
+func TestIndexAgreesWithBinarySearch(t *testing.T) {
+	dom, tbl, ix := fixtureIndex(t, 20000, 3)
+	bs := baseline.NewBinarySearch(tbl)
+	poly := geom.RegularPolygon(geom.Pt(40, 60), 22, 5)
+	cov := cover.MustCoverer(dom, cover.DefaultOptions(12)).Cover(poly)
+	sp := []core.AggSpec{{Func: core.AggCount}, {Col: 0, Func: core.AggSum}, {Col: 0, Func: core.AggMin}}
+
+	a := ix.AggregateCovering(cov.Cells, sp)
+	b := bs.AggregateCovering(cov.Cells, sp)
+	if a.Count != b.Count || a.Count == 0 {
+		t.Fatalf("count %d != %d (nonzero)", a.Count, b.Count)
+	}
+	for i := range a.Values {
+		if diff := math.Abs(a.Values[i] - b.Values[i]); diff > 1e-9 {
+			t.Fatalf("value %d differs by %g", i, diff)
+		}
+	}
+	if ca, cb := ix.CountCovering(cov.Cells), bs.CountCovering(cov.Cells); ca != cb {
+		t.Fatalf("counts differ: %d vs %d", ca, cb)
+	}
+}
+
+func TestSizeBytesPositiveAndProportional(t *testing.T) {
+	_, _, small := fixtureIndex(t, 1000, 4)
+	_, _, big := fixtureIndex(t, 10000, 5)
+	if small.SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Fatal("bigger index should take more space")
+	}
+	ratio := float64(big.SizeBytes()) / float64(small.SizeBytes())
+	if ratio < 5 || ratio > 20 {
+		t.Fatalf("size should grow roughly linearly, ratio = %g", ratio)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := &Tree{}
+	if _, ok := tr.SeekGE(0); ok {
+		t.Fatal("empty tree seek should fail")
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatal("empty tree has entries")
+	}
+}
+
+func TestDuplicateKeysPreserveRowOrder(t *testing.T) {
+	tr := &Tree{}
+	for i := 0; i < 200; i++ {
+		tr.Insert(42, uint32(i))
+	}
+	row, ok := tr.SeekGE(42)
+	if !ok || row != 0 {
+		t.Fatalf("first duplicate = %d,%t, want 0", row, ok)
+	}
+	if _, ok := tr.SeekGE(43); ok {
+		t.Fatal("no key >= 43 exists")
+	}
+}

@@ -1,0 +1,189 @@
+// Package cellid implements the hierarchical spatial decomposition that
+// GeoBlocks is built on (paper Sec. 3.1): a quadtree over a configurable
+// planar domain whose cells are enumerated by a Hilbert space-filling curve
+// and identified by 64-bit keys.
+//
+// The encoding mirrors Google S2's cell ids without the cube-face bits: a
+// cell at level L stores its 2L Hilbert position bits in the high bits of
+// the word, followed by a single sentinel 1 bit, followed by zeros. The
+// position of the lowest set bit therefore encodes the level, children share
+// their parent's bit prefix, and containment tests reduce to bitwise range
+// comparisons — exactly the properties the paper relies on for constant-time
+// pruning and prefix-encoded indexing.
+package cellid
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxLevel is the deepest subdivision level. At level 30 the domain is
+// divided into 4^30 ≈ 10^18 leaf cells; over an NYC-sized domain a leaf is
+// well below GPS precision, matching the paper's observation that point
+// snapping error is negligible.
+const MaxLevel = 30
+
+// ID identifies a cell at some level of the hierarchy. The zero ID is
+// invalid and doubles as a "none" sentinel.
+type ID uint64
+
+// FromPos constructs the ID of the cell at the given level whose Hilbert
+// position (among the 4^level cells of that level) is pos.
+func FromPos(pos uint64, level int) ID {
+	shift := uint(2*(MaxLevel-level) + 1)
+	return ID(pos<<shift | 1<<(shift-1))
+}
+
+// FromIJ constructs the ID of the cell at the given level with grid
+// coordinates (i, j), where i, j ∈ [0, 2^level).
+func FromIJ(i, j uint32, level int) ID {
+	return FromPos(ijToPos(i, j, uint(level)), level)
+}
+
+// lsb returns the lowest set bit of id, which encodes the cell's level.
+func (id ID) lsb() uint64 { return uint64(id) & -uint64(id) }
+
+// IsValid reports whether id is a structurally valid cell id: non-zero,
+// with its sentinel bit at an even position below 2*MaxLevel+1.
+func (id ID) IsValid() bool {
+	return id != 0 && uint64(id)>>(2*MaxLevel+1) == 0 && id.lsb()&0x5555555555555555 != 0
+}
+
+// Level returns the subdivision level of id, in [0, MaxLevel].
+func (id ID) Level() int {
+	return MaxLevel - bits.TrailingZeros64(uint64(id))/2
+}
+
+// IsLeaf reports whether id is a cell at MaxLevel.
+func (id ID) IsLeaf() bool { return uint64(id)&1 != 0 }
+
+// Pos returns the Hilbert position of id among the cells of its level.
+func (id ID) Pos() uint64 {
+	return uint64(id) >> (uint(bits.TrailingZeros64(uint64(id))) + 1)
+}
+
+// IJ returns the grid coordinates of id at its own level.
+func (id ID) IJ() (i, j uint32) {
+	return posToIJ(id.Pos(), uint(id.Level()))
+}
+
+// Parent returns the ancestor of id at the given level, which must not
+// exceed id's own level.
+func (id ID) Parent(level int) ID {
+	newLSB := uint64(1) << uint(2*(MaxLevel-level))
+	return ID(uint64(id)&-newLSB | newLSB)
+}
+
+// ImmediateParent returns the parent one level up. It must not be called on
+// the level-0 root.
+func (id ID) ImmediateParent() ID {
+	newLSB := id.lsb() << 2
+	return ID(uint64(id)&-newLSB | newLSB)
+}
+
+// Children returns the four children of id in Hilbert order. It must not be
+// called on leaf cells.
+func (id ID) Children() [4]ID {
+	lsb := id.lsb()
+	childLSB := lsb >> 2
+	base := uint64(id) - lsb + childLSB
+	return [4]ID{
+		ID(base),
+		ID(base + 2*childLSB),
+		ID(base + 4*childLSB),
+		ID(base + 6*childLSB),
+	}
+}
+
+// ChildBeginAt returns the first descendant of id at the given level (in
+// Hilbert order). level must be ≥ id's level.
+func (id ID) ChildBeginAt(level int) ID {
+	lsbAt := uint64(1) << uint(2*(MaxLevel-level))
+	return ID(uint64(id) - id.lsb() + lsbAt)
+}
+
+// ChildEndAt returns the last descendant of id at the given level (in
+// Hilbert order). level must be ≥ id's level.
+func (id ID) ChildEndAt(level int) ID {
+	lsbAt := uint64(1) << uint(2*(MaxLevel-level))
+	return ID(uint64(id) + id.lsb() - lsbAt)
+}
+
+// RangeMin returns the smallest leaf ID contained in id. Together with
+// RangeMax this gives the key range [RangeMin, RangeMax] spanned by all of
+// id's descendants, enabling the binary-search pruning in Listings 1 and 2.
+func (id ID) RangeMin() ID { return ID(uint64(id) - (id.lsb() - 1)) }
+
+// RangeMax returns the largest leaf ID contained in id.
+func (id ID) RangeMax() ID { return ID(uint64(id) + (id.lsb() - 1)) }
+
+// Contains reports whether other is id itself or one of its descendants.
+// Thanks to the prefix encoding this is two comparisons (paper Sec. 3.1).
+func (id ID) Contains(other ID) bool {
+	return other >= id.RangeMin() && other <= id.RangeMax()
+}
+
+// Intersects reports whether the cells id and other share any leaf cell,
+// i.e. one contains the other.
+func (id ID) Intersects(other ID) bool {
+	return other.RangeMin() <= id.RangeMax() && other.RangeMax() >= id.RangeMin()
+}
+
+// Next returns the next cell at the same level in Hilbert order. Iterating
+// with Next past the last cell of a level yields invalid ids; use the level
+// bounds to stop.
+func (id ID) Next() ID { return ID(uint64(id) + id.lsb()<<1) }
+
+// Prev returns the previous cell at the same level in Hilbert order.
+func (id ID) Prev() ID { return ID(uint64(id) - id.lsb()<<1) }
+
+// ChildPosition returns which child (0-3) of its immediate parent this cell
+// is. It must not be called on the root.
+func (id ID) ChildPosition() int {
+	return int(uint64(id)>>(uint(bits.TrailingZeros64(uint64(id)))+1)) & 3
+}
+
+// Root returns the level-0 cell covering the whole domain.
+func Root() ID { return ID(1) << (2 * MaxLevel) }
+
+// Begin returns the first cell at the given level in Hilbert order.
+func Begin(level int) ID { return Root().ChildBeginAt(level) }
+
+// End returns the id one past the last cell at the given level; it is not a
+// valid cell itself and is only meaningful as an iteration bound.
+func End(level int) ID { return Root().ChildEndAt(level).Next() }
+
+// NumCells returns the number of cells at the given level (4^level).
+func NumCells(level int) uint64 { return 1 << uint(2*level) }
+
+// String renders the id as a level-tagged hex token.
+func (id ID) String() string {
+	if !id.IsValid() {
+		return "Invalid"
+	}
+	return fmt.Sprintf("L%d/%#x", id.Level(), uint64(id))
+}
+
+// CommonAncestorLevel returns the level of the deepest common ancestor of
+// id and other, and false when the ids are invalid.
+func (id ID) CommonAncestorLevel(other ID) (int, bool) {
+	if !id.IsValid() || !other.IsValid() {
+		return 0, false
+	}
+	// Align both to leaf-centre representation and find the highest
+	// differing bit.
+	x := uint64(id) ^ uint64(other)
+	if x == 0 {
+		return min(id.Level(), other.Level()), true
+	}
+	msb := 63 - bits.LeadingZeros64(x)
+	// Each level consumes two bits starting below bit 2*MaxLevel.
+	lvl := (2*MaxLevel - msb - 1) / 2
+	if lvl < 0 {
+		return 0, false
+	}
+	if m := min(id.Level(), other.Level()); lvl > m {
+		lvl = m
+	}
+	return lvl, true
+}

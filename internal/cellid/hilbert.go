@@ -1,0 +1,68 @@
+package cellid
+
+// Hilbert curve conversions between 2D grid coordinates and 1D curve
+// positions. The paper enumerates cells with S2's Hilbert ordering
+// (Fig. 3); any order-preserving space-filling curve works, and we use the
+// classic iterative Hilbert construction.
+//
+// The curve is hierarchical: the first 2L bits of a leaf position identify
+// the level-L ancestor's position, which is what makes parent/child ids
+// share prefixes.
+
+// ijToPos converts grid coordinates (i, j) at the given level to the
+// Hilbert curve position among the 4^level cells of that level.
+func ijToPos(i, j uint32, level uint) uint64 {
+	var pos uint64
+	x, y := i, j
+	for s := uint32(1) << (level - 1); s > 0; s >>= 1 {
+		if level == 0 {
+			break
+		}
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		pos += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate the quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - (x & (s - 1)) // reflect within remaining bits
+				y = s - 1 - (y & (s - 1))
+			} else {
+				x &= s - 1
+				y &= s - 1
+			}
+			x, y = y, x
+		} else {
+			x &= s - 1
+			y &= s - 1
+		}
+	}
+	return pos
+}
+
+// posToIJ converts a Hilbert curve position at the given level back to grid
+// coordinates.
+func posToIJ(pos uint64, level uint) (i, j uint32) {
+	var x, y uint32
+	t := pos
+	for s := uint32(1); s < 1<<level; s <<= 1 {
+		rx := uint32(1 & (t / 2))
+		ry := uint32(1 & (t ^ uint64(rx)))
+		// Rotate.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}

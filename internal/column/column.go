@@ -1,0 +1,266 @@
+// Package column implements the columnar base-data layout that GeoBlocks
+// and all evaluation baselines operate on (paper Sec. 3.3 and 4.1): a table
+// of 64-bit spatial keys plus float64 value columns, kept in ascending key
+// order after the extract phase, with filter predicates evaluated directly
+// on the columns.
+package column
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schema describes the value columns of a table. Column order is
+// significant: predicates and aggregate requests address columns by index.
+type Schema struct {
+	Names []string
+}
+
+// NewSchema builds a schema from column names.
+func NewSchema(names ...string) Schema {
+	return Schema{Names: append([]string(nil), names...)}
+}
+
+// NumCols returns the number of value columns.
+func (s Schema) NumCols() int { return len(s.Names) }
+
+// ColIndex returns the index of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, n := range s.Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table is columnar point data: one spatial key per row plus the schema's
+// value columns. The GeoBlocks extract phase produces a Table sorted by
+// key; Sorted records that invariant.
+type Table struct {
+	Schema Schema
+	Keys   []uint64
+	Cols   [][]float64
+	Sorted bool
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(schema Schema) *Table {
+	return &Table{
+		Schema: schema,
+		Cols:   make([][]float64, schema.NumCols()),
+	}
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.Keys) }
+
+// AppendRow adds a row. The number of values must match the schema.
+func (t *Table) AppendRow(key uint64, vals ...float64) {
+	if len(vals) != t.Schema.NumCols() {
+		panic(fmt.Sprintf("column: AppendRow got %d values, schema has %d columns",
+			len(vals), t.Schema.NumCols()))
+	}
+	t.Keys = append(t.Keys, key)
+	for i, v := range vals {
+		t.Cols[i] = append(t.Cols[i], v)
+	}
+	t.Sorted = false
+}
+
+// Grow pre-allocates capacity for n additional rows.
+func (t *Table) Grow(n int) {
+	t.Keys = append(make([]uint64, 0, len(t.Keys)+n), t.Keys...)
+	for i := range t.Cols {
+		t.Cols[i] = append(make([]float64, 0, len(t.Cols[i])+n), t.Cols[i]...)
+	}
+}
+
+// SortByKey sorts the rows ascending by spatial key, carrying all columns
+// along. The sort is the dominant cost of the extract phase (paper
+// Fig. 11a); it materialises a permutation once and applies it to each
+// column out-of-place, matching the paper's "optimized out-of-place
+// sorting".
+func (t *Table) SortByKey() {
+	if t.Sorted {
+		return
+	}
+	n := t.NumRows()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return t.Keys[perm[a]] < t.Keys[perm[b]] })
+
+	newKeys := make([]uint64, n)
+	for i, j := range perm {
+		newKeys[i] = t.Keys[j]
+	}
+	t.Keys = newKeys
+	buf := make([]float64, n)
+	for c := range t.Cols {
+		col := t.Cols[c]
+		for i, j := range perm {
+			buf[i] = col[j]
+		}
+		copy(col, buf)
+	}
+	t.Sorted = true
+}
+
+// LowerBound returns the first row index whose key is >= key, or NumRows().
+// The table must be sorted.
+func (t *Table) LowerBound(key uint64) int {
+	return sort.Search(len(t.Keys), func(i int) bool { return t.Keys[i] >= key })
+}
+
+// UpperBound returns the first row index whose key is > key, or NumRows().
+// The table must be sorted.
+func (t *Table) UpperBound(key uint64) int {
+	return sort.Search(len(t.Keys), func(i int) bool { return t.Keys[i] > key })
+}
+
+// Clone returns a deep copy of t.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		Schema: t.Schema,
+		Keys:   append([]uint64(nil), t.Keys...),
+		Cols:   make([][]float64, len(t.Cols)),
+		Sorted: t.Sorted,
+	}
+	for i, col := range t.Cols {
+		c.Cols[i] = append([]float64(nil), col...)
+	}
+	return c
+}
+
+// SizeBytes returns the in-memory payload size of the table: 8 bytes per
+// key plus 8 bytes per column value. Used for the relative-overhead
+// comparisons (paper Fig. 11b).
+func (t *Table) SizeBytes() int {
+	return 8*len(t.Keys) + 8*len(t.Keys)*len(t.Cols)
+}
+
+// Op is a comparison operator for filter predicates.
+type Op int
+
+// Comparison operators.
+const (
+	OpEq Op = iota // ==
+	OpNe           // !=
+	OpLt           // <
+	OpLe           // <=
+	OpGt           // >
+	OpGe           // >=
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Predicate is a single column comparison, e.g. fare_amount > 20.
+type Predicate struct {
+	Col   int
+	Op    Op
+	Value float64
+}
+
+// Matches reports whether v satisfies the predicate.
+func (p Predicate) Matches(v float64) bool {
+	switch p.Op {
+	case OpEq:
+		return v == p.Value
+	case OpNe:
+		return v != p.Value
+	case OpLt:
+		return v < p.Value
+	case OpLe:
+		return v <= p.Value
+	case OpGt:
+		return v > p.Value
+	case OpGe:
+		return v >= p.Value
+	}
+	return false
+}
+
+// String renders the predicate against a schema-less column index.
+func (p Predicate) String() string {
+	return fmt.Sprintf("col%d %v %g", p.Col, p.Op, p.Value)
+}
+
+// Filter is a conjunction of predicates; the empty filter matches
+// everything. GeoBlocks are built per filter set (paper Sec. 3.3).
+type Filter []Predicate
+
+// Pred constructs a single-predicate filter against a named column.
+func Pred(schema Schema, col string, op Op, value float64) Filter {
+	idx := schema.ColIndex(col)
+	if idx < 0 {
+		panic(fmt.Sprintf("column: unknown column %q", col))
+	}
+	return Filter{{Col: idx, Op: op, Value: value}}
+}
+
+// And returns the conjunction of f and more.
+func (f Filter) And(more ...Predicate) Filter {
+	return append(append(Filter(nil), f...), more...)
+}
+
+// MatchesRow reports whether row i of t satisfies all predicates.
+func (f Filter) MatchesRow(t *Table, i int) bool {
+	for _, p := range f {
+		if !p.Matches(t.Cols[p.Col][i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the filter with schema names.
+func (f Filter) Describe(s Schema) string {
+	if len(f) == 0 {
+		return "true"
+	}
+	out := ""
+	for i, p := range f {
+		if i > 0 {
+			out += " AND "
+		}
+		name := fmt.Sprintf("col%d", p.Col)
+		if p.Col < len(s.Names) {
+			name = s.Names[p.Col]
+		}
+		out += fmt.Sprintf("%s %v %g", name, p.Op, p.Value)
+	}
+	return out
+}
+
+// Selectivity returns the fraction of rows of t matching f.
+func (f Filter) Selectivity(t *Table) float64 {
+	if t.NumRows() == 0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < t.NumRows(); i++ {
+		if f.MatchesRow(t, i) {
+			n++
+		}
+	}
+	return float64(n) / float64(t.NumRows())
+}

@@ -1,0 +1,218 @@
+package column
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema("fare", "distance", "tip")
+	if s.NumCols() != 3 {
+		t.Fatalf("NumCols = %d", s.NumCols())
+	}
+	if s.ColIndex("distance") != 1 {
+		t.Fatalf("ColIndex(distance) = %d", s.ColIndex("distance"))
+	}
+	if s.ColIndex("missing") != -1 {
+		t.Fatal("missing column should return -1")
+	}
+}
+
+func TestAppendAndSort(t *testing.T) {
+	tbl := NewTable(NewSchema("a", "b"))
+	rng := rand.New(rand.NewSource(1))
+	const n = 10000
+	for i := 0; i < n; i++ {
+		k := rng.Uint64()
+		tbl.AppendRow(k, float64(k%97), float64(k%13))
+	}
+	if tbl.Sorted {
+		t.Fatal("unsorted table flagged sorted")
+	}
+	tbl.SortByKey()
+	if !tbl.Sorted {
+		t.Fatal("sorted table not flagged")
+	}
+	for i := 1; i < n; i++ {
+		if tbl.Keys[i-1] > tbl.Keys[i] {
+			t.Fatalf("keys unsorted at %d", i)
+		}
+	}
+	// Row integrity: column values must still match their key's derivation.
+	for i := 0; i < n; i++ {
+		if tbl.Cols[0][i] != float64(tbl.Keys[i]%97) || tbl.Cols[1][i] != float64(tbl.Keys[i]%13) {
+			t.Fatalf("row %d columns detached from key after sort", i)
+		}
+	}
+	// Idempotent.
+	tbl.SortByKey()
+	if tbl.NumRows() != n {
+		t.Fatal("sort changed row count")
+	}
+}
+
+func TestSortIsStable(t *testing.T) {
+	tbl := NewTable(NewSchema("seq"))
+	// Many duplicate keys; sequence column records insertion order.
+	for i := 0; i < 1000; i++ {
+		tbl.AppendRow(uint64(i%7), float64(i))
+	}
+	tbl.SortByKey()
+	for i := 1; i < tbl.NumRows(); i++ {
+		if tbl.Keys[i-1] == tbl.Keys[i] && tbl.Cols[0][i-1] > tbl.Cols[0][i] {
+			t.Fatalf("stability violated at %d", i)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tbl := NewTable(NewSchema())
+	for _, k := range []uint64{2, 4, 4, 4, 9} {
+		tbl.AppendRow(k)
+	}
+	tbl.SortByKey()
+	cases := []struct {
+		key    uint64
+		lb, ub int
+	}{
+		{0, 0, 0}, {2, 0, 1}, {3, 1, 1}, {4, 1, 4}, {5, 4, 4}, {9, 4, 5}, {10, 5, 5},
+	}
+	for _, c := range cases {
+		if got := tbl.LowerBound(c.key); got != c.lb {
+			t.Errorf("LowerBound(%d) = %d, want %d", c.key, got, c.lb)
+		}
+		if got := tbl.UpperBound(c.key); got != c.ub {
+			t.Errorf("UpperBound(%d) = %d, want %d", c.key, got, c.ub)
+		}
+	}
+}
+
+func TestQuickBoundsMatchSortSearch(t *testing.T) {
+	tbl := NewTable(NewSchema())
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 10000
+		tbl.AppendRow(keys[i])
+	}
+	tbl.SortByKey()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	f := func(probe uint16) bool {
+		k := uint64(probe) % 11000
+		lb := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+		ub := sort.Search(len(keys), func(i int) bool { return keys[i] > k })
+		return tbl.LowerBound(k) == lb && tbl.UpperBound(k) == ub
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		v    float64
+		want bool
+	}{
+		{Predicate{0, OpEq, 5}, 5, true},
+		{Predicate{0, OpEq, 5}, 5.1, false},
+		{Predicate{0, OpNe, 5}, 5.1, true},
+		{Predicate{0, OpLt, 5}, 4.9, true},
+		{Predicate{0, OpLt, 5}, 5, false},
+		{Predicate{0, OpLe, 5}, 5, true},
+		{Predicate{0, OpGt, 5}, 5, false},
+		{Predicate{0, OpGt, 5}, 5.1, true},
+		{Predicate{0, OpGe, 5}, 5, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Matches(c.v); got != c.want {
+			t.Errorf("%v.Matches(%g) = %t, want %t", c.p, c.v, got, c.want)
+		}
+	}
+}
+
+func TestFilterConjunctionAndSelectivity(t *testing.T) {
+	schema := NewSchema("fare", "passengers")
+	tbl := NewTable(schema)
+	for i := 0; i < 100; i++ {
+		tbl.AppendRow(uint64(i), float64(i), float64(1+i%4))
+	}
+	f := Pred(schema, "fare", OpGe, 50).And(Predicate{Col: 1, Op: OpEq, Value: 1})
+	n := 0
+	for i := 0; i < tbl.NumRows(); i++ {
+		if f.MatchesRow(tbl, i) {
+			n++
+		}
+	}
+	// fare >= 50: rows 50..99 (50 rows); passengers == 1: i%4 == 0.
+	want := 0
+	for i := 50; i < 100; i++ {
+		if 1+i%4 == 1 {
+			want++
+		}
+	}
+	if n != want {
+		t.Fatalf("conjunction matched %d, want %d", n, want)
+	}
+	if got := f.Selectivity(tbl); got != float64(want)/100 {
+		t.Fatalf("selectivity = %g", got)
+	}
+	var empty Filter
+	if got := empty.Selectivity(tbl); got != 1 {
+		t.Fatalf("empty filter selectivity = %g, want 1", got)
+	}
+}
+
+func TestPredPanicsOnUnknownColumn(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Pred(NewSchema("a"), "zzz", OpEq, 1)
+}
+
+func TestAppendRowPanicsOnArity(t *testing.T) {
+	tbl := NewTable(NewSchema("a", "b"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tbl.AppendRow(1, 2.0)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tbl := NewTable(NewSchema("a"))
+	tbl.AppendRow(1, 10)
+	tbl.AppendRow(2, 20)
+	tbl.SortByKey()
+	c := tbl.Clone()
+	c.Keys[0] = 99
+	c.Cols[0][0] = 99
+	if tbl.Keys[0] == 99 || tbl.Cols[0][0] == 99 {
+		t.Fatal("clone shares storage")
+	}
+	if !c.Sorted {
+		t.Fatal("clone lost sorted flag")
+	}
+}
+
+func TestDescribeAndSizeBytes(t *testing.T) {
+	schema := NewSchema("fare", "dist")
+	f := Pred(schema, "fare", OpGt, 20)
+	if got := f.Describe(schema); got != "fare > 20" {
+		t.Fatalf("Describe = %q", got)
+	}
+	var empty Filter
+	if got := empty.Describe(schema); got != "true" {
+		t.Fatalf("empty Describe = %q", got)
+	}
+	tbl := NewTable(schema)
+	tbl.AppendRow(1, 1, 2)
+	if got := tbl.SizeBytes(); got != 8+16 {
+		t.Fatalf("SizeBytes = %d, want 24", got)
+	}
+}

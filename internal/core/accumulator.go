@@ -1,0 +1,80 @@
+package core
+
+import (
+	"geoblocks/internal/cellid"
+)
+
+// Accumulator is the exported incremental aggregation interface used by the
+// query cache (paper Sec. 3.6): the adapted query algorithm mixes cached
+// aggregate records with on-the-fly scans of cell aggregates, which
+// requires combining partial results *before* finalisation (an average, for
+// example, cannot be merged from two finished averages).
+type Accumulator struct {
+	b     *GeoBlock
+	inner *accumulator
+	// visited counts cell aggregates scanned (not cached records), the
+	// work metric reported in Result.CellsVisited.
+	visited int
+	// cursor is the index after the last scanned aggregate. Covering
+	// cells are processed in ascending order (including the child walk of
+	// the adapted query algorithm), so later scans never revisit earlier
+	// aggregates; the cursor bounds the binary search exactly like the
+	// successor optimisation of Listing 1.
+	cursor int
+}
+
+// NewAccumulator validates the requested aggregates against the block's
+// schema and returns an empty accumulator.
+func (b *GeoBlock) NewAccumulator(specs []AggSpec) (*Accumulator, error) {
+	if err := b.validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	return &Accumulator{b: b, inner: newAccumulator(specs)}, nil
+}
+
+// AddRecord folds a pre-combined aggregate record (e.g. a cached trie
+// entry) into the accumulator.
+func (a *Accumulator) AddRecord(count uint64, cols []ColAggregate) {
+	a.inner.combineValues(count, cols)
+}
+
+// AccumulateCell scans and combines all cell aggregates of the block that
+// fall inside qc — the "old algorithm" path of the adapted query process
+// (paper Fig. 8). Query cells must be supplied in ascending order across
+// the accumulator's lifetime. It returns the number of cell aggregates
+// combined.
+func (a *Accumulator) AccumulateCell(qc cellid.ID) int {
+	b := a.b
+	lo, hi := qc.RangeMin(), qc.RangeMax()
+	if len(b.keys) == 0 || hi < b.header.MinCell.RangeMin() || lo > b.header.MaxCell.RangeMax() {
+		return 0
+	}
+	// Cache hits skip whole aggregate ranges without moving the cursor,
+	// so the distance to the next needed aggregate is usually the size of
+	// the skipped run — the gallop costs log of that distance instead of
+	// a full binary search over the remaining array.
+	i := b.gallopLowerBound(lo, a.cursor)
+	n := 0
+	for i < len(b.keys) && b.keys[i] <= hi {
+		a.inner.combineCell(b, i)
+		n++
+		i++
+	}
+	a.cursor = i
+	a.visited += n
+	return n
+}
+
+// SkipTo advances the cursor to idx without accumulating, for callers that
+// consumed the skipped aggregates through another channel (a cached
+// record). The cursor never moves backwards.
+func (a *Accumulator) SkipTo(idx int) {
+	if idx > a.cursor {
+		a.cursor = idx
+	}
+}
+
+// Result finalises the accumulator.
+func (a *Accumulator) Result() Result {
+	return a.inner.finish(a.visited)
+}

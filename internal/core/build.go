@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+	"geoblocks/internal/geom"
+)
+
+// BuildOptions configure the build phase of a GeoBlock.
+type BuildOptions struct {
+	// Level is the block level: the grid granularity of the cell
+	// aggregates and thereby the spatial error bound (paper Sec. 3.2).
+	Level int
+	// Filter restricts the block to qualifying rows (paper Sec. 3.3);
+	// empty keeps all rows.
+	Filter column.Filter
+}
+
+func (o BuildOptions) validate() error {
+	if o.Level < 0 || o.Level > cellid.MaxLevel {
+		return fmt.Errorf("core: block level %d out of range [0,%d]", o.Level, cellid.MaxLevel)
+	}
+	return nil
+}
+
+// Build runs the build phase (paper Fig. 5): a single linear pass over the
+// sorted base data that filters rows and folds them into per-grid-cell
+// aggregates. Empty cells are omitted. Build is the incremental-build path
+// of Sec. 3.3: the expensive sort has already happened in Extract and is
+// shared by every block built from the same BaseData.
+func Build(base *BaseData, opts BuildOptions) (*GeoBlock, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	t := base.Table
+	if !t.Sorted {
+		return nil, fmt.Errorf("core: base data must be sorted by key")
+	}
+	if t.NumRows() > math.MaxUint32 {
+		return nil, fmt.Errorf("core: base data exceeds uint32 offsets (%d rows)", t.NumRows())
+	}
+
+	b := &GeoBlock{
+		domain: base.Domain,
+		level:  opts.Level,
+		schema: t.Schema,
+		filter: opts.Filter,
+		aggs:   make([][]ColAggregate, t.Schema.NumCols()),
+		base:   t,
+	}
+	b.header.Cols = make([]ColAggregate, t.Schema.NumCols())
+	for c := range b.header.Cols {
+		b.header.Cols[c] = emptyColAggregate()
+	}
+
+	var (
+		curCell   cellid.ID
+		curOpen   bool
+		qualified uint32 // qualifying rows so far == offset of next cell
+	)
+	openCell := func(cell cellid.ID, leafKey cellid.ID) {
+		b.keys = append(b.keys, cell)
+		b.offsets = append(b.offsets, qualified)
+		b.counts = append(b.counts, 0)
+		b.minKeys = append(b.minKeys, leafKey)
+		b.maxKeys = append(b.maxKeys, leafKey)
+		for c := range b.aggs {
+			b.aggs[c] = append(b.aggs[c], emptyColAggregate())
+		}
+		curCell, curOpen = cell, true
+	}
+
+	for i := 0; i < t.NumRows(); i++ {
+		if !opts.Filter.MatchesRow(t, i) {
+			continue
+		}
+		leaf := cellid.ID(t.Keys[i])
+		cell := leaf.Parent(opts.Level)
+		if !curOpen || cell != curCell {
+			openCell(cell, leaf)
+		}
+		last := len(b.keys) - 1
+		b.counts[last]++
+		if leaf < b.minKeys[last] {
+			b.minKeys[last] = leaf
+		}
+		if leaf > b.maxKeys[last] {
+			b.maxKeys[last] = leaf
+		}
+		for c := range b.aggs {
+			v := t.Cols[c][i]
+			b.aggs[c][last].addValue(v)
+			b.header.Cols[c].addValue(v)
+		}
+		qualified++
+	}
+
+	b.header.Count = uint64(qualified)
+	if len(b.keys) > 0 {
+		b.header.MinCell = b.keys[0]
+		b.header.MaxCell = b.keys[len(b.keys)-1]
+	}
+	return b, nil
+}
+
+// BuildStats reports the timing split of an isolated build.
+type BuildStats struct {
+	FilterTime    time.Duration
+	SortTime      time.Duration
+	AggregateTime time.Duration
+}
+
+// Total returns the end-to-end duration.
+func (s BuildStats) Total() time.Duration {
+	return s.FilterTime + s.SortTime + s.AggregateTime
+}
+
+// BuildIsolated builds a GeoBlock directly from raw, unsorted points,
+// filtering before sorting — the alternative the paper analyses in
+// Sec. 3.3, eq. (1): clean+filter in O(n), sort the s·n survivors in
+// O(s·n log s·n), aggregate in O(s·n). It exists for the amortisation
+// experiment (paper Fig. 19); production use should Extract once and Build
+// incrementally.
+func BuildIsolated(dom cellid.Domain, pts []geom.Point, schema column.Schema, cols [][]float64, rule CleanRule, opts BuildOptions) (*GeoBlock, BuildStats, error) {
+	if err := opts.validate(); err != nil {
+		return nil, BuildStats{}, err
+	}
+	var stats BuildStats
+
+	filterStart := time.Now()
+	table := column.NewTable(schema)
+	vals := make([]float64, schema.NumCols())
+rows:
+	for i, p := range pts {
+		if !rule.keep(p, func(c int) float64 { return cols[c][i] }) {
+			continue
+		}
+		for _, pr := range opts.Filter {
+			if !pr.Matches(cols[pr.Col][i]) {
+				continue rows
+			}
+		}
+		for c := range vals {
+			vals[c] = cols[c][i]
+		}
+		table.AppendRow(uint64(dom.FromPoint(p)), vals...)
+	}
+	stats.FilterTime = time.Since(filterStart)
+
+	sortStart := time.Now()
+	table.SortByKey()
+	stats.SortTime = time.Since(sortStart)
+
+	aggStart := time.Now()
+	base := &BaseData{Domain: dom, Table: table, PiggyLevel: -1}
+	// The filter has already been applied row-wise; build with an empty
+	// filter over the reduced table.
+	b, err := Build(base, BuildOptions{Level: opts.Level})
+	stats.AggregateTime = time.Since(aggStart)
+	if err != nil {
+		return nil, stats, err
+	}
+	b.filter = opts.Filter
+	return b, stats, nil
+}
+
+// Coarsen derives a new GeoBlock at a coarser level from b without
+// re-scanning the base data (paper Sec. 3.4, "Aggregate Granularity"):
+// cell aggregates of the finer block are merged in one pass over the
+// aggregates. newLevel must not exceed b's level.
+func Coarsen(b *GeoBlock, newLevel int) (*GeoBlock, error) {
+	if newLevel > b.level {
+		return nil, fmt.Errorf("core: cannot coarsen level %d block to finer level %d (rescan base data instead)", b.level, newLevel)
+	}
+	if newLevel < 0 {
+		return nil, fmt.Errorf("core: negative level %d", newLevel)
+	}
+	out := &GeoBlock{
+		domain: b.domain,
+		level:  newLevel,
+		schema: b.schema,
+		filter: b.filter,
+		aggs:   make([][]ColAggregate, len(b.aggs)),
+		base:   b.base,
+		header: Header{
+			Count: b.header.Count,
+			Cols:  append([]ColAggregate(nil), b.header.Cols...),
+		},
+	}
+	var cur cellid.ID
+	open := false
+	for i := range b.keys {
+		parent := b.keys[i].Parent(newLevel)
+		if !open || parent != cur {
+			out.keys = append(out.keys, parent)
+			out.offsets = append(out.offsets, b.offsets[i])
+			out.counts = append(out.counts, 0)
+			out.minKeys = append(out.minKeys, b.minKeys[i])
+			out.maxKeys = append(out.maxKeys, b.maxKeys[i])
+			for c := range out.aggs {
+				out.aggs[c] = append(out.aggs[c], emptyColAggregate())
+			}
+			cur, open = parent, true
+		}
+		last := len(out.keys) - 1
+		out.counts[last] += b.counts[i]
+		if b.minKeys[i] < out.minKeys[last] {
+			out.minKeys[last] = b.minKeys[i]
+		}
+		if b.maxKeys[i] > out.maxKeys[last] {
+			out.maxKeys[last] = b.maxKeys[i]
+		}
+		for c := range out.aggs {
+			out.aggs[c][last].merge(b.aggs[c][i])
+		}
+	}
+	if len(out.keys) > 0 {
+		out.header.MinCell = out.keys[0]
+		out.header.MaxCell = out.keys[len(out.keys)-1]
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/cover"
+	"geoblocks/internal/geom"
+)
+
+// TestGallopBoundsMatchSortSearch verifies the gallop searches against the
+// stdlib reference for arbitrary cursors and probes.
+func TestGallopBoundsMatchSortSearch(t *testing.T) {
+	f := newFixture(t, 20000, 21)
+	b := f.build(t, 12, nil)
+	keys := b.keys
+	n := len(keys)
+	if n < 100 {
+		t.Fatal("fixture too small")
+	}
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 5000; trial++ {
+		from := rng.Intn(n)
+		// Probe around existing keys to hit equal/adjacent cases.
+		probe := keys[rng.Intn(n)]
+		switch rng.Intn(4) {
+		case 0:
+			probe++
+		case 1:
+			probe--
+		case 2:
+			probe = cellid.ID(rng.Uint64())
+		}
+		wantLB := from + sort.Search(n-from, func(i int) bool { return keys[from+i] >= probe })
+		if got := b.gallopLowerBound(probe, from); got != wantLB {
+			t.Fatalf("gallopLowerBound(%v, %d) = %d, want %d", probe, from, got, wantLB)
+		}
+		wantUB := from + sort.Search(n-from, func(i int) bool { return keys[from+i] > probe })
+		if got := b.gallopUpperBound(probe, from); got != wantUB {
+			t.Fatalf("gallopUpperBound(%v, %d) = %d, want %d", probe, from, got, wantUB)
+		}
+	}
+	// Edge cases: cursor at/after the end.
+	if got := b.gallopLowerBound(0, n); got != n {
+		t.Fatalf("lower bound from n = %d", got)
+	}
+	if got := b.gallopUpperBound(^cellid.ID(0), 0); got != n {
+		t.Fatalf("upper bound of max key = %d, want n", got)
+	}
+}
+
+// TestQuickSelectRandomPolygons is the core property test: for random
+// convex polygons, SELECT over the covering equals the brute-force scan
+// over the same covering.
+func TestQuickSelectRandomPolygons(t *testing.T) {
+	f := newFixture(t, 15000, 23)
+	b := f.build(t, 10, nil)
+	coverer := cover.MustCoverer(f.dom, cover.DefaultOptions(10))
+	specs := allSpecs()
+
+	check := func(cx16, cy16, r16 uint16, sides8 uint8) bool {
+		cx := 10 + float64(cx16)/65535*80
+		cy := 10 + float64(cy16)/65535*80
+		radius := 2 + float64(r16)/65535*25
+		sides := 3 + int(sides8)%9
+		poly := geom.RegularPolygon(geom.Pt(cx, cy), radius, sides)
+		cov := coverer.Cover(poly).Cells
+
+		got, err := b.SelectCovering(cov, specs)
+		if err != nil {
+			return false
+		}
+		want := f.bruteForce(cov, nil, specs)
+		if got.Count != want.Count {
+			return false
+		}
+		for i := range got.Values {
+			if !approxEqual(got.Values[i], want.Values[i]) {
+				return false
+			}
+		}
+		// COUNT must agree with SELECT.
+		return b.CountCovering(cov) == want.Count
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelectCoveringWithGapsAndDuplicateRanges stresses the cursor logic:
+// coverings with cells that miss the data entirely, interleaved with hits.
+func TestSelectCoveringWithGapsAndDuplicateRanges(t *testing.T) {
+	f := newFixture(t, 10000, 24)
+	b := f.build(t, 10, nil)
+
+	// Build a covering of alternating present/absent sibling cells at the
+	// block level spanning the whole data range.
+	h := b.Header()
+	start := h.MinCell
+	var cov []cellid.ID
+	cell := start
+	for i := 0; i < 200 && cell <= h.MaxCell; i++ {
+		cov = append(cov, cell)
+		// Skip ahead irregularly to create gaps.
+		for j := 0; j < i%3+1; j++ {
+			cell = cell.Next()
+		}
+	}
+	got, err := b.SelectCovering(cov, allSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.bruteForce(cov, nil, allSpecs())
+	if got.Count != want.Count {
+		t.Fatalf("count %d != brute force %d", got.Count, want.Count)
+	}
+	if cnt := b.CountCovering(cov); cnt != want.Count {
+		t.Fatalf("COUNT %d != %d", cnt, want.Count)
+	}
+}
+
+// TestAccumulatorAscendingContract documents and checks the Accumulator's
+// ordering contract: ascending query cells accumulate exactly once.
+func TestAccumulatorAscendingContract(t *testing.T) {
+	f := newFixture(t, 8000, 25)
+	b := f.build(t, 8, nil)
+
+	acc, err := b.NewAccumulator(allSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk all level-6 ancestors of stored cells in order, skipping every
+	// second one via AddRecord from AggregateCell — mixing both paths.
+	var parents []cellid.ID
+	seen := map[cellid.ID]bool{}
+	for i := 0; i < b.NumCells(); i++ {
+		p := b.keys[i].Parent(6)
+		if !seen[p] {
+			seen[p] = true
+			parents = append(parents, p)
+		}
+	}
+	var wantCount uint64
+	for i, p := range parents {
+		count, cols := b.AggregateCell(p)
+		wantCount += count
+		if i%2 == 0 {
+			acc.AccumulateCell(p)
+		} else {
+			acc.AddRecord(count, cols)
+		}
+	}
+	res := acc.Result()
+	if res.Count != wantCount {
+		t.Fatalf("mixed accumulation count %d, want %d", res.Count, wantCount)
+	}
+	if res.Count != b.NumTuples() {
+		t.Fatalf("parents cover all data: %d != %d", res.Count, b.NumTuples())
+	}
+}

@@ -1,0 +1,241 @@
+// Package core implements the GeoBlock data structure (paper Sec. 3): a
+// pre-aggregating materialized view over geospatial point data. A GeoBlock
+// stores one cell aggregate per non-empty grid cell at a fixed block level,
+// sorted by spatial key, plus a global header. SELECT queries combine the
+// cell aggregates intersecting a query polygon's cell covering (Listing 1);
+// COUNT queries exploit the sorted layout to answer from only the first and
+// last aggregate per covering cell (Listing 2).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+)
+
+// ColAggregate is the per-column component of a cell aggregate: minimum,
+// maximum and sum of all values in the cell. Together with the tuple count
+// it also yields the average (paper Sec. 3.4).
+type ColAggregate struct {
+	Min, Max, Sum float64
+}
+
+// emptyColAggregate is the identity element for combining.
+func emptyColAggregate() ColAggregate {
+	return ColAggregate{Min: math.Inf(1), Max: math.Inf(-1), Sum: 0}
+}
+
+func (a *ColAggregate) addValue(v float64) {
+	if v < a.Min {
+		a.Min = v
+	}
+	if v > a.Max {
+		a.Max = v
+	}
+	a.Sum += v
+}
+
+func (a *ColAggregate) merge(b ColAggregate) {
+	if b.Min < a.Min {
+		a.Min = b.Min
+	}
+	if b.Max > a.Max {
+		a.Max = b.Max
+	}
+	a.Sum += b.Sum
+}
+
+// Header is the GeoBlock-wide metadata: the minimum and maximum grid cell
+// id present (used for constant-time pruning of covering cells) and the
+// block-wide aggregate over all tuples (paper Sec. 3.4).
+type Header struct {
+	MinCell, MaxCell cellid.ID
+	Count            uint64
+	Cols             []ColAggregate
+}
+
+// CellAggregate is a read-only view of one grid cell's aggregate,
+// assembled from the columnar arrays for callers that want record-oriented
+// access (paper Fig. 1 shows one such record).
+type CellAggregate struct {
+	Key    cellid.ID
+	Offset uint32
+	Count  uint32
+	MinKey cellid.ID
+	MaxKey cellid.ID
+	Cols   []ColAggregate
+}
+
+// GeoBlock is the pre-aggregating data structure. Cell aggregates are laid
+// out columnar, in ascending spatial-key order — the same order as the
+// sorted base data. GeoBlocks are write-once; see Update for the batch
+// maintenance discussed in paper Sec. 5.
+type GeoBlock struct {
+	domain cellid.Domain
+	level  int
+	schema column.Schema
+	filter column.Filter
+
+	// Parallel arrays, one entry per non-empty grid cell, sorted by key.
+	keys    []cellid.ID
+	offsets []uint32 // number of qualifying tuples before this cell
+	counts  []uint32
+	minKeys []cellid.ID // finest (leaf) key extremes inside the cell
+	maxKeys []cellid.ID
+
+	// Per-column aggregates: aggs[col][cellIdx].
+	aggs [][]ColAggregate
+
+	header Header
+
+	// base optionally references the sorted base data the block was built
+	// from, enabling drill-through and finer rebuilds. It is nil for
+	// deserialized blocks.
+	base *column.Table
+}
+
+// Domain returns the spatial domain the block decomposes.
+func (b *GeoBlock) Domain() cellid.Domain { return b.domain }
+
+// Level returns the block level (grid granularity).
+func (b *GeoBlock) Level() int { return b.level }
+
+// Schema returns the value-column schema.
+func (b *GeoBlock) Schema() column.Schema { return b.schema }
+
+// Filter returns the filter the block was built with (empty = all rows).
+func (b *GeoBlock) Filter() column.Filter { return b.filter }
+
+// NumCells returns the number of non-empty grid cells.
+func (b *GeoBlock) NumCells() int { return len(b.keys) }
+
+// NumTuples returns the number of qualifying tuples aggregated.
+func (b *GeoBlock) NumTuples() uint64 { return b.header.Count }
+
+// Header returns the global header.
+func (b *GeoBlock) Header() Header { return b.header }
+
+// Base returns the sorted base data the block was built from, or nil.
+func (b *GeoBlock) Base() *column.Table { return b.base }
+
+// CellAt returns a record view of the i-th cell aggregate.
+func (b *GeoBlock) CellAt(i int) CellAggregate {
+	cols := make([]ColAggregate, len(b.aggs))
+	for c := range b.aggs {
+		cols[c] = b.aggs[c][i]
+	}
+	return CellAggregate{
+		Key:    b.keys[i],
+		Offset: b.offsets[i],
+		Count:  b.counts[i],
+		MinKey: b.minKeys[i],
+		MaxKey: b.maxKeys[i],
+		Cols:   cols,
+	}
+}
+
+// SizeBytes returns the in-memory size of the aggregate storage: per cell,
+// the key (8), offset (4), count (4), min/max keys (16) and 24 bytes per
+// column. Used for the overhead comparisons (paper Fig. 11b/11c).
+func (b *GeoBlock) SizeBytes() int {
+	perCell := 8 + 4 + 4 + 16 + 24*len(b.aggs)
+	return perCell*len(b.keys) + 32 + 24*len(b.header.Cols)
+}
+
+// AggSlotBytes returns the byte size of one fully materialised aggregate
+// record (count + per-column min/max/sum), the unit the AggregateTrie
+// reserves per cached cell.
+func (b *GeoBlock) AggSlotBytes() int { return 8 + 24*b.schema.NumCols() }
+
+// lowerBound returns the first aggregate index in [from, n) whose key is
+// >= key.
+func (b *GeoBlock) lowerBound(key cellid.ID, from int) int {
+	lo, hi := from, len(b.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first aggregate index in [from, n) whose key is
+// > key.
+func (b *GeoBlock) upperBound(key cellid.ID, from int) int {
+	lo, hi := from, len(b.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gallopLowerBound is lowerBound specialised for cursor-relative seeks:
+// the target is usually close to from (covering cells are processed in
+// ascending order), so an exponential probe narrows the window in
+// O(log distance) before the binary search.
+func (b *GeoBlock) gallopLowerBound(key cellid.ID, from int) int {
+	n := len(b.keys)
+	if from >= n || b.keys[from] >= key {
+		return from
+	}
+	base, end := from, from+1
+	for step := 1; end < n && b.keys[end] < key; step <<= 1 {
+		base = end
+		end += step
+	}
+	if end > n {
+		end = n
+	}
+	lo, hi := base+1, end
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gallopUpperBound is the > key counterpart of gallopLowerBound.
+func (b *GeoBlock) gallopUpperBound(key cellid.ID, from int) int {
+	n := len(b.keys)
+	if from >= n || b.keys[from] > key {
+		return from
+	}
+	base, end := from, from+1
+	for step := 1; end < n && b.keys[end] <= key; step <<= 1 {
+		base = end
+		end += step
+	}
+	if end > n {
+		end = n
+	}
+	lo, hi := base+1, end
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// String implements fmt.Stringer.
+func (b *GeoBlock) String() string {
+	return fmt.Sprintf("GeoBlock(level=%d, cells=%d, tuples=%d, filter=%s)",
+		b.level, len(b.keys), b.header.Count, b.filter.Describe(b.schema))
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"geoblocks/internal/cellid"
+)
+
+// AggFunc identifies a non-holistic aggregate function (paper Sec. 2).
+type AggFunc uint8
+
+// Supported aggregate functions. Avg is derived as Sum/Count at
+// finalisation time (paper Sec. 3.4).
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String implements fmt.Stringer.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	}
+	return "?"
+}
+
+// AggSpec requests one aggregate over one column. Col is ignored for
+// AggCount.
+type AggSpec struct {
+	Col  int
+	Func AggFunc
+}
+
+// Result holds the answer of a spatial aggregation query: the tuple count
+// within the covering plus one value per requested AggSpec (NaN for
+// min/max/avg over zero tuples).
+type Result struct {
+	Count  uint64
+	Values []float64
+	// CellsVisited counts cell aggregates combined, a work metric used by
+	// the experiments.
+	CellsVisited int
+}
+
+// validateSpecs checks the requested aggregates against the schema.
+func (b *GeoBlock) validateSpecs(specs []AggSpec) error {
+	for _, s := range specs {
+		if s.Func > AggAvg {
+			return fmt.Errorf("core: unknown aggregate function %d", s.Func)
+		}
+		if s.Func != AggCount && (s.Col < 0 || s.Col >= b.schema.NumCols()) {
+			return fmt.Errorf("core: aggregate column %d out of range (%d columns)",
+				s.Col, b.schema.NumCols())
+		}
+	}
+	return nil
+}
+
+// accumulator combines cell aggregates into the requested outputs. The
+// combining cost scales with the number of requested aggregates, which is
+// the effect Fig. 10 measures.
+type accumulator struct {
+	specs []AggSpec
+	count uint64
+	vals  []float64 // running value per spec (sums for Avg)
+}
+
+func newAccumulator(specs []AggSpec) *accumulator {
+	vals := make([]float64, len(specs))
+	for i, s := range specs {
+		switch s.Func {
+		case AggMin:
+			vals[i] = math.Inf(1)
+		case AggMax:
+			vals[i] = math.Inf(-1)
+		}
+	}
+	return &accumulator{specs: specs, vals: vals}
+}
+
+// combineCell folds the i-th cell aggregate of b into the accumulator.
+func (a *accumulator) combineCell(b *GeoBlock, i int) {
+	a.count += uint64(b.counts[i])
+	for k, s := range a.specs {
+		switch s.Func {
+		case AggCount:
+			// Tracked globally via a.count.
+		case AggSum, AggAvg:
+			a.vals[k] += b.aggs[s.Col][i].Sum
+		case AggMin:
+			if v := b.aggs[s.Col][i].Min; v < a.vals[k] {
+				a.vals[k] = v
+			}
+		case AggMax:
+			if v := b.aggs[s.Col][i].Max; v > a.vals[k] {
+				a.vals[k] = v
+			}
+		}
+	}
+}
+
+// combineValues folds a pre-combined aggregate record (count + per-column
+// aggregates, e.g. from the query cache) into the accumulator.
+func (a *accumulator) combineValues(count uint64, cols []ColAggregate) {
+	a.count += count
+	for k, s := range a.specs {
+		switch s.Func {
+		case AggCount:
+		case AggSum, AggAvg:
+			a.vals[k] += cols[s.Col].Sum
+		case AggMin:
+			if v := cols[s.Col].Min; v < a.vals[k] {
+				a.vals[k] = v
+			}
+		case AggMax:
+			if v := cols[s.Col].Max; v > a.vals[k] {
+				a.vals[k] = v
+			}
+		}
+	}
+}
+
+// finish converts running values into the final Result.
+func (a *accumulator) finish(visited int) Result {
+	out := Result{Count: a.count, Values: make([]float64, len(a.specs)), CellsVisited: visited}
+	for i, s := range a.specs {
+		switch s.Func {
+		case AggCount:
+			out.Values[i] = float64(a.count)
+		case AggSum:
+			out.Values[i] = a.vals[i]
+		case AggMin, AggMax:
+			if a.count == 0 {
+				out.Values[i] = math.NaN()
+			} else {
+				out.Values[i] = a.vals[i]
+			}
+		case AggAvg:
+			if a.count == 0 {
+				out.Values[i] = math.NaN()
+			} else {
+				out.Values[i] = a.vals[i] / float64(a.count)
+			}
+		}
+	}
+	return out
+}
+
+// SelectCovering answers a SELECT query over a cell covering (paper
+// Listing 1). The covering must be sorted ascending with disjoint cells and
+// must not contain cells finer than the block level. For each covering
+// cell, the first intersecting aggregate is located with a binary search
+// bounded below by the scan cursor; because cell aggregates are stored
+// contiguously in key order, all further aggregates of the cell are
+// consumed by advancing the cursor — the paper's "last aggregate successor"
+// optimisation.
+func (b *GeoBlock) SelectCovering(cov []cellid.ID, specs []AggSpec) (Result, error) {
+	if err := b.validateSpecs(specs); err != nil {
+		return Result{}, err
+	}
+	acc := newAccumulator(specs)
+	visited := 0
+	cursor := 0
+	for _, qc := range cov {
+		lo, hi := qc.RangeMin(), qc.RangeMax()
+		// Constant-time pruning against the global header (Listing 1,
+		// lines 5-6).
+		if hi < b.header.MinCell.RangeMin() || lo > b.header.MaxCell.RangeMax() {
+			continue
+		}
+		if cursor >= len(b.keys) {
+			break
+		}
+		// When the successor is not yet inside the query cell, locate the
+		// first candidate with a gallop-bounded search (Listing 1, lines
+		// 21-24), restricted to the unconsumed suffix since covering
+		// cells ascend.
+		i := b.gallopLowerBound(lo, cursor)
+		for i < len(b.keys) && b.keys[i] <= hi {
+			acc.combineCell(b, i)
+			visited++
+			i++
+		}
+		cursor = i
+	}
+	return acc.finish(visited), nil
+}
+
+// SelectCoveringBinaryOnly is the ablation variant of SelectCovering that
+// re-runs a full binary search for every covering cell instead of reusing
+// the scan cursor. It exists to quantify the successor optimisation
+// (DESIGN.md Sec. 5) and is otherwise equivalent.
+func (b *GeoBlock) SelectCoveringBinaryOnly(cov []cellid.ID, specs []AggSpec) (Result, error) {
+	if err := b.validateSpecs(specs); err != nil {
+		return Result{}, err
+	}
+	acc := newAccumulator(specs)
+	visited := 0
+	for _, qc := range cov {
+		lo, hi := qc.RangeMin(), qc.RangeMax()
+		if hi < b.header.MinCell.RangeMin() || lo > b.header.MaxCell.RangeMax() {
+			continue
+		}
+		i := b.lowerBound(lo, 0)
+		for i < len(b.keys) && b.keys[i] <= hi {
+			acc.combineCell(b, i)
+			visited++
+			i++
+		}
+	}
+	return acc.finish(visited), nil
+}
+
+// CountCovering answers a COUNT query over a cell covering (paper
+// Listing 2). Because cell aggregates store the offset of their first
+// tuple in the (filtered) base sequence plus their tuple count, the count
+// for a whole covering cell is a range sum touching only the first and
+// last contained aggregate:
+//
+//	last.offset + last.count − first.offset
+//
+// The runtime is therefore nearly independent of the block level.
+func (b *GeoBlock) CountCovering(cov []cellid.ID) uint64 {
+	var total uint64
+	cursor := 0
+	for _, qc := range cov {
+		lo, hi := qc.RangeMin(), qc.RangeMax()
+		if hi < b.header.MinCell.RangeMin() || lo > b.header.MaxCell.RangeMax() {
+			continue
+		}
+		first := b.gallopLowerBound(lo, cursor)
+		if first >= len(b.keys) || b.keys[first] > hi {
+			cursor = first
+			continue
+		}
+		last := b.gallopUpperBound(hi, first) - 1
+		total += uint64(b.offsets[last]) + uint64(b.counts[last]) - uint64(b.offsets[first])
+		cursor = last + 1
+	}
+	return total
+}
+
+// CountCoveringScan is the ablation variant of CountCovering that combines
+// every contained cell aggregate like a SELECT instead of using the
+// range-sum trick. It quantifies the Listing 2 optimisation.
+func (b *GeoBlock) CountCoveringScan(cov []cellid.ID) uint64 {
+	var total uint64
+	cursor := 0
+	for _, qc := range cov {
+		lo, hi := qc.RangeMin(), qc.RangeMax()
+		if hi < b.header.MinCell.RangeMin() || lo > b.header.MaxCell.RangeMax() {
+			continue
+		}
+		i := cursor
+		if i < len(b.keys) && b.keys[i] < lo {
+			i = b.lowerBound(lo, cursor)
+		} else if i >= len(b.keys) {
+			break
+		}
+		for i < len(b.keys) && b.keys[i] <= hi {
+			total += uint64(b.counts[i])
+			i++
+		}
+		cursor = i
+	}
+	return total
+}
+
+// AggregateCell returns the fully materialised aggregate (count plus every
+// column's min/max/sum) of all grid cells contained in cell. This is how
+// the AggregateTrie computes the records it caches.
+func (b *GeoBlock) AggregateCell(cell cellid.ID) (uint64, []ColAggregate) {
+	count, cols, _ := b.AggregateCellRange(cell)
+	return count, cols
+}
+
+// AggregateCellRange is AggregateCell extended with the index one past the
+// last aggregate contained in cell. The query cache memoises this end
+// index with each cached record so that a cache hit can advance the
+// accumulator cursor in constant time instead of galloping over the
+// skipped range on the next miss.
+func (b *GeoBlock) AggregateCellRange(cell cellid.ID) (uint64, []ColAggregate, int) {
+	lo, hi := cell.RangeMin(), cell.RangeMax()
+	cols := make([]ColAggregate, b.schema.NumCols())
+	for c := range cols {
+		cols[c] = emptyColAggregate()
+	}
+	var count uint64
+	i := b.lowerBound(lo, 0)
+	for ; i < len(b.keys) && b.keys[i] <= hi; i++ {
+		count += uint64(b.counts[i])
+		for c := range cols {
+			cols[c].merge(b.aggs[c][i])
+		}
+	}
+	return count, cols, i
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+	"geoblocks/internal/geom"
+)
+
+// Serialization of GeoBlocks. A GeoBlock is a materialized view (paper
+// Sec. 1); persisting it lets analysis sessions reopen pre-built blocks
+// without re-running extract/build. The format is a little-endian stream:
+//
+//	magic "GBLK" | version u32
+//	domain bounds (4 × f64) | level u32
+//	schema: numCols u32, then per column len u32 + name bytes
+//	filter: numPreds u32, then per predicate col u32, op u32, value f64
+//	header: minCell u64, maxCell u64, count u64, per-col 3 × f64
+//	numCells u64
+//	keys, offsets, counts, minKeys, maxKeys (arrays)
+//	per column: min/max/sum arrays
+//
+// The base-data reference is intentionally not serialized.
+const (
+	blockMagic   = "GBLK"
+	blockVersion = 1
+)
+
+type leWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *leWriter) u32(v uint32) {
+	if w.err == nil {
+		w.err = binary.Write(w.w, binary.LittleEndian, v)
+	}
+}
+func (w *leWriter) u64(v uint64) {
+	if w.err == nil {
+		w.err = binary.Write(w.w, binary.LittleEndian, v)
+	}
+}
+func (w *leWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *leWriter) bytes(b []byte) {
+	if w.err == nil {
+		_, w.err = w.w.Write(b)
+	}
+}
+
+type leReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *leReader) u32() uint32 {
+	var v uint32
+	if r.err == nil {
+		r.err = binary.Read(r.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+func (r *leReader) u64() uint64 {
+	var v uint64
+	if r.err == nil {
+		r.err = binary.Read(r.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+func (r *leReader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *leReader) bytes(n int) []byte {
+	b := make([]byte, n)
+	if r.err == nil {
+		_, r.err = io.ReadFull(r.r, b)
+	}
+	return b
+}
+
+// WriteTo serialises the block. It implements io.WriterTo loosely (the
+// byte count is not tracked; it returns 0 and the first error).
+func (b *GeoBlock) WriteTo(dst io.Writer) (int64, error) {
+	w := &leWriter{w: bufio.NewWriter(dst)}
+	w.bytes([]byte(blockMagic))
+	w.u32(blockVersion)
+
+	bound := b.domain.Bound()
+	w.f64(bound.Min.X)
+	w.f64(bound.Min.Y)
+	w.f64(bound.Max.X)
+	w.f64(bound.Max.Y)
+	w.u32(uint32(b.level))
+
+	w.u32(uint32(b.schema.NumCols()))
+	for _, name := range b.schema.Names {
+		w.u32(uint32(len(name)))
+		w.bytes([]byte(name))
+	}
+
+	w.u32(uint32(len(b.filter)))
+	for _, p := range b.filter {
+		w.u32(uint32(p.Col))
+		w.u32(uint32(p.Op))
+		w.f64(p.Value)
+	}
+
+	w.u64(uint64(b.header.MinCell))
+	w.u64(uint64(b.header.MaxCell))
+	w.u64(b.header.Count)
+	for _, c := range b.header.Cols {
+		w.f64(c.Min)
+		w.f64(c.Max)
+		w.f64(c.Sum)
+	}
+
+	w.u64(uint64(len(b.keys)))
+	for _, k := range b.keys {
+		w.u64(uint64(k))
+	}
+	for _, o := range b.offsets {
+		w.u32(o)
+	}
+	for _, c := range b.counts {
+		w.u32(c)
+	}
+	for _, k := range b.minKeys {
+		w.u64(uint64(k))
+	}
+	for _, k := range b.maxKeys {
+		w.u64(uint64(k))
+	}
+	for c := range b.aggs {
+		for _, a := range b.aggs[c] {
+			w.f64(a.Min)
+			w.f64(a.Max)
+			w.f64(a.Sum)
+		}
+	}
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	return 0, w.err
+}
+
+// ReadBlock deserialises a GeoBlock written by WriteTo. The returned block
+// has no base-data reference: queries work, rebuilds do not.
+func ReadBlock(src io.Reader) (*GeoBlock, error) {
+	r := &leReader{r: bufio.NewReader(src)}
+	if magic := string(r.bytes(4)); r.err == nil && magic != blockMagic {
+		return nil, fmt.Errorf("core: bad magic %q", magic)
+	}
+	if v := r.u32(); r.err == nil && v != blockVersion {
+		return nil, fmt.Errorf("core: unsupported version %d", v)
+	}
+
+	bound := geom.Rect{
+		Min: geom.Pt(r.f64(), r.f64()),
+		Max: geom.Pt(r.f64(), r.f64()),
+	}
+	level := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	dom, err := cellid.NewDomain(bound)
+	if err != nil {
+		return nil, err
+	}
+
+	numCols := int(r.u32())
+	if numCols < 0 || numCols > 1<<16 {
+		return nil, fmt.Errorf("core: implausible column count %d", numCols)
+	}
+	names := make([]string, numCols)
+	for i := range names {
+		n := int(r.u32())
+		if n < 0 || n > 1<<20 {
+			return nil, fmt.Errorf("core: implausible name length %d", n)
+		}
+		names[i] = string(r.bytes(n))
+	}
+
+	numPreds := int(r.u32())
+	if numPreds < 0 || numPreds > 1<<16 {
+		return nil, fmt.Errorf("core: implausible predicate count %d", numPreds)
+	}
+	filter := make(column.Filter, numPreds)
+	for i := range filter {
+		filter[i] = column.Predicate{
+			Col:   int(r.u32()),
+			Op:    column.Op(r.u32()),
+			Value: r.f64(),
+		}
+	}
+
+	b := &GeoBlock{
+		domain: dom,
+		level:  level,
+		schema: column.NewSchema(names...),
+		filter: filter,
+	}
+	b.header.MinCell = cellid.ID(r.u64())
+	b.header.MaxCell = cellid.ID(r.u64())
+	b.header.Count = r.u64()
+	b.header.Cols = make([]ColAggregate, numCols)
+	for c := range b.header.Cols {
+		b.header.Cols[c] = ColAggregate{Min: r.f64(), Max: r.f64(), Sum: r.f64()}
+	}
+
+	n := int(r.u64())
+	if n < 0 || n > 1<<31 {
+		return nil, fmt.Errorf("core: implausible cell count %d", n)
+	}
+	b.keys = make([]cellid.ID, n)
+	for i := range b.keys {
+		b.keys[i] = cellid.ID(r.u64())
+	}
+	b.offsets = make([]uint32, n)
+	for i := range b.offsets {
+		b.offsets[i] = r.u32()
+	}
+	b.counts = make([]uint32, n)
+	for i := range b.counts {
+		b.counts[i] = r.u32()
+	}
+	b.minKeys = make([]cellid.ID, n)
+	for i := range b.minKeys {
+		b.minKeys[i] = cellid.ID(r.u64())
+	}
+	b.maxKeys = make([]cellid.ID, n)
+	for i := range b.maxKeys {
+		b.maxKeys[i] = cellid.ID(r.u64())
+	}
+	b.aggs = make([][]ColAggregate, numCols)
+	for c := range b.aggs {
+		b.aggs[c] = make([]ColAggregate, n)
+		for i := range b.aggs[c] {
+			b.aggs[c][i] = ColAggregate{Min: r.f64(), Max: r.f64(), Sum: r.f64()}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return b, nil
+}

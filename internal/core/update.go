@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/geom"
+)
+
+// ErrRebuildRequired reports that an update batch contains tuples for grid
+// cells that have no cell aggregate yet. The sorted aggregate layout cannot
+// absorb new cells in place (paper Sec. 5); callers should rebuild the
+// block from base data — which the paper measures at well under a second —
+// or use RebuildWith.
+var ErrRebuildRequired = errors.New("core: update touches unaggregated region, rebuild required")
+
+// UpdateBatch is a set of new tuples to fold into an existing GeoBlock.
+type UpdateBatch struct {
+	Points []geom.Point
+	// Cols holds one value slice per schema column, aligned with Points.
+	Cols [][]float64
+}
+
+// Len returns the number of tuples in the batch.
+func (u *UpdateBatch) Len() int { return len(u.Points) }
+
+func (u *UpdateBatch) validate(b *GeoBlock) error {
+	if len(u.Cols) != b.schema.NumCols() {
+		return fmt.Errorf("core: update batch has %d columns, schema has %d", len(u.Cols), b.schema.NumCols())
+	}
+	for c := range u.Cols {
+		if len(u.Cols[c]) != len(u.Points) {
+			return fmt.Errorf("core: update column %d has %d rows, want %d", c, len(u.Cols[c]), len(u.Points))
+		}
+	}
+	return nil
+}
+
+// Update folds a batch of new tuples into the block's aggregates (paper
+// Sec. 5): for each tuple, the containing cell aggregate is located and
+// all stored aggregates are updated; offsets of subsequent cells shift by
+// the number of preceding insertions so that COUNT range sums stay
+// consistent. Rows not matching the block's filter are ignored. If any
+// tuple lands in a region with no existing cell aggregate, no change is
+// applied and ErrRebuildRequired is returned.
+//
+// Update does not modify the underlying base data table; blocks updated in
+// place diverge from Base() until the next rebuild, mirroring the paper's
+// batched-maintenance discussion.
+func (b *GeoBlock) Update(batch *UpdateBatch) error {
+	if err := batch.validate(b); err != nil {
+		return err
+	}
+	type row struct {
+		leaf cellid.ID
+		idx  int
+	}
+	rows := make([]row, 0, batch.Len())
+	for i, p := range batch.Points {
+		match := true
+		for _, pr := range b.filter {
+			if !pr.Matches(batch.Cols[pr.Col][i]) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		rows = append(rows, row{leaf: b.domain.FromPoint(p), idx: i})
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	sort.Slice(rows, func(a, c int) bool { return rows[a].leaf < rows[c].leaf })
+
+	// First pass: locate target aggregates; abort before mutation when a
+	// tuple has no home cell.
+	targets := make([]int, len(rows))
+	for k, r := range rows {
+		cell := r.leaf.Parent(b.level)
+		i := b.lowerBound(cell, 0)
+		if i >= len(b.keys) || b.keys[i] != cell {
+			return ErrRebuildRequired
+		}
+		targets[k] = i
+	}
+
+	// Second pass: apply. Batch rows are sorted, so per-cell insertion
+	// counts accumulate left to right and the offset shift for cell i is
+	// the number of insertions into cells before it.
+	inserted := uint32(0)
+	prevTarget := -1
+	for k, r := range rows {
+		i := targets[k]
+		if i != prevTarget {
+			// Shift offsets of all cells in (prevTarget, i] range lazily:
+			// handled in the final pass below; here only remember counts.
+			prevTarget = i
+		}
+		b.counts[i]++
+		if r.leaf < b.minKeys[i] {
+			b.minKeys[i] = r.leaf
+		}
+		if r.leaf > b.maxKeys[i] {
+			b.maxKeys[i] = r.leaf
+		}
+		for c := range b.aggs {
+			v := batch.Cols[c][r.idx]
+			b.aggs[c][i].addValue(v)
+			b.header.Cols[c].addValue(v)
+		}
+		inserted++
+	}
+	b.header.Count += uint64(inserted)
+
+	// Final pass: restore the offset invariant (offsets[i] = qualifying
+	// tuples before cell i) with a single sweep.
+	var running uint32
+	for i := range b.keys {
+		b.offsets[i] = running
+		running += b.counts[i]
+	}
+	return nil
+}
+
+// RebuildWith rebuilds the block from its base data plus extra rows that
+// Update could not absorb. The extra rows are appended to a copy of the
+// base table, re-sorted, and a fresh block is built with the same level and
+// filter. The paper notes this costs roughly one build pass (sub-second at
+// the evaluation's scale).
+func (b *GeoBlock) RebuildWith(batch *UpdateBatch) (*GeoBlock, error) {
+	if b.base == nil {
+		return nil, errors.New("core: block has no base data reference")
+	}
+	if err := batch.validate(b); err != nil {
+		return nil, err
+	}
+	t := b.base.Clone()
+	vals := make([]float64, b.schema.NumCols())
+	for i, p := range batch.Points {
+		for c := range vals {
+			vals[c] = batch.Cols[c][i]
+		}
+		t.AppendRow(uint64(b.domain.FromPoint(p)), vals...)
+	}
+	t.SortByKey()
+	return Build(&BaseData{Domain: b.domain, Table: t, PiggyLevel: -1},
+		BuildOptions{Level: b.level, Filter: b.filter})
+}

@@ -1,0 +1,339 @@
+// Package cover computes cell coverings of query polygons (paper Sec. 3.1
+// and 3.2): error-bounded approximations of a polygon by a set of cells,
+// possibly at mixed levels. The covering is the only source of approximation
+// error in GeoBlocks; every cell that intersects the polygon outline even
+// minimally is included, so the covering can only add false positives, and
+// every covering point lies within one cell diagonal of the polygon outline.
+//
+// The algorithm mirrors S2's RegionCoverer: a best-first refinement that
+// starts from the smallest ancestor cell enclosing the polygon's bounding
+// box, keeps cells fully contained in the polygon, and subdivides boundary
+// cells until the maximum level or the cell budget is reached.
+package cover
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/geom"
+)
+
+// Region is the geometric interface the coverer consumes. Both
+// *geom.Polygon and rectRegion satisfy it.
+type Region interface {
+	// Bound returns the region's bounding rectangle.
+	Bound() geom.Rect
+	// IntersectsRect reports whether the region intersects r.
+	IntersectsRect(r geom.Rect) bool
+	// ContainsRect reports whether the region fully contains r.
+	ContainsRect(r geom.Rect) bool
+}
+
+// rectRegion adapts geom.Rect to Region so rectangular queries (paper
+// Fig. 15) reuse the same covering machinery — "rectangles are just
+// constrained polygons".
+type rectRegion struct{ r geom.Rect }
+
+func (rr rectRegion) Bound() geom.Rect                { return rr.r }
+func (rr rectRegion) IntersectsRect(o geom.Rect) bool { return rr.r.Intersects(o) }
+func (rr rectRegion) ContainsRect(o geom.Rect) bool   { return rr.r.ContainsRect(o) }
+
+// RectRegion wraps a rectangle as a coverable region.
+func RectRegion(r geom.Rect) Region { return rectRegion{r} }
+
+// Options configure the coverer. The zero value is not usable; call
+// DefaultOptions and adjust.
+type Options struct {
+	// MaxLevel bounds the finest cells used. For GeoBlocks queries this is
+	// the block level: coverings must not contain cells smaller than the
+	// grid cells (paper Sec. 3.5).
+	MaxLevel int
+	// MinLevel bounds the coarsest cells used. Zero allows the root.
+	MinLevel int
+	// MaxCells soft-bounds the covering size. Once the budget is
+	// exhausted, remaining boundary cells are emitted unrefined. More
+	// cells means a tighter approximation but a more expensive query.
+	MaxCells int
+}
+
+// DefaultOptions returns the coverer configuration used throughout the
+// benchmarks: mixed-level coverings of at most 2048 cells down to the
+// given block level. The budget is generous enough that typical query
+// polygons refine their whole boundary to the block level; tighter budgets
+// trade approximation error for covering (and query) cost.
+func DefaultOptions(maxLevel int) Options {
+	return Options{MaxLevel: maxLevel, MinLevel: 0, MaxCells: 2048}
+}
+
+func (o Options) validate() error {
+	if o.MaxLevel < 0 || o.MaxLevel > cellid.MaxLevel {
+		return fmt.Errorf("cover: MaxLevel %d out of range [0,%d]", o.MaxLevel, cellid.MaxLevel)
+	}
+	if o.MinLevel < 0 || o.MinLevel > o.MaxLevel {
+		return fmt.Errorf("cover: MinLevel %d out of range [0,%d]", o.MinLevel, o.MaxLevel)
+	}
+	if o.MaxCells < 1 {
+		return fmt.Errorf("cover: MaxCells must be positive, got %d", o.MaxCells)
+	}
+	return nil
+}
+
+// Covering is a set of cells approximating a region, sorted by id. Cells
+// are non-overlapping (no cell contains another).
+type Covering struct {
+	// Cells in ascending id order.
+	Cells []cellid.ID
+	// Interior marks, per cell, whether the cell is fully contained in the
+	// region (true) or merely intersects its boundary (false). Interior
+	// cells contribute no approximation error.
+	Interior []bool
+}
+
+// Len returns the number of cells.
+func (c *Covering) Len() int { return len(c.Cells) }
+
+// candidate is a heap entry: a cell pending classification/refinement.
+type candidate struct {
+	id    cellid.ID
+	level int
+}
+
+// candidateHeap orders candidates coarsest-first so refinement spends the
+// cell budget where it matters most (big boundary cells first).
+type candidateHeap []candidate
+
+func (h candidateHeap) Len() int { return len(h) }
+func (h candidateHeap) Less(i, j int) bool {
+	if h[i].level != h[j].level {
+		return h[i].level < h[j].level
+	}
+	return h[i].id < h[j].id
+}
+func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Coverer computes coverings over a fixed domain.
+type Coverer struct {
+	dom  cellid.Domain
+	opts Options
+}
+
+// NewCoverer creates a coverer for the given domain and options.
+func NewCoverer(dom cellid.Domain, opts Options) (*Coverer, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if dom.IsZero() {
+		return nil, fmt.Errorf("cover: zero domain")
+	}
+	return &Coverer{dom: dom, opts: opts}, nil
+}
+
+// MustCoverer is NewCoverer that panics on error.
+func MustCoverer(dom cellid.Domain, opts Options) *Coverer {
+	c, err := NewCoverer(dom, opts)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Options returns the coverer's configuration.
+func (c *Coverer) Options() Options { return c.opts }
+
+// Domain returns the coverer's domain.
+func (c *Coverer) Domain() cellid.Domain { return c.dom }
+
+// Cover computes a covering of region. The covering satisfies:
+//
+//   - every point of the region lies in some covering cell;
+//   - no covering cell is below MaxLevel or above MinLevel;
+//   - cells are disjoint and sorted ascending;
+//   - cells marked Interior are fully inside the region.
+func (c *Coverer) Cover(region Region) *Covering {
+	bb := region.Bound().Intersection(c.dom.Bound())
+	out := &Covering{}
+	if !bb.IsValid() || bb.Area() < 0 {
+		return out
+	}
+
+	start := c.enclosingCell(bb)
+	if start.Level() < c.opts.MinLevel {
+		// Seed with all MinLevel descendants that intersect the region
+		// instead of one giant cell, so MinLevel is respected.
+		c.seedAtLevel(region, start, c.opts.MinLevel, out)
+		return c.finish(out)
+	}
+
+	var h candidateHeap
+	heap.Push(&h, candidate{start, start.Level()})
+	for h.Len() > 0 {
+		cand := heap.Pop(&h).(candidate)
+		rect := c.dom.CellRect(cand.id)
+		if !region.IntersectsRect(rect) {
+			continue
+		}
+		contained := region.ContainsRect(rect)
+		if contained && cand.level >= c.opts.MinLevel {
+			out.Cells = append(out.Cells, cand.id)
+			out.Interior = append(out.Interior, true)
+			continue
+		}
+		if cand.level >= c.opts.MaxLevel {
+			out.Cells = append(out.Cells, cand.id)
+			out.Interior = append(out.Interior, contained)
+			continue
+		}
+		// Budget check: the four children plus whatever is queued or
+		// emitted must stay within MaxCells, otherwise emit as-is.
+		if len(out.Cells)+h.Len()+4 > c.opts.MaxCells && cand.level >= c.opts.MinLevel {
+			out.Cells = append(out.Cells, cand.id)
+			out.Interior = append(out.Interior, contained)
+			continue
+		}
+		for _, child := range cand.id.Children() {
+			heap.Push(&h, candidate{child, cand.level + 1})
+		}
+	}
+	return c.finish(out)
+}
+
+// seedAtLevel emits all descendants of start at the given level that
+// intersect the region. Used when the enclosing cell is coarser than
+// MinLevel.
+func (c *Coverer) seedAtLevel(region Region, start cellid.ID, level int, out *Covering) {
+	begin := start.ChildBeginAt(level)
+	end := start.ChildEndAt(level)
+	for id := begin; ; id = id.Next() {
+		rect := c.dom.CellRect(id)
+		if region.IntersectsRect(rect) {
+			out.Cells = append(out.Cells, id)
+			out.Interior = append(out.Interior, region.ContainsRect(rect))
+		}
+		if id == end {
+			break
+		}
+	}
+}
+
+func (c *Coverer) finish(out *Covering) *Covering {
+	// Sort by id, carrying the interior flags along.
+	idx := make([]int, len(out.Cells))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return out.Cells[idx[a]] < out.Cells[idx[b]] })
+	cells := make([]cellid.ID, len(idx))
+	interior := make([]bool, len(idx))
+	for i, j := range idx {
+		cells[i] = out.Cells[j]
+		interior[i] = out.Interior[j]
+	}
+	out.Cells = cells
+	out.Interior = interior
+	return out
+}
+
+// enclosingCell returns the smallest single cell whose rectangle contains
+// bb — the covering seed.
+func (c *Coverer) enclosingCell(bb geom.Rect) cellid.ID {
+	lo := c.dom.FromPoint(bb.Min)
+	hi := c.dom.FromPoint(bb.Max)
+	lvl, ok := lo.CommonAncestorLevel(hi)
+	if !ok {
+		return cellid.Root()
+	}
+	return lo.Parent(lvl)
+}
+
+// FixedLevelCover returns the covering of region consisting solely of
+// cells at the given level — the grid-cell representation in Fig. 6c. It is
+// equivalent to Cover with MinLevel = MaxLevel = level but uses a direct
+// recursive walk.
+func (c *Coverer) FixedLevelCover(region Region, level int) []cellid.ID {
+	var out []cellid.ID
+	var walk func(id cellid.ID)
+	walk = func(id cellid.ID) {
+		rect := c.dom.CellRect(id)
+		if !region.IntersectsRect(rect) {
+			return
+		}
+		if id.Level() == level {
+			out = append(out, id)
+			return
+		}
+		if region.ContainsRect(rect) {
+			// Whole subtree qualifies: enumerate children at target level.
+			begin := id.ChildBeginAt(level)
+			end := id.ChildEndAt(level)
+			for child := begin; ; child = child.Next() {
+				out = append(out, child)
+				if child == end {
+					break
+				}
+			}
+			return
+		}
+		for _, child := range id.Children() {
+			walk(child)
+		}
+	}
+	start := c.enclosingCell(region.Bound().Intersection(c.dom.Bound()))
+	if start.Level() > level {
+		start = start.Parent(level)
+	}
+	walk(start)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// CoverPolygon is shorthand for Cover on a polygon.
+func (c *Coverer) CoverPolygon(p *geom.Polygon) *Covering { return c.Cover(p) }
+
+// CoverRect is shorthand for Cover on a rectangle.
+func (c *Coverer) CoverRect(r geom.Rect) *Covering { return c.Cover(RectRegion(r)) }
+
+// MaxErrorDistance returns the covering's worst-case distance bound: the
+// diagonal of a cell at the covering's finest level (paper Sec. 3.2). It
+// returns 0 for an empty covering.
+func (c *Coverer) MaxErrorDistance(cov *Covering) float64 {
+	finest := -1
+	for _, id := range cov.Cells {
+		if l := id.Level(); l > finest {
+			finest = l
+		}
+	}
+	if finest < 0 {
+		return 0
+	}
+	return c.dom.CellDiagonal(finest)
+}
+
+// AreaError returns the covering's area-based overshoot: covering area
+// minus region area, as a fraction of region area. Interior cells
+// contribute no error, so only boundary cells are measured.
+func (c *Coverer) AreaError(region Region, cov *Covering) float64 {
+	regionArea := 0.0
+	if p, ok := region.(*geom.Polygon); ok {
+		regionArea = p.Area()
+	} else {
+		regionArea = region.Bound().Area()
+	}
+	if regionArea <= 0 {
+		return 0
+	}
+	coverArea := 0.0
+	for _, id := range cov.Cells {
+		coverArea += c.dom.CellRect(id).Area()
+	}
+	return (coverArea - regionArea) / regionArea
+}

@@ -1,0 +1,251 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/geom"
+)
+
+func testDomain() cellid.Domain {
+	return cellid.MustDomain(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)})
+}
+
+func testPolygon() *geom.Polygon {
+	// An irregular convex pentagon around the domain centre.
+	return geom.NewPolygon([]geom.Point{
+		geom.Pt(20, 30), geom.Pt(60, 15), geom.Pt(85, 50), geom.Pt(55, 85), geom.Pt(25, 70),
+	})
+}
+
+func TestCoveringContainsPolygonPoints(t *testing.T) {
+	dom := testDomain()
+	poly := testPolygon()
+	cov := MustCoverer(dom, DefaultOptions(12)).Cover(poly)
+	if cov.Len() == 0 {
+		t.Fatal("empty covering")
+	}
+	// Every sampled interior point must fall in some covering cell.
+	rng := rand.New(rand.NewSource(42))
+	bb := poly.Bound()
+	checked := 0
+	for checked < 2000 {
+		p := geom.Pt(bb.Min.X+rng.Float64()*bb.Width(), bb.Min.Y+rng.Float64()*bb.Height())
+		if !poly.ContainsPoint(p) {
+			continue
+		}
+		checked++
+		leaf := dom.FromPoint(p)
+		found := false
+		for _, id := range cov.Cells {
+			if id.Contains(leaf) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("interior point %v not covered", p)
+		}
+	}
+}
+
+func TestCoveringCellsDisjointAndSorted(t *testing.T) {
+	cov := MustCoverer(testDomain(), DefaultOptions(12)).Cover(testPolygon())
+	for i := 1; i < cov.Len(); i++ {
+		if cov.Cells[i-1] >= cov.Cells[i] {
+			t.Fatalf("cells not strictly ascending at %d", i)
+		}
+		if cov.Cells[i-1].RangeMax() >= cov.Cells[i].RangeMin() {
+			t.Fatalf("cells %v and %v overlap", cov.Cells[i-1], cov.Cells[i])
+		}
+	}
+}
+
+func TestCoveringRespectsLevelBounds(t *testing.T) {
+	opts := Options{MinLevel: 4, MaxLevel: 9, MaxCells: 500}
+	cov := MustCoverer(testDomain(), opts).Cover(testPolygon())
+	for i, id := range cov.Cells {
+		if l := id.Level(); l < opts.MinLevel || l > opts.MaxLevel {
+			t.Fatalf("cell %d level %d outside [%d,%d]", i, l, opts.MinLevel, opts.MaxLevel)
+		}
+	}
+}
+
+func TestCoveringRespectsMaxCells(t *testing.T) {
+	for _, maxCells := range []int{4, 16, 64, 256} {
+		opts := Options{MaxLevel: 14, MaxCells: maxCells}
+		cov := MustCoverer(testDomain(), opts).Cover(testPolygon())
+		if cov.Len() > maxCells {
+			t.Fatalf("maxCells=%d: covering has %d cells", maxCells, cov.Len())
+		}
+	}
+}
+
+func TestInteriorFlagsAreCorrect(t *testing.T) {
+	dom := testDomain()
+	poly := testPolygon()
+	cov := MustCoverer(dom, DefaultOptions(10)).Cover(poly)
+	interiorCount := 0
+	for i, id := range cov.Cells {
+		rect := dom.CellRect(id)
+		if cov.Interior[i] {
+			interiorCount++
+			if !poly.ContainsRect(rect) {
+				t.Fatalf("cell %v flagged interior but not contained", id)
+			}
+		}
+		if !poly.IntersectsRect(rect) {
+			t.Fatalf("cell %v in covering but does not intersect polygon", id)
+		}
+	}
+	if interiorCount == 0 {
+		t.Fatal("covering of a large polygon should contain interior cells")
+	}
+}
+
+func TestFinerCoveringReducesAreaError(t *testing.T) {
+	dom := testDomain()
+	poly := testPolygon()
+	var prev float64 = -1
+	for _, lvl := range []int{6, 8, 10, 12} {
+		c := MustCoverer(dom, Options{MaxLevel: lvl, MaxCells: 100000})
+		cov := c.Cover(poly)
+		errFrac := c.AreaError(poly, cov)
+		if errFrac < 0 {
+			t.Fatalf("level %d: negative area error %g (covering smaller than polygon)", lvl, errFrac)
+		}
+		if prev >= 0 && errFrac > prev {
+			t.Fatalf("level %d: area error %g did not shrink from %g", lvl, errFrac, prev)
+		}
+		prev = errFrac
+	}
+	if prev > 0.05 {
+		t.Fatalf("finest covering error %g too large", prev)
+	}
+}
+
+func TestMaxErrorDistanceMatchesLevel(t *testing.T) {
+	dom := testDomain()
+	c := MustCoverer(dom, Options{MaxLevel: 9, MaxCells: 100000})
+	cov := c.Cover(testPolygon())
+	if got, want := c.MaxErrorDistance(cov), dom.CellDiagonal(9); got != want {
+		t.Fatalf("max error = %g, want cell diagonal %g", got, want)
+	}
+}
+
+func TestFixedLevelCoverMatchesConstrainedCover(t *testing.T) {
+	dom := testDomain()
+	poly := testPolygon()
+	level := 8
+	fixed := MustCoverer(dom, DefaultOptions(level)).FixedLevelCover(poly, level)
+
+	opts := Options{MinLevel: level, MaxLevel: level, MaxCells: 1 << 20}
+	cov := MustCoverer(dom, opts).Cover(poly)
+
+	if len(fixed) != cov.Len() {
+		t.Fatalf("fixed-level cover %d cells, constrained cover %d", len(fixed), cov.Len())
+	}
+	for i := range fixed {
+		if fixed[i] != cov.Cells[i] {
+			t.Fatalf("cell %d differs: %v vs %v", i, fixed[i], cov.Cells[i])
+		}
+	}
+}
+
+func TestCoverRectEquivalentToRectPolygon(t *testing.T) {
+	dom := testDomain()
+	r := geom.Rect{Min: geom.Pt(22, 31), Max: geom.Pt(57, 66)}
+	c := MustCoverer(dom, DefaultOptions(10))
+	covRect := c.CoverRect(r)
+	covPoly := c.Cover(r.Polygon())
+	if covRect.Len() != covPoly.Len() {
+		t.Fatalf("rect cover %d cells, polygon cover %d", covRect.Len(), covPoly.Len())
+	}
+	for i := range covRect.Cells {
+		if covRect.Cells[i] != covPoly.Cells[i] {
+			t.Fatalf("cell %d differs", i)
+		}
+	}
+}
+
+func TestCoverOutsideDomainIsEmpty(t *testing.T) {
+	dom := testDomain()
+	poly := geom.NewPolygon([]geom.Point{
+		geom.Pt(200, 200), geom.Pt(210, 200), geom.Pt(205, 210),
+	})
+	cov := MustCoverer(dom, DefaultOptions(10)).Cover(poly)
+	if cov.Len() != 0 {
+		t.Fatalf("covering outside domain has %d cells", cov.Len())
+	}
+}
+
+func TestSmallPolygonGetsCovered(t *testing.T) {
+	dom := testDomain()
+	// A polygon much smaller than a max-level cell must still be covered.
+	tiny := geom.RegularPolygon(geom.Pt(50.0001, 50.0001), 1e-6, 8)
+	cov := MustCoverer(dom, DefaultOptions(8)).Cover(tiny)
+	if cov.Len() == 0 {
+		t.Fatal("tiny polygon got empty covering")
+	}
+	leaf := dom.FromPoint(geom.Pt(50.0001, 50.0001))
+	found := false
+	for _, id := range cov.Cells {
+		if id.Contains(leaf) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("tiny polygon centre not covered")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	dom := testDomain()
+	if _, err := NewCoverer(dom, Options{MaxLevel: -1, MaxCells: 8}); err == nil {
+		t.Error("negative MaxLevel accepted")
+	}
+	if _, err := NewCoverer(dom, Options{MaxLevel: 5, MinLevel: 6, MaxCells: 8}); err == nil {
+		t.Error("MinLevel > MaxLevel accepted")
+	}
+	if _, err := NewCoverer(dom, Options{MaxLevel: 5, MaxCells: 0}); err == nil {
+		t.Error("zero MaxCells accepted")
+	}
+	if _, err := NewCoverer(cellid.Domain{}, DefaultOptions(5)); err == nil {
+		t.Error("zero domain accepted")
+	}
+}
+
+func TestConcavePolygonCovering(t *testing.T) {
+	dom := testDomain()
+	// U-shaped polygon; the covering must not include the middle gap's
+	// interior cells at fine levels.
+	u := geom.NewPolygon([]geom.Point{
+		geom.Pt(10, 10), geom.Pt(90, 10), geom.Pt(90, 90), geom.Pt(70, 90),
+		geom.Pt(70, 30), geom.Pt(30, 30), geom.Pt(30, 90), geom.Pt(10, 90),
+	})
+	c := MustCoverer(dom, Options{MaxLevel: 10, MaxCells: 100000})
+	cov := c.Cover(u)
+	gap := dom.FromPoint(geom.Pt(50, 60)) // inside the U's notch
+	for _, id := range cov.Cells {
+		if id.Contains(gap) && cov.Interior[indexOf(cov.Cells, id)] {
+			t.Fatalf("interior cell %v covers the notch", id)
+		}
+	}
+	// The notch centre may only be covered by a boundary cell whose rect
+	// still intersects the polygon.
+	for i, id := range cov.Cells {
+		if id.Contains(gap) && cov.Interior[i] {
+			t.Fatalf("notch covered by interior cell %v", id)
+		}
+	}
+}
+
+func indexOf(cells []cellid.ID, id cellid.ID) int {
+	for i, c := range cells {
+		if c == id {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"testing"
+
+	"geoblocks/internal/geom"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(NYCTaxi(), 2000, 42)
+	b := Generate(NYCTaxi(), 2000, 42)
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs between runs with same seed", i)
+		}
+	}
+	for c := range a.Cols {
+		for i := range a.Cols[c] {
+			if a.Cols[c][i] != b.Cols[c][i] {
+				t.Fatalf("col %d row %d differs", c, i)
+			}
+		}
+	}
+	c := Generate(NYCTaxi(), 2000, 43)
+	same := 0
+	for i := range a.Points {
+		if a.Points[i] == c.Points[i] {
+			same++
+		}
+	}
+	if same > len(a.Points)/10 {
+		t.Fatalf("different seeds produced %d identical points", same)
+	}
+}
+
+func TestTaxiShape(t *testing.T) {
+	raw := Generate(NYCTaxi(), 20000, 1)
+	if raw.NumRows() != 20000 {
+		t.Fatalf("rows = %d", raw.NumRows())
+	}
+	if got := len(raw.Cols); got != raw.Spec.Schema.NumCols() {
+		t.Fatalf("cols = %d", got)
+	}
+	// Spatial skew: a Manhattan-sized box should hold a large share of
+	// clean points.
+	manhattan := geom.Rect{Min: geom.Pt(-74.03, 40.69), Max: geom.Pt(-73.92, 40.82)}
+	inside, clean := 0, 0
+	for _, p := range raw.Points {
+		if raw.Spec.Bound.ContainsPoint(p) {
+			clean++
+			if manhattan.ContainsPoint(p) {
+				inside++
+			}
+		}
+	}
+	frac := float64(inside) / float64(clean)
+	if frac < 0.4 {
+		t.Fatalf("Manhattan share = %.2f, want >= 0.4 (spatial skew missing)", frac)
+	}
+	// Dirty rows present but bounded.
+	dirty := raw.NumRows() - clean
+	if dirty == 0 {
+		t.Fatal("no dirty rows generated")
+	}
+	if float64(dirty)/float64(raw.NumRows()) > 0.05 {
+		t.Fatalf("dirty fraction %.3f too high", float64(dirty)/float64(raw.NumRows()))
+	}
+}
+
+func TestTaxiColumnsPlausible(t *testing.T) {
+	raw := Generate(NYCTaxi(), 10000, 2)
+	s := raw.Spec.Schema
+	fare := raw.Cols[s.ColIndex("fare_amount")]
+	dist := raw.Cols[s.ColIndex("trip_distance")]
+	pass := raw.Cols[s.ColIndex("passenger_count")]
+	solo := 0
+	for i := range fare {
+		if fare[i] < 2.5 {
+			t.Fatalf("fare %g below flagfall", fare[i])
+		}
+		if dist[i] <= 0 || dist[i] > 40 {
+			t.Fatalf("distance %g out of range", dist[i])
+		}
+		if pass[i] < 1 || pass[i] > 6 {
+			t.Fatalf("passengers %g out of range", pass[i])
+		}
+		if pass[i] == 1 {
+			solo++
+		}
+	}
+	// The paper's filter experiment relies on passenger_cnt == 1 having
+	// ~70% selectivity.
+	frac := float64(solo) / float64(len(pass))
+	if frac < 0.6 || frac < 0.5 {
+		t.Fatalf("solo fraction %.2f, want ~0.7", frac)
+	}
+}
+
+func TestExtractCleansDirtyRows(t *testing.T) {
+	raw := Generate(NYCTaxi(), 10000, 3)
+	base, stats, err := raw.Extract(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowsKept >= stats.RowsIn {
+		t.Fatalf("extract kept all %d rows; dirty rows not cleaned", stats.RowsIn)
+	}
+	if float64(stats.RowsKept) < 0.9*float64(stats.RowsIn) {
+		t.Fatalf("extract dropped too much: kept %d of %d", stats.RowsKept, stats.RowsIn)
+	}
+	if !base.Table.Sorted {
+		t.Fatal("base data not sorted")
+	}
+}
+
+func TestTweetsAndOSMSpecs(t *testing.T) {
+	for _, spec := range []Spec{USTweets(), OSMAmericas()} {
+		raw := Generate(spec, 5000, 4)
+		if raw.NumRows() != 5000 {
+			t.Fatalf("%s: rows = %d", spec.Name, raw.NumRows())
+		}
+		base, _, err := raw.Extract(-1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if base.NumRows() == 0 {
+			t.Fatalf("%s: extract dropped everything", spec.Name)
+		}
+		// Integer payloads.
+		for c := range raw.Cols {
+			for i := 0; i < 100; i++ {
+				v := raw.Cols[c][i]
+				if v != float64(int64(v)) || v < 0 || v >= 1_000_000 {
+					t.Fatalf("%s: col %d row %d = %g not an int payload", spec.Name, c, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestHotspotSamplingStaysInBound(t *testing.T) {
+	spec := USTweets()
+	raw := Generate(spec, 20000, 5)
+	outOfBound := 0
+	for _, p := range raw.Points {
+		if !spec.Bound.ContainsPoint(p) {
+			outOfBound++
+		}
+	}
+	// Only dirty rows may leave the bound.
+	if frac := float64(outOfBound) / float64(raw.NumRows()); frac > 3*spec.DirtyFrac+0.01 {
+		t.Fatalf("out-of-bound fraction %.4f exceeds dirty budget", frac)
+	}
+}

@@ -1,0 +1,200 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"geoblocks/internal/column"
+	"geoblocks/internal/core"
+	"geoblocks/internal/geom"
+)
+
+// NYCTaxi models the paper's primary dataset: yellow-cab trip records over
+// the NYC bounding box with the TLC column set used in Fig. 1 and the
+// filter experiments (fare_amount, trip_distance, tip_amount, tip_rate,
+// passenger_count, pickup_hour). Hotspots follow the well-known pickup
+// distribution: a dense Manhattan spine, secondary mass in Brooklyn/Queens,
+// and the two airports — the skew the paper's Sec. 3.6 observations rely
+// on. About 1.5% of rows are dirty (null-island or out-of-region
+// coordinates), which the extract phase cleans.
+func NYCTaxi() Spec {
+	bound := geom.Rect{Min: geom.Pt(-74.30, 40.45), Max: geom.Pt(-73.65, 41.00)}
+	return Spec{
+		Name:   "nyc-taxi",
+		Bound:  bound,
+		Schema: column.NewSchema("fare_amount", "trip_distance", "tip_amount", "tip_rate", "passenger_count", "pickup_hour", "payment_type"),
+		Hotspots: []Hotspot{
+			// Manhattan spine (lower, mid, upper): the dense core covers
+			// most of the island, as in the real pickup distribution.
+			{Center: geom.Pt(-74.005, 40.72), SigmaX: 0.018, SigmaY: 0.025, Weight: 22},
+			{Center: geom.Pt(-73.985, 40.75), SigmaX: 0.018, SigmaY: 0.025, Weight: 26},
+			{Center: geom.Pt(-73.965, 40.78), SigmaX: 0.018, SigmaY: 0.025, Weight: 14},
+			// Brooklyn / Williamsburg.
+			{Center: geom.Pt(-73.95, 40.70), SigmaX: 0.040, SigmaY: 0.030, Weight: 8},
+			// Queens / LIC.
+			{Center: geom.Pt(-73.93, 40.745), SigmaX: 0.032, SigmaY: 0.024, Weight: 6},
+			// JFK.
+			{Center: geom.Pt(-73.78, 40.645), SigmaX: 0.008, SigmaY: 0.006, Weight: 5},
+			// LaGuardia.
+			{Center: geom.Pt(-73.87, 40.77), SigmaX: 0.006, SigmaY: 0.005, Weight: 4},
+			// Bronx, sparse.
+			{Center: geom.Pt(-73.90, 40.85), SigmaX: 0.045, SigmaY: 0.032, Weight: 3},
+		},
+		UniformFrac: 0.015,
+		DirtyFrac:   0.015,
+		fillRow:     fillTaxiRow,
+		cleanRule:   taxiCleanRule,
+	}
+}
+
+func fillTaxiRow(rng *rand.Rand, vals []float64) {
+	// Distance: log-normal-ish, mostly short city trips.
+	distance := math.Exp(rng.NormFloat64()*0.8+0.6) - 0.5
+	if distance < 0.1 {
+		distance = 0.1 + rng.Float64()*0.2
+	}
+	if distance > 40 {
+		distance = 40
+	}
+	// Fare correlates with distance plus flagfall and noise.
+	fare := 2.5 + distance*2.6 + rng.NormFloat64()*1.5
+	if fare < 2.5 {
+		fare = 2.5
+	}
+	// Tip: zero for ~35% (cash), else 10-30% of fare.
+	tip := 0.0
+	payment := 1.0 // card
+	if rng.Float64() < 0.35 {
+		payment = 2.0 // cash: tips unrecorded, as in the TLC data
+	} else {
+		tip = fare * (0.10 + rng.Float64()*0.20)
+	}
+	tipRate := tip / fare
+	passengers := float64(1 + rng.Intn(6))
+	if rng.Float64() < 0.70 {
+		passengers = 1 // solo rides dominate (paper: selectivity ~70%)
+	}
+	hour := float64(rng.Intn(24))
+
+	vals[0] = round2(fare)
+	vals[1] = round2(distance)
+	vals[2] = round2(tip)
+	vals[3] = tipRate
+	vals[4] = passengers
+	vals[5] = hour
+	vals[6] = payment
+}
+
+func round2(f float64) float64 { return math.Round(f*100) / 100 }
+
+func taxiCleanRule(bound geom.Rect, schema column.Schema) core.CleanRule {
+	return core.CleanRule{
+		Bounds: bound,
+		ColRanges: []core.ColRange{
+			{Col: schema.ColIndex("fare_amount"), Min: 0.01, Max: 500},
+			{Col: schema.ColIndex("trip_distance"), Min: 0.01, Max: 100},
+			{Col: schema.ColIndex("passenger_count"), Min: 1, Max: 8},
+		},
+	}
+}
+
+// USTweets models the paper's second dataset: geotagged tweets from the
+// contiguous US, queried with state polygons. Payload columns are random
+// integers, exactly as in the paper ("randomly generated integer values as
+// payload").
+func USTweets() Spec {
+	bound := geom.Rect{Min: geom.Pt(-125.0, 24.5), Max: geom.Pt(-66.5, 49.5)}
+	cities := []struct {
+		x, y, w float64
+	}{
+		{-74.0, 40.7, 16},  // NYC
+		{-118.2, 34.1, 13}, // LA
+		{-87.6, 41.9, 9},   // Chicago
+		{-95.4, 29.8, 7},   // Houston
+		{-75.2, 39.9, 5},   // Philadelphia
+		{-112.1, 33.4, 4},  // Phoenix
+		{-122.4, 37.8, 6},  // SF
+		{-122.3, 47.6, 4},  // Seattle
+		{-84.4, 33.7, 5},   // Atlanta
+		{-80.2, 25.8, 6},   // Miami
+		{-104.9, 39.7, 3},  // Denver
+		{-90.2, 38.6, 2},   // St. Louis
+		{-93.3, 44.9, 3},   // Minneapolis
+		{-71.1, 42.3, 5},   // Boston
+		{-77.0, 38.9, 5},   // DC
+		{-97.7, 30.3, 3},   // Austin
+		{-115.1, 36.2, 3},  // Las Vegas
+		{-81.7, 41.5, 2},   // Cleveland
+		{-86.8, 36.2, 2},   // Nashville
+		{-117.2, 32.7, 4},  // San Diego
+	}
+	hs := make([]Hotspot, len(cities))
+	for i, c := range cities {
+		hs[i] = Hotspot{Center: geom.Pt(c.x, c.y), SigmaX: 0.5, SigmaY: 0.4, Weight: c.w}
+	}
+	return Spec{
+		Name:        "us-tweets",
+		Bound:       bound,
+		Schema:      column.NewSchema("val0", "val1", "val2", "val3"),
+		Hotspots:    hs,
+		UniformFrac: 0.20,
+		DirtyFrac:   0.005,
+		fillRow:     fillIntPayload,
+		cleanRule: func(bound geom.Rect, _ column.Schema) core.CleanRule {
+			return core.CleanRule{Bounds: bound}
+		},
+	}
+}
+
+// OSMAmericas models the paper's third dataset: OpenStreetMap points
+// across the Americas (389M in the paper; scaled here), with random
+// integer payloads.
+func OSMAmericas() Spec {
+	bound := geom.Rect{Min: geom.Pt(-170.0, -56.0), Max: geom.Pt(-30.0, 72.0)}
+	cities := []struct {
+		x, y, w float64
+	}{
+		{-74.0, 40.7, 10},  // NYC
+		{-99.1, 19.4, 9},   // Mexico City
+		{-46.6, -23.5, 10}, // São Paulo
+		{-58.4, -34.6, 7},  // Buenos Aires
+		{-43.2, -22.9, 6},  // Rio
+		{-77.0, -12.0, 4},  // Lima
+		{-74.1, 4.7, 4},    // Bogotá
+		{-79.4, 43.7, 5},   // Toronto
+		{-123.1, 49.3, 3},  // Vancouver
+		{-87.6, 41.9, 5},   // Chicago
+		{-118.2, 34.1, 6},  // LA
+		{-66.9, 10.5, 3},   // Caracas
+		{-70.7, -33.5, 4},  // Santiago
+		{-56.2, -34.9, 2},  // Montevideo
+		{-90.5, 14.6, 2},   // Guatemala City
+		{-82.4, 23.1, 2},   // Havana
+		{-75.6, 45.4, 2},   // Ottawa
+		{-97.5, 35.5, 2},   // Oklahoma
+		{-80.2, 25.8, 4},   // Miami
+		{-63.6, -38.4, 1},  // Pampas (sparse rural)
+	}
+	hs := make([]Hotspot, len(cities))
+	for i, c := range cities {
+		hs[i] = Hotspot{Center: geom.Pt(c.x, c.y), SigmaX: 1.2, SigmaY: 1.0, Weight: c.w}
+	}
+	return Spec{
+		Name:        "osm-americas",
+		Bound:       bound,
+		Schema:      column.NewSchema("val0", "val1", "val2", "val3"),
+		Hotspots:    hs,
+		UniformFrac: 0.35, // OSM has much more rural coverage than tweets
+		DirtyFrac:   0.002,
+		fillRow:     fillIntPayload,
+		cleanRule: func(bound geom.Rect, _ column.Schema) core.CleanRule {
+			return core.CleanRule{Bounds: bound}
+		},
+	}
+}
+
+func fillIntPayload(rng *rand.Rand, vals []float64) {
+	for i := range vals {
+		vals[i] = float64(rng.Intn(1_000_000))
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/workload"
+)
+
+// Fig10 reproduces "Runtime with increasing number of aggregates": the
+// combined workload (base once + skewed four times) is queried for 1, 2, 4
+// and 8 aggregates with BinarySearch, Block and BTree. The paper omits the
+// PH-tree and aR-tree here because their rectangular approximation of the
+// skewed workload blows up their runtime.
+func Fig10(cfg Config) []*Table {
+	const paperLevel = 17
+	e := newTaxiEnv(cfg, paperLevel)
+	a := e.buildApproaches(paperLevel, false, false)
+
+	skewed := workload.SkewedSubset(e.polys, 0.10, cfg.Seed+200)
+	combined := workload.Combined(e.polys, skewed, 4)
+	covs := e.coverings(combined, paperLevel)
+
+	t := &Table{
+		ID:    "fig10",
+		Title: "Runtime with increasing number of aggregates (combined workload)",
+		Note: fmt.Sprintf("taxi %d rows, paper level %d (domain level %d); runtime totals over %d queries",
+			e.base.NumRows(), paperLevel, e.lvl(paperLevel), len(combined)),
+		Header: []string{"aggregates", "BinarySearch_us", "Block_us", "BTree_us", "speedup_vs_BinarySearch", "speedup_vs_BTree"},
+	}
+
+	for _, numAggs := range []int{1, 2, 4, 8} {
+		specs := e.standardSpecs(numAggs)
+		var rBin, rBlk, rBT time.Duration
+
+		rBin = timeIt(func() {
+			for _, cov := range covs {
+				a.binary.AggregateCovering(cov, specs)
+			}
+		})
+		rBlk = timeIt(func() {
+			for _, cov := range covs {
+				if _, err := a.block.SelectCovering(cov, specs); err != nil {
+					panic(err)
+				}
+			}
+		})
+		rBT = timeIt(func() {
+			for _, cov := range covs {
+				a.btree.AggregateCovering(cov, specs)
+			}
+		})
+
+		t.AddRow(
+			fmt.Sprintf("%d", numAggs),
+			us(rBin), us(rBlk), us(rBT),
+			speedup(rBin, rBlk), speedup(rBT, rBlk),
+		)
+	}
+	return []*Table{t}
+}
+
+// Fig12 reproduces "Query runtime for varying selectivity": a single
+// polygon per selectivity point, covering the share of rides given in the
+// first column, queried by every approach. The PH-tree and aR-tree receive
+// the polygon's rectangular region (the selectivity polygons are
+// rectangles, as in our reading of the paper's artificial selection).
+// BlockQC uses a 2% cache warmed by one unmeasured pass, reproducing the
+// paper's configuration.
+func Fig12(cfg Config) []*Table {
+	const paperLevel = 17
+	const cacheThreshold = 0.02
+	const reps = 5
+	e := newTaxiEnv(cfg, paperLevel)
+	a := e.buildApproaches(paperLevel, true, true)
+	qc := cachedBlock(a.block, cacheThreshold)
+
+	specs := e.standardSpecs(4)
+	t := &Table{
+		ID:    "fig12",
+		Title: "Query runtime for varying selectivity",
+		Note: fmt.Sprintf("taxi %d rows, level %d(paper)/%d(domain); per-query runtime, average of %d runs; PHTree/aRTree query the same rectangle",
+			e.base.NumRows(), paperLevel, e.lvl(paperLevel), reps),
+		Header: []string{"selectivity", "BinarySearch_us", "Block_us", "BlockQC_us", "BTree_us", "PHTree_us", "aRTree_us"},
+	}
+
+	cov := e.coverer(paperLevel)
+	for _, sel := range []float64{0.001, 0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 1.00} {
+		rect := workload.SelectivityRect(e.base.Table, e.dom, sel)
+		covering := cov.CoverRect(rect).Cells
+
+		// Warm the query cache with an unmeasured pass.
+		if _, err := qc.Select(covering, specs); err != nil {
+			panic(err)
+		}
+		qc.Refresh()
+
+		rBin := avgTime(reps, func() { a.binary.AggregateCovering(covering, specs) })
+		rBlk := avgTime(reps, func() {
+			if _, err := a.block.SelectCovering(covering, specs); err != nil {
+				panic(err)
+			}
+		})
+		rQC := avgTime(reps, func() {
+			if _, err := qc.Select(covering, specs); err != nil {
+				panic(err)
+			}
+		})
+		rBT := avgTime(reps, func() { a.btree.AggregateCovering(covering, specs) })
+		rPH := avgTime(reps, func() { a.ph.AggregateWindow(rect, specs) })
+		rART := avgTime(reps, func() { a.art.AggregateRect(rect, specs) })
+
+		t.AddRow(pct(sel), us(rBin), us(rBlk), us(rQC), us(rBT), us(rPH), us(rART))
+	}
+	return []*Table{t}
+}
+
+func avgTime(reps int, fn func()) time.Duration {
+	var total time.Duration
+	for i := 0; i < reps; i++ {
+		total += timeIt(fn)
+	}
+	return total / time.Duration(reps)
+}
+
+// coveringCells is a small helper used by tests.
+func coveringCells(covs [][]cellid.ID) int {
+	n := 0
+	for _, c := range covs {
+		n += len(c)
+	}
+	return n
+}

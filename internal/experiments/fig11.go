@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"geoblocks/internal/btree"
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/core"
+	"geoblocks/internal/dataset"
+	"geoblocks/internal/geom"
+	"geoblocks/internal/phtree"
+)
+
+// Fig11a reproduces "Build time of GeoBlocks and baselines": the
+// preparation time before any query can run, split into the sorting and
+// building phases. The sorting phase is identical for all sorting
+// baselines except for the Block's piggybacked grid-cell collection; the
+// PH-tree needs no sorted data and only has a build phase. The aR-tree is
+// excluded, as in the paper, because its insertion-based build is orders
+// of magnitude slower.
+func Fig11a(cfg Config) []*Table {
+	const paperLevel = 17
+	raw := dataset.Generate(dataset.NYCTaxi(), cfg.TaxiRows, cfg.Seed)
+
+	// Plain extract: the sort every sorting baseline shares.
+	basePlain, statsPlain, err := raw.Extract(-1)
+	if err != nil {
+		panic(err)
+	}
+	// Block extract: sort plus piggybacked cell collection.
+	baseBlock, statsBlock, err := raw.Extract(DomainLevel(raw.Spec.Bound, paperLevel))
+	if err != nil {
+		panic(err)
+	}
+
+	blockBuild := timeIt(func() {
+		if _, err := core.Build(baseBlock, core.BuildOptions{Level: DomainLevel(raw.Spec.Bound, paperLevel)}); err != nil {
+			panic(err)
+		}
+	})
+	btreeBuild := timeIt(func() { btree.NewIndex(basePlain.Table) })
+	dom := raw.Domain()
+	phBuild := timeIt(func() {
+		phtree.New(basePlain.Table, dom.Bound(), func(row int) geom.Point {
+			return dom.CellCenter(cellid.ID(basePlain.Table.Keys[row]))
+		})
+	})
+
+	t := &Table{
+		ID:    "fig11a",
+		Title: "Build time of GeoBlocks and baselines",
+		Note: fmt.Sprintf("taxi %d rows, block level %d(paper)/%d(domain); sorting is shared across sorting baselines",
+			basePlain.NumRows(), paperLevel, DomainLevel(raw.Spec.Bound, paperLevel)),
+		Header: []string{"approach", "sorting_ms", "building_ms", "total_ms"},
+	}
+	add := func(name string, sort, build time.Duration) {
+		t.AddRow(name, ms(sort), ms(build), ms(sort+build))
+	}
+	add("BinarySearch", statsPlain.SortTime, 0)
+	add("Block", statsBlock.SortTime, blockBuild)
+	add("BTree", statsPlain.SortTime, btreeBuild)
+	add("PHTree", 0, phBuild)
+	return []*Table{t}
+}
+
+// Fig11b reproduces "Size overhead of GeoBlocks and baselines": the
+// additional storage of each structure relative to the raw columnar base
+// data. BinarySearch is omitted (zero overhead), as in the paper.
+func Fig11b(cfg Config) []*Table {
+	const paperLevel = 17
+	e := newTaxiEnv(cfg, paperLevel)
+	a := e.buildApproaches(paperLevel, true, true)
+	baseBytes := e.base.Table.SizeBytes()
+
+	t := &Table{
+		ID:    "fig11b",
+		Title: "Size overhead of GeoBlocks and baselines",
+		Note: fmt.Sprintf("taxi %d rows (base data %d MiB), block level %d(paper)/%d(domain)",
+			e.base.NumRows(), baseBytes>>20, paperLevel, e.lvl(paperLevel)),
+		Header: []string{"approach", "bytes", "relative_overhead"},
+	}
+	add := func(name string, bytes int) {
+		t.AddRow(name, fmt.Sprintf("%d", bytes), pct(float64(bytes)/float64(baseBytes)))
+	}
+	add("Block", a.block.SizeBytes())
+	add("BTree", a.btree.SizeBytes())
+	add("PHTree", a.ph.SizeBytes())
+	add("aRTree", a.art.SizeBytes())
+	return []*Table{t}
+}
+
+// Fig11c reproduces "Level influence on GeoBlocks overhead": preparation
+// time and relative size overhead across block levels 13-21 (paper
+// numbering).
+func Fig11c(cfg Config) []*Table {
+	raw := dataset.Generate(dataset.NYCTaxi(), cfg.TaxiRows, cfg.Seed)
+	t := &Table{
+		ID:     "fig11c",
+		Title:  "Level influence on GeoBlocks overhead",
+		Note:   "preparation = sorting (with piggyback) + building; overhead relative to base data",
+		Header: []string{"paper_level", "domain_level", "cell_diag_m", "prep_ms", "cells", "relative_overhead"},
+	}
+	for paperLevel := 13; paperLevel <= 21; paperLevel++ {
+		base, stats, err := raw.Extract(DomainLevel(raw.Spec.Bound, paperLevel))
+		if err != nil {
+			panic(err)
+		}
+		var blk *core.GeoBlock
+		buildTime := timeIt(func() {
+			blk, err = core.Build(base, core.BuildOptions{Level: DomainLevel(raw.Spec.Bound, paperLevel)})
+			if err != nil {
+				panic(err)
+			}
+		})
+		prep := stats.SortTime + buildTime
+		overhead := float64(blk.SizeBytes()) / float64(base.Table.SizeBytes())
+		t.AddRow(
+			fmt.Sprintf("%d", paperLevel),
+			fmt.Sprintf("%d", DomainLevel(raw.Spec.Bound, paperLevel)),
+			fmt.Sprintf("%.1f", cellDiagonalMeters(base, DomainLevel(raw.Spec.Bound, paperLevel))),
+			ms(prep),
+			fmt.Sprintf("%d", blk.NumCells()),
+			pct(overhead),
+		)
+	}
+	return []*Table{t}
+}
+
+// Table2 reproduces "Index build times in ms at varying levels": the
+// sorting and building phases of the GeoBlock pipeline per level. Sorting
+// rises slowly with the level because the piggybacked grid-cell
+// collection extracts ever finer cells.
+func Table2(cfg Config) []*Table {
+	raw := dataset.Generate(dataset.NYCTaxi(), cfg.TaxiRows, cfg.Seed)
+	t := &Table{
+		ID:     "tab2",
+		Title:  "Index build times in ms at varying levels",
+		Header: []string{"paper_level", "sorting_ms", "building_ms"},
+	}
+	for paperLevel := 13; paperLevel <= 21; paperLevel++ {
+		base, stats, err := raw.Extract(DomainLevel(raw.Spec.Bound, paperLevel))
+		if err != nil {
+			panic(err)
+		}
+		buildTime := timeIt(func() {
+			if _, err := core.Build(base, core.BuildOptions{Level: DomainLevel(raw.Spec.Bound, paperLevel)}); err != nil {
+				panic(err)
+			}
+		})
+		t.AddRow(fmt.Sprintf("%d", paperLevel), ms(stats.SortTime), ms(buildTime))
+	}
+	return []*Table{t}
+}
+
+// cellDiagonalMeters converts the domain-level cell diagonal to
+// approximate metres for display (1 degree latitude ~ 111 km; longitude
+// scaled at NYC's latitude).
+func cellDiagonalMeters(base *core.BaseData, level int) float64 {
+	const mPerDegLat = 111_000.0
+	const mPerDegLon = 84_000.0 // at ~40.7 deg north
+	bound := base.Domain.Bound()
+	w := bound.Width() / float64(uint64(1)<<uint(level)) * mPerDegLon
+	h := bound.Height() / float64(uint64(1)<<uint(level)) * mPerDegLat
+	return math.Hypot(w, h)
+}

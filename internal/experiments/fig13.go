@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"geoblocks/internal/baseline"
+	"geoblocks/internal/btree"
+	"geoblocks/internal/core"
+	"geoblocks/internal/dataset"
+	"geoblocks/internal/phtree"
+	"geoblocks/internal/workload"
+)
+
+// Fig13 reproduces "Scaling with increasing input sizes": size overhead
+// (13a) and query runtime normalised to the smallest input (13b) as the
+// taxi dataset grows. The aR-tree is omitted because of its build time,
+// exactly as in the paper. The paper's headline shapes: the BTree overhead
+// is constant, the Block overhead shrinks (cell count is governed by the
+// spatial distribution, not row count), and Block query runtime stays
+// nearly flat while the on-the-fly baselines grow linearly.
+func Fig13(cfg Config) []*Table {
+	const paperLevel = 17
+	sizes := scalingSizes(cfg)
+
+	overhead := &Table{
+		ID:     "fig13a",
+		Title:  "Size overhead with increasing input size",
+		Header: []string{"rows", "Block", "BTree", "PHTree", "Block_cells"},
+	}
+	runtime := &Table{
+		ID:    "fig13b",
+		Title: "Query runtime increase relative to smallest input",
+		Note:  "base workload (each neighborhood once); factors normalised per approach",
+		Header: []string{"rows", "BinarySearch", "Block", "BTree", "PHTree",
+			"BinarySearch_us", "Block_us"},
+	}
+
+	var first [4]time.Duration
+	for si, n := range sizes {
+		raw := dataset.Generate(dataset.NYCTaxi(), n, cfg.Seed)
+		base, _, err := raw.Extract(-1)
+		if err != nil {
+			panic(err)
+		}
+		e := &env{raw: raw, base: base, dom: raw.Domain(),
+			polys: workload.Neighborhoods(raw.Spec.Bound, cfg.Seed+100)}
+
+		blk, err := core.Build(base, core.BuildOptions{Level: DomainLevel(raw.Spec.Bound, paperLevel)})
+		if err != nil {
+			panic(err)
+		}
+		bt := btree.NewIndex(base.Table)
+		ph := phtree.New(base.Table, e.dom.Bound(), e.pointAt)
+		bin := baseline.NewBinarySearch(base.Table)
+
+		baseBytes := float64(base.Table.SizeBytes())
+		overhead.AddRow(
+			fmt.Sprintf("%d", n),
+			pct(float64(blk.SizeBytes())/baseBytes),
+			pct(float64(bt.SizeBytes())/baseBytes),
+			pct(float64(ph.SizeBytes())/baseBytes),
+			fmt.Sprintf("%d", blk.NumCells()),
+		)
+
+		covs := e.coverings(e.polys, paperLevel)
+		rects := interiorRects(e.polys)
+		specs := e.standardSpecs(4)
+
+		times := [4]time.Duration{
+			timeIt(func() {
+				for _, cov := range covs {
+					bin.AggregateCovering(cov, specs)
+				}
+			}),
+			timeIt(func() {
+				for _, cov := range covs {
+					if _, err := blk.SelectCovering(cov, specs); err != nil {
+						panic(err)
+					}
+				}
+			}),
+			timeIt(func() {
+				for _, cov := range covs {
+					bt.AggregateCovering(cov, specs)
+				}
+			}),
+			timeIt(func() {
+				for _, r := range rects {
+					if r.IsValid() {
+						ph.AggregateWindow(r, specs)
+					}
+				}
+			}),
+		}
+		if si == 0 {
+			first = times
+		}
+		factor := func(i int) string {
+			if first[i] <= 0 {
+				return "n/a"
+			}
+			return fmt.Sprintf("%.2f", float64(times[i])/float64(first[i]))
+		}
+		runtime.AddRow(
+			fmt.Sprintf("%d", n),
+			factor(0), factor(1), factor(2), factor(3),
+			us(times[0]), us(times[1]),
+		)
+	}
+	return []*Table{overhead, runtime}
+}
+
+func scalingSizes(cfg Config) []int {
+	base := cfg.TaxiRows
+	if base >= 500_000 {
+		return []int{base / 10, base / 4, base / 2, base, base * 2}
+	}
+	return []int{base / 4, base / 2, base}
+}

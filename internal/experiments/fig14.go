@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"geoblocks/internal/baseline"
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/core"
+	"geoblocks/internal/geom"
+	"geoblocks/internal/workload"
+)
+
+// Fig14 reproduces "Query runtime and relative error for varying
+// datasets": each dataset's polygon workload is queried once per polygon
+// and the total runtime plus the relative count error over the whole
+// workload is reported. Block, BinarySearch and BTree share the covering
+// and therefore the error; the PH-tree and aR-tree query interior
+// rectangles and have their own errors. For OSM the aR-tree is excluded
+// (build time), as in the paper.
+func Fig14(cfg Config) []*Table {
+	type ds struct {
+		name       string
+		e          *env
+		paperLevel int
+		withART    bool
+	}
+	datasets := []ds{
+		{"NYC Taxi", newTaxiEnv(cfg, 0), 17, true},
+		{"USA Tweets", newTweetsEnv(cfg), 11, true},
+		{"OSM Americas", newOSMEnv(cfg), 11, false},
+	}
+
+	var tables []*Table
+	for _, d := range datasets {
+		tables = append(tables, datasetTable(d.name, d.e, d.paperLevel, d.withART))
+	}
+	return tables
+}
+
+func datasetTable(name string, e *env, paperLevel int, withART bool) *Table {
+	a := e.buildApproaches(paperLevel, true, withART)
+	covs := e.coverings(e.polys, paperLevel)
+	rects := interiorRects(e.polys)
+	specs := e.standardSpecs(7)
+
+	// Exact ground truth per polygon.
+	exactTotal := uint64(0)
+	exact := make([]uint64, len(e.polys))
+	for i, p := range e.polys {
+		exact[i] = baseline.ExactPolygonCount(e.base.Table, e.dom, p)
+		exactTotal += exact[i]
+	}
+
+	t := &Table{
+		ID:    "fig14",
+		Title: fmt.Sprintf("Runtime and relative error — %s", name),
+		Note: fmt.Sprintf("%d rows, %d polygons, level %d(paper)/%d(domain); error = |covering count − exact| / exact over the whole workload",
+			e.base.NumRows(), len(e.polys), paperLevel, e.lvl(paperLevel)),
+		Header: []string{"approach", "runtime_ms", "relative_error"},
+	}
+
+	// Covering-based approaches: identical result, identical error.
+	var covTotal uint64
+	rBin := timeIt(func() {
+		covTotal = 0
+		for _, cov := range covs {
+			covTotal += a.binary.AggregateCovering(cov, specs).Count
+		}
+	})
+	covErr := baseline.RelativeError(covTotal, exactTotal)
+	rBlk := timeIt(func() {
+		for _, cov := range covs {
+			if _, err := a.block.SelectCovering(cov, specs); err != nil {
+				panic(err)
+			}
+		}
+	})
+	rBT := timeIt(func() {
+		for _, cov := range covs {
+			a.btree.AggregateCovering(cov, specs)
+		}
+	})
+
+	var phTotal uint64
+	rPH := timeIt(func() {
+		phTotal = 0
+		for _, r := range rects {
+			if r.IsValid() {
+				phTotal += a.ph.AggregateWindow(r, specs).Count
+			}
+		}
+	})
+	phErr := baseline.RelativeError(phTotal, exactTotal)
+
+	t.AddRow("BinarySearch", ms(rBin), pct(covErr))
+	t.AddRow("Block", ms(rBlk), pct(covErr))
+	t.AddRow("BTree", ms(rBT), pct(covErr))
+	t.AddRow("PHTree", ms(rPH), pct(phErr))
+
+	if withART {
+		var artTotal uint64
+		rART := timeIt(func() {
+			artTotal = 0
+			for _, r := range rects {
+				if r.IsValid() {
+					artTotal += a.art.AggregateRect(r, specs).Count
+				}
+			}
+		})
+		t.AddRow("aRTree", ms(rART), pct(baseline.RelativeError(artTotal, exactTotal)))
+	}
+	return t
+}
+
+// Fig15 reproduces "Query runtime and relative error for US states and
+// generated rectangles on the Twitter dataset": every region is queried
+// individually and the per-query average runtime and average relative
+// error are reported. Rectangles are "just constrained polygons" for the
+// covering-based approaches; the PH-tree and aR-tree query them exactly.
+func Fig15(cfg Config) []*Table {
+	const paperLevel = 11
+	e := newTweetsEnv(cfg)
+	a := e.buildApproaches(paperLevel, true, true)
+	specs := e.standardSpecs(7)
+
+	states := statesTable(e, a, specs, paperLevel)
+	rects := rectsTable(cfg, e, a, specs, paperLevel)
+	return []*Table{states, rects}
+}
+
+func statesTable(e *env, a approaches, specs []core.AggSpec, paperLevel int) *Table {
+	covs := e.coverings(e.polys, paperLevel)
+	irects := interiorRects(e.polys)
+	exact := make([]uint64, len(e.polys))
+	for i, p := range e.polys {
+		exact[i] = baseline.ExactPolygonCount(e.base.Table, e.dom, p)
+	}
+
+	t := &Table{
+		ID:    "fig15",
+		Title: "US states — average per-query runtime and relative error",
+		Note: fmt.Sprintf("tweets %d rows, %d state polygons, level %d(paper)/%d(domain)",
+			e.base.NumRows(), len(e.polys), paperLevel, e.lvl(paperLevel)),
+		Header: []string{"approach", "avg_runtime_ms", "avg_relative_error"},
+	}
+	addCoveringRows(t, a, covs, exact, specs)
+	addRectRows(t, a, irects, exact, specs)
+	return t
+}
+
+func rectsTable(cfg Config, e *env, a approaches, specs []core.AggSpec, paperLevel int) *Table {
+	rects := workload.RandomRects(e.dom.Bound(), 51, 0.03, 0.25, cfg.Seed+300)
+	covs := make([][]cellid.ID, len(rects))
+	cov := e.coverer(paperLevel)
+	polyRects := make([]geom.Rect, len(rects))
+	exact := make([]uint64, len(rects))
+	for i, r := range rects {
+		covs[i] = cov.CoverRect(r).Cells
+		polyRects[i] = r
+		exact[i] = baseline.ExactRectCount(e.base.Table, e.dom, r)
+	}
+
+	t := &Table{
+		ID:    "fig15",
+		Title: "Generated rectangles — average per-query runtime and relative error",
+		Note: fmt.Sprintf("tweets %d rows, %d random rectangles, level %d(paper)/%d(domain)",
+			e.base.NumRows(), len(rects), paperLevel, e.lvl(paperLevel)),
+		Header: []string{"approach", "avg_runtime_ms", "avg_relative_error"},
+	}
+	addCoveringRows(t, a, covs, exact, specs)
+	addRectRows(t, a, polyRects, exact, specs)
+	return t
+}
+
+// addCoveringRows measures the covering-based approaches query by query.
+func addCoveringRows(t *Table, a approaches, covs [][]cellid.ID, exact []uint64, specs []core.AggSpec) {
+	measure := func(name string, run func(cov []cellid.ID) uint64) {
+		var total time.Duration
+		var errSum float64
+		n := 0
+		for i, cov := range covs {
+			var count uint64
+			total += timeIt(func() { count = run(cov) })
+			if exact[i] > 0 {
+				errSum += baseline.RelativeError(count, exact[i])
+				n++
+			}
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.3f", float64(total.Microseconds())/1000/float64(len(covs))),
+			pct(errSum/float64(max(n, 1))))
+	}
+	measure("BinarySearch", func(cov []cellid.ID) uint64 {
+		return a.binary.AggregateCovering(cov, specs).Count
+	})
+	measure("Block", func(cov []cellid.ID) uint64 {
+		res, err := a.block.SelectCovering(cov, specs)
+		if err != nil {
+			panic(err)
+		}
+		return res.Count
+	})
+	measure("BTree", func(cov []cellid.ID) uint64 {
+		return a.btree.AggregateCovering(cov, specs).Count
+	})
+}
+
+// addRectRows measures the rectangle-only baselines.
+func addRectRows(t *Table, a approaches, rects []geom.Rect, exact []uint64, specs []core.AggSpec) {
+	measure := func(name string, run func(r geom.Rect) uint64) {
+		var total time.Duration
+		var errSum float64
+		n := 0
+		for i, r := range rects {
+			if !r.IsValid() {
+				continue
+			}
+			var count uint64
+			total += timeIt(func() { count = run(r) })
+			if exact[i] > 0 {
+				errSum += baseline.RelativeError(count, exact[i])
+				n++
+			}
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.3f", float64(total.Microseconds())/1000/float64(len(rects))),
+			pct(errSum/float64(max(n, 1))))
+	}
+	measure("PHTree", func(r geom.Rect) uint64 { return a.ph.CountWindow(r) })
+	if a.art != nil {
+		measure("aRTree", func(r geom.Rect) uint64 { return a.art.CountRect(r) })
+	}
+}
+
+// Fig16 reproduces "Relative error and runtime at varying levels": the
+// Block's neighborhood workload at paper levels 13-21, reporting average
+// per-query runtime and average relative count error. The covering can
+// only introduce false positives, so errors are one-sided.
+func Fig16(cfg Config) []*Table {
+	e := newTaxiEnv(cfg, 0)
+	exact := make([]uint64, len(e.polys))
+	for i, p := range e.polys {
+		exact[i] = baseline.ExactPolygonCount(e.base.Table, e.dom, p)
+	}
+	specs := e.standardSpecs(4)
+
+	t := &Table{
+		ID:    "fig16",
+		Title: "Relative error and runtime at varying levels",
+		Note: fmt.Sprintf("taxi %d rows, %d neighborhood polygons; per-query averages",
+			e.base.NumRows(), len(e.polys)),
+		Header: []string{"paper_level", "domain_level", "avg_runtime_us", "avg_relative_error", "cells"},
+	}
+	for paperLevel := 13; paperLevel <= 21; paperLevel++ {
+		blk := e.block(paperLevel)
+		covs := e.coverings(e.polys, paperLevel)
+		var total time.Duration
+		var errSum float64
+		n := 0
+		for i, cov := range covs {
+			var count uint64
+			total += timeIt(func() {
+				res, err := blk.SelectCovering(cov, specs)
+				if err != nil {
+					panic(err)
+				}
+				count = res.Count
+			})
+			if exact[i] > 0 {
+				errSum += baseline.RelativeError(count, exact[i])
+				n++
+			}
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", paperLevel),
+			fmt.Sprintf("%d", e.lvl(paperLevel)),
+			fmt.Sprintf("%.1f", float64(total.Nanoseconds())/1000/float64(len(covs))),
+			pct(errSum/float64(max(n, 1))),
+			fmt.Sprintf("%d", blk.NumCells()),
+		)
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"geoblocks/internal/column"
+	"geoblocks/internal/core"
+	"geoblocks/internal/dataset"
+)
+
+// Fig19 reproduces "Payoff point: number of incremental builds required to
+// amortize the cost of sorting the raw data". For each filter predicate
+// and block level, it compares
+//
+//	incremental: extract once (clean + sort all data), then per filter a
+//	             linear build pass over the sorted base data;
+//	isolated:    per filter, clean + filter the raw data, sort only the
+//	             survivors, then aggregate (paper eq. 1).
+//
+// The payoff point is the smallest number of builds k for which
+// extract + k·t_incr <= k·t_iso. The paper's shape: the unselective
+// passenger_cnt == 1 (~70%) filter amortizes almost immediately, while the
+// selective distance >= 4 (~16%) filter needs many builds and shows a
+// level correlation.
+func Fig19(cfg Config) []*Table {
+	raw := dataset.Generate(dataset.NYCTaxi(), cfg.TaxiRows, cfg.Seed)
+	schema := raw.Spec.Schema
+
+	// Shared extract: the cost incremental builds must amortize.
+	var base *core.BaseData
+	extractTime := timeIt(func() {
+		var err error
+		base, _, err = raw.Extract(-1)
+		if err != nil {
+			panic(err)
+		}
+	})
+
+	filters := []struct {
+		name   string
+		filter column.Filter
+	}{
+		{"distance >= 4", column.Pred(schema, "trip_distance", column.OpGe, 4)},
+		{"passenger_cnt == 1", column.Pred(schema, "passenger_count", column.OpEq, 1)},
+		{"passenger_cnt > 1", column.Pred(schema, "passenger_count", column.OpGt, 1)},
+	}
+
+	t := &Table{
+		ID:    "fig19",
+		Title: "Payoff point: incremental builds amortizing the global sort",
+		Note: fmt.Sprintf("taxi %d raw rows; extract (clean+sort all) = %s ms; payoff = ceil(extract / (isolated - incremental))",
+			raw.NumRows(), ms(extractTime)),
+		Header: []string{"filter", "selectivity", "paper_level", "incremental_ms", "isolated_ms", "payoff_builds"},
+	}
+
+	for _, f := range filters {
+		sel := f.filter.Selectivity(base.Table)
+		for paperLevel := 15; paperLevel <= 19; paperLevel++ {
+			level := DomainLevel(raw.Spec.Bound, paperLevel)
+
+			tIncr := medianTime(3, func() {
+				if _, err := core.Build(base, core.BuildOptions{Level: level, Filter: f.filter}); err != nil {
+					panic(err)
+				}
+			})
+			var isoStats core.BuildStats
+			tIso := medianTime(2, func() {
+				var err error
+				_, isoStats, err = core.BuildIsolated(raw.Domain(), raw.Points, schema, raw.Cols,
+					raw.CleanRule(), core.BuildOptions{Level: level, Filter: f.filter})
+				if err != nil {
+					panic(err)
+				}
+			})
+			_ = isoStats
+
+			t.AddRow(
+				f.name,
+				pct(sel),
+				fmt.Sprintf("%d", paperLevel),
+				ms(tIncr), ms(tIso),
+				payoff(extractTime, tIncr, tIso),
+			)
+		}
+	}
+	return []*Table{t}
+}
+
+// payoff returns the smallest k with extract + k·incr <= k·iso, or "never"
+// when isolated builds are not slower per build.
+func payoff(extract, incr, iso time.Duration) string {
+	gain := iso - incr
+	if gain <= 0 {
+		return "never"
+	}
+	k := math.Ceil(float64(extract) / float64(gain))
+	return fmt.Sprintf("%.0f", k)
+}
+
+// medianTime runs fn reps times and returns the median duration.
+func medianTime(reps int, fn func()) time.Duration {
+	times := make([]time.Duration, reps)
+	for i := range times {
+		times[i] = timeIt(fn)
+	}
+	// Insertion sort: reps is tiny.
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[len(times)/2]
+}

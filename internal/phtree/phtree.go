@@ -1,0 +1,380 @@
+// Package phtree implements a two-dimensional PH-tree (Zäschke et al.,
+// SIGMOD 2014), the multidimensional point-index baseline of the paper's
+// evaluation (Sec. 4.1). Coordinates are quantized to 32-bit integers and
+// interleaved into a 64-bit Morton code; the tree is a 4-ary hypercube trie
+// over that code with PATRICIA-style prefix sharing (path compression), the
+// property the paper credits for the PH-tree's space efficiency.
+//
+// As in the paper, the PH-tree only supports rectangular window queries;
+// polygonal queries are answered over the polygon's interior rectangle,
+// and the integer quantization introduces the small inaccuracy the paper
+// observes in Fig. 15.
+package phtree
+
+import (
+	"geoblocks/internal/baseline"
+	"geoblocks/internal/column"
+	"geoblocks/internal/core"
+	"geoblocks/internal/geom"
+)
+
+// bitsPerDim is the coordinate resolution. 31 bits keep the Morton code in
+// 62 bits and the per-dimension ranges in int64-safe territory.
+const bitsPerDim = 31
+
+// maxCoordValue is the largest quantized coordinate.
+const maxCoordValue = 1<<bitsPerDim - 1
+
+// entry is one indexed point.
+type entry struct {
+	code uint64 // Morton code
+	row  uint32 // base-data row
+}
+
+// leafCapacity bounds bucket size before a split. Small buckets mirror the
+// PH-tree's dense nodes while keeping scan costs realistic.
+const leafCapacity = 8
+
+// node is a trie node covering all points sharing code's top `depth`
+// 2-bit steps. Internal nodes fan out over the next step's quadrant;
+// leaves hold a bucket of entries. Path compression: a node's depth can be
+// more than one step below its parent's.
+type node struct {
+	prefix uint64 // Morton code prefix, low bits zero
+	depth  uint8  // number of 2-bit steps fixed in prefix (0..bitsPerDim)
+	leaf   bool
+	// children for internal nodes (quadrant order: bit pattern of the
+	// step at this depth).
+	children [4]*node
+	// entries for leaves.
+	entries []entry
+}
+
+// Tree is the PH-tree index over a base table.
+type Tree struct {
+	root    *node
+	bound   geom.Rect
+	scaleX  float64
+	scaleY  float64
+	table   *column.Table
+	numPts  int
+	numNode int
+}
+
+// New builds a PH-tree over all rows of the table, using the provided
+// point accessor (the experiments reconstruct locations from leaf-cell
+// centres so that every baseline indexes identical data).
+func New(t *column.Table, bound geom.Rect, pointAt func(row int) geom.Point) *Tree {
+	tr := &Tree{
+		bound:  bound,
+		scaleX: float64(maxCoordValue) / bound.Width(),
+		scaleY: float64(maxCoordValue) / bound.Height(),
+		table:  t,
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		tr.insert(pointAt(i), uint32(i))
+	}
+	return tr
+}
+
+// quantize maps a point to integer grid coordinates, clamping to the
+// domain — the integer-space transformation the paper applies.
+func (t *Tree) quantize(p geom.Point) (uint32, uint32) {
+	x := (p.X - t.bound.Min.X) * t.scaleX
+	y := (p.Y - t.bound.Min.Y) * t.scaleY
+	return clamp31(x), clamp31(y)
+}
+
+func clamp31(f float64) uint32 {
+	if f < 0 {
+		return 0
+	}
+	if f > maxCoordValue {
+		return maxCoordValue
+	}
+	return uint32(f)
+}
+
+// morton interleaves x (even bits) and y (odd bits).
+func morton(x, y uint32) uint64 {
+	return spreadBits(uint64(x)) | spreadBits(uint64(y))<<1
+}
+
+// spreadBits spaces the low 31 bits of v one position apart.
+func spreadBits(v uint64) uint64 {
+	v &= 0x7fffffff
+	v = (v | v<<16) & 0x0000ffff0000ffff
+	v = (v | v<<8) & 0x00ff00ff00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// stepAt extracts the 2-bit quadrant of code at the given step depth
+// (step 0 = most significant).
+func stepAt(code uint64, depth uint8) int {
+	shift := uint(2 * (bitsPerDim - 1 - int(depth)))
+	return int(code>>shift) & 3
+}
+
+// prefixAt truncates code to its top `depth` steps.
+func prefixAt(code uint64, depth uint8) uint64 {
+	if depth == 0 {
+		return 0
+	}
+	shift := uint(2 * (bitsPerDim - int(depth)))
+	return code >> shift << shift
+}
+
+// commonDepth returns the number of leading 2-bit steps codes a and b
+// share.
+func commonDepth(a, b uint64) uint8 {
+	for d := uint8(0); d < bitsPerDim; d++ {
+		if stepAt(a, d) != stepAt(b, d) {
+			return d
+		}
+	}
+	return bitsPerDim
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.numPts }
+
+// NumNodes returns the number of trie nodes.
+func (t *Tree) NumNodes() int { return t.numNode }
+
+func (t *Tree) insert(p geom.Point, row uint32) {
+	x, y := t.quantize(p)
+	e := entry{code: morton(x, y), row: row}
+	t.numPts++
+	if t.root == nil {
+		t.root = &node{leaf: true, entries: []entry{e}}
+		t.numNode = 1
+		return
+	}
+	t.root = t.insertRec(t.root, e)
+}
+
+// insertRec inserts e below n, returning the (possibly new) subtree root.
+func (t *Tree) insertRec(n *node, e entry) *node {
+	if cd := commonDepth(n.prefix, e.code); cd < n.depth {
+		// The entry diverges above this node: interpose a new internal
+		// node at the divergence depth — the PATRICIA split that gives
+		// the PH-tree its prefix sharing.
+		parent := &node{prefix: prefixAt(e.code, cd), depth: cd}
+		parent.children[stepAt(n.prefix, cd)] = n
+		leafN := &node{
+			prefix:  prefixAt(e.code, cd+1),
+			depth:   cd + 1,
+			leaf:    true,
+			entries: []entry{e},
+		}
+		parent.children[stepAt(e.code, cd)] = leafN
+		t.numNode += 2
+		return parent
+	}
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > leafCapacity && n.depth < bitsPerDim {
+			t.splitLeaf(n)
+		}
+		return n
+	}
+	q := stepAt(e.code, n.depth)
+	if n.children[q] == nil {
+		n.children[q] = &node{
+			prefix:  prefixAt(e.code, n.depth+1),
+			depth:   n.depth + 1,
+			leaf:    true,
+			entries: []entry{e},
+		}
+		t.numNode++
+		return n
+	}
+	n.children[q] = t.insertRec(n.children[q], e)
+	return n
+}
+
+// splitLeaf converts an over-full leaf into an internal node. If all
+// entries share a longer prefix the leaf instead deepens (path
+// compression keeps single-child chains implicit).
+func (t *Tree) splitLeaf(n *node) {
+	// Find the longest prefix common to the whole bucket.
+	cd := uint8(bitsPerDim)
+	for _, e := range n.entries[1:] {
+		if d := commonDepth(n.entries[0].code, e.code); d < cd {
+			cd = d
+		}
+	}
+	if cd >= bitsPerDim {
+		// All entries are the same point: keep as an (over-full) leaf.
+		return
+	}
+	if cd < n.depth {
+		cd = n.depth
+	}
+	entries := n.entries
+	n.leaf = false
+	n.entries = nil
+	n.prefix = prefixAt(entries[0].code, cd)
+	n.depth = cd
+	for _, e := range entries {
+		q := stepAt(e.code, cd)
+		if n.children[q] == nil {
+			n.children[q] = &node{
+				prefix: prefixAt(e.code, cd+1),
+				depth:  cd + 1,
+				leaf:   true,
+			}
+			t.numNode++
+		}
+		n.children[q].entries = append(n.children[q].entries, e)
+	}
+	// Recursively split children that are still over-full (all entries
+	// may have landed in one quadrant with a longer shared prefix).
+	for _, c := range n.children {
+		if c != nil && len(c.entries) > leafCapacity && c.depth < bitsPerDim {
+			t.splitLeaf(c)
+		}
+	}
+}
+
+// nodeRanges returns the inclusive coordinate ranges covered by a node's
+// prefix. Because each fixed step pins one x bit and one y bit, a node's
+// region is always a rectangle in quantized space.
+func nodeRanges(prefix uint64, depth uint8) (xlo, xhi, ylo, yhi uint32) {
+	xbits := compactBits(prefix)
+	ybits := compactBits(prefix >> 1)
+	free := uint(bitsPerDim - int(depth))
+	xlo = xbits
+	ylo = ybits
+	xhi = xbits | uint32(1<<free-1)
+	yhi = ybits | uint32(1<<free-1)
+	return
+}
+
+// compactBits inverts spreadBits: gathers the even-position bits of v.
+func compactBits(v uint64) uint32 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v>>4) & 0x00ff00ff00ff00ff
+	v = (v | v>>8) & 0x0000ffff0000ffff
+	v = (v | v>>16) & 0x00000000ffffffff
+	return uint32(v)
+}
+
+// window is a query rectangle in quantized coordinates.
+type window struct {
+	xlo, xhi, ylo, yhi uint32
+}
+
+func (w window) intersects(xlo, xhi, ylo, yhi uint32) bool {
+	return w.xlo <= xhi && xlo <= w.xhi && w.ylo <= yhi && ylo <= w.yhi
+}
+
+func (w window) containsRange(xlo, xhi, ylo, yhi uint32) bool {
+	return xlo >= w.xlo && xhi <= w.xhi && ylo >= w.ylo && yhi <= w.yhi
+}
+
+func (w window) containsPoint(x, y uint32) bool {
+	return x >= w.xlo && x <= w.xhi && y >= w.ylo && y <= w.yhi
+}
+
+// AggregateWindow aggregates all points inside the rectangle r (closed),
+// visiting only trie branches whose region intersects the window.
+func (t *Tree) AggregateWindow(r geom.Rect, specs []core.AggSpec) core.Result {
+	acc := baseline.NewRowAccumulator(specs)
+	w := t.window(r)
+	t.walkWindow(t.root, w, func(e entry, full bool) {
+		if full || w.containsPoint(compactBits(e.code), compactBits(e.code>>1)) {
+			acc.AddRow(t.table, int(e.row))
+		}
+	})
+	return acc.Result()
+}
+
+// CountWindow counts points inside the rectangle.
+func (t *Tree) CountWindow(r geom.Rect) uint64 {
+	var n uint64
+	w := t.window(r)
+	t.walkWindow(t.root, w, func(e entry, full bool) {
+		if full || w.containsPoint(compactBits(e.code), compactBits(e.code>>1)) {
+			n++
+		}
+	})
+	return n
+}
+
+func (t *Tree) window(r geom.Rect) window {
+	xlo, ylo := t.quantize(r.Min)
+	xhi, yhi := t.quantize(r.Max)
+	return window{xlo: xlo, xhi: xhi, ylo: ylo, yhi: yhi}
+}
+
+// walkWindow visits every entry in branches intersecting w. full=true
+// marks entries from branches entirely inside the window, which need no
+// per-point test.
+func (t *Tree) walkWindow(n *node, w window, emit func(e entry, full bool)) {
+	if n == nil {
+		return
+	}
+	xlo, xhi, ylo, yhi := nodeRanges(n.prefix, n.depth)
+	if !w.intersects(xlo, xhi, ylo, yhi) {
+		return
+	}
+	full := w.containsRange(xlo, xhi, ylo, yhi)
+	if n.leaf {
+		for _, e := range n.entries {
+			emit(e, full)
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c == nil {
+			continue
+		}
+		if full {
+			t.emitAll(c, emit)
+		} else {
+			t.walkWindow(c, w, emit)
+		}
+	}
+}
+
+func (t *Tree) emitAll(n *node, emit func(e entry, full bool)) {
+	if n.leaf {
+		for _, e := range n.entries {
+			emit(e, true)
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c != nil {
+			t.emitAll(c, emit)
+		}
+	}
+}
+
+// SizeBytes returns the index overhead: per node fixed size (prefix,
+// depth, child pointers, slice header) plus 12 bytes per entry.
+func (t *Tree) SizeBytes() int {
+	size := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		size += 8 + 1 + 4*8 + 24 // prefix + depth + children + entries header
+		size += 12 * cap(n.entries)
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return size
+}
+
+// Name identifies the baseline in experiment output.
+func (t *Tree) Name() string { return "PHTree" }

@@ -1,0 +1,238 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+	"geoblocks/internal/core"
+	"geoblocks/internal/geom"
+)
+
+type fixture struct {
+	dom  cellid.Domain
+	tbl  *column.Table
+	pts  []geom.Point
+	tree *Tree
+}
+
+func newFixture(t testing.TB, n int, seed int64) *fixture {
+	t.Helper()
+	dom := cellid.MustDomain(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)})
+	schema := column.NewSchema("v", "w")
+	rng := rand.New(rand.NewSource(seed))
+	tbl := column.NewTable(schema)
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		tbl.AppendRow(uint64(dom.FromPoint(pts[i])), rng.Float64()*10, rng.NormFloat64())
+	}
+	tree := New(tbl, func(row int) geom.Point { return pts[row] })
+	return &fixture{dom: dom, tbl: tbl, pts: pts, tree: tree}
+}
+
+func (f *fixture) bruteCount(r geom.Rect) uint64 {
+	var n uint64
+	for _, p := range f.pts {
+		if r.ContainsPoint(p) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestTreeStructure(t *testing.T) {
+	f := newFixture(t, 5000, 1)
+	if f.tree.Len() != 5000 {
+		t.Fatalf("len = %d", f.tree.Len())
+	}
+	if f.tree.Height() < 3 {
+		t.Fatalf("height = %d, want >= 3 for 5000 points at fanout 16", f.tree.Height())
+	}
+	// Every node must respect capacity bounds (root may underflow).
+	var walk func(n *node, isRoot bool)
+	walk = func(n *node, isRoot bool) {
+		if len(n.entries) > maxEntries {
+			t.Fatalf("node with %d entries exceeds max %d", len(n.entries), maxEntries)
+		}
+		if !isRoot && len(n.entries) < minEntries {
+			t.Fatalf("non-root node with %d entries below min %d", len(n.entries), minEntries)
+		}
+		if !n.leaf {
+			for _, e := range n.entries {
+				walk(e.child, false)
+			}
+		}
+	}
+	walk(f.tree.root, true)
+}
+
+func TestNodeMBRsContainChildren(t *testing.T) {
+	f := newFixture(t, 3000, 2)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			return
+		}
+		for _, e := range n.entries {
+			childMBR := e.child.mbr()
+			if !e.mbr.ContainsRect(childMBR) {
+				t.Fatalf("entry MBR %v does not contain child MBR %v", e.mbr, childMBR)
+			}
+			walk(e.child)
+		}
+	}
+	walk(f.tree.root)
+}
+
+func TestNodeAggregatesConsistent(t *testing.T) {
+	f := newFixture(t, 4000, 3)
+	var walk func(n *node) aggRecord
+	walk = func(n *node) aggRecord {
+		want := newAggRecord(f.tree.numCols)
+		if n.leaf {
+			for _, e := range n.entries {
+				want.addRow(f.tbl, int(e.row))
+			}
+		} else {
+			for _, e := range n.entries {
+				want.merge(walk(e.child))
+			}
+		}
+		if n.agg.count != want.count {
+			t.Fatalf("node count %d, want %d", n.agg.count, want.count)
+		}
+		for c := range want.cols {
+			if math.Abs(n.agg.cols[c].Sum-want.cols[c].Sum) > 1e-6 {
+				t.Fatalf("node col %d sum %g, want %g", c, n.agg.cols[c].Sum, want.cols[c].Sum)
+			}
+			if n.agg.cols[c].Min != want.cols[c].Min || n.agg.cols[c].Max != want.cols[c].Max {
+				t.Fatalf("node col %d min/max differ", c)
+			}
+		}
+		return want
+	}
+	root := walk(f.tree.root)
+	if root.count != uint64(f.tree.Len()) {
+		t.Fatalf("root count %d, want %d", root.count, f.tree.Len())
+	}
+}
+
+func TestCountApproximationQuality(t *testing.T) {
+	// The Listing 3 algorithm is approximate on overlapping internal
+	// nodes: case (a) descends only the first child whose MBR contains
+	// the search area (possible undercount), cases (b)/(c) can double
+	// count (overcount). The paper reports this instability (Fig. 14/15);
+	// here we assert the error stays moderate on average and that a good
+	// share of queries are answered exactly.
+	f := newFixture(t, 20000, 4)
+	rng := rand.New(rand.NewSource(5))
+	exact := 0
+	var sumErr float64
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		x0 := rng.Float64() * 70
+		y0 := rng.Float64() * 70
+		r := geom.Rect{Min: geom.Pt(x0, y0), Max: geom.Pt(x0+10+rng.Float64()*20, y0+10+rng.Float64()*20)}
+		got := f.tree.CountRect(r)
+		want := f.bruteCount(r)
+		if want == 0 {
+			continue
+		}
+		relErr := math.Abs(float64(got)-float64(want)) / float64(want)
+		sumErr += relErr
+		if got == want {
+			exact++
+		}
+		if relErr > 2 {
+			t.Fatalf("rect %v: count %d vs exact %d, error %.2f too large", r, got, want, relErr)
+		}
+	}
+	meanErr := sumErr / trials
+	if meanErr > 0.5 {
+		t.Fatalf("mean relative error %.3f too high", meanErr)
+	}
+	if exact < trials/4 {
+		t.Fatalf("only %d/%d queries exact; point-leaf R* tree should answer most small rects exactly", exact, trials)
+	}
+	t.Logf("mean relative error %.4f, %d/%d exact", meanErr, exact, trials)
+}
+
+func TestFullDomainQueryUsesRootAggregate(t *testing.T) {
+	f := newFixture(t, 10000, 6)
+	// A rect covering everything: the query should consume node aggregates
+	// near the root and return the exact total.
+	r := geom.Rect{Min: geom.Pt(-1, -1), Max: geom.Pt(101, 101)}
+	got := f.tree.CountRect(r)
+	if got != uint64(f.tree.Len()) {
+		t.Fatalf("full-domain count = %d, want %d", got, f.tree.Len())
+	}
+	res := f.tree.AggregateRect(r, []core.AggSpec{{Col: 0, Func: core.AggSum}})
+	var want float64
+	for i := 0; i < f.tbl.NumRows(); i++ {
+		want += f.tbl.Cols[0][i]
+	}
+	if math.Abs(res.Values[0]-want) > 1e-6*math.Max(1, want) {
+		t.Fatalf("full-domain sum = %g, want %g", res.Values[0], want)
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	f := newFixture(t, 5000, 7)
+	r := geom.Rect{Min: geom.Pt(200, 200), Max: geom.Pt(300, 300)}
+	if got := f.tree.CountRect(r); got != 0 {
+		t.Fatalf("disjoint rect count = %d", got)
+	}
+}
+
+func TestAggregatesAreExactWhenFullyContained(t *testing.T) {
+	// If query rect fully contains all points, min/max/sum are exact even
+	// with the upper-bound algorithm (no partial overlaps).
+	f := newFixture(t, 8000, 8)
+	r := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)}
+	sp := []core.AggSpec{
+		{Col: 0, Func: core.AggMin},
+		{Col: 0, Func: core.AggMax},
+	}
+	res := f.tree.AggregateRect(r, sp)
+	wantMin, wantMax := math.Inf(1), math.Inf(-1)
+	for i := 0; i < f.tbl.NumRows(); i++ {
+		v := f.tbl.Cols[0][i]
+		wantMin = math.Min(wantMin, v)
+		wantMax = math.Max(wantMax, v)
+	}
+	if res.Values[0] != wantMin || res.Values[1] != wantMax {
+		t.Fatalf("min/max = %g/%g, want %g/%g", res.Values[0], res.Values[1], wantMin, wantMax)
+	}
+}
+
+func TestSizeBytesAccountsAggregates(t *testing.T) {
+	f := newFixture(t, 5000, 9)
+	size := f.tree.SizeBytes()
+	if size <= 0 {
+		t.Fatal("size must be positive")
+	}
+	// Each node stores an aggregate record: the overhead per node must be
+	// at least the aggregate size.
+	if size < f.tree.NumNodes()*(8+24*f.tree.numCols) {
+		t.Fatalf("size %d too small for %d nodes with aggregates", size, f.tree.NumNodes())
+	}
+}
+
+func TestSmallTreeNoSplit(t *testing.T) {
+	dom := cellid.MustDomain(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10, 10)})
+	tbl := column.NewTable(column.NewSchema("v"))
+	pts := []geom.Point{geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(3, 3)}
+	for i, p := range pts {
+		tbl.AppendRow(uint64(dom.FromPoint(p)), float64(i))
+	}
+	tr := New(tbl, func(row int) geom.Point { return pts[row] })
+	if tr.Height() != 1 {
+		t.Fatalf("height = %d, want 1", tr.Height())
+	}
+	if got := tr.CountRect(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(2.5, 2.5)}); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}

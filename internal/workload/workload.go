@@ -1,0 +1,213 @@
+// Package workload generates the query workloads of the paper's evaluation
+// (Sec. 4.1): polygon sets standing in for NYC neighborhoods and US states
+// (jittered tessellations of "simple quadrilaterals or pentagons", which is
+// how the paper describes the real polygons), random rectangles, skewed
+// sub-workloads, and selectivity-calibrated query regions.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+	"geoblocks/internal/geom"
+)
+
+// Tessellation produces a jittered-grid polygon partition of bound with
+// nx × ny cells. Grid vertices are jittered once and shared between
+// neighbouring polygons, so the result is a proper tessellation; a share
+// of polygons get a fifth vertex on their top edge, matching the mix of
+// quadrilaterals and pentagons in real neighborhood data.
+func Tessellation(bound geom.Rect, nx, ny int, seed int64) []*geom.Polygon {
+	if nx < 1 || ny < 1 {
+		panic(fmt.Sprintf("workload: tessellation needs positive grid, got %dx%d", nx, ny))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cw := bound.Width() / float64(nx)
+	ch := bound.Height() / float64(ny)
+	jitterX := cw * 0.30
+	jitterY := ch * 0.30
+
+	// Jitter interior grid vertices; border vertices stay put so the
+	// tessellation exactly tiles the bound.
+	verts := make([]geom.Point, (nx+1)*(ny+1))
+	at := func(i, j int) int { return j*(nx+1) + i }
+	for j := 0; j <= ny; j++ {
+		for i := 0; i <= nx; i++ {
+			p := geom.Pt(bound.Min.X+float64(i)*cw, bound.Min.Y+float64(j)*ch)
+			if i > 0 && i < nx {
+				p.X += (rng.Float64() - 0.5) * jitterX
+			}
+			if j > 0 && j < ny {
+				p.Y += (rng.Float64() - 0.5) * jitterY
+			}
+			verts[at(i, j)] = p
+		}
+	}
+
+	polys := make([]*geom.Polygon, 0, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			a := verts[at(i, j)]
+			b := verts[at(i+1, j)]
+			c := verts[at(i+1, j+1)]
+			d := verts[at(i, j+1)]
+			ring := []geom.Point{a, b, c, d}
+			if rng.Float64() < 0.4 {
+				// Pentagon: split the top edge at its midpoint. The point
+				// lies exactly on the shared edge, so the partition still
+				// tiles.
+				mid := geom.Pt((c.X+d.X)/2, (c.Y+d.Y)/2)
+				ring = []geom.Point{a, b, c, mid, d}
+			}
+			if p, err := geom.TryPolygon(ring); err == nil {
+				polys = append(polys, p)
+			}
+		}
+	}
+	return polys
+}
+
+// Neighborhoods returns a stand-in for the ~195 NYC neighborhood polygons
+// the paper queries (a 15×13 jittered tessellation of the bound).
+func Neighborhoods(bound geom.Rect, seed int64) []*geom.Polygon {
+	return Tessellation(bound, 15, 13, seed)
+}
+
+// States returns a stand-in for the US state polygons: a coarse 10×5
+// jittered tessellation (the paper queries 49 contiguous states plus DC).
+func States(bound geom.Rect, seed int64) []*geom.Polygon {
+	return Tessellation(bound, 10, 5, seed)
+}
+
+// Countries returns a stand-in for the country polygons used on the OSM
+// Americas dataset: a very coarse tessellation.
+func Countries(bound geom.Rect, seed int64) []*geom.Polygon {
+	return Tessellation(bound, 6, 5, seed)
+}
+
+// RandomRects generates n axis-aligned rectangles inside bound whose side
+// lengths are between minFrac and maxFrac of the bound's extent — the
+// generated rectangle workload of paper Fig. 15 (51 rects over the US).
+func RandomRects(bound geom.Rect, n int, minFrac, maxFrac float64, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Rect, n)
+	for i := range out {
+		w := (minFrac + rng.Float64()*(maxFrac-minFrac)) * bound.Width()
+		h := (minFrac + rng.Float64()*(maxFrac-minFrac)) * bound.Height()
+		x0 := bound.Min.X + rng.Float64()*(bound.Width()-w)
+		y0 := bound.Min.Y + rng.Float64()*(bound.Height()-h)
+		out[i] = geom.Rect{Min: geom.Pt(x0, y0), Max: geom.Pt(x0+w, y0+h)}
+	}
+	return out
+}
+
+// SkewedSubset picks ceil(frac·len) polygons uniformly at random — the
+// paper's skewed workload selects 10% of neighborhoods and queries them
+// repeatedly.
+func SkewedSubset(polys []*geom.Polygon, frac float64, seed int64) []*geom.Polygon {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(frac*float64(len(polys)) + 0.999)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(polys) {
+		n = len(polys)
+	}
+	perm := rng.Perm(len(polys))
+	out := make([]*geom.Polygon, n)
+	for i := 0; i < n; i++ {
+		out[i] = polys[perm[i]]
+	}
+	return out
+}
+
+// Combined builds the evaluation's combined workload: the base polygons
+// once plus the skewed subset repeated skewedRuns times (paper Sec. 4.2,
+// Fig. 10/17).
+func Combined(base, skewed []*geom.Polygon, skewedRuns int) []*geom.Polygon {
+	out := make([]*geom.Polygon, 0, len(base)+skewedRuns*len(skewed))
+	out = append(out, base...)
+	for r := 0; r < skewedRuns; r++ {
+		out = append(out, skewed...)
+	}
+	return out
+}
+
+// SelectivityRect grows a rectangle around the data's spatial median until
+// it contains approximately the target fraction of the table's rows (the
+// paper's Fig. 12 polygons "covering a part of NYC which contains a
+// certain percentage of the total rides"). The rectangle's aspect follows
+// the domain. Accuracy is within ~1% of the target or the best achievable
+// at the domain boundary.
+func SelectivityRect(tbl *column.Table, dom cellid.Domain, target float64) geom.Rect {
+	if target >= 1 {
+		return dom.Bound()
+	}
+	center := spatialMedian(tbl, dom)
+	bound := dom.Bound()
+	total := float64(tbl.NumRows())
+
+	count := func(scale float64) float64 {
+		halfW := bound.Width() / 2 * scale
+		halfH := bound.Height() / 2 * scale
+		r := geom.RectFromCenter(center, halfW, halfH)
+		n := 0
+		for i := 0; i < tbl.NumRows(); i++ {
+			if r.ContainsPoint(dom.CellCenter(cellid.ID(tbl.Keys[i]))) {
+				n++
+			}
+		}
+		return float64(n) / total
+	}
+
+	lo, hi := 0.0, 2.0 // scale 2 always covers the bound from any centre
+	for iter := 0; iter < 24; iter++ {
+		mid := (lo + hi) / 2
+		if count(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return geom.RectFromCenter(center, bound.Width()/2*hi, bound.Height()/2*hi)
+}
+
+// SelectivityPolygon is SelectivityRect converted to a polygon query.
+func SelectivityPolygon(tbl *column.Table, dom cellid.Domain, target float64) *geom.Polygon {
+	return SelectivityRect(tbl, dom, target).Polygon()
+}
+
+// spatialMedian approximates the coordinate-wise median of the table's
+// point locations by sampling.
+func spatialMedian(tbl *column.Table, dom cellid.Domain) geom.Point {
+	n := tbl.NumRows()
+	if n == 0 {
+		return dom.Bound().Center()
+	}
+	step := n/1024 + 1
+	var xs, ys []float64
+	for i := 0; i < n; i += step {
+		p := dom.CellCenter(cellid.ID(tbl.Keys[i]))
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	return geom.Pt(median(xs), median(ys))
+}
+
+func median(v []float64) float64 {
+	// Insertion-select the middle element; inputs are ~1k values.
+	c := append([]float64(nil), v...)
+	k := len(c) / 2
+	for i := 0; i <= k; i++ {
+		minIdx := i
+		for j := i + 1; j < len(c); j++ {
+			if c[j] < c[minIdx] {
+				minIdx = j
+			}
+		}
+		c[i], c[minIdx] = c[minIdx], c[i]
+	}
+	return c[k]
+}

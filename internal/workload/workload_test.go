@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/dataset"
+	"geoblocks/internal/geom"
+)
+
+var testBound = geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)}
+
+func TestTessellationCoversBound(t *testing.T) {
+	polys := Tessellation(testBound, 8, 6, 1)
+	if len(polys) != 48 {
+		t.Fatalf("polygons = %d, want 48", len(polys))
+	}
+	var area float64
+	for _, p := range polys {
+		area += p.Area()
+		if n := len(p.Outer()); n != 4 && n != 5 {
+			t.Fatalf("polygon with %d vertices; want quads and pentagons", n)
+		}
+	}
+	if math.Abs(area-testBound.Area()) > 1e-6*testBound.Area() {
+		t.Fatalf("tessellation area %g != bound area %g", area, testBound.Area())
+	}
+}
+
+func TestTessellationHasBothShapes(t *testing.T) {
+	polys := Tessellation(testBound, 10, 10, 2)
+	quads, pents := 0, 0
+	for _, p := range polys {
+		switch len(p.Outer()) {
+		case 4:
+			quads++
+		case 5:
+			pents++
+		}
+	}
+	if quads == 0 || pents == 0 {
+		t.Fatalf("want a mix of shapes, got %d quads, %d pentagons", quads, pents)
+	}
+}
+
+func TestTessellationDeterministic(t *testing.T) {
+	a := Tessellation(testBound, 5, 5, 7)
+	b := Tessellation(testBound, 5, 5, 7)
+	for i := range a {
+		ao, bo := a[i].Outer(), b[i].Outer()
+		if len(ao) != len(bo) {
+			t.Fatalf("polygon %d shape differs", i)
+		}
+		for k := range ao {
+			if ao[k] != bo[k] {
+				t.Fatalf("polygon %d vertex %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestNeighborhoodsStatesCountries(t *testing.T) {
+	if got := len(Neighborhoods(testBound, 1)); got != 195 {
+		t.Fatalf("neighborhoods = %d, want 195", got)
+	}
+	if got := len(States(testBound, 1)); got != 50 {
+		t.Fatalf("states = %d, want 50", got)
+	}
+	if got := len(Countries(testBound, 1)); got != 30 {
+		t.Fatalf("countries = %d, want 30", got)
+	}
+}
+
+func TestRandomRects(t *testing.T) {
+	rects := RandomRects(testBound, 51, 0.05, 0.3, 3)
+	if len(rects) != 51 {
+		t.Fatalf("rects = %d", len(rects))
+	}
+	for _, r := range rects {
+		if !r.IsValid() {
+			t.Fatalf("invalid rect %v", r)
+		}
+		if !testBound.ContainsRect(r) {
+			t.Fatalf("rect %v escapes bound", r)
+		}
+		if r.Width() < 0.05*testBound.Width()-1e-9 || r.Width() > 0.3*testBound.Width()+1e-9 {
+			t.Fatalf("rect width %g outside configured fractions", r.Width())
+		}
+	}
+}
+
+func TestSkewedSubset(t *testing.T) {
+	polys := Tessellation(testBound, 10, 10, 4)
+	sub := SkewedSubset(polys, 0.1, 5)
+	if len(sub) != 10 {
+		t.Fatalf("skewed subset = %d, want 10", len(sub))
+	}
+	// No duplicates.
+	seen := map[*geom.Polygon]bool{}
+	for _, p := range sub {
+		if seen[p] {
+			t.Fatal("duplicate polygon in subset")
+		}
+		seen[p] = true
+	}
+	// Deterministic.
+	sub2 := SkewedSubset(polys, 0.1, 5)
+	for i := range sub {
+		if sub[i] != sub2[i] {
+			t.Fatal("subset not deterministic")
+		}
+	}
+	// Degenerate fractions.
+	if got := len(SkewedSubset(polys, 0, 6)); got != 1 {
+		t.Fatalf("frac 0 subset = %d, want 1", got)
+	}
+	if got := len(SkewedSubset(polys, 2, 6)); got != len(polys) {
+		t.Fatalf("frac 2 subset = %d, want all", got)
+	}
+}
+
+func TestCombined(t *testing.T) {
+	polys := Tessellation(testBound, 4, 4, 7)
+	skew := SkewedSubset(polys, 0.25, 8)
+	w := Combined(polys, skew, 4)
+	if len(w) != len(polys)+4*len(skew) {
+		t.Fatalf("combined = %d, want %d", len(w), len(polys)+4*len(skew))
+	}
+}
+
+func TestSelectivityRect(t *testing.T) {
+	raw := dataset.Generate(dataset.NYCTaxi(), 30000, 9)
+	base, _, err := raw.Extract(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := raw.Domain()
+	total := float64(base.NumRows())
+	for _, target := range []float64{0.01, 0.1, 0.5, 0.9} {
+		r := SelectivityRect(base.Table, dom, target)
+		n := 0
+		for i := 0; i < base.Table.NumRows(); i++ {
+			if r.ContainsPoint(dom.CellCenter(cellid.ID(base.Table.Keys[i]))) {
+				n++
+			}
+		}
+		got := float64(n) / total
+		if math.Abs(got-target) > 0.05 {
+			t.Fatalf("target %.2f: achieved %.3f", target, got)
+		}
+	}
+	// Full selectivity returns the domain.
+	if r := SelectivityRect(base.Table, dom, 1.0); r != dom.Bound() {
+		t.Fatalf("target 1.0 should return the domain bound")
+	}
+}
