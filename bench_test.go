@@ -8,6 +8,7 @@
 package geoblocks_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -128,7 +129,78 @@ func BenchmarkCovering(b *testing.B) {
 	}
 }
 
+// BenchmarkSelectLevelSweep compares the three SELECT variants across
+// block levels on the clustered taxi workload — the PR1 headline
+// measurement (DESIGN.md Sec. 5). "prefix" answers SUM per covering cell
+// from prefix-sum endpoints (O(1) per cell), "scan" is the preserved
+// pre-prefix per-cell combine, "binary-only" additionally drops the
+// successor cursor. At fine levels (17) the prefix path must be multiple
+// times faster than the scan ablation; COUNT is included as the
+// level-independence reference (paper Listing 2).
+func BenchmarkSelectLevelSweep(b *testing.B) {
+	raw := dataset.Generate(dataset.NYCTaxi(), 200_000, 1)
+	base, _, err := raw.Extract(-1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := []core.AggSpec{{Col: 0, Func: core.AggSum}}
+	for _, level := range []int{13, 15, 17} {
+		blk, err := core.Build(base, core.BuildOptions{Level: level})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov := cover.MustCoverer(raw.Domain(), cover.DefaultOptions(level))
+		big := cov.CoverRect(workload.SelectivityRect(base.Table, raw.Domain(), 0.5)).Cells
+		b.Run(fmt.Sprintf("level=%d/prefix", level), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := blk.SelectCovering(big, specs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("level=%d/scan", level), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := blk.SelectCoveringScan(big, specs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("level=%d/binary-only", level), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := blk.SelectCoveringBinaryOnly(big, specs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("level=%d/count", level), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				blk.CountCovering(big)
+			}
+		})
+	}
+}
+
 // Ablation benches (DESIGN.md Sec. 5).
+
+// BenchmarkAblationPrefixSum compares the prefix-sum SELECT against the
+// preserved scan kernel on the level-10 neighborhood workload.
+func BenchmarkAblationPrefixSum(b *testing.B) {
+	e := newBenchEnv(b, 200_000)
+	b.Run("prefix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.blk.SelectCovering(e.bigCov, e.specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.blk.SelectCoveringScan(e.bigCov, e.specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 // BenchmarkAblationSuccessorScan compares the Listing 1 successor-cursor
 // scan against a fresh binary search per covering cell.

@@ -3,18 +3,24 @@
 // Usage:
 //
 //	geobench [-quick] [-taxi-rows N] [-tweet-rows N] [-osm-rows N]
-//	         [-seed N] [-o FILE] [experiment ...]
+//	         [-seed N] [-o FILE] [-perf-json FILE] [experiment ...]
 //
 // With no experiment arguments every experiment runs in paper order. Each
 // experiment prints an aligned text table with the same rows/series the
 // paper reports; see EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// -perf-json runs the pr1 perf snapshot (prefix-sum SELECT fast path vs
+// the preserved scan ablation across block levels) and writes the raw
+// measurements to FILE; the committed BENCH_PR1.json is produced this way.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,6 +36,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generation seed")
 		out       = flag.String("o", "", "also write results to this file")
 		list      = flag.Bool("list", false, "list experiments and exit")
+		perfJSON  = flag.String("perf-json", "", "run the pr1 perf snapshot and write JSON to this file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: geobench [flags] [experiment ...]\n\nexperiments:\n")
@@ -62,6 +69,14 @@ func main() {
 		cfg.OSMRows = *osmRows
 	}
 	cfg.Seed = *seed
+
+	if *perfJSON != "" {
+		if err := writePerfSnapshot(cfg, *perfJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var runners []experiments.Runner
 	if flag.NArg() == 0 {
@@ -100,4 +115,42 @@ func main() {
 		fmt.Fprintf(w, "[%s finished in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
 	}
 	fmt.Fprintf(w, "geobench: all done in %v\n", time.Since(total).Round(time.Millisecond))
+}
+
+// perfSnapshot is the BENCH_PR1.json document: the raw pr1 measurements
+// plus enough context to interpret them across machines.
+type perfSnapshot struct {
+	Experiment string                  `json:"experiment"`
+	GoVersion  string                  `json:"go_version"`
+	GOARCH     string                  `json:"goarch"`
+	TaxiRows   int                     `json:"taxi_rows"`
+	Seed       int64                   `json:"seed"`
+	Points     []experiments.PerfPoint `json:"points"`
+}
+
+// writePerfSnapshot runs the pr1 sweep, prints its table and writes the
+// raw points as indented JSON.
+func writePerfSnapshot(cfg experiments.Config, path string) error {
+	start := time.Now()
+	tables, points := experiments.PR1Perf(cfg)
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	snap := perfSnapshot{
+		Experiment: "pr1",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		TaxiRows:   cfg.TaxiRows,
+		Seed:       cfg.Seed,
+		Points:     points,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("perf snapshot written to %s in %v\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
 }

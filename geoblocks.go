@@ -6,11 +6,20 @@
 // A GeoBlock is a materialized view over geospatial point data: it
 // subdivides the spatial domain into fine-grained grid cells along a
 // Hilbert-ordered quadtree, pre-computes per-cell aggregates (count, min,
-// max, sum per column), and answers aggregate queries over arbitrary
-// polygons by combining the aggregates of an error-bounded cell covering
-// of the query polygon. The only approximation is the covering itself:
-// every point of the covering lies within one grid-cell diagonal of the
-// polygon outline, a bound the user controls by choosing the block level.
+// max, sum per column, stored struct-of-arrays with per-column prefix
+// sums), and answers aggregate queries over arbitrary polygons by
+// combining the aggregates of an error-bounded cell covering of the query
+// polygon. COUNT, SUM and AVG are answered from range endpoints — tuple
+// offsets and prefix sums — so their cost per covering cell is constant
+// regardless of the block level; only MIN/MAX scan the covered aggregates,
+// and they do so over contiguous per-column arrays (DESIGN.md Sec. 2-3).
+// The spatial approximation is the covering: every point of the covering
+// lies within one grid-cell diagonal of the polygon outline, a bound the
+// user controls by choosing the block level. SUM/AVG additionally carry
+// ordinary floating-point rounding from the prefix-sum endpoint
+// subtraction (exact for integer-valued columns; see DESIGN.md Sec. 2 for
+// the cancellation characteristics); COUNT and MIN/MAX are always exact
+// over the covering.
 // An optional trie-based query cache ("BlockQC") adapts to workload skew
 // by pre-combining aggregates of frequently queried regions.
 //
@@ -197,6 +206,9 @@ func (g *GeoBlock) CoverRect(r Rect) []CellID {
 }
 
 // Query answers a SELECT aggregate query over an arbitrary polygon.
+// COUNT/SUM/AVG combine each covering cell in O(1) from stored offsets and
+// prefix sums; MIN/MAX scan the covered aggregates with fused per-column
+// kernels.
 func (g *GeoBlock) Query(poly *Polygon, reqs ...AggRequest) (Result, error) {
 	return g.queryCovering(g.Cover(poly), reqs)
 }

@@ -1,0 +1,3 @@
+module geoblocks
+
+go 1.24

@@ -49,7 +49,7 @@ func Build(base *BaseData, opts BuildOptions) (*GeoBlock, error) {
 		level:  opts.Level,
 		schema: t.Schema,
 		filter: opts.Filter,
-		aggs:   make([][]ColAggregate, t.Schema.NumCols()),
+		cols:   make([]colStore, t.Schema.NumCols()),
 		base:   t,
 	}
 	b.header.Cols = make([]ColAggregate, t.Schema.NumCols())
@@ -68,8 +68,8 @@ func Build(base *BaseData, opts BuildOptions) (*GeoBlock, error) {
 		b.counts = append(b.counts, 0)
 		b.minKeys = append(b.minKeys, leafKey)
 		b.maxKeys = append(b.maxKeys, leafKey)
-		for c := range b.aggs {
-			b.aggs[c] = append(b.aggs[c], emptyColAggregate())
+		for c := range b.cols {
+			b.cols[c].appendEmpty()
 		}
 		curCell, curOpen = cell, true
 	}
@@ -91,9 +91,9 @@ func Build(base *BaseData, opts BuildOptions) (*GeoBlock, error) {
 		if leaf > b.maxKeys[last] {
 			b.maxKeys[last] = leaf
 		}
-		for c := range b.aggs {
+		for c := range b.cols {
 			v := t.Cols[c][i]
-			b.aggs[c][last].addValue(v)
+			b.cols[c].addValueAt(last, v)
 			b.header.Cols[c].addValue(v)
 		}
 		qualified++
@@ -104,6 +104,7 @@ func Build(base *BaseData, opts BuildOptions) (*GeoBlock, error) {
 		b.header.MinCell = b.keys[0]
 		b.header.MaxCell = b.keys[len(b.keys)-1]
 	}
+	b.buildPrefixes()
 	return b, nil
 }
 
@@ -184,7 +185,7 @@ func Coarsen(b *GeoBlock, newLevel int) (*GeoBlock, error) {
 		level:  newLevel,
 		schema: b.schema,
 		filter: b.filter,
-		aggs:   make([][]ColAggregate, len(b.aggs)),
+		cols:   make([]colStore, len(b.cols)),
 		base:   b.base,
 		header: Header{
 			Count: b.header.Count,
@@ -201,8 +202,8 @@ func Coarsen(b *GeoBlock, newLevel int) (*GeoBlock, error) {
 			out.counts = append(out.counts, 0)
 			out.minKeys = append(out.minKeys, b.minKeys[i])
 			out.maxKeys = append(out.maxKeys, b.maxKeys[i])
-			for c := range out.aggs {
-				out.aggs[c] = append(out.aggs[c], emptyColAggregate())
+			for c := range out.cols {
+				out.cols[c].appendEmpty()
 			}
 			cur, open = parent, true
 		}
@@ -214,13 +215,15 @@ func Coarsen(b *GeoBlock, newLevel int) (*GeoBlock, error) {
 		if b.maxKeys[i] > out.maxKeys[last] {
 			out.maxKeys[last] = b.maxKeys[i]
 		}
-		for c := range out.aggs {
-			out.aggs[c][last].merge(b.aggs[c][i])
+		for c := range out.cols {
+			src := &b.cols[c]
+			out.cols[c].mergeAt(last, src.mins[i], src.maxs[i], src.sums[i])
 		}
 	}
 	if len(out.keys) > 0 {
 		out.header.MinCell = out.keys[0]
 		out.header.MaxCell = out.keys[len(out.keys)-1]
 	}
+	out.buildPrefixes()
 	return out, nil
 }

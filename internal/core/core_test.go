@@ -221,8 +221,8 @@ func TestBuildWithFilter(t *testing.T) {
 	}
 	// Min fare in every cell must satisfy the predicate.
 	for i := 0; i < b.NumCells(); i++ {
-		if b.aggs[0][i].Min <= 20 {
-			t.Fatalf("cell %d min fare %g violates filter", i, b.aggs[0][i].Min)
+		if b.cols[0].mins[i] <= 20 {
+			t.Fatalf("cell %d min fare %g violates filter", i, b.cols[0].mins[i])
 		}
 	}
 }

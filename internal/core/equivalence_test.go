@@ -1,0 +1,239 @@
+package core_test
+
+// Randomized equivalence suite for the SELECT variants: the prefix-sum
+// fast path (SelectCovering), the preserved scan ablation
+// (SelectCoveringScan) and the binary-search-only ablation
+// (SelectCoveringBinaryOnly) must return bit-identical Results over
+// randomized polygons, filters and block levels, and all three must match
+// a row-level brute force and the BinarySearch baseline.
+//
+// Values are drawn as small integers so every partial sum is exactly
+// representable; prefix-sum endpoint subtraction then has to reproduce the
+// per-cell accumulation bit for bit, not merely within tolerance.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geoblocks/internal/baseline"
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+	"geoblocks/internal/core"
+	"geoblocks/internal/cover"
+	"geoblocks/internal/geom"
+)
+
+type randomCase struct {
+	dom    cellid.Domain
+	schema column.Schema
+	pts    []geom.Point
+	cols   [][]float64
+	base   *core.BaseData
+	block  *core.GeoBlock
+	filter column.Filter
+	level  int
+	cov    []cellid.ID
+}
+
+// newRandomCase builds a random clustered dataset, block and covering.
+func newRandomCase(t *testing.T, rng *rand.Rand) *randomCase {
+	t.Helper()
+	dom := cellid.MustDomain(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)})
+	schema := column.NewSchema("a", "b")
+	n := 2000 + rng.Intn(4000)
+	pts := make([]geom.Point, n)
+	cols := [][]float64{make([]float64, n), make([]float64, n)}
+	cx, cy := 20+rng.Float64()*60, 20+rng.Float64()*60
+	for i := range pts {
+		if i%3 != 0 { // two thirds clustered around a random hotspot
+			pts[i] = geom.Pt(
+				math.Min(99.9, math.Max(0.1, cx+rng.NormFloat64()*6)),
+				math.Min(99.9, math.Max(0.1, cy+rng.NormFloat64()*6)))
+		} else {
+			pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		// Integer values keep all sums exactly representable.
+		cols[0][i] = float64(rng.Intn(1000))
+		cols[1][i] = float64(rng.Intn(50))
+	}
+	base, _, err := core.Extract(dom, pts, schema, cols, core.CleanRule{}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filter column.Filter
+	if rng.Intn(2) == 0 {
+		filter = column.Pred(schema, "b", column.OpGe, float64(rng.Intn(25)))
+	}
+	level := 8 + rng.Intn(9) // 8..16
+	block, err := core.Build(base, core.BuildOptions{Level: level, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cover.MustCoverer(dom, cover.DefaultOptions(level))
+	var cov []cellid.ID
+	if rng.Intn(2) == 0 {
+		r := rng.Float64()*25 + 5
+		cov = c.Cover(geom.RegularPolygon(geom.Pt(cx, cy), r, 3+rng.Intn(8))).Cells
+	} else {
+		x0, y0 := rng.Float64()*80, rng.Float64()*80
+		cov = c.CoverRect(geom.Rect{
+			Min: geom.Pt(x0, y0),
+			Max: geom.Pt(x0+rng.Float64()*20, y0+rng.Float64()*20),
+		}).Cells
+	}
+	return &randomCase{dom: dom, schema: schema, pts: pts, cols: cols,
+		base: base, block: block, filter: filter, level: level, cov: cov}
+}
+
+func randomSpecs(rng *rand.Rand) []core.AggSpec {
+	fns := []core.AggFunc{core.AggCount, core.AggSum, core.AggMin, core.AggMax, core.AggAvg}
+	n := 1 + rng.Intn(5)
+	specs := make([]core.AggSpec, n)
+	for i := range specs {
+		specs[i] = core.AggSpec{Col: rng.Intn(2), Func: fns[rng.Intn(len(fns))]}
+	}
+	return specs
+}
+
+// bitIdentical reports whether two Results are equal down to the float bit
+// patterns (NaN == NaN included).
+func bitIdentical(a, b core.Result) bool {
+	if a.Count != b.Count || a.CellsVisited != b.CellsVisited || len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if math.Float64bits(a.Values[i]) != math.Float64bits(b.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteForce aggregates raw rows inside the covering, honouring the
+// block's filter — the ground truth every variant must match.
+func (rc *randomCase) bruteForce(specs []core.AggSpec) core.Result {
+	acc := baseline.NewRowAccumulator(specs)
+	tbl := rc.base.Table
+	for i := 0; i < tbl.NumRows(); i++ {
+		if !rc.filter.MatchesRow(tbl, i) {
+			continue
+		}
+		leaf := cellid.ID(tbl.Keys[i])
+		for _, qc := range rc.cov {
+			if qc.Contains(leaf) {
+				acc.AddRow(tbl, i)
+				break
+			}
+		}
+	}
+	return acc.Result()
+}
+
+func TestSelectVariantsRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	nonEmpty := 0
+	for trial := 0; trial < trials; trial++ {
+		rc := newRandomCase(t, rng)
+		specs := randomSpecs(rng)
+
+		prefix, err := rc.block.SelectCovering(rc.cov, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan, err := rc.block.SelectCoveringScan(rc.cov, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binOnly, err := rc.block.SelectCoveringBinaryOnly(rc.cov, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitIdentical(prefix, scan) {
+			t.Fatalf("trial %d (level %d, filter %v): prefix %+v != scan %+v",
+				trial, rc.level, rc.filter, prefix, scan)
+		}
+		if !bitIdentical(prefix, binOnly) {
+			t.Fatalf("trial %d (level %d, filter %v): prefix %+v != binary-only %+v",
+				trial, rc.level, rc.filter, prefix, binOnly)
+		}
+
+		// Ground truth: row-level brute force with the same filter.
+		want := rc.bruteForce(specs)
+		if prefix.Count != want.Count {
+			t.Fatalf("trial %d: count %d, brute force %d", trial, prefix.Count, want.Count)
+		}
+		for i := range prefix.Values {
+			if math.Float64bits(prefix.Values[i]) != math.Float64bits(want.Values[i]) {
+				t.Fatalf("trial %d value[%d]: %g, brute force %g (integer data should be exact)",
+					trial, i, prefix.Values[i], want.Values[i])
+			}
+		}
+
+		// Unfiltered blocks must additionally match the BinarySearch
+		// baseline, which scans sorted base rows directly.
+		if rc.filter == nil {
+			bs := baseline.NewBinarySearch(rc.base.Table)
+			got := bs.AggregateCovering(rc.cov, specs)
+			if got.Count != prefix.Count {
+				t.Fatalf("trial %d: BinarySearch count %d != %d", trial, got.Count, prefix.Count)
+			}
+			for i := range prefix.Values {
+				if math.Float64bits(got.Values[i]) != math.Float64bits(prefix.Values[i]) {
+					t.Fatalf("trial %d: BinarySearch value[%d] %g != %g",
+						trial, i, got.Values[i], prefix.Values[i])
+				}
+			}
+		}
+		if prefix.Count > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("every random trial had an empty result; suite is vacuous")
+	}
+}
+
+// TestSelectVariantsAfterUpdate re-runs the bit-identity check after an
+// in-place update, exercising the eagerly patched prefix arrays against
+// the scan path that reads per-cell sums directly.
+func TestSelectVariantsAfterUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 10; trial++ {
+		rc := newRandomCase(t, rng)
+		k := 1 + rng.Intn(20)
+		batch := &core.UpdateBatch{
+			Points: make([]geom.Point, k),
+			Cols:   [][]float64{make([]float64, k), make([]float64, k)},
+		}
+		for j := 0; j < k; j++ {
+			// Reuse existing locations so the update never needs a rebuild.
+			batch.Points[j] = rc.pts[rng.Intn(len(rc.pts))]
+			batch.Cols[0][j] = float64(rng.Intn(1000))
+			batch.Cols[1][j] = float64(rng.Intn(50))
+		}
+		if err := rc.block.Update(batch); err == core.ErrRebuildRequired {
+			// A reused location can still miss the block's cells when the
+			// original row was filtered out at build time.
+			continue
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		specs := randomSpecs(rng)
+		prefix, err := rc.block.SelectCovering(rc.cov, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan, err := rc.block.SelectCoveringScan(rc.cov, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitIdentical(prefix, scan) {
+			t.Fatalf("trial %d after update: prefix %+v != scan %+v", trial, prefix, scan)
+		}
+	}
+}

@@ -17,7 +17,9 @@ import (
 
 // ColAggregate is the per-column component of a cell aggregate: minimum,
 // maximum and sum of all values in the cell. Together with the tuple count
-// it also yields the average (paper Sec. 3.4).
+// it also yields the average (paper Sec. 3.4). It remains the record-
+// oriented exchange format (cache slots, headers, derived records); the
+// block itself stores columns struct-of-arrays, see colStore.
 type ColAggregate struct {
 	Min, Max, Sum float64
 }
@@ -45,6 +47,57 @@ func (a *ColAggregate) merge(b ColAggregate) {
 		a.Max = b.Max
 	}
 	a.Sum += b.Sum
+}
+
+// colStore is the struct-of-arrays aggregate storage of one value column:
+// three parallel arrays indexed by cell position (DESIGN.md Sec. 2). The
+// split keeps each aggregate kind contiguous so the query kernels stream
+// over exactly the array they need instead of striding through interleaved
+// {min,max,sum} records.
+type colStore struct {
+	sums []float64
+	mins []float64
+	maxs []float64
+	// prefix is the exclusive prefix-sum array over sums: len(sums)+1
+	// entries with prefix[i] = sums[0] + … + sums[i-1]. It turns the SUM
+	// (and AVG numerator) of any contiguous cell-aggregate range into
+	// prefix[last+1] − prefix[first], mirroring what offsets already do
+	// for COUNT (paper Listing 2).
+	prefix []float64
+}
+
+// addValueAt folds v into the i-th cell aggregate of the column.
+func (cs *colStore) addValueAt(i int, v float64) {
+	if v < cs.mins[i] {
+		cs.mins[i] = v
+	}
+	if v > cs.maxs[i] {
+		cs.maxs[i] = v
+	}
+	cs.sums[i] += v
+}
+
+// mergeAt folds another cell aggregate (min/max/sum) into slot i.
+func (cs *colStore) mergeAt(i int, min, max, sum float64) {
+	if min < cs.mins[i] {
+		cs.mins[i] = min
+	}
+	if max > cs.maxs[i] {
+		cs.maxs[i] = max
+	}
+	cs.sums[i] += sum
+}
+
+// appendEmpty opens a new cell aggregate initialised to the identity.
+func (cs *colStore) appendEmpty() {
+	cs.sums = append(cs.sums, 0)
+	cs.mins = append(cs.mins, math.Inf(1))
+	cs.maxs = append(cs.maxs, math.Inf(-1))
+}
+
+// at assembles the record view of slot i.
+func (cs *colStore) at(i int) ColAggregate {
+	return ColAggregate{Min: cs.mins[i], Max: cs.maxs[i], Sum: cs.sums[i]}
 }
 
 // Header is the GeoBlock-wide metadata: the minimum and maximum grid cell
@@ -85,8 +138,8 @@ type GeoBlock struct {
 	minKeys []cellid.ID // finest (leaf) key extremes inside the cell
 	maxKeys []cellid.ID
 
-	// Per-column aggregates: aggs[col][cellIdx].
-	aggs [][]ColAggregate
+	// Per-column struct-of-arrays aggregates plus prefix sums.
+	cols []colStore
 
 	header Header
 
@@ -122,9 +175,9 @@ func (b *GeoBlock) Base() *column.Table { return b.base }
 
 // CellAt returns a record view of the i-th cell aggregate.
 func (b *GeoBlock) CellAt(i int) CellAggregate {
-	cols := make([]ColAggregate, len(b.aggs))
-	for c := range b.aggs {
-		cols[c] = b.aggs[c][i]
+	cols := make([]ColAggregate, len(b.cols))
+	for c := range b.cols {
+		cols[c] = b.cols[c].at(i)
 	}
 	return CellAggregate{
 		Key:    b.keys[i],
@@ -137,11 +190,35 @@ func (b *GeoBlock) CellAt(i int) CellAggregate {
 }
 
 // SizeBytes returns the in-memory size of the aggregate storage: per cell,
-// the key (8), offset (4), count (4), min/max keys (16) and 24 bytes per
-// column. Used for the overhead comparisons (paper Fig. 11b/11c).
+// the key (8), offset (4), count (4), min/max keys (16), 24 bytes per
+// column (min/max/sum) and 8 bytes per column for the prefix-sum entry.
+// Used for the overhead comparisons (paper Fig. 11b/11c).
 func (b *GeoBlock) SizeBytes() int {
-	perCell := 8 + 4 + 4 + 16 + 24*len(b.aggs)
+	perCell := 8 + 4 + 4 + 16 + 32*len(b.cols)
 	return perCell*len(b.keys) + 32 + 24*len(b.header.Cols)
+}
+
+// buildPrefixes (re)materialises the per-column prefix-sum arrays from the
+// per-cell sums. Cost is one linear pass per column. Every mutation path
+// — Build, Coarsen, ReadBlock and Update — calls it before returning, so
+// query paths can rely on fresh prefixes and stay strictly read-only
+// (safe for concurrent readers between serialized updates).
+func (b *GeoBlock) buildPrefixes() {
+	n := len(b.keys)
+	for c := range b.cols {
+		cs := &b.cols[c]
+		if cap(cs.prefix) < n+1 {
+			cs.prefix = make([]float64, n+1)
+		} else {
+			cs.prefix = cs.prefix[:n+1]
+			cs.prefix[0] = 0
+		}
+		running := 0.0
+		for i, s := range cs.sums {
+			running += s
+			cs.prefix[i+1] = running
+		}
+	}
 }
 
 // AggSlotBytes returns the byte size of one fully materialised aggregate

@@ -91,7 +91,11 @@ func newAccumulator(specs []AggSpec) *accumulator {
 	return &accumulator{specs: specs, vals: vals}
 }
 
-// combineCell folds the i-th cell aggregate of b into the accumulator.
+// combineCell folds the i-th cell aggregate of b into the accumulator —
+// the per-cell, per-spec combine the paper's Listing 1 describes. The
+// endpoint-based combineRange below supersedes it on the SELECT hot path;
+// it remains the kernel of the scan ablation and of the child-granular
+// accumulation the query cache needs.
 func (a *accumulator) combineCell(b *GeoBlock, i int) {
 	a.count += uint64(b.counts[i])
 	for k, s := range a.specs {
@@ -99,13 +103,64 @@ func (a *accumulator) combineCell(b *GeoBlock, i int) {
 		case AggCount:
 			// Tracked globally via a.count.
 		case AggSum, AggAvg:
-			a.vals[k] += b.aggs[s.Col][i].Sum
+			a.vals[k] += b.cols[s.Col].sums[i]
 		case AggMin:
-			if v := b.aggs[s.Col][i].Min; v < a.vals[k] {
+			if v := b.cols[s.Col].mins[i]; v < a.vals[k] {
 				a.vals[k] = v
 			}
 		case AggMax:
-			if v := b.aggs[s.Col][i].Max; v > a.vals[k] {
+			if v := b.cols[s.Col].maxs[i]; v > a.vals[k] {
+				a.vals[k] = v
+			}
+		}
+	}
+}
+
+// minOf returns the minimum of a non-empty slice with a tight,
+// branch-predictable loop — the fused SoA kernel for MIN.
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// maxOf is the MAX counterpart of minOf.
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// combineRange folds the contiguous cell-aggregate range [first, last] of
+// b into the accumulator. COUNT is the offset range sum of Listing 2, SUM
+// and the AVG numerator are prefix-sum endpoint differences — both O(1)
+// regardless of how many aggregates the range spans — and MIN/MAX fall
+// back to a fused scan over the column's contiguous extremum array. The
+// AggFunc dispatch happens once per covering cell, never inside the scan
+// loops.
+func (a *accumulator) combineRange(b *GeoBlock, first, last int) {
+	a.count += uint64(b.offsets[last]) + uint64(b.counts[last]) - uint64(b.offsets[first])
+	for k, s := range a.specs {
+		switch s.Func {
+		case AggCount:
+			// Tracked globally via a.count.
+		case AggSum, AggAvg:
+			p := b.cols[s.Col].prefix
+			a.vals[k] += p[last+1] - p[first]
+		case AggMin:
+			if v := minOf(b.cols[s.Col].mins[first : last+1]); v < a.vals[k] {
+				a.vals[k] = v
+			}
+		case AggMax:
+			if v := maxOf(b.cols[s.Col].maxs[first : last+1]); v > a.vals[k] {
 				a.vals[k] = v
 			}
 		}
@@ -160,13 +215,16 @@ func (a *accumulator) finish(visited int) Result {
 }
 
 // SelectCovering answers a SELECT query over a cell covering (paper
-// Listing 1). The covering must be sorted ascending with disjoint cells and
-// must not contain cells finer than the block level. For each covering
-// cell, the first intersecting aggregate is located with a binary search
-// bounded below by the scan cursor; because cell aggregates are stored
-// contiguously in key order, all further aggregates of the cell are
-// consumed by advancing the cursor — the paper's "last aggregate successor"
-// optimisation.
+// Listing 1, upgraded with per-column prefix sums — DESIGN.md Sec. 3). The
+// covering must be sorted ascending with disjoint cells and must not
+// contain cells finer than the block level. For each covering cell, the
+// first and last contained aggregates are located with gallop-bounded
+// searches restricted to the unconsumed suffix (covering cells ascend);
+// the whole range is then combined by endpoint arithmetic — COUNT from the
+// tuple offsets (Listing 2), SUM/AVG from the prefix-sum arrays — with a
+// fused scan only for MIN/MAX. SELECT cost therefore no longer scales with
+// the number of cell aggregates under the covering, matching the COUNT
+// fast path's level independence.
 func (b *GeoBlock) SelectCovering(cov []cellid.ID, specs []AggSpec) (Result, error) {
 	if err := b.validateSpecs(specs); err != nil {
 		return Result{}, err
@@ -184,10 +242,39 @@ func (b *GeoBlock) SelectCovering(cov []cellid.ID, specs []AggSpec) (Result, err
 		if cursor >= len(b.keys) {
 			break
 		}
-		// When the successor is not yet inside the query cell, locate the
-		// first candidate with a gallop-bounded search (Listing 1, lines
-		// 21-24), restricted to the unconsumed suffix since covering
-		// cells ascend.
+		first := b.gallopLowerBound(lo, cursor)
+		if first >= len(b.keys) || b.keys[first] > hi {
+			cursor = first
+			continue
+		}
+		last := b.gallopUpperBound(hi, first) - 1
+		acc.combineRange(b, first, last)
+		visited += last - first + 1
+		cursor = last + 1
+	}
+	return acc.finish(visited), nil
+}
+
+// SelectCoveringScan is the pre-prefix-sum SELECT: the cursor-bounded
+// successor scan of Listing 1 that combines every contained cell aggregate
+// through the per-cell, per-spec switch. It is preserved as the ablation
+// baseline that quantifies the prefix-sum optimisation (DESIGN.md Sec. 5)
+// and is otherwise equivalent to SelectCovering.
+func (b *GeoBlock) SelectCoveringScan(cov []cellid.ID, specs []AggSpec) (Result, error) {
+	if err := b.validateSpecs(specs); err != nil {
+		return Result{}, err
+	}
+	acc := newAccumulator(specs)
+	visited := 0
+	cursor := 0
+	for _, qc := range cov {
+		lo, hi := qc.RangeMin(), qc.RangeMax()
+		if hi < b.header.MinCell.RangeMin() || lo > b.header.MaxCell.RangeMax() {
+			continue
+		}
+		if cursor >= len(b.keys) {
+			break
+		}
 		i := b.gallopLowerBound(lo, cursor)
 		for i < len(b.keys) && b.keys[i] <= hi {
 			acc.combineCell(b, i)
@@ -201,8 +288,9 @@ func (b *GeoBlock) SelectCovering(cov []cellid.ID, specs []AggSpec) (Result, err
 
 // SelectCoveringBinaryOnly is the ablation variant of SelectCovering that
 // re-runs a full binary search for every covering cell instead of reusing
-// the scan cursor. It exists to quantify the successor optimisation
-// (DESIGN.md Sec. 5) and is otherwise equivalent.
+// the scan cursor, and combines per cell instead of per range. It exists
+// to quantify the successor optimisation (DESIGN.md Sec. 5) and is
+// otherwise equivalent.
 func (b *GeoBlock) SelectCoveringBinaryOnly(cov []cellid.ID, specs []AggSpec) (Result, error) {
 	if err := b.validateSpecs(specs); err != nil {
 		return Result{}, err
@@ -292,19 +380,30 @@ func (b *GeoBlock) AggregateCell(cell cellid.ID) (uint64, []ColAggregate) {
 // index with each cached record so that a cache hit can advance the
 // accumulator cursor in constant time instead of galloping over the
 // skipped range on the next miss.
+//
+// Like SelectCovering it answers COUNT and SUM from range endpoints
+// (offsets and prefix sums) and only scans the contiguous extremum arrays
+// for MIN/MAX, so materialising trie records for coarse cells no longer
+// touches every contained aggregate three times.
 func (b *GeoBlock) AggregateCellRange(cell cellid.ID) (uint64, []ColAggregate, int) {
 	lo, hi := cell.RangeMin(), cell.RangeMax()
 	cols := make([]ColAggregate, b.schema.NumCols())
 	for c := range cols {
 		cols[c] = emptyColAggregate()
 	}
-	var count uint64
-	i := b.lowerBound(lo, 0)
-	for ; i < len(b.keys) && b.keys[i] <= hi; i++ {
-		count += uint64(b.counts[i])
-		for c := range cols {
-			cols[c].merge(b.aggs[c][i])
+	first := b.lowerBound(lo, 0)
+	if first >= len(b.keys) || b.keys[first] > hi {
+		return 0, cols, first
+	}
+	last := b.upperBound(hi, first) - 1
+	count := uint64(b.offsets[last]) + uint64(b.counts[last]) - uint64(b.offsets[first])
+	for c := range cols {
+		cs := &b.cols[c]
+		cols[c] = ColAggregate{
+			Min: minOf(cs.mins[first : last+1]),
+			Max: maxOf(cs.maxs[first : last+1]),
+			Sum: cs.prefix[last+1] - cs.prefix[first],
 		}
 	}
-	return count, cols, i
+	return count, cols, last + 1
 }

@@ -23,12 +23,18 @@ import (
 //	header: minCell u64, maxCell u64, count u64, per-col 3 × f64
 //	numCells u64
 //	keys, offsets, counts, minKeys, maxKeys (arrays)
-//	per column: min/max/sum arrays
+//	per column: sums array, mins array, maxs array
+//
+// Version 2 switched the per-column payload from interleaved
+// {min,max,sum} records to the struct-of-arrays layout above; the derived
+// prefix-sum arrays are rebuilt on read rather than stored. Version-1
+// payloads are rejected with a descriptive error — rebuild the block from
+// base data and re-serialise.
 //
 // The base-data reference is intentionally not serialized.
 const (
 	blockMagic   = "GBLK"
-	blockVersion = 1
+	blockVersion = 2
 )
 
 type leWriter struct {
@@ -133,11 +139,15 @@ func (b *GeoBlock) WriteTo(dst io.Writer) (int64, error) {
 	for _, k := range b.maxKeys {
 		w.u64(uint64(k))
 	}
-	for c := range b.aggs {
-		for _, a := range b.aggs[c] {
-			w.f64(a.Min)
-			w.f64(a.Max)
-			w.f64(a.Sum)
+	for c := range b.cols {
+		for _, v := range b.cols[c].sums {
+			w.f64(v)
+		}
+		for _, v := range b.cols[c].mins {
+			w.f64(v)
+		}
+		for _, v := range b.cols[c].maxs {
+			w.f64(v)
 		}
 	}
 	if w.err == nil {
@@ -154,7 +164,10 @@ func ReadBlock(src io.Reader) (*GeoBlock, error) {
 		return nil, fmt.Errorf("core: bad magic %q", magic)
 	}
 	if v := r.u32(); r.err == nil && v != blockVersion {
-		return nil, fmt.Errorf("core: unsupported version %d", v)
+		if v == 1 {
+			return nil, fmt.Errorf("core: unsupported version 1 (pre-SoA interleaved aggregate layout; rebuild the block from base data and re-serialise with version %d)", blockVersion)
+		}
+		return nil, fmt.Errorf("core: unsupported version %d (this build reads version %d)", v, blockVersion)
 	}
 
 	bound := geom.Rect{
@@ -234,15 +247,25 @@ func ReadBlock(src io.Reader) (*GeoBlock, error) {
 	for i := range b.maxKeys {
 		b.maxKeys[i] = cellid.ID(r.u64())
 	}
-	b.aggs = make([][]ColAggregate, numCols)
-	for c := range b.aggs {
-		b.aggs[c] = make([]ColAggregate, n)
-		for i := range b.aggs[c] {
-			b.aggs[c][i] = ColAggregate{Min: r.f64(), Max: r.f64(), Sum: r.f64()}
+	b.cols = make([]colStore, numCols)
+	for c := range b.cols {
+		cs := &b.cols[c]
+		cs.sums = make([]float64, n)
+		for i := range cs.sums {
+			cs.sums[i] = r.f64()
+		}
+		cs.mins = make([]float64, n)
+		for i := range cs.mins {
+			cs.mins[i] = r.f64()
+		}
+		cs.maxs = make([]float64, n)
+		for i := range cs.maxs {
+			cs.maxs[i] = r.f64()
 		}
 	}
 	if r.err != nil {
 		return nil, r.err
 	}
+	b.buildPrefixes()
 	return b, nil
 }

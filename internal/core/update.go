@@ -89,17 +89,11 @@ func (b *GeoBlock) Update(batch *UpdateBatch) error {
 	}
 
 	// Second pass: apply. Batch rows are sorted, so per-cell insertion
-	// counts accumulate left to right and the offset shift for cell i is
-	// the number of insertions into cells before it.
+	// counts accumulate left to right; offsets are restored in one sweep
+	// below.
 	inserted := uint32(0)
-	prevTarget := -1
 	for k, r := range rows {
 		i := targets[k]
-		if i != prevTarget {
-			// Shift offsets of all cells in (prevTarget, i] range lazily:
-			// handled in the final pass below; here only remember counts.
-			prevTarget = i
-		}
 		b.counts[i]++
 		if r.leaf < b.minKeys[i] {
 			b.minKeys[i] = r.leaf
@@ -107,9 +101,9 @@ func (b *GeoBlock) Update(batch *UpdateBatch) error {
 		if r.leaf > b.maxKeys[i] {
 			b.maxKeys[i] = r.leaf
 		}
-		for c := range b.aggs {
+		for c := range b.cols {
 			v := batch.Cols[c][r.idx]
-			b.aggs[c][i].addValue(v)
+			b.cols[c].addValueAt(i, v)
 			b.header.Cols[c].addValue(v)
 		}
 		inserted++
@@ -117,12 +111,16 @@ func (b *GeoBlock) Update(batch *UpdateBatch) error {
 	b.header.Count += uint64(inserted)
 
 	// Final pass: restore the offset invariant (offsets[i] = qualifying
-	// tuples before cell i) with a single sweep.
+	// tuples before cell i) and rebuild the per-column prefix-sum arrays.
+	// Rebuilding eagerly here (rather than lazily on the next query)
+	// keeps every query path strictly read-only, so blocks can keep
+	// serving concurrent readers between serialized updates.
 	var running uint32
 	for i := range b.keys {
 		b.offsets[i] = running
 		running += b.counts[i]
 	}
+	b.buildPrefixes()
 	return nil
 }
 

@@ -12,9 +12,10 @@
 package cover
 
 import (
+	"cmp"
 	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 
 	"geoblocks/internal/cellid"
 	"geoblocks/internal/geom"
@@ -111,9 +112,9 @@ func (h candidateHeap) Less(i, j int) bool {
 	}
 	return h[i].id < h[j].id
 }
-func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
-func (h *candidateHeap) Pop() interface{} {
+func (h candidateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x any)   { *h = append(*h, x.(candidate)) }
+func (h *candidateHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -160,9 +161,11 @@ func (c *Coverer) Domain() cellid.Domain { return c.dom }
 //   - cells are disjoint and sorted ascending;
 //   - cells marked Interior are fully inside the region.
 func (c *Coverer) Cover(region Region) *Covering {
+	// Intersection returns an invalid rect when the region's bound and the
+	// domain do not overlap — the only empty-covering case.
 	bb := region.Bound().Intersection(c.dom.Bound())
 	out := &Covering{}
-	if !bb.IsValid() || bb.Area() < 0 {
+	if !bb.IsValid() {
 		return out
 	}
 
@@ -231,7 +234,9 @@ func (c *Coverer) finish(out *Covering) *Covering {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return out.Cells[idx[a]] < out.Cells[idx[b]] })
+	slices.SortFunc(idx, func(a, b int) int {
+		return cmp.Compare(out.Cells[a], out.Cells[b])
+	})
 	cells := make([]cellid.ID, len(idx))
 	interior := make([]bool, len(idx))
 	for i, j := range idx {
@@ -292,7 +297,7 @@ func (c *Coverer) FixedLevelCover(region Region, level int) []cellid.ID {
 		start = start.Parent(level)
 	}
 	walk(start)
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.SortFunc(out, func(a, b cellid.ID) int { return cmp.Compare(a, b) })
 	return out
 }
 

@@ -166,6 +166,7 @@ func All() []Runner {
 		{ID: "fig17", Desc: "Query runtime with increasing workload skew", Run: Fig17},
 		{ID: "fig18", Desc: "Impact of aggregate threshold on runtime and hit rate", Run: Fig18},
 		{ID: "fig19", Desc: "Payoff point of incremental builds", Run: Fig19},
+		{ID: "pr1", Desc: "Prefix-sum SELECT fast path vs scan ablation across levels", Run: PR1},
 	}
 }
 
