@@ -243,7 +243,10 @@ func BenchmarkAblationCountRangeSum(b *testing.B) {
 func BenchmarkAblationCacheScore(b *testing.B) {
 	e := newBenchEnv(b, 200_000)
 	run := func(b *testing.B, ownOnly bool) {
-		qc := aggtrie.NewWithThreshold(e.blk, 0.05)
+		qc, err := aggtrie.NewWithThreshold(e.blk, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
 		qc.ScoreOwnHitsOnly = ownOnly
 		for _, cov := range e.covs {
 			if _, err := qc.Select(cov, e.specs); err != nil {
@@ -294,7 +297,10 @@ func BenchmarkAblationCoarsen(b *testing.B) {
 // BenchmarkCachedSelect measures the warm BlockQC path end to end.
 func BenchmarkCachedSelect(b *testing.B) {
 	e := newBenchEnv(b, 200_000)
-	qc := aggtrie.NewWithThreshold(e.blk, 0.10)
+	qc, err := aggtrie.NewWithThreshold(e.blk, 0.10)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, cov := range e.covs {
 		if _, err := qc.Select(cov, e.specs); err != nil {
 			b.Fatal(err)
@@ -308,6 +314,49 @@ func BenchmarkCachedSelect(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSelectCoveringParallel sweeps worker counts for the parallel
+// SELECT over the 50%-selectivity covering — the PR2 fan-out measurement.
+// workers=1 is the serial-fallback reference.
+func BenchmarkSelectCoveringParallel(b *testing.B) {
+	e := newBenchEnv(b, 200_000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.blk.SelectCoveringParallel(e.bigCov, e.specs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentCachedSelect drives one warm CachedBlock from
+// b.RunParallel goroutines — the lock-light read path under contention
+// (sharded statistics, atomic metrics, atomically published trie).
+func BenchmarkConcurrentCachedSelect(b *testing.B) {
+	e := newBenchEnv(b, 200_000)
+	qc, err := aggtrie.NewWithThreshold(e.blk, 0.10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cov := range e.covs {
+		if _, err := qc.Select(cov, e.specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	qc.Refresh()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := qc.Select(e.covs[i%len(e.covs)], e.specs); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
 }
 
 // BenchmarkPublicQuery measures the public API round trip including

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	geobench [-quick] [-taxi-rows N] [-tweet-rows N] [-osm-rows N]
-//	         [-seed N] [-o FILE] [-perf-json FILE] [experiment ...]
+//	         [-seed N] [-o FILE] [-perf-json FILE] [-parallel] [experiment ...]
 //
 // With no experiment arguments every experiment runs in paper order. Each
 // experiment prints an aligned text table with the same rows/series the
@@ -12,6 +12,9 @@
 // -perf-json runs the pr1 perf snapshot (prefix-sum SELECT fast path vs
 // the preserved scan ablation across block levels) and writes the raw
 // measurements to FILE; the committed BENCH_PR1.json is produced this way.
+// With -parallel it instead runs the pr2 parallel bench mode — queries/sec
+// at 1..GOMAXPROCS goroutines with and without the query cache, plus the
+// SelectCoveringParallel fan-out — producing the committed BENCH_PR2.json.
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 		out       = flag.String("o", "", "also write results to this file")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		perfJSON  = flag.String("perf-json", "", "run the pr1 perf snapshot and write JSON to this file")
+		parallel  = flag.Bool("parallel", false, "with -perf-json: run the pr2 parallel bench mode (queries/sec at 1..GOMAXPROCS goroutines) instead of pr1")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: geobench [flags] [experiment ...]\n\nexperiments:\n")
@@ -71,7 +75,11 @@ func main() {
 	cfg.Seed = *seed
 
 	if *perfJSON != "" {
-		if err := writePerfSnapshot(cfg, *perfJSON); err != nil {
+		write := writePerfSnapshot
+		if *parallel {
+			write = writeParallelSnapshot
+		}
+		if err := write(cfg, *perfJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
 			os.Exit(1)
 		}
@@ -126,6 +134,49 @@ type perfSnapshot struct {
 	TaxiRows   int                     `json:"taxi_rows"`
 	Seed       int64                   `json:"seed"`
 	Points     []experiments.PerfPoint `json:"points"`
+}
+
+// parallelSnapshot is the BENCH_PR2.json document: the raw pr2
+// measurements plus the machine context needed to read the scaling
+// columns (GOMAXPROCS caps the attainable speedup).
+type parallelSnapshot struct {
+	Experiment string                 `json:"experiment"`
+	GoVersion  string                 `json:"go_version"`
+	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	NumCPU     int                    `json:"num_cpu"`
+	TaxiRows   int                    `json:"taxi_rows"`
+	Seed       int64                  `json:"seed"`
+	Points     []experiments.PR2Point `json:"points"`
+}
+
+// writeParallelSnapshot runs the pr2 sweep, prints its table and writes
+// the raw points as indented JSON.
+func writeParallelSnapshot(cfg experiments.Config, path string) error {
+	start := time.Now()
+	tables, points := experiments.PR2Perf(cfg)
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	snap := parallelSnapshot{
+		Experiment: "pr2",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		TaxiRows:   cfg.TaxiRows,
+		Seed:       cfg.Seed,
+		Points:     points,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("parallel snapshot written to %s in %v\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // writePerfSnapshot runs the pr1 sweep, prints its table and writes the

@@ -65,7 +65,9 @@ func main() {
 	fmt.Printf("without cache: %v for %d focus queries\n", coldTime.Round(time.Microsecond), len(focus))
 
 	// Enable a cache of 10% of the aggregate storage and let it adapt.
-	block.EnableCache(0.10, 0)
+	if err := block.EnableCache(0.10, 0); err != nil {
+		log.Fatal(err)
+	}
 	for run := 1; run <= 5; run++ {
 		runTime, results := runFocus()
 		m := block.CacheMetrics()

@@ -38,6 +38,8 @@ package geoblocks
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"geoblocks/internal/aggtrie"
 	"geoblocks/internal/cellid"
@@ -147,6 +149,23 @@ func resolveSpecs(schema Schema, reqs []AggRequest) ([]AggSpec, error) {
 // GeoBlock is the public handle to a built block: the pre-aggregated cell
 // grid, a region coverer configured for the block's level, and an optional
 // query cache.
+//
+// # Concurrency
+//
+// Any number of goroutines may call the query methods — Query, QueryRect,
+// QueryCovering, their *Parallel variants, Count, CountRect, and the read
+// accessors — on one GeoBlock concurrently, with or without an enabled
+// cache. The cache path is lock-light: effectiveness counters are atomic,
+// query statistics are sharded, and the cache trie is published through an
+// atomic pointer so readers never observe a half-built cache. Auto-refresh
+// runs in a single-flight background goroutine off the query path.
+//
+// Structural mutations — Update, Coarsen, EnableCache, DisableCache,
+// RefreshCache and deserialisation — remain exclusive: they must not run
+// concurrently with queries or each other. Once queries are quiesced the
+// mutation entry points drain any still-in-flight background refresh
+// themselves, so the contract is simply: serve traffic, stop it (or swap
+// the block pointer), mutate, resume.
 type GeoBlock struct {
 	inner   *core.GeoBlock
 	coverer *cover.Coverer
@@ -154,7 +173,15 @@ type GeoBlock struct {
 
 	// autoRefresh rebuilds the cache every n queries (0 = manual).
 	autoRefresh int
-	queries     int
+	// queries counts cache-served queries; crossing a multiple of
+	// autoRefresh arms the background refresh.
+	queries atomic.Uint64
+	// refreshing is the single-flight gate: only the goroutine that wins
+	// the CompareAndSwap launches a background refresh.
+	refreshing atomic.Bool
+	// refreshWG tracks the in-flight background refresh so mutation entry
+	// points can drain it (waitRefresh) before touching shared state.
+	refreshWG sync.WaitGroup
 }
 
 func wrapBlock(b *core.GeoBlock) (*GeoBlock, error) {
@@ -224,6 +251,37 @@ func (g *GeoBlock) QueryCovering(cov []CellID, reqs ...AggRequest) (Result, erro
 	return g.queryCovering(cov, reqs)
 }
 
+// QueryParallel answers a SELECT query over a polygon, partitioning a
+// large covering across worker goroutines (workers <= 0 means
+// GOMAXPROCS). Small coverings fall back to the serial kernel, so the
+// method is safe to use unconditionally. COUNT/MIN/MAX results are
+// bit-identical to Query; SUM/AVG differ only by floating-point
+// reassociation at the merge points (DESIGN.md Sec. 6). The parallel path
+// neither probes nor warms the query cache — it targets the huge
+// analytical coverings where splitting the scan beats pre-combined
+// records.
+func (g *GeoBlock) QueryParallel(poly *Polygon, workers int, reqs ...AggRequest) (Result, error) {
+	return g.queryCoveringParallel(g.Cover(poly), workers, reqs)
+}
+
+// QueryRectParallel is QueryParallel over a rectangle.
+func (g *GeoBlock) QueryRectParallel(r Rect, workers int, reqs ...AggRequest) (Result, error) {
+	return g.queryCoveringParallel(g.CoverRect(r), workers, reqs)
+}
+
+// QueryCoveringParallel is QueryParallel over a pre-computed covering.
+func (g *GeoBlock) QueryCoveringParallel(cov []CellID, workers int, reqs ...AggRequest) (Result, error) {
+	return g.queryCoveringParallel(cov, workers, reqs)
+}
+
+func (g *GeoBlock) queryCoveringParallel(cov []CellID, workers int, reqs []AggRequest) (Result, error) {
+	specs, err := resolveSpecs(g.inner.Schema(), reqs)
+	if err != nil {
+		return Result{}, err
+	}
+	return g.inner.SelectCoveringParallel(cov, specs, workers)
+}
+
 func (g *GeoBlock) queryCovering(cov []CellID, reqs []AggRequest) (Result, error) {
 	specs, err := resolveSpecs(g.inner.Schema(), reqs)
 	if err != nil {
@@ -265,21 +323,41 @@ func (g *GeoBlock) CountRect(r Rect) uint64 {
 
 // EnableCache attaches an AggregateTrie query cache with a budget of
 // threshold × the block's aggregate storage size (the paper's aggregate
-// threshold, Fig. 18). autoRefreshEvery > 0 rebuilds the cache from query
-// statistics every that many queries; 0 leaves refresh manual.
-func (g *GeoBlock) EnableCache(threshold float64, autoRefreshEvery int) {
-	g.cached = aggtrie.NewWithThreshold(g.inner, threshold)
+// threshold, Fig. 18). The threshold must be a positive number — zero or
+// negative values would silently yield a 0-byte budget and a cache that
+// can never store a record. autoRefreshEvery > 0 rebuilds the cache from
+// query statistics (in the background, off the query path) every that
+// many queries; 0 leaves refresh manual; negative values are rejected.
+func (g *GeoBlock) EnableCache(threshold float64, autoRefreshEvery int) error {
+	if autoRefreshEvery < 0 {
+		return fmt.Errorf("geoblocks: autoRefreshEvery must be >= 0, got %d", autoRefreshEvery)
+	}
+	cached, err := aggtrie.NewWithThreshold(g.inner, threshold)
+	if err != nil {
+		return err
+	}
+	g.waitRefresh()
+	g.cached = cached
 	g.autoRefresh = autoRefreshEvery
-	g.queries = 0
+	g.queries.Store(0)
+	return nil
 }
 
-// DisableCache detaches the query cache.
-func (g *GeoBlock) DisableCache() { g.cached = nil }
+// DisableCache detaches the query cache and clears the auto-refresh
+// cadence and query counter, so a later EnableCache(t, 0) cannot inherit
+// a stale auto-refresh schedule.
+func (g *GeoBlock) DisableCache() {
+	g.waitRefresh()
+	g.cached = nil
+	g.autoRefresh = 0
+	g.queries.Store(0)
+}
 
 // RefreshCache rebuilds the query cache from accumulated statistics. It is
 // a no-op without an enabled cache.
 func (g *GeoBlock) RefreshCache() {
 	if g.cached != nil {
+		g.waitRefresh()
 		g.cached.Refresh()
 	}
 }
@@ -301,18 +379,40 @@ func (g *GeoBlock) CacheSizeBytes() int {
 	return g.cached.Trie().SizeBytes()
 }
 
+// autoRefreshMaxMissRate is the miss share above which an armed
+// auto-refresh actually rebuilds: a cache that fits the workload is left
+// untouched (warm arenas included).
+const autoRefreshMaxMissRate = 0.10
+
+// maybeAutoRefresh arms a background cache refresh every autoRefresh
+// queries. The query path only pays an atomic increment; the winner of
+// the CompareAndSwap gate launches a single-flight goroutine that runs
+// the adaptive refresh policy, so rebuilds never add latency to the
+// query that triggered them and never pile up.
 func (g *GeoBlock) maybeAutoRefresh() {
 	if g.autoRefresh <= 0 {
 		return
 	}
-	g.queries++
-	if g.queries >= g.autoRefresh {
-		g.queries = 0
-		// Rebuild only while misses persist: a cache that fits the
-		// workload is left untouched (warm arenas included).
-		g.cached.MaybeRefresh(0.10)
+	if g.queries.Add(1)%uint64(g.autoRefresh) != 0 {
+		return
 	}
+	if !g.refreshing.CompareAndSwap(false, true) {
+		return // a refresh is already in flight
+	}
+	cached := g.cached
+	g.refreshWG.Add(1)
+	go func() {
+		defer g.refreshWG.Done()
+		defer g.refreshing.Store(false)
+		cached.MaybeRefresh(autoRefreshMaxMissRate)
+	}()
 }
+
+// waitRefresh blocks until no background refresh is in flight. Mutation
+// entry points call it first: their contract requires queries to be
+// quiesced already, so no new refresh can be armed while waiting, and an
+// in-flight one must not be left reading the block mid-mutation.
+func (g *GeoBlock) waitRefresh() { g.refreshWG.Wait() }
 
 // Coarsen derives a coarser-grained GeoBlock without re-scanning base data
 // (paper Sec. 3.4).
@@ -329,6 +429,9 @@ func (g *GeoBlock) Coarsen(level int) (*GeoBlock, error) {
 // existing cell aggregates; rebuild with Builder in that case. Updating
 // invalidates cached aggregates, so an enabled cache is rebuilt.
 func (g *GeoBlock) Update(batch *UpdateBatch) error {
+	// Drain any in-flight background refresh before mutating: it reads
+	// the aggregate arrays the update is about to patch.
+	g.waitRefresh()
 	if err := g.inner.Update(batch); err != nil {
 		return err
 	}

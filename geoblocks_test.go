@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"geoblocks"
 	"geoblocks/internal/core"
@@ -155,7 +157,9 @@ func TestCacheSpeedsUpAndStaysCorrect(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	blk.EnableCache(0.10, 0)
+	if err := blk.EnableCache(0.10, 0); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 3; i++ {
 		if _, err := blk.Query(poly, geoblocks.Count(), geoblocks.Sum("fare")); err != nil {
 			t.Fatal(err)
@@ -188,15 +192,171 @@ func TestAutoRefresh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blk.EnableCache(0.10, 2) // refresh every 2 queries
+	if err := blk.EnableCache(0.10, 2); err != nil { // refresh every 2 queries
+		t.Fatal(err)
+	}
 	poly := testPoly(t)
-	for i := 0; i < 5; i++ {
+	// The refresh runs in a background goroutine, so keep querying until
+	// it has landed and produced hits (bounded by the deadline).
+	deadline := time.Now().Add(5 * time.Second)
+	for blk.CacheMetrics().FullHits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("auto-refresh never warmed the cache")
+		}
 		if _, err := blk.Query(poly, geoblocks.Count()); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if blk.CacheMetrics().FullHits == 0 {
-		t.Fatal("auto-refresh never warmed the cache")
+}
+
+func TestEnableCacheValidation(t *testing.T) {
+	b := newTestBuilder(t, 2000, 11)
+	blk, err := b.Build(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threshold := range []float64{0, -0.5, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := blk.EnableCache(threshold, 0); err == nil {
+			t.Fatalf("threshold %v accepted", threshold)
+		}
+	}
+	if err := blk.EnableCache(0.10, -1); err == nil {
+		t.Fatal("negative autoRefreshEvery accepted")
+	}
+	// A rejected EnableCache must not leave a half-attached cache.
+	if blk.CacheSizeBytes() != 0 {
+		t.Fatal("failed EnableCache attached a cache")
+	}
+	if err := blk.EnableCache(0.10, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisableCacheResetsAutoRefresh(t *testing.T) {
+	b := newTestBuilder(t, 10000, 12)
+	blk, err := b.Build(12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly := testPoly(t)
+
+	// Warm an auto-refreshing cache, then disable it.
+	if err := blk.EnableCache(0.10, 1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for blk.CacheMetrics().FullHits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("auto-refresh never warmed the cache")
+		}
+		if _, err := blk.Query(poly, geoblocks.Count()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blk.DisableCache()
+
+	// Re-enabling with manual refresh must not inherit the old cadence:
+	// with no RefreshCache call the cache stays cold and never hits.
+	if err := blk.EnableCache(0.10, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := blk.Query(poly, geoblocks.Count()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := blk.CacheMetrics(); m.FullHits != 0 {
+		t.Fatalf("manual-refresh cache produced %d hits without RefreshCache — stale auto-refresh cadence", m.FullHits)
+	}
+}
+
+func TestConcurrentQueriesWithAutoRefresh(t *testing.T) {
+	b := newTestBuilder(t, 30000, 13)
+	blk, err := b.Build(13, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly := testPoly(t)
+	want, err := blk.Query(poly, geoblocks.Count(), geoblocks.Sum("fare"), geoblocks.Min("fare"), geoblocks.Max("fare"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blk.EnableCache(0.10, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				got, err := blk.Query(poly, geoblocks.Count(), geoblocks.Sum("fare"), geoblocks.Min("fare"), geoblocks.Max("fare"))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if got.Count != want.Count || got.Values[2] != want.Values[2] || got.Values[3] != want.Values[3] {
+					errs <- "count/min/max mismatch under concurrency"
+					return
+				}
+				if math.Abs(got.Values[1]-want.Values[1]) > 1e-6*math.Abs(want.Values[1]) {
+					errs <- "sum mismatch under concurrency"
+					return
+				}
+				if n := blk.Count(poly); n != want.Count {
+					errs <- "Count mismatch under concurrency"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+func TestQueryParallelMatchesQuery(t *testing.T) {
+	b := newTestBuilder(t, 30000, 14)
+	blk, err := b.Build(14, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly := testPoly(t)
+	reqs := []geoblocks.AggRequest{geoblocks.Count(), geoblocks.Sum("fare"), geoblocks.Min("fare"), geoblocks.Max("distance"), geoblocks.Avg("fare")}
+	want, err := blk.Query(poly, reqs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4} {
+		got, err := blk.QueryParallel(poly, workers, reqs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count != want.Count || got.Values[2] != want.Values[2] || got.Values[3] != want.Values[3] {
+			t.Fatalf("workers %d: count/min/max differ from serial", workers)
+		}
+		if math.Abs(got.Values[1]-want.Values[1]) > 1e-9*math.Abs(want.Values[1]) {
+			t.Fatalf("workers %d: sum %v too far from serial %v", workers, got.Values[1], want.Values[1])
+		}
+	}
+	r := geoblocks.Rect{Min: geoblocks.Pt(20, 20), Max: geoblocks.Pt(80, 80)}
+	serial, err := blk.QueryRect(r, geoblocks.Count())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := blk.QueryRectParallel(r, 0, geoblocks.Count())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Count != parallel.Count {
+		t.Fatalf("rect parallel count %d != %d", parallel.Count, serial.Count)
+	}
+	if _, err := blk.QueryParallel(poly, 4, geoblocks.Sum("nope")); err == nil {
+		t.Fatal("unknown column accepted by parallel path")
 	}
 }
 

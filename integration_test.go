@@ -42,7 +42,10 @@ func TestAllApproachesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	qc := aggtrie.NewWithThreshold(blk, 0.20)
+	qc, err := aggtrie.NewWithThreshold(blk, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	bin := baseline.NewBinarySearch(base.Table)
 	bt := btree.NewIndex(base.Table)
 	pointAt := func(row int) geom.Point { return dom.CellCenter(cellid.ID(base.Table.Keys[row])) }

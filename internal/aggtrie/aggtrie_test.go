@@ -333,7 +333,7 @@ func TestPartialHitViaCachedChildren(t *testing.T) {
 	// Cache two of the four children explicitly.
 	trie := BuildTrie(b, []cellid.ID{children[0], children[2]}, 1<<20)
 	cb := New(b, 1<<20)
-	cb.trie = trie
+	cb.trie.Store(trie)
 
 	res, err := cb.Select([]cellid.ID{parent}, allSpecs())
 	if err != nil {
@@ -377,7 +377,10 @@ func TestZeroBudgetNeverCaches(t *testing.T) {
 
 func TestThresholdBudget(t *testing.T) {
 	b := buildTestBlock(t, 20000, 13, 9)
-	cb := NewWithThreshold(b, 0.05)
+	cb, err := NewWithThreshold(b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if want := int(0.05 * float64(b.SizeBytes())); cb.BudgetBytes() != want {
 		t.Fatalf("budget = %d, want %d", cb.BudgetBytes(), want)
 	}
@@ -391,6 +394,24 @@ func TestThresholdBudget(t *testing.T) {
 	cb.Refresh()
 	if cb.Trie().SizeBytes() > cb.BudgetBytes() {
 		t.Fatalf("trie size %d exceeds budget %d", cb.Trie().SizeBytes(), cb.BudgetBytes())
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	b := buildTestBlock(t, 2000, 10, 9)
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := NewWithThreshold(b, bad); err == nil {
+			t.Fatalf("threshold %v accepted", bad)
+		}
+	}
+	// Huge finite thresholds clamp instead of overflowing into a
+	// negative (useless) budget.
+	cb, err := NewWithThreshold(b, 1e300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.BudgetBytes() <= 0 {
+		t.Fatalf("budget overflowed to %d", cb.BudgetBytes())
 	}
 }
 

@@ -1,6 +1,11 @@
 package aggtrie
 
 import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
 	"geoblocks/internal/cellid"
 	"geoblocks/internal/core"
 )
@@ -9,11 +14,31 @@ import (
 // AggregateTrie query cache and the adapted query algorithm of Fig. 8. The
 // cache is rebuilt from observed query statistics on Refresh, within a
 // fixed byte budget (the aggregate threshold).
+//
+// # Concurrency
+//
+// Any number of goroutines may call Select, Count, Metrics and the other
+// read accessors concurrently, including while Refresh or MaybeRefresh
+// runs: the trie is published through an atomic pointer and swapped
+// wholesale after a copy-on-write rebuild, so readers only ever observe a
+// fully built cache; effectiveness counters are atomic; and query
+// statistics are striped across independently locked shards. Refresh and
+// MaybeRefresh serialise among themselves. The configuration fields
+// (ScoreOwnHitsOnly, DeriveFromSiblings) must be set before the block is
+// shared.
 type CachedBlock struct {
 	block  *core.GeoBlock
-	stats  *Stats
-	trie   *Trie
+	stats  *ShardedStats
 	budget int
+
+	// trie is the published cache. Refresh builds a replacement off to
+	// the side and stores it here; in-flight queries keep reading the
+	// trie they loaded at entry.
+	trie atomic.Pointer[Trie]
+
+	// refreshMu serialises cache rebuilds so concurrent MaybeRefresh
+	// calls do not duplicate the (expensive) build work.
+	refreshMu sync.Mutex
 
 	// ScoreOwnHitsOnly switches to the ablation ranking that ignores
 	// parent hits (DESIGN.md Sec. 5).
@@ -25,10 +50,10 @@ type CachedBlock struct {
 	// (min/max are not invertible).
 	DeriveFromSiblings bool
 
-	metrics Metrics
+	metrics atomicMetrics
 	// sinceRefresh counts probe outcomes since the last Refresh, driving
 	// the MaybeRefresh policy. Unlike metrics it is not caller-resettable.
-	sinceRefresh Metrics
+	sinceRefresh atomicMetrics
 }
 
 // Metrics are cache effectiveness counters, reset with ResetMetrics.
@@ -56,73 +81,164 @@ func (m Metrics) HitRate() float64 {
 	return float64(m.FullHits) / float64(m.Probes)
 }
 
+// atomicMetrics is the lock-free counterpart of Metrics, updated by
+// concurrent queries and snapshotted on read. Each counter is read
+// atomically but the snapshot as a whole is not a consistent cut; under
+// concurrency the fields can be skewed by in-flight queries, which is
+// fine for the rate-based decisions they drive.
+type atomicMetrics struct {
+	probes      atomic.Uint64
+	fullHits    atomic.Uint64
+	partialHits atomic.Uint64
+	misses      atomic.Uint64
+	derivedHits atomic.Uint64
+}
+
+// add folds a per-call delta into the counters. Queries batch their
+// updates into one add per Select, keeping the per-cell hot loop free of
+// atomic operations.
+func (m *atomicMetrics) add(d Metrics) {
+	if d.Probes != 0 {
+		m.probes.Add(d.Probes)
+	}
+	if d.FullHits != 0 {
+		m.fullHits.Add(d.FullHits)
+	}
+	if d.PartialHits != 0 {
+		m.partialHits.Add(d.PartialHits)
+	}
+	if d.Misses != 0 {
+		m.misses.Add(d.Misses)
+	}
+	if d.DerivedHits != 0 {
+		m.derivedHits.Add(d.DerivedHits)
+	}
+}
+
+func (m *atomicMetrics) snapshot() Metrics {
+	return Metrics{
+		Probes:      m.probes.Load(),
+		FullHits:    m.fullHits.Load(),
+		PartialHits: m.partialHits.Load(),
+		Misses:      m.misses.Load(),
+		DerivedHits: m.derivedHits.Load(),
+	}
+}
+
+func (m *atomicMetrics) reset() {
+	m.probes.Store(0)
+	m.fullHits.Store(0)
+	m.partialHits.Store(0)
+	m.misses.Store(0)
+	m.derivedHits.Store(0)
+}
+
 // New creates a CachedBlock over b with the given cache budget in bytes.
 // The cache starts empty (cold); it fills on the first Refresh after
-// queries have been recorded.
+// queries have been recorded. A non-positive budget is allowed and yields
+// a cache that never stores records — the explicit ablation baseline
+// (Fig. 18's 0% threshold point); the validated public entry point is
+// NewWithThreshold.
 func New(b *core.GeoBlock, budgetBytes int) *CachedBlock {
 	root := enclosingRoot(b)
-	return &CachedBlock{
+	cb := &CachedBlock{
 		block:  b,
-		stats:  NewStats(root),
+		stats:  NewShardedStats(root),
 		budget: budgetBytes,
-		trie:   BuildTrie(b, nil, budgetBytes),
 	}
+	cb.trie.Store(BuildTrie(b, nil, budgetBytes))
+	return cb
 }
 
 // NewWithThreshold creates a CachedBlock whose budget is the given
 // fraction of the block's cell-aggregate storage size — the paper's
-// aggregate threshold (Fig. 18).
-func NewWithThreshold(b *core.GeoBlock, threshold float64) *CachedBlock {
-	return New(b, int(threshold*float64(b.SizeBytes())))
+// aggregate threshold (Fig. 18). The threshold must be a positive finite
+// number: zero or negative values would silently yield a cache that can
+// never store a record, and NaN/Inf budgets are meaningless. Budgets
+// beyond the int range clamp to MaxInt (effectively unbounded).
+func NewWithThreshold(b *core.GeoBlock, threshold float64) (*CachedBlock, error) {
+	if math.IsNaN(threshold) || math.IsInf(threshold, 0) || threshold <= 0 {
+		return nil, fmt.Errorf("aggtrie: aggregate threshold must be a positive finite number, got %v", threshold)
+	}
+	budget := threshold * float64(b.SizeBytes())
+	if budget >= float64(math.MaxInt) {
+		// A float-to-int conversion out of range is implementation-
+		// defined (it wraps negative on amd64), which would silently
+		// recreate the useless 0-record cache this validation exists to
+		// prevent.
+		return New(b, math.MaxInt), nil
+	}
+	return New(b, int(budget)), nil
 }
 
 // Block returns the underlying GeoBlock.
 func (cb *CachedBlock) Block() *core.GeoBlock { return cb.block }
 
-// Stats returns the query statistics collected so far.
-func (cb *CachedBlock) Stats() *Stats { return cb.stats }
+// Stats returns the sharded query statistics collected so far.
+func (cb *CachedBlock) Stats() *ShardedStats { return cb.stats }
 
-// Trie returns the current cache trie.
-func (cb *CachedBlock) Trie() *Trie { return cb.trie }
+// Trie returns the currently published cache trie.
+func (cb *CachedBlock) Trie() *Trie { return cb.trie.Load() }
 
 // BudgetBytes returns the cache budget.
 func (cb *CachedBlock) BudgetBytes() int { return cb.budget }
 
-// Metrics returns a copy of the effectiveness counters.
-func (cb *CachedBlock) Metrics() Metrics { return cb.metrics }
+// Metrics returns a snapshot of the effectiveness counters.
+func (cb *CachedBlock) Metrics() Metrics { return cb.metrics.snapshot() }
 
 // ResetMetrics zeroes the effectiveness counters.
-func (cb *CachedBlock) ResetMetrics() { cb.metrics = Metrics{} }
+func (cb *CachedBlock) ResetMetrics() { cb.metrics.reset() }
 
 // Refresh rebuilds the cache trie from the accumulated statistics: cells
 // are ranked by score and inserted best-first until the byte budget is
-// exhausted.
+// exhausted. The rebuild is copy-on-write — queries keep hitting the old
+// trie until the new one is published with a single atomic store.
 func (cb *CachedBlock) Refresh() {
+	cb.refreshMu.Lock()
+	defer cb.refreshMu.Unlock()
+	cb.refreshLocked()
+}
+
+// refreshLocked performs the rebuild; callers hold refreshMu.
+func (cb *CachedBlock) refreshLocked() {
 	var ranked []cellid.ID
 	if cb.ScoreOwnHitsOnly {
 		ranked = cb.stats.RankedCellsOwnHitsOnly()
 	} else {
 		ranked = cb.stats.RankedCells()
 	}
-	cb.trie = BuildTrie(cb.block, ranked, cb.budget)
-	cb.sinceRefresh = Metrics{}
+	cb.trie.Store(BuildTrie(cb.block, ranked, cb.budget))
+	cb.sinceRefresh.reset()
 }
 
 // MaybeRefresh rebuilds the cache only when the miss share among probes
 // since the last refresh exceeds maxMissRate — the adaptive policy that
 // keeps a well-fitted cache (and its warm arenas) untouched while the
-// workload is served. It reports whether a refresh happened.
+// workload is served. It reports whether a refresh happened. Concurrent
+// callers serialise on the rebuild, and the decision is re-checked under
+// the lock so a caller that queued behind a refresh does not rebuild
+// again from the same (now reset) miss window; queries are never blocked.
 func (cb *CachedBlock) MaybeRefresh(maxMissRate float64) bool {
-	m := cb.sinceRefresh
+	if !cb.missRateExceeds(maxMissRate) {
+		return false
+	}
+	cb.refreshMu.Lock()
+	defer cb.refreshMu.Unlock()
+	if !cb.missRateExceeds(maxMissRate) {
+		return false
+	}
+	cb.refreshLocked()
+	return true
+}
+
+// missRateExceeds reports whether the miss share among probes since the
+// last refresh exceeds max.
+func (cb *CachedBlock) missRateExceeds(max float64) bool {
+	m := cb.sinceRefresh.snapshot()
 	if m.Probes == 0 {
 		return false
 	}
-	missRate := float64(m.Misses+m.PartialHits) / float64(m.Probes)
-	if missRate <= maxMissRate {
-		return false
-	}
-	cb.Refresh()
-	return true
+	return float64(m.Misses+m.PartialHits)/float64(m.Probes) > max
 }
 
 // probeMargin is how many levels above the block level a query cell must
@@ -148,57 +264,54 @@ func (cb *CachedBlock) probeWorthwhile(qc cellid.ID) bool {
 // (paper Fig. 8): for each query cell, probe the trie; use the cell's
 // cached record if present; otherwise combine cached direct children with
 // scans for the uncached ones; otherwise fall back to the plain algorithm.
-// Every query cell is also recorded in the statistics.
+// Every query cell is also recorded in the statistics. The trie is loaded
+// once at entry, so a concurrent Refresh never changes the cache mid-query.
 func (cb *CachedBlock) Select(cov []cellid.ID, specs []core.AggSpec) (core.Result, error) {
 	acc, err := cb.block.NewAccumulator(specs)
 	if err != nil {
 		return core.Result{}, err
 	}
+	trie := cb.trie.Load()
 	derivable := cb.DeriveFromSiblings && sumOnlySpecs(specs)
 	cb.recordCoarse(cov)
+	var d Metrics
 	for _, qc := range cov {
 		if !cb.probeWorthwhile(qc) {
 			acc.AccumulateCell(qc)
 			continue
 		}
-		cb.metrics.Probes++
-		cb.sinceRefresh.Probes++
-		nodeIdx, found := cb.trie.locate(qc)
+		d.Probes++
+		nodeIdx, found := trie.locate(qc)
 		if !found {
 			if derivable {
-				if count, cols, ok := cb.deriveFromSiblings(qc); ok {
+				if count, cols, ok := cb.deriveFromSiblings(trie, qc); ok {
 					acc.AddRecord(count, cols)
-					cb.metrics.DerivedHits++
-					cb.sinceRefresh.FullHits++
+					d.DerivedHits++
 					continue
 				}
 			}
-			cb.metrics.Misses++
-			cb.sinceRefresh.Misses++
+			d.Misses++
 			acc.AccumulateCell(qc)
 			continue
 		}
-		if off := cb.trie.nodes[nodeIdx].aggOff; off != 0 {
-			count, cols, end := cb.trie.record(off)
+		if off := trie.nodes[nodeIdx].aggOff; off != 0 {
+			count, cols, end := trie.record(off)
 			acc.AddRecord(count, cols)
 			acc.SkipTo(end)
-			cb.metrics.FullHits++
-			cb.sinceRefresh.FullHits++
+			d.FullHits++
 			continue
 		}
-		st := cb.trie.children(nodeIdx)
+		st := trie.children(nodeIdx)
 		anyCached := st.present && (st.cached[0] != 0 || st.cached[1] != 0 || st.cached[2] != 0 || st.cached[3] != 0)
 		if !anyCached {
 			if derivable {
-				if count, cols, ok := cb.deriveFromSiblings(qc); ok {
+				if count, cols, ok := cb.deriveFromSiblings(trie, qc); ok {
 					acc.AddRecord(count, cols)
-					cb.metrics.DerivedHits++
-					cb.sinceRefresh.FullHits++
+					d.DerivedHits++
 					continue
 				}
 			}
-			cb.metrics.Misses++
-			cb.sinceRefresh.Misses++
+			d.Misses++
 			acc.AccumulateCell(qc)
 			continue
 		}
@@ -207,16 +320,22 @@ func (cb *CachedBlock) Select(cov []cellid.ID, specs []core.AggSpec) (core.Resul
 		children := qc.Children()
 		for i, child := range children {
 			if st.cached[i] != 0 {
-				count, cols, end := cb.trie.record(st.cached[i])
+				count, cols, end := trie.record(st.cached[i])
 				acc.AddRecord(count, cols)
 				acc.SkipTo(end)
 			} else {
 				acc.AccumulateCell(child)
 			}
 		}
-		cb.metrics.PartialHits++
-		cb.sinceRefresh.PartialHits++
+		d.PartialHits++
 	}
+	cb.metrics.add(d)
+	// The refresh policy treats derived hits like full hits: the query
+	// was answered without scanning, so it is no evidence of a misfit
+	// cache.
+	d.FullHits += d.DerivedHits
+	d.DerivedHits = 0
+	cb.sinceRefresh.add(d)
 	return acc.Result(), nil
 }
 

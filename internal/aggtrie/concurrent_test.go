@@ -1,0 +1,288 @@
+package aggtrie
+
+// Tests for the concurrent serving contract: many goroutines querying one
+// CachedBlock while the cache refreshes must race-cleanly produce results
+// equivalent to the serial plain path, sharded statistics must rank
+// deterministically regardless of recording interleavings, and the stats
+// arena must stay bounded under adversarial workloads. Run with -race.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/core"
+)
+
+// TestConcurrentSelectWithRefresh is the acceptance test of the lock-light
+// read path: 8+ goroutines query one cached block while the adaptive
+// refresh policy rebuilds the trie underneath them. Every result must
+// match the serial plain path: COUNT and MIN/MAX bit-identically, SUM/AVG
+// within floating-point reassociation tolerance (cached records combine
+// pre-summed ranges in a different order).
+func TestConcurrentSelectWithRefresh(t *testing.T) {
+	b := buildTestBlock(t, 30000, 13, 41)
+	cb := New(b, 1<<18)
+	specs := allSpecs()
+
+	polys := queryPolys()
+	covs := make([][]cellid.ID, len(polys))
+	wants := make([]core.Result, len(polys))
+	for i, p := range polys {
+		covs[i] = testCovering(b, p)
+		want, err := b.SelectCovering(covs[i], specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = want
+	}
+
+	const goroutines = 8
+	const iters = 60
+	var queriers sync.WaitGroup
+	errs := make(chan string, goroutines+1)
+
+	// One goroutine drives the adaptive refresh policy continuously, so
+	// queries overlap both the copy-on-write rebuild and the pointer swap.
+	stop := make(chan struct{})
+	refresherDone := make(chan struct{})
+	go func() {
+		defer close(refresherDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				cb.MaybeRefresh(0)
+			}
+		}
+	}()
+
+	for g := 0; g < goroutines; g++ {
+		queriers.Add(1)
+		go func(g int) {
+			defer queriers.Done()
+			for i := 0; i < iters; i++ {
+				qi := (g + i) % len(covs)
+				got, err := cb.Select(covs[qi], specs)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				want := wants[qi]
+				if got.Count != want.Count {
+					errs <- "count mismatch"
+					return
+				}
+				for k, s := range specs {
+					switch s.Func {
+					case core.AggCount, core.AggMin, core.AggMax:
+						if got.Values[k] != want.Values[k] {
+							errs <- "min/max/count value mismatch"
+							return
+						}
+					default:
+						if !approxEqual(got.Values[k], want.Values[k]) {
+							errs <- "sum/avg value mismatch"
+							return
+						}
+					}
+				}
+				if n := cb.Count(covs[qi]); n != want.Count {
+					errs <- "Count mismatch"
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Stop the refresher only after the queriers are done, so refreshes
+	// overlap queries for the whole run.
+	queriers.Wait()
+	close(stop)
+	<-refresherDone
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+
+	// Metrics are atomic and never reset here: the probe total must be
+	// exact despite the concurrency.
+	var coarsePerQuery [8]uint64
+	for qi, cov := range covs {
+		for _, qc := range cov {
+			if cb.probeWorthwhile(qc) {
+				coarsePerQuery[qi]++
+			}
+		}
+	}
+	var wantProbes uint64
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < iters; i++ {
+			wantProbes += coarsePerQuery[(g+i)%len(covs)]
+		}
+	}
+	if m := cb.Metrics(); m.Probes != wantProbes {
+		t.Fatalf("probes = %d, want %d (lost updates?)", m.Probes, wantProbes)
+	}
+}
+
+// TestShardedStatsMatchesSerial records the same cell stream into sharded
+// and plain statistics and asserts identical per-cell counts, totals and
+// ranking.
+func TestShardedStatsMatchesSerial(t *testing.T) {
+	root := cellid.Root()
+	plain := NewStats(root)
+	sharded := NewShardedStats(root)
+
+	rng := rand.New(rand.NewSource(42))
+	var cells []cellid.ID
+	for _, c1 := range root.Children() {
+		cells = append(cells, c1)
+		for _, c2 := range c1.Children() {
+			cells = append(cells, c2)
+			for _, c3 := range c2.Children() {
+				if rng.Intn(2) == 0 {
+					cells = append(cells, c3)
+				}
+			}
+		}
+	}
+	stream := make([]cellid.ID, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		stream = append(stream, cells[rng.Intn(len(cells))])
+	}
+	for _, c := range stream {
+		plain.RecordOne(c)
+		sharded.RecordOne(c)
+	}
+
+	if plain.NumCells() != sharded.NumCells() {
+		t.Fatalf("distinct: %d != %d", plain.NumCells(), sharded.NumCells())
+	}
+	for _, c := range cells {
+		if plain.Hits(c) != sharded.Hits(c) {
+			t.Fatalf("hits(%v): %d != %d", c, plain.Hits(c), sharded.Hits(c))
+		}
+	}
+	pr, sr := plain.RankedCells(), sharded.RankedCells()
+	if len(pr) != len(sr) {
+		t.Fatalf("ranked lengths differ: %d != %d", len(pr), len(sr))
+	}
+	for i := range pr {
+		if pr[i] != sr[i] {
+			t.Fatalf("ranked[%d]: %v != %v", i, pr[i], sr[i])
+		}
+	}
+	po, so := plain.RankedCellsOwnHitsOnly(), sharded.RankedCellsOwnHitsOnly()
+	for i := range po {
+		if po[i] != so[i] {
+			t.Fatalf("own-hits ranked[%d]: %v != %v", i, po[i], so[i])
+		}
+	}
+}
+
+// TestShardedRankedDeterministicUnderInterleaving replays the same
+// multiset of records in shuffled orders and from concurrent goroutines;
+// the merged ranking must be identical every time.
+func TestShardedRankedDeterministicUnderInterleaving(t *testing.T) {
+	root := cellid.Root()
+	var cells []cellid.ID
+	for _, c1 := range root.Children() {
+		cells = append(cells, c1)
+		for _, c2 := range c1.Children() {
+			cells = append(cells, c2)
+		}
+	}
+	stream := make([]cellid.ID, 0, 2000)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		// Zipf-ish skew so scores genuinely differ.
+		stream = append(stream, cells[rng.Intn(1+rng.Intn(len(cells)))])
+	}
+
+	var ref []cellid.ID
+	for trial := 0; trial < 4; trial++ {
+		ss := NewShardedStats(root)
+		shuffled := append([]cellid.ID(nil), stream...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+		// Record from several goroutines to vary shard interleavings.
+		var wg sync.WaitGroup
+		const workers = 4
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(shuffled); i += workers {
+					ss.RecordOne(shuffled[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		ranked := ss.RankedCells()
+		if trial == 0 {
+			ref = ranked
+			continue
+		}
+		if len(ranked) != len(ref) {
+			t.Fatalf("trial %d: ranked length %d != %d", trial, len(ranked), len(ref))
+		}
+		for i := range ref {
+			if ranked[i] != ref[i] {
+				t.Fatalf("trial %d: ranked[%d] = %v, want %v", trial, i, ranked[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestStatsNodeCap floods statistics with never-repeating leaf cells and
+// asserts the arena stays within the configured bound while already
+// tracked cells keep counting.
+func TestStatsNodeCap(t *testing.T) {
+	root := cellid.Root()
+	s := NewStats(root)
+	const capNodes = 1 << 10
+	s.SetNodeCap(capNodes)
+
+	tracked := root.Children()[0].Children()[1]
+	s.RecordOne(tracked)
+
+	// Adversarial stream: distinct leaf cells force fresh paths.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200000; i++ {
+		s.RecordOne(randomLeaf(root, rng))
+	}
+	if got := len(s.nodes); got > capNodes {
+		t.Fatalf("arena %d nodes exceeds cap %d", got, capNodes)
+	}
+	if s.Dropped() == 0 {
+		t.Fatal("cap never dropped a record under the adversarial stream")
+	}
+	before := s.Hits(tracked)
+	s.RecordOne(tracked)
+	if s.Hits(tracked) != before+1 {
+		t.Fatal("tracked cell stopped counting after the cap was reached")
+	}
+
+	// The sharded wrapper applies the cap across shards.
+	ss := NewShardedStats(root)
+	ss.SetNodeCap(capNodes * statShards)
+	for i := 0; i < 200000; i++ {
+		ss.RecordOne(randomLeaf(root, rng))
+	}
+	if got := ss.SizeBytes(); got > (capNodes*statShards)*8+statShards*8 {
+		t.Fatalf("sharded arena %d bytes exceeds combined cap", got)
+	}
+}
+
+// randomLeaf descends from root to MaxLevel choosing random children.
+func randomLeaf(root cellid.ID, rng *rand.Rand) cellid.ID {
+	c := root
+	for !c.IsLeaf() {
+		c = c.Children()[rng.Intn(4)]
+	}
+	return c
+}

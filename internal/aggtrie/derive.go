@@ -27,25 +27,27 @@ func sumOnlySpecs(specs []core.AggSpec) bool {
 }
 
 // deriveFromSiblings attempts to reconstruct qc's aggregate record as
-// parent − siblings. It returns the derived count and per-column records
+// parent − siblings, reading from the trie snapshot t the caller loaded
+// at query entry (so a concurrent Refresh cannot swap the cache
+// mid-derivation). It returns the derived count and per-column records
 // (with poisoned min/max fields that callers must not read — guaranteed by
 // the sumOnlySpecs precondition).
-func (cb *CachedBlock) deriveFromSiblings(qc cellid.ID) (uint64, []core.ColAggregate, bool) {
-	rootLevel := cb.trie.rootCell.Level()
+func (cb *CachedBlock) deriveFromSiblings(t *Trie, qc cellid.ID) (uint64, []core.ColAggregate, bool) {
+	rootLevel := t.rootCell.Level()
 	if qc.Level() <= rootLevel {
 		return 0, nil, false
 	}
 	parent := qc.ImmediateParent()
-	pIdx, ok := cb.trie.locate(parent)
-	if !ok || cb.trie.nodes[pIdx].aggOff == 0 {
+	pIdx, ok := t.locate(parent)
+	if !ok || t.nodes[pIdx].aggOff == 0 {
 		return 0, nil, false
 	}
-	childBlock := cb.trie.nodes[pIdx].childOff
+	childBlock := t.nodes[pIdx].childOff
 	if childBlock == 0 {
 		return 0, nil, false
 	}
 	own := qc.ChildPosition()
-	pCount, pCols, _ := cb.trie.record(cb.trie.nodes[pIdx].aggOff)
+	pCount, pCols, _ := t.record(t.nodes[pIdx].aggOff)
 
 	count := pCount
 	cols := make([]core.ColAggregate, len(pCols))
@@ -59,11 +61,11 @@ func (cb *CachedBlock) deriveFromSiblings(qc cellid.ID) (uint64, []core.ColAggre
 		if i == own {
 			continue
 		}
-		sibOff := cb.trie.nodes[int(childBlock)+i].aggOff
+		sibOff := t.nodes[int(childBlock)+i].aggOff
 		if sibOff == 0 {
 			return 0, nil, false
 		}
-		sCount, sCols, _ := cb.trie.record(sibOff)
+		sCount, sCols, _ := t.record(sibOff)
 		if sCount > count {
 			return 0, nil, false // stale cache; be safe
 		}

@@ -17,7 +17,7 @@ func deriveFixture(t *testing.T) (*core.GeoBlock, *CachedBlock, cellid.ID) {
 	children := parent.Children()
 	cells := []cellid.ID{parent, children[0], children[1], children[3]}
 	cb := New(b, 1<<20)
-	cb.trie = BuildTrie(b, cells, 1<<20)
+	cb.trie.Store(BuildTrie(b, cells, 1<<20))
 	cb.DeriveFromSiblings = true
 	return b, cb, children[2]
 }
@@ -81,7 +81,7 @@ func TestSiblingDerivationNeedsAllSiblings(t *testing.T) {
 	children := parent.Children()
 	// Only two siblings cached: derivation impossible.
 	cb := New(b, 1<<20)
-	cb.trie = BuildTrie(b, []cellid.ID{parent, children[0], children[1]}, 1<<20)
+	cb.trie.Store(BuildTrie(b, []cellid.ID{parent, children[0], children[1]}, 1<<20))
 	cb.DeriveFromSiblings = true
 
 	got, err := cb.Select([]cellid.ID{children[2]}, sumSpecs())

@@ -1,0 +1,177 @@
+package aggtrie
+
+import (
+	"sync"
+
+	"geoblocks/internal/cellid"
+)
+
+// statShards is the number of statistics stripes. Cells hash to a fixed
+// shard, so two goroutines recording different cells almost never touch
+// the same lock; 16 stripes keep the collision probability low well past
+// the core counts the serving path targets, while the merge at rank time
+// stays trivially cheap. Power of two, required by the mask below.
+const statShards = 16
+
+// ShardedStats stripes query statistics across statShards independently
+// locked Stats tries. RecordOne — called for every coarse covering cell
+// of every query — takes only the one shard lock its cell hashes to, so
+// concurrent readers of a CachedBlock do not serialise on a global
+// statistics lock. The global view needed for cache ranking is assembled
+// by merging the shards at Refresh time, which is rare and already
+// dominated by the trie rebuild.
+//
+// Because each cell deterministically maps to exactly one shard, per-cell
+// reads (Hits) touch a single shard and totals (NumCells, SizeBytes) are
+// plain sums.
+type ShardedStats struct {
+	root   cellid.ID
+	shards []statShard
+}
+
+// statShard pads each lock+trie pair to its own cache line so shard locks
+// do not false-share.
+type statShard struct {
+	mu sync.Mutex
+	st *Stats
+	_  [64 - 16]byte
+}
+
+// NewShardedStats creates empty sharded statistics scoped to the given
+// root cell. The combined arena bound defaults to DefaultNodeCap split
+// evenly across shards.
+func NewShardedStats(root cellid.ID) *ShardedStats {
+	ss := &ShardedStats{root: root, shards: make([]statShard, statShards)}
+	for i := range ss.shards {
+		ss.shards[i].st = NewStats(root)
+		ss.shards[i].st.SetNodeCap(DefaultNodeCap / statShards)
+	}
+	return ss
+}
+
+// SetNodeCap bounds the combined arena to roughly n nodes by dividing the
+// bound evenly across shards; n <= 0 removes the bound. The per-shard
+// floor of 64 nodes keeps tiny caps from rejecting every record.
+func (ss *ShardedStats) SetNodeCap(n int) {
+	per := 0
+	if n > 0 {
+		per = n / len(ss.shards)
+		if per < 64 {
+			per = 64
+		}
+	}
+	for i := range ss.shards {
+		sh := &ss.shards[i]
+		sh.mu.Lock()
+		sh.st.SetNodeCap(per)
+		sh.mu.Unlock()
+	}
+}
+
+// Root returns the root cell the statistics are scoped to.
+func (ss *ShardedStats) Root() cellid.ID { return ss.root }
+
+func (ss *ShardedStats) shardFor(c cellid.ID) *statShard {
+	// Fibonacci hash spreads the structured Hilbert ids; high bits pick
+	// the shard (valid for any power-of-two statShards up to 2^16).
+	h := uint64(c) * 0x9e3779b97f4a7c15
+	return &ss.shards[(h>>48)&(statShards-1)]
+}
+
+// RecordOne notes one query for a single cell in the cell's shard.
+func (ss *ShardedStats) RecordOne(c cellid.ID) {
+	sh := ss.shardFor(c)
+	sh.mu.Lock()
+	sh.st.RecordOne(c)
+	sh.mu.Unlock()
+}
+
+// Record notes one query for each covering cell.
+func (ss *ShardedStats) Record(cov []cellid.ID) {
+	for _, c := range cov {
+		ss.RecordOne(c)
+	}
+}
+
+// Hits returns the recorded hit count of cell.
+func (ss *ShardedStats) Hits(cell cellid.ID) uint64 {
+	sh := ss.shardFor(cell)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.st.Hits(cell)
+}
+
+// NumCells returns how many distinct cells have been recorded.
+func (ss *ShardedStats) NumCells() int {
+	total := 0
+	for i := range ss.shards {
+		sh := &ss.shards[i]
+		sh.mu.Lock()
+		total += sh.st.NumCells()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// SizeBytes returns the combined arena footprint of all shards.
+func (ss *ShardedStats) SizeBytes() int {
+	total := 0
+	for i := range ss.shards {
+		sh := &ss.shards[i]
+		sh.mu.Lock()
+		total += sh.st.SizeBytes()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Dropped returns how many records were discarded by the node cap across
+// all shards.
+func (ss *ShardedStats) Dropped() uint64 {
+	var total uint64
+	for i := range ss.shards {
+		sh := &ss.shards[i]
+		sh.mu.Lock()
+		total += sh.st.Dropped()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Reset clears all statistics.
+func (ss *ShardedStats) Reset() {
+	for i := range ss.shards {
+		sh := &ss.shards[i]
+		sh.mu.Lock()
+		sh.st.Reset()
+		sh.mu.Unlock()
+	}
+}
+
+// merged assembles the global statistics trie by folding every shard into
+// a fresh unbounded Stats. Hit counts add commutatively and the ranking
+// order is a total order on (score, level, cell), so the result is
+// deterministic for a given multiset of recorded cells regardless of
+// which goroutine recorded what.
+func (ss *ShardedStats) merged() *Stats {
+	m := NewStats(ss.root)
+	m.SetNodeCap(0) // already bounded by the per-shard caps
+	for i := range ss.shards {
+		sh := &ss.shards[i]
+		sh.mu.Lock()
+		m.mergeFrom(sh.st)
+		sh.mu.Unlock()
+	}
+	return m
+}
+
+// RankedCells merges the shards and returns all recorded cells ordered by
+// cache priority (see Stats.RankedCells).
+func (ss *ShardedStats) RankedCells() []cellid.ID {
+	return ss.merged().RankedCells()
+}
+
+// RankedCellsOwnHitsOnly is the ablation ranking over the merged shards.
+func (ss *ShardedStats) RankedCellsOwnHitsOnly() []cellid.ID {
+	return ss.merged().RankedCellsOwnHitsOnly()
+}

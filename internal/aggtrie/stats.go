@@ -1,10 +1,19 @@
 package aggtrie
 
 import (
-	"sort"
+	"math"
+	"slices"
 
 	"geoblocks/internal/cellid"
 )
+
+// DefaultNodeCap is the default bound on a statistics trie's arena, in
+// nodes. Recording a never-repeating stream of cells (an adversarial or
+// scanning workload) grows the arena by up to four nodes per new cell;
+// without a bound such a workload exhausts memory. The default caps one
+// trie at 8 MiB (2^20 nodes × 8 bytes) — far above what real skewed
+// workloads allocate, so the cap is invisible outside hostile inputs.
+const DefaultNodeCap = 1 << 20
 
 // Stats tracks how often each query cell has been seen, the signal the
 // cache uses to decide which areas are worth pre-aggregating (paper
@@ -17,6 +26,9 @@ import (
 // Only cells contained in the tracked root are recorded: cells outside the
 // block's data region cannot be cached and would be pruned by the header
 // anyway.
+//
+// Stats is not safe for concurrent use; ShardedStats stripes several
+// instances behind per-shard locks for the concurrent serving path.
 type Stats struct {
 	root cellid.ID
 	// nodes[0] is the root; children are allocated as contiguous blocks
@@ -24,6 +36,12 @@ type Stats struct {
 	nodes []statNode
 	// distinct counts recorded cells (hits transitioning 0 -> 1).
 	distinct int
+	// nodeCap bounds len(nodes); once a record would grow the arena past
+	// it, the record is dropped instead (see RecordOne). 0 means
+	// unbounded.
+	nodeCap int
+	// dropped counts records discarded because of the node cap.
+	dropped uint64
 }
 
 type statNode struct {
@@ -31,10 +49,25 @@ type statNode struct {
 	hits     uint32
 }
 
-// NewStats creates empty statistics scoped to the given root cell.
+// NewStats creates empty statistics scoped to the given root cell, with
+// the arena bounded by DefaultNodeCap.
 func NewStats(root cellid.ID) *Stats {
-	return &Stats{root: root, nodes: make([]statNode, 1, 64)}
+	return &Stats{root: root, nodes: make([]statNode, 1, 64), nodeCap: DefaultNodeCap}
 }
+
+// SetNodeCap bounds the arena to at most n nodes; n <= 0 removes the
+// bound. Shrinking below the current arena size only prevents further
+// growth.
+func (s *Stats) SetNodeCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.nodeCap = n
+}
+
+// Dropped returns how many records were discarded because extending the
+// trie would have exceeded the node cap.
+func (s *Stats) Dropped() uint64 { return s.dropped }
 
 // Record notes one query for each covering cell.
 func (s *Stats) Record(cov []cellid.ID) {
@@ -45,16 +78,29 @@ func (s *Stats) Record(cov []cellid.ID) {
 
 // RecordOne notes one query for a single cell, extending the trie path on
 // first sight. Like Trie.locate, the walk reads child steps from the
-// Hilbert position bits — two bits per level below the root.
+// Hilbert position bits — two bits per level below the root. When
+// extending the path would exceed the node cap the record is dropped:
+// cells already tracked keep counting, but a hostile never-repeating
+// workload cannot grow the arena without limit.
 func (s *Stats) RecordOne(c cellid.ID) {
-	if !s.root.Contains(c) {
-		return
+	s.addHits(c, 1)
+}
+
+// addHits adds n to the cell's hit counter (saturating), allocating the
+// trie path as needed. It reports whether the hits were applied.
+func (s *Stats) addHits(c cellid.ID, n uint32) bool {
+	if n == 0 || !s.root.Contains(c) {
+		return false
 	}
 	depth := c.Level() - s.root.Level()
 	pos := c.Pos()
 	idx := 0
 	for d := depth - 1; d >= 0; d-- {
 		if s.nodes[idx].childOff == 0 {
+			if s.nodeCap > 0 && len(s.nodes)+4 > s.nodeCap {
+				s.dropped++
+				return false
+			}
 			off := uint32(len(s.nodes))
 			s.nodes = append(s.nodes, statNode{}, statNode{}, statNode{}, statNode{})
 			s.nodes[idx].childOff = off
@@ -64,7 +110,36 @@ func (s *Stats) RecordOne(c cellid.ID) {
 	if s.nodes[idx].hits == 0 {
 		s.distinct++
 	}
-	s.nodes[idx].hits++
+	if uint64(s.nodes[idx].hits)+uint64(n) > math.MaxUint32 {
+		s.nodes[idx].hits = math.MaxUint32
+	} else {
+		s.nodes[idx].hits += n
+	}
+	return true
+}
+
+// mergeFrom folds every recorded cell of o (which must share s's root)
+// into s, adding hit counts. ShardedStats uses it to assemble the global
+// view at rank time.
+func (s *Stats) mergeFrom(o *Stats) {
+	if o.root != s.root {
+		return
+	}
+	var walk func(idx int, cell cellid.ID)
+	walk = func(idx int, cell cellid.ID) {
+		n := o.nodes[idx]
+		if n.hits > 0 {
+			s.addHits(cell, n.hits)
+		}
+		if n.childOff == 0 || cell.IsLeaf() {
+			return
+		}
+		children := cell.Children()
+		for i := 0; i < 4; i++ {
+			walk(int(n.childOff)+i, children[i])
+		}
+	}
+	walk(0, o.root)
 }
 
 // Hits returns the recorded hit count of cell.
@@ -91,10 +166,11 @@ func (s *Stats) NumCells() int { return s.distinct }
 // SizeBytes returns the arena footprint of the statistics trie.
 func (s *Stats) SizeBytes() int { return len(s.nodes) * 8 }
 
-// Reset clears all statistics.
+// Reset clears all statistics (the node cap is kept).
 func (s *Stats) Reset() {
 	s.nodes = make([]statNode, 1, 64)
 	s.distinct = 0
+	s.dropped = 0
 }
 
 // scored pairs a cell with its cache priority.
@@ -141,14 +217,22 @@ func (s *Stats) ranked(parentTransfer bool) []cellid.ID {
 	}
 	walk(0, s.root, 0)
 
-	sort.Slice(cand, func(i, j int) bool {
-		if cand[i].score != cand[j].score {
-			return cand[i].score > cand[j].score
+	slices.SortFunc(cand, func(a, b scored) int {
+		switch {
+		case a.score != b.score:
+			if a.score > b.score {
+				return -1
+			}
+			return 1
+		case a.level != b.level:
+			return a.level - b.level
+		case a.cell != b.cell:
+			if a.cell < b.cell {
+				return -1
+			}
+			return 1
 		}
-		if cand[i].level != cand[j].level {
-			return cand[i].level < cand[j].level
-		}
-		return cand[i].cell < cand[j].cell
+		return 0
 	})
 	out := make([]cellid.ID, len(cand))
 	for i, c := range cand {

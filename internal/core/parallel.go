@@ -1,0 +1,76 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"geoblocks/internal/cellid"
+)
+
+// parallelMinCellsPerWorker is the covering-size cutoff for the parallel
+// SELECT: a worker must have at least this many covering cells to
+// amortise its goroutine spawn and the merge. One covering cell costs a
+// gallop-bounded search plus an O(1) endpoint combine — roughly a hundred
+// nanoseconds — so the cutoff keeps the parallel path to coverings where
+// the fan-out genuinely wins; everything smaller falls back to the serial
+// kernel.
+const parallelMinCellsPerWorker = 256
+
+// SelectCoveringParallel answers the same query as SelectCovering but
+// partitions a large covering across worker goroutines, each folding its
+// contiguous chunk into a private accumulator with the unchanged serial
+// kernel; the partial accumulators are merged in chunk order. workers <= 0
+// means GOMAXPROCS. Coverings too small to amortise the fan-out (fewer
+// than parallelMinCellsPerWorker cells per worker) are answered by the
+// serial kernel, so callers can use this unconditionally.
+//
+// COUNT, MIN and MAX merge associatively and are bit-identical to the
+// serial path. SUM and AVG re-associate the per-chunk additions; the
+// difference from the serial result is ordinary floating-point rounding,
+// bounded as documented in DESIGN.md Sec. 6, and the grouping is fixed by
+// (covering, workers), so repeated runs of the same query are themselves
+// deterministic.
+//
+// Like SelectCovering the method only reads the block, so any number of
+// callers (parallel or serial) may run concurrently.
+func (b *GeoBlock) SelectCoveringParallel(cov []cellid.ID, specs []AggSpec, workers int) (Result, error) {
+	if err := b.validateSpecs(specs); err != nil {
+		return Result{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := len(cov) / parallelMinCellsPerWorker; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		return b.SelectCovering(cov, specs)
+	}
+
+	accs := make([]*accumulator, workers)
+	visits := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Balanced contiguous partition: chunk w is [w*n/W, (w+1)*n/W).
+		// Contiguity preserves the ascending-cell precondition of the
+		// successor cursor inside each chunk.
+		lo := w * len(cov) / workers
+		hi := (w + 1) * len(cov) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := newAccumulator(specs)
+			visits[w] = b.selectCoveringInto(acc, cov[lo:hi])
+			accs[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := accs[0]
+	visited := visits[0]
+	for w := 1; w < workers; w++ {
+		total.mergeFrom(accs[w])
+		visited += visits[w]
+	}
+	return total.finish(visited), nil
+}

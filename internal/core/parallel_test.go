@@ -1,0 +1,145 @@
+package core_test
+
+// Equivalence suite for SelectCoveringParallel: partitioning a covering
+// across workers and merging the partial accumulators must reproduce the
+// serial SelectCovering — bit-identically for COUNT/MIN/MAX (associative
+// merges), and bit-identically for SUM/AVG too on the integer-valued test
+// data, where every partial sum is exactly representable and
+// reassociation therefore cannot change the result.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geoblocks/internal/core"
+)
+
+func parallelSpecs() []core.AggSpec {
+	return []core.AggSpec{
+		{Func: core.AggCount},
+		{Col: 0, Func: core.AggSum},
+		{Col: 0, Func: core.AggMin},
+		{Col: 1, Func: core.AggMax},
+		{Col: 1, Func: core.AggAvg},
+	}
+}
+
+func TestSelectCoveringParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for round := 0; round < 8; round++ {
+		rc := newRandomCase(t, rng)
+		specs := parallelSpecs()
+		want, err := rc.block.SelectCovering(rc.cov, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 3, 4, 7, 16} {
+			got, err := rc.block.SelectCoveringParallel(rc.cov, specs, workers)
+			if err != nil {
+				t.Fatalf("round %d workers %d: %v", round, workers, err)
+			}
+			if got.Count != want.Count {
+				t.Fatalf("round %d workers %d: count %d != %d", round, workers, got.Count, want.Count)
+			}
+			if got.CellsVisited != want.CellsVisited {
+				t.Fatalf("round %d workers %d: visited %d != %d", round, workers, got.CellsVisited, want.CellsVisited)
+			}
+			for i := range want.Values {
+				gv, wv := got.Values[i], want.Values[i]
+				if math.IsNaN(wv) && math.IsNaN(gv) {
+					continue
+				}
+				// Integer-valued columns: reassociation is exact, so
+				// even SUM/AVG must match bit for bit.
+				if gv != wv {
+					t.Fatalf("round %d workers %d: value[%d] (%v) = %v, want %v",
+						round, workers, i, specs[i].Func, gv, wv)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectCoveringParallelSmallCoveringFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	rc := newRandomCase(t, rng)
+	specs := parallelSpecs()
+	// A covering below the per-worker cutoff must take the serial kernel:
+	// identical Results, including the float association for SUM.
+	small := rc.cov
+	if len(small) > 64 {
+		small = small[:64]
+	}
+	want, err := rc.block.SelectCovering(small, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rc.block.SelectCoveringParallel(small, specs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != want.Count || got.CellsVisited != want.CellsVisited {
+		t.Fatalf("fallback differs: %+v vs %+v", got, want)
+	}
+	for i := range want.Values {
+		if got.Values[i] != want.Values[i] && !(math.IsNaN(got.Values[i]) && math.IsNaN(want.Values[i])) {
+			t.Fatalf("fallback value[%d] = %v, want %v", i, got.Values[i], want.Values[i])
+		}
+	}
+}
+
+func TestSelectCoveringParallelEmptyAndInvalid(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	rc := newRandomCase(t, rng)
+	res, err := rc.block.SelectCoveringParallel(nil, parallelSpecs(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 0 {
+		t.Fatalf("empty covering counted %d", res.Count)
+	}
+	if _, err := rc.block.SelectCoveringParallel(rc.cov, []core.AggSpec{{Col: 99, Func: core.AggSum}}, 4); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+}
+
+func TestSelectCoveringParallelConcurrentCallers(t *testing.T) {
+	// The parallel path must itself be reentrant: several goroutines
+	// fanning out over the same block concurrently.
+	rng := rand.New(rand.NewSource(80))
+	rc := newRandomCase(t, rng)
+	specs := parallelSpecs()
+	want, err := rc.block.SelectCovering(rc.cov, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 20; i++ {
+				got, err := rc.block.SelectCoveringParallel(rc.cov, specs, 4)
+				if err != nil {
+					done <- err
+					return
+				}
+				if got.Count != want.Count {
+					done <- errCountMismatch
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errCountMismatch = errMismatch{}
+
+type errMismatch struct{}
+
+func (errMismatch) Error() string { return "parallel count mismatch" }

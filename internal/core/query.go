@@ -167,6 +167,33 @@ func (a *accumulator) combineRange(b *GeoBlock, first, last int) {
 	}
 }
 
+// mergeFrom folds another accumulator built over the same specs into a.
+// COUNT adds and MIN/MAX take the extremum — both associative, so the
+// merged result is bit-identical to a serial run. SUM (and the AVG
+// numerator) re-associates the additions at the merge points; the result
+// differs from the serial sum only by ordinary floating-point rounding
+// (see DESIGN.md Sec. 6 for the bound) and is exact for integer-valued
+// columns within 2^53.
+func (a *accumulator) mergeFrom(o *accumulator) {
+	a.count += o.count
+	for k, s := range a.specs {
+		switch s.Func {
+		case AggCount:
+			// Tracked globally via a.count.
+		case AggSum, AggAvg:
+			a.vals[k] += o.vals[k]
+		case AggMin:
+			if o.vals[k] < a.vals[k] {
+				a.vals[k] = o.vals[k]
+			}
+		case AggMax:
+			if o.vals[k] > a.vals[k] {
+				a.vals[k] = o.vals[k]
+			}
+		}
+	}
+}
+
 // combineValues folds a pre-combined aggregate record (count + per-column
 // aggregates, e.g. from the query cache) into the accumulator.
 func (a *accumulator) combineValues(count uint64, cols []ColAggregate) {
@@ -230,6 +257,16 @@ func (b *GeoBlock) SelectCovering(cov []cellid.ID, specs []AggSpec) (Result, err
 		return Result{}, err
 	}
 	acc := newAccumulator(specs)
+	visited := b.selectCoveringInto(acc, cov)
+	return acc.finish(visited), nil
+}
+
+// selectCoveringInto is the serial SELECT kernel: it folds one
+// (sub-)covering into acc and returns the number of cell aggregates
+// visited. SelectCovering runs it over the whole covering;
+// SelectCoveringParallel runs one instance per worker over contiguous
+// covering chunks and merges the accumulators.
+func (b *GeoBlock) selectCoveringInto(acc *accumulator, cov []cellid.ID) int {
 	visited := 0
 	cursor := 0
 	for _, qc := range cov {
@@ -252,7 +289,7 @@ func (b *GeoBlock) SelectCovering(cov []cellid.ID, specs []AggSpec) (Result, err
 		visited += last - first + 1
 		cursor = last + 1
 	}
-	return acc.finish(visited), nil
+	return visited
 }
 
 // SelectCoveringScan is the pre-prefix-sum SELECT: the cursor-bounded

@@ -175,6 +175,15 @@ func (e *env) buildApproaches(paperLevel int, withPH, withART bool) approaches {
 }
 
 // cachedBlock wraps a block in the query cache with the given threshold.
+// A non-positive threshold builds the explicit 0-budget ablation cache
+// (Fig. 18's 0% point) — the validated NewWithThreshold rejects it.
 func cachedBlock(b *core.GeoBlock, threshold float64) *aggtrie.CachedBlock {
-	return aggtrie.NewWithThreshold(b, threshold)
+	if threshold <= 0 {
+		return aggtrie.New(b, 0)
+	}
+	cb, err := aggtrie.NewWithThreshold(b, threshold)
+	if err != nil {
+		panic(err)
+	}
+	return cb
 }

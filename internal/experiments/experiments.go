@@ -167,6 +167,7 @@ func All() []Runner {
 		{ID: "fig18", Desc: "Impact of aggregate threshold on runtime and hit rate", Run: Fig18},
 		{ID: "fig19", Desc: "Payoff point of incremental builds", Run: Fig19},
 		{ID: "pr1", Desc: "Prefix-sum SELECT fast path vs scan ablation across levels", Run: PR1},
+		{ID: "pr2", Desc: "Concurrent throughput scaling and parallel covering aggregation", Run: PR2},
 	}
 }
 
