@@ -20,6 +20,7 @@ import (
 	"geoblocks/internal/dataset"
 	"geoblocks/internal/experiments"
 	"geoblocks/internal/geom"
+	"geoblocks/internal/store"
 	"geoblocks/internal/workload"
 )
 
@@ -409,4 +410,79 @@ func BenchmarkHilbert(b *testing.B) {
 			_ = dom.CellRect(ids[i%len(ids)])
 		}
 	})
+}
+
+// Sharded store benchmarks: the covering split + fan-out + partial merge
+// of internal/store against a raw single block, on shard-local and
+// cross-shard traffic (the pr3 experiment measures the same comparison
+// as throughput; these are the per-query latency views).
+
+type storeBenchEnv struct {
+	ds    *store.Dataset
+	local [][]cellid.ID
+	cross [][]cellid.ID
+	polys []*geom.Polygon
+}
+
+func newStoreBenchEnv(b *testing.B, rows, shardLevel int) *storeBenchEnv {
+	b.Helper()
+	raw := dataset.Generate(dataset.NYCTaxi(), rows, 1)
+	clean := raw.CleanRule()
+	ds, err := store.Build("taxi", raw.Spec.Bound, raw.Spec.Schema, raw.Points, raw.Cols,
+		store.Options{Level: 12, ShardLevel: shardLevel, Clean: &clean})
+	if err != nil {
+		b.Fatal(err)
+	}
+	localPolys := workload.ShardLocal(raw.Spec.Bound, 2, 32, 5)
+	crossPolys := workload.CrossShard(raw.Spec.Bound, 1, 32, 6)
+	local := make([][]cellid.ID, len(localPolys))
+	for i, p := range localPolys {
+		local[i] = ds.Cover(p)
+	}
+	cross := make([][]cellid.ID, len(crossPolys))
+	for i, p := range crossPolys {
+		cross[i] = ds.Cover(p)
+	}
+	return &storeBenchEnv{ds: ds, local: local, cross: cross,
+		polys: append(localPolys, crossPolys...)}
+}
+
+var storeBenchReqs = []geoblocks.AggRequest{geoblocks.Count(), geoblocks.Sum("fare_amount")}
+
+func BenchmarkStoreShardLocalQuery(b *testing.B) {
+	for _, shardLevel := range []int{0, 2} {
+		b.Run(fmt.Sprintf("shardLevel=%d", shardLevel), func(b *testing.B) {
+			e := newStoreBenchEnv(b, 150_000, shardLevel)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ds.QueryCovering(e.local[i%len(e.local)], storeBenchReqs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreCrossShardQuery(b *testing.B) {
+	for _, shardLevel := range []int{0, 2} {
+		b.Run(fmt.Sprintf("shardLevel=%d", shardLevel), func(b *testing.B) {
+			e := newStoreBenchEnv(b, 150_000, shardLevel)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ds.QueryCovering(e.cross[i%len(e.cross)], storeBenchReqs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreBatchQuery(b *testing.B) {
+	e := newStoreBenchEnv(b, 150_000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ds.QueryBatch(e.polys, storeBenchReqs...); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -15,6 +15,9 @@
 // With -parallel it instead runs the pr2 parallel bench mode — queries/sec
 // at 1..GOMAXPROCS goroutines with and without the query cache, plus the
 // SelectCoveringParallel fan-out — producing the committed BENCH_PR2.json.
+// With -sharded it runs the pr3 sharded-store bench mode — store-routed
+// queries/sec at shard levels 0..2 against the raw single-block kernel —
+// producing the committed BENCH_PR3.json.
 package main
 
 import (
@@ -41,6 +44,7 @@ func main() {
 		list      = flag.Bool("list", false, "list experiments and exit")
 		perfJSON  = flag.String("perf-json", "", "run the pr1 perf snapshot and write JSON to this file")
 		parallel  = flag.Bool("parallel", false, "with -perf-json: run the pr2 parallel bench mode (queries/sec at 1..GOMAXPROCS goroutines) instead of pr1")
+		sharded   = flag.Bool("sharded", false, "with -perf-json: run the pr3 sharded-store bench mode (store routing vs raw block) instead of pr1")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: geobench [flags] [experiment ...]\n\nexperiments:\n")
@@ -76,8 +80,14 @@ func main() {
 
 	if *perfJSON != "" {
 		write := writePerfSnapshot
-		if *parallel {
+		switch {
+		case *parallel && *sharded:
+			fmt.Fprintf(os.Stderr, "geobench: -parallel and -sharded are mutually exclusive\n")
+			os.Exit(2)
+		case *parallel:
 			write = writeParallelSnapshot
+		case *sharded:
+			write = writeShardedSnapshot
 		}
 		if err := write(cfg, *perfJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
@@ -148,6 +158,49 @@ type parallelSnapshot struct {
 	TaxiRows   int                    `json:"taxi_rows"`
 	Seed       int64                  `json:"seed"`
 	Points     []experiments.PR2Point `json:"points"`
+}
+
+// shardedSnapshot is the BENCH_PR3.json document: the raw pr3
+// measurements plus the machine context needed to read the scaling
+// columns.
+type shardedSnapshot struct {
+	Experiment string                 `json:"experiment"`
+	GoVersion  string                 `json:"go_version"`
+	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	NumCPU     int                    `json:"num_cpu"`
+	TaxiRows   int                    `json:"taxi_rows"`
+	Seed       int64                  `json:"seed"`
+	Points     []experiments.PR3Point `json:"points"`
+}
+
+// writeShardedSnapshot runs the pr3 sweep, prints its table and writes
+// the raw points as indented JSON.
+func writeShardedSnapshot(cfg experiments.Config, path string) error {
+	start := time.Now()
+	tables, points := experiments.PR3Perf(cfg)
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	snap := shardedSnapshot{
+		Experiment: "pr3",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		TaxiRows:   cfg.TaxiRows,
+		Seed:       cfg.Seed,
+		Points:     points,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sharded snapshot written to %s in %v\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // writeParallelSnapshot runs the pr2 sweep, prints its table and writes

@@ -1,0 +1,148 @@
+// Command geoblocksd serves spatially sharded GeoBlock datasets over
+// HTTP/JSON: the serving daemon on top of internal/store.
+//
+// Usage:
+//
+//	geoblocksd [-addr :8080] [-load spec[:rows]]... [-level N]
+//	           [-shard-level N] [-cache F] [-cache-refresh N]
+//	           [-seed N] [-drain D]
+//
+// Each -load builds one synthetic dataset at startup (spec taxi, tweets
+// or osm; default 100000 rows), registered under the spec name. More
+// datasets — with per-dataset level, sharding and cache configuration —
+// can be created at runtime via POST /v1/datasets.
+//
+// Endpoints (full reference with curl examples in docs/OPERATIONS.md):
+//
+//	GET    /v1/datasets        list datasets
+//	POST   /v1/datasets        create a synthetic dataset
+//	DELETE /v1/datasets/{name} drop a dataset
+//	POST   /v1/query           polygon / rect / batch aggregate query
+//	GET    /v1/stats           detailed statistics (?dataset=NAME)
+//	GET    /metrics            Prometheus-style counters
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes
+// immediately, in-flight requests get -drain (default 5s) to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"geoblocks/internal/httpapi"
+	"geoblocks/internal/store"
+)
+
+// loadSpec is one -load argument: a synthetic dataset to build at startup.
+type loadSpec struct {
+	spec string
+	rows int
+}
+
+func parseLoad(arg string) (loadSpec, error) {
+	ls := loadSpec{rows: 100_000}
+	name, rows, ok := strings.Cut(arg, ":")
+	ls.spec = name
+	if ok {
+		n, err := strconv.Atoi(rows)
+		if err != nil || n <= 0 {
+			return ls, fmt.Errorf("bad -load row count %q", rows)
+		}
+		ls.rows = n
+	}
+	if _, known := httpapi.SpecByName(ls.spec); !known {
+		return ls, fmt.Errorf("unknown -load spec %q (taxi, tweets, osm)", ls.spec)
+	}
+	return ls, nil
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		level        = flag.Int("level", httpapi.DefaultLevel, "block grid level for -load datasets")
+		shardLevel   = flag.Int("shard-level", 2, "shard prefix level for -load datasets (0 = unsharded)")
+		cache        = flag.Float64("cache", 0.10, "per-shard cache aggregate threshold for -load datasets (0 = no cache)")
+		cacheRefresh = flag.Int("cache-refresh", 2000, "per-shard cache auto-refresh cadence in queries (0 = manual)")
+		seed         = flag.Int64("seed", 1, "generation seed for -load datasets")
+		drain        = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	)
+	var loads []loadSpec
+	flag.Func("load", "synthetic dataset to serve, spec[:rows] (taxi, tweets, osm); repeatable", func(arg string) error {
+		ls, err := parseLoad(arg)
+		if err != nil {
+			return err
+		}
+		loads = append(loads, ls)
+		return nil
+	})
+	flag.Parse()
+
+	st := store.New()
+	for _, ls := range loads {
+		start := time.Now()
+		d, err := httpapi.BuildSynthetic(ls.spec, ls.spec, ls.rows, *seed, store.Options{
+			Level:            *level,
+			ShardLevel:       *shardLevel,
+			CacheThreshold:   *cache,
+			CacheAutoRefresh: *cacheRefresh,
+		})
+		if err != nil {
+			log.Fatalf("geoblocksd: loading %s: %v", ls.spec, err)
+		}
+		if err := st.Add(d); err != nil {
+			log.Fatalf("geoblocksd: %v", err)
+		}
+		s := d.Stats()
+		log.Printf("loaded %s: %d tuples, %d shards at level %d (block level %d) in %v",
+			s.Name, s.Tuples, s.NumShards, s.ShardLevel, s.Level, time.Since(start).Round(time.Millisecond))
+	}
+
+	handler := httpapi.NewHandler(st)
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("geoblocksd: %v", err)
+	}
+	log.Printf("serving %d dataset(s) on %s", len(loads), l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, l, handler, *drain); err != nil {
+		log.Fatalf("geoblocksd: %v", err)
+	}
+	log.Printf("shut down cleanly")
+}
+
+// serve runs an HTTP server on l until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// drainTimeout to complete. It returns nil on a clean (signal-initiated)
+// shutdown and the serve error otherwise.
+func serve(ctx context.Context, l net.Listener, h http.Handler, drainTimeout time.Duration) error {
+	srv := &http.Server{
+		Handler: h,
+		// Bound slow clients so trickled headers and abandoned idle
+		// connections cannot pin goroutines and fds forever; request
+		// bodies are separately capped by the handler (httpapi).
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}

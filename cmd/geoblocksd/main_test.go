@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdown verifies the serve loop: cancelling the context
+// closes the listener but lets an in-flight request finish.
+func TestGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	inFlight := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/slow" {
+			close(inFlight)
+			<-release
+		}
+		fmt.Fprint(w, "ok")
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- serve(ctx, l, h, 5*time.Second) }()
+
+	base := "http://" + l.Addr().String()
+	resp, err := http.Get(base + "/fast")
+	if err != nil {
+		t.Fatalf("request before shutdown: %v", err)
+	}
+	resp.Body.Close()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("slow status %d", resp.StatusCode)
+			}
+		}
+		slowDone <- err
+	}()
+	<-inFlight
+
+	cancel() // initiate graceful shutdown with the slow request in flight
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	if err := <-slowDone; err != nil {
+		t.Fatalf("in-flight request did not complete cleanly: %v", err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v, want nil on graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("serve did not return after shutdown")
+	}
+	if _, err := http.Get(base + "/fast"); err == nil {
+		t.Fatalf("listener still accepting after shutdown")
+	}
+}
+
+// TestParseLoad covers the -load flag parser.
+func TestParseLoad(t *testing.T) {
+	ls, err := parseLoad("taxi:5000")
+	if err != nil || ls.spec != "taxi" || ls.rows != 5000 {
+		t.Fatalf("parseLoad(taxi:5000) = %+v, %v", ls, err)
+	}
+	ls, err = parseLoad("osm")
+	if err != nil || ls.spec != "osm" || ls.rows != 100_000 {
+		t.Fatalf("parseLoad(osm) = %+v, %v", ls, err)
+	}
+	for _, bad := range []string{"mars", "taxi:x", "taxi:-5", "taxi:0"} {
+		if _, err := parseLoad(bad); err == nil {
+			t.Errorf("parseLoad(%q) accepted", bad)
+		}
+	}
+}

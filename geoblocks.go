@@ -1,43 +1,10 @@
-// Package geoblocks is a pre-aggregating data structure for spatial
-// aggregation over arbitrary polygons, reproducing "GeoBlocks: A
-// Query-Cache Accelerated Data Structure for Spatial Aggregation over
-// Polygons" (EDBT 2021).
-//
-// A GeoBlock is a materialized view over geospatial point data: it
-// subdivides the spatial domain into fine-grained grid cells along a
-// Hilbert-ordered quadtree, pre-computes per-cell aggregates (count, min,
-// max, sum per column, stored struct-of-arrays with per-column prefix
-// sums), and answers aggregate queries over arbitrary polygons by
-// combining the aggregates of an error-bounded cell covering of the query
-// polygon. COUNT, SUM and AVG are answered from range endpoints — tuple
-// offsets and prefix sums — so their cost per covering cell is constant
-// regardless of the block level; only MIN/MAX scan the covered aggregates,
-// and they do so over contiguous per-column arrays (DESIGN.md Sec. 2-3).
-// The spatial approximation is the covering: every point of the covering
-// lies within one grid-cell diagonal of the polygon outline, a bound the
-// user controls by choosing the block level. SUM/AVG additionally carry
-// ordinary floating-point rounding from the prefix-sum endpoint
-// subtraction (exact for integer-valued columns; see DESIGN.md Sec. 2 for
-// the cancellation characteristics); COUNT and MIN/MAX are always exact
-// over the covering.
-// An optional trie-based query cache ("BlockQC") adapts to workload skew
-// by pre-combining aggregates of frequently queried regions.
-//
-// # Quick start
-//
-//	schema := geoblocks.NewSchema("fare", "distance")
-//	b := geoblocks.NewBuilder(bound, schema)
-//	b.AddRows(points, cols)
-//	if err := b.Extract(); err != nil { ... }
-//	blk, err := b.Build(17, nil) // ~level-17 grid, no filter
-//	res, err := blk.Query(polygon, geoblocks.Count(), geoblocks.Sum("fare"))
-//
-// See the examples directory for complete programs.
 package geoblocks
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -75,6 +42,10 @@ type (
 	CacheMetrics = aggtrie.Metrics
 	// UpdateBatch is a set of new tuples for GeoBlock.Update.
 	UpdateBatch = core.UpdateBatch
+	// Accumulator holds a pre-finalisation partial query result. Partials
+	// from different blocks over the same domain (the shards of a
+	// partitioned dataset) merge with MergeFrom before Result finalises.
+	Accumulator = core.Accumulator
 )
 
 // Pt constructs a Point.
@@ -130,6 +101,11 @@ type AggRequest struct {
 	col string
 }
 
+// ErrUnknownColumn reports an aggregate request naming a column absent
+// from the block's schema; wrap-aware callers (the HTTP layer's status
+// mapping) match it with errors.Is.
+var ErrUnknownColumn = errors.New("geoblocks: unknown column")
+
 func resolveSpecs(schema Schema, reqs []AggRequest) ([]AggSpec, error) {
 	specs := make([]AggSpec, len(reqs))
 	for i, r := range reqs {
@@ -137,7 +113,7 @@ func resolveSpecs(schema Schema, reqs []AggRequest) ([]AggSpec, error) {
 		if r.fn != core.AggCount {
 			idx := schema.ColIndex(r.col)
 			if idx < 0 {
-				return nil, fmt.Errorf("geoblocks: unknown column %q", r.col)
+				return nil, fmt.Errorf("%w %q", ErrUnknownColumn, r.col)
 			}
 			spec.Col = idx
 		}
@@ -272,6 +248,47 @@ func (g *GeoBlock) QueryRectParallel(r Rect, workers int, reqs ...AggRequest) (R
 // QueryCoveringParallel is QueryParallel over a pre-computed covering.
 func (g *GeoBlock) QueryCoveringParallel(cov []CellID, workers int, reqs ...AggRequest) (Result, error) {
 	return g.queryCoveringParallel(cov, workers, reqs)
+}
+
+// QueryCoveringPartial answers a SELECT query over a pre-computed covering
+// but stops before finalisation, returning the partial accumulator. It is
+// the per-shard hook of a sharded deployment (internal/store): a router
+// computes one covering, splits it with SplitCovering, runs one partial
+// per shard and merges them with Accumulator.MergeFrom before calling
+// Result. With an enabled cache the partial goes through the adapted cache
+// algorithm (probes, statistics and auto-refresh included), exactly like
+// Query.
+func (g *GeoBlock) QueryCoveringPartial(cov []CellID, reqs ...AggRequest) (*Accumulator, error) {
+	specs, err := resolveSpecs(g.inner.Schema(), reqs)
+	if err != nil {
+		return nil, err
+	}
+	if g.cached != nil {
+		acc, err := g.cached.SelectPartial(cov, specs)
+		if err != nil {
+			return nil, err
+		}
+		g.maybeAutoRefresh()
+		return acc, nil
+	}
+	return g.inner.SelectCoveringPartial(cov, specs)
+}
+
+// SplitCovering returns the sub-covering of cov that intersects cell's
+// leaf range — the cells a shard owning cell must answer. cov must be
+// sorted ascending with disjoint cells (the form Cover and CoverRect
+// produce); the result is a sub-slice of cov sharing its backing array,
+// so splitting a covering across shards allocates nothing. A covering
+// cell coarser than cell appears in the split of every shard it overlaps;
+// because shards partition the underlying cell aggregates, the per-shard
+// contributions of such a cell are disjoint and merge exactly.
+func SplitCovering(cov []CellID, cell CellID) []CellID {
+	lo, hi := cell.RangeMin(), cell.RangeMax()
+	// Disjoint sorted cells have sorted range endpoints, so both bounds
+	// are binary searches.
+	first := sort.Search(len(cov), func(i int) bool { return cov[i].RangeMax() >= lo })
+	last := sort.Search(len(cov), func(i int) bool { return cov[i].RangeMin() > hi })
+	return cov[first:last:last]
 }
 
 func (g *GeoBlock) queryCoveringParallel(cov []CellID, workers int, reqs []AggRequest) (Result, error) {

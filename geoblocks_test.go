@@ -496,3 +496,120 @@ func TestRegularPolygonHelper(t *testing.T) {
 		t.Fatalf("area = %g", p.Area())
 	}
 }
+
+// TestSplitCovering pins the covering-split hook: the sub-coverings of
+// sibling cells partition the covering cells they own, coarse covering
+// cells appear in every overlapping split, and out-of-range splits are
+// empty.
+func TestSplitCovering(t *testing.T) {
+	b := newTestBuilder(t, 20000, 4)
+	blk, err := b.Build(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poly := testPoly(t)
+	cov := blk.Cover(poly)
+	if len(cov) == 0 {
+		t.Fatal("empty covering")
+	}
+
+	// Split across the four level-1 quadrants.
+	root := geoblocks.CellID(1) << (2 * geoblocks.MaxLevel)
+	total := 0
+	seen := make(map[geoblocks.CellID]int)
+	for _, q := range root.Children() {
+		sub := geoblocks.SplitCovering(cov, q)
+		total += len(sub)
+		for _, c := range sub {
+			seen[c]++
+		}
+		for i := 1; i < len(sub); i++ {
+			if sub[i] <= sub[i-1] {
+				t.Fatal("split not ascending")
+			}
+		}
+	}
+	if total < len(cov) {
+		t.Fatalf("splits hold %d cells, covering has %d", total, len(cov))
+	}
+	for _, c := range cov {
+		want := 1
+		if c.Level() < 1 {
+			want = 4 // a cell coarser than the split level overlaps all children
+		}
+		if got := seen[c]; got < 1 || got > want {
+			t.Fatalf("cell %v appears in %d splits, want 1..%d", c, got, want)
+		}
+	}
+	// The whole-root split is the covering itself (shared backing).
+	if whole := geoblocks.SplitCovering(cov, root); len(whole) != len(cov) {
+		t.Fatalf("root split kept %d of %d cells", len(whole), len(cov))
+	}
+	// A disjoint cell yields an empty split.
+	if sub := geoblocks.SplitCovering(nil, root); len(sub) != 0 {
+		t.Fatalf("empty covering split non-empty")
+	}
+}
+
+// TestQueryCoveringPartialMerge pins the partial-accumulator hook: the
+// quadrant partials of a covering merge to the full-query answer —
+// bit-identically for COUNT/MIN/MAX, and up to floating-point
+// reassociation for AVG (the cached path pre-combines records in a
+// different order than the quadrant split).
+func TestQueryCoveringPartialMerge(t *testing.T) {
+	b := newTestBuilder(t, 20000, 5)
+	blk, err := b.Build(12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cached := range []bool{false, true} {
+		if cached {
+			if err := blk.EnableCache(0.2, 0); err != nil {
+				t.Fatal(err)
+			}
+			blk.RefreshCache()
+		}
+		reqs := []geoblocks.AggRequest{
+			geoblocks.Count(), geoblocks.Min("fare"), geoblocks.Max("fare"), geoblocks.Avg("distance"),
+		}
+		cov := blk.Cover(testPoly(t))
+		want, err := blk.QueryCovering(cov, reqs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		root := geoblocks.CellID(1) << (2 * geoblocks.MaxLevel)
+		var total *geoblocks.Accumulator
+		for _, q := range root.Children() {
+			acc, err := blk.QueryCoveringPartial(geoblocks.SplitCovering(cov, q), reqs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total == nil {
+				total = acc
+			} else if err := total.MergeFrom(acc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := total.Result()
+		if got.Count != want.Count {
+			t.Fatalf("cached=%v: merged count %d, want %d", cached, got.Count, want.Count)
+		}
+		for i := range want.Values {
+			diff := math.Abs(got.Values[i] - want.Values[i])
+			if i < 3 && diff != 0 { // count/min/max merge bit-identically
+				t.Fatalf("cached=%v: merged value %d = %v, want %v", cached, i, got.Values[i], want.Values[i])
+			}
+			if diff > 1e-12*math.Abs(want.Values[i]) {
+				t.Fatalf("cached=%v: merged avg %v, want %v", cached, got.Values[i], want.Values[i])
+			}
+		}
+	}
+
+	// Mismatched specs refuse to merge.
+	a1, _ := blk.QueryCoveringPartial(nil, geoblocks.Count())
+	a2, _ := blk.QueryCoveringPartial(nil, geoblocks.Min("fare"))
+	if err := a1.MergeFrom(a2); err == nil {
+		t.Fatal("mismatched-spec merge accepted")
+	}
+}

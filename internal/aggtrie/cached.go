@@ -267,9 +267,22 @@ func (cb *CachedBlock) probeWorthwhile(qc cellid.ID) bool {
 // Every query cell is also recorded in the statistics. The trie is loaded
 // once at entry, so a concurrent Refresh never changes the cache mid-query.
 func (cb *CachedBlock) Select(cov []cellid.ID, specs []core.AggSpec) (core.Result, error) {
-	acc, err := cb.block.NewAccumulator(specs)
+	acc, err := cb.SelectPartial(cov, specs)
 	if err != nil {
 		return core.Result{}, err
+	}
+	return acc.Result(), nil
+}
+
+// SelectPartial is Select without the finalisation step: it returns the
+// accumulator holding the pre-combined partial result so callers can merge
+// partials across blocks (the shards of a partitioned dataset) before
+// calling Result. Cache probing, statistics recording and the metrics
+// counters behave exactly as in Select.
+func (cb *CachedBlock) SelectPartial(cov []cellid.ID, specs []core.AggSpec) (*core.Accumulator, error) {
+	acc, err := cb.block.NewAccumulator(specs)
+	if err != nil {
+		return nil, err
 	}
 	trie := cb.trie.Load()
 	derivable := cb.DeriveFromSiblings && sumOnlySpecs(specs)
@@ -336,7 +349,7 @@ func (cb *CachedBlock) Select(cov []cellid.ID, specs []core.AggSpec) (core.Resul
 	d.FullHits += d.DerivedHits
 	d.DerivedHits = 0
 	cb.sinceRefresh.add(d)
-	return acc.Result(), nil
+	return acc, nil
 }
 
 // Count answers a COUNT query. COUNT runtime is nearly independent of the

@@ -1,0 +1,27 @@
+// Package aggtrie implements the AggregateTrie query cache ("BlockQC",
+// paper Sec. 3.6): a trie over previously queried cells that stores
+// pre-combined aggregate records for the most valuable cells in a
+// compact, budgeted arena, dynamically adapting GeoBlocks to the skew of
+// the query workload.
+//
+// The layout follows the paper's Fig. 7: the trie structure is a flat
+// array of 8-byte nodes (two 32-bit offsets — first child block and
+// aggregate slot), with fanout 4 and one trie level per cell level;
+// aggregate records live in a second region addressed by fixed-size
+// slots. Offset 0 encodes "n/a" for both fields, exactly as in the paper.
+//
+// CachedBlock couples one trie to one core.GeoBlock and implements the
+// adapted query algorithm of the paper's Fig. 8: per query cell it serves
+// a cached record, combines cached direct children with scans, or falls
+// back to the plain covering scan, recording statistics either way so the
+// next Refresh re-ranks what is worth caching. SelectPartial exposes the
+// same algorithm pre-finalisation for the sharded store's cross-shard
+// partial merge.
+//
+// The cache is a lock-light concurrent serving structure (DESIGN.md
+// Sec. 6): the trie is immutable once built and published through an
+// atomic pointer (Refresh swaps a complete replacement), effectiveness
+// counters are atomic, and query statistics are striped across
+// cache-line-padded shards with bounded arenas (ShardedStats). Readers
+// therefore never block on — or observe — a rebuild in progress.
+package aggtrie

@@ -1,13 +1,3 @@
-// Package aggtrie implements the AggregateTrie query cache (paper
-// Sec. 3.6): a trie over previously queried cells that stores pre-combined
-// aggregate records for the most valuable cells in a compact, budgeted
-// arena, dynamically adapting GeoBlocks to the skew of the query workload.
-//
-// The layout follows the paper's Fig. 7: the trie structure is a flat array
-// of 8-byte nodes (two 32-bit offsets — first child block and aggregate
-// slot), with fanout 4 and one trie level per cell level; aggregate records
-// live in a second region addressed by fixed-size slots. Offset 0 encodes
-// "n/a" for both fields, exactly as in the paper.
 package aggtrie
 
 import (

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"geoblocks/internal/cellid"
 )
 
@@ -74,7 +76,49 @@ func (a *Accumulator) SkipTo(idx int) {
 	}
 }
 
+// MergeFrom folds another accumulator into a. Both accumulators must have
+// been created for the same aggregate specs, but they may belong to
+// different GeoBlocks — this is how the sharded store combines per-shard
+// partial results over one spatial domain. COUNT adds and MIN/MAX take the
+// extremum, so for those the merged result is bit-identical to a single
+// accumulator fed all inputs; SUM and the AVG numerator re-associate the
+// additions at the merge point, with the floating-point bound documented
+// in DESIGN.md Sec. 6 (exact for integer-valued columns below 2^53).
+func (a *Accumulator) MergeFrom(o *Accumulator) error {
+	if len(a.inner.specs) != len(o.inner.specs) {
+		return fmt.Errorf("core: merging accumulators over %d vs %d aggregate specs",
+			len(a.inner.specs), len(o.inner.specs))
+	}
+	for i, s := range a.inner.specs {
+		if o.inner.specs[i] != s {
+			return fmt.Errorf("core: merging accumulators with mismatched spec %d: %v vs %v",
+				i, s, o.inner.specs[i])
+		}
+	}
+	a.inner.mergeFrom(o.inner)
+	a.visited += o.visited
+	return nil
+}
+
 // Result finalises the accumulator.
 func (a *Accumulator) Result() Result {
 	return a.inner.finish(a.visited)
+}
+
+// SelectCoveringPartial answers a SELECT query over a covering with the
+// same endpoint-based range kernel as SelectCovering, but stops before
+// finalisation: the returned Accumulator holds the pre-combined partial so
+// callers can MergeFrom partials of other blocks (the shards of a
+// partitioned dataset) before calling Result. The covering obeys the same
+// contract as SelectCovering (ascending, disjoint, no cells finer than the
+// block level). The partial consumes the whole covering; do not mix it
+// with further AccumulateCell calls.
+func (b *GeoBlock) SelectCoveringPartial(cov []cellid.ID, specs []AggSpec) (*Accumulator, error) {
+	if err := b.validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	acc := &Accumulator{b: b, inner: newAccumulator(specs)}
+	acc.visited = b.selectCoveringInto(acc.inner, cov)
+	acc.cursor = len(b.keys)
+	return acc, nil
 }

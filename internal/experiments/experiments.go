@@ -168,6 +168,7 @@ func All() []Runner {
 		{ID: "fig19", Desc: "Payoff point of incremental builds", Run: Fig19},
 		{ID: "pr1", Desc: "Prefix-sum SELECT fast path vs scan ablation across levels", Run: PR1},
 		{ID: "pr2", Desc: "Concurrent throughput scaling and parallel covering aggregation", Run: PR2},
+		{ID: "pr3", Desc: "Sharded store routing vs single-block serving throughput", Run: PR3},
 	}
 }
 

@@ -1,0 +1,459 @@
+// Package httpapi implements the HTTP/JSON API of the geoblocksd
+// serving daemon over a store.Store: dataset registry, polygon /
+// rectangle / batch aggregate queries, statistics and Prometheus-style
+// metrics. cmd/geoblocksd wires this handler to a listener with flags
+// and graceful shutdown; docs/OPERATIONS.md is the endpoint reference.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geoblocks"
+	"geoblocks/internal/dataset"
+	"geoblocks/internal/geom"
+	"geoblocks/internal/store"
+)
+
+// maxCreateRows caps POST /v1/datasets so a single request cannot OOM the
+// daemon; bigger datasets are loaded at startup with -load.
+const maxCreateRows = 10_000_000
+
+// maxBodyBytes caps POST request bodies for the same reason: a query
+// body is polygon rings and aggregate specs, a create body is a small
+// configuration object — 8 MiB comfortably fits any legitimate batch
+// while bounding what a decoder will materialise.
+const maxBodyBytes = 8 << 20
+
+// DefaultLevel is the block grid level used when a dataset is created
+// without one; over city-scale bounds it is a street-level grid, the
+// paper's mid-range operating point.
+const DefaultLevel = 14
+
+// server holds the daemon state behind the HTTP handlers: the dataset
+// store plus request counters for /metrics.
+type server struct {
+	store *store.Store
+	start time.Time
+
+	// creating reserves dataset names while a POST /v1/datasets build is
+	// in flight, so concurrent creates of one name run the expensive
+	// build only once.
+	creating sync.Map
+
+	// per-endpoint-group request counters, exported by /metrics.
+	reqDatasets atomic.Uint64
+	reqQuery    atomic.Uint64
+	reqStats    atomic.Uint64
+	reqMetrics  atomic.Uint64
+}
+
+// NewHandler wraps a store in the daemon's HTTP handler. The four
+// endpoint groups (docs/OPERATIONS.md has the full reference):
+//
+//	GET/POST /v1/datasets, DELETE /v1/datasets/{name} — registry
+//	POST /v1/query — polygon, rect and batch-of-polygons aggregation
+//	GET /v1/stats — dataset statistics with per-shard breakdown
+//	GET /metrics — Prometheus-style counters
+func NewHandler(st *store.Store) http.Handler {
+	_, h := newServer(st)
+	return h
+}
+
+// newServer builds the server state and its routing mux; tests use the
+// server to reach the counters directly.
+func newServer(st *store.Store) (*server, http.Handler) {
+	s := &server{store: st, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDropDataset)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, mux
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// jsonFloat marshals NaN and ±Inf (legal aggregate results: the MIN of an
+// empty region is NaN) as null, which encoding/json otherwise rejects.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// resultJSON is one query answer on the wire.
+type resultJSON struct {
+	Count        uint64      `json:"count"`
+	Values       []jsonFloat `json:"values"`
+	CellsVisited int         `json:"cells_visited"`
+}
+
+func toResultJSON(r geoblocks.Result) resultJSON {
+	out := resultJSON{Count: r.Count, Values: make([]jsonFloat, len(r.Values)), CellsVisited: r.CellsVisited}
+	for i, v := range r.Values {
+		out.Values[i] = jsonFloat(v)
+	}
+	return out
+}
+
+// aggJSON is one requested aggregate: {"func": "sum", "col": "fare"}.
+// col is ignored for count.
+type aggJSON struct {
+	Func string `json:"func"`
+	Col  string `json:"col"`
+}
+
+func (a aggJSON) toRequest() (geoblocks.AggRequest, error) {
+	fn := strings.ToLower(a.Func)
+	if fn != "count" && a.Col == "" {
+		return geoblocks.AggRequest{}, fmt.Errorf("aggregate %q needs a col", a.Func)
+	}
+	switch fn {
+	case "count":
+		return geoblocks.Count(), nil
+	case "sum":
+		return geoblocks.Sum(a.Col), nil
+	case "min":
+		return geoblocks.Min(a.Col), nil
+	case "max":
+		return geoblocks.Max(a.Col), nil
+	case "avg":
+		return geoblocks.Avg(a.Col), nil
+	default:
+		return geoblocks.AggRequest{}, fmt.Errorf("unknown aggregate func %q (count, sum, min, max, avg)", a.Func)
+	}
+}
+
+// queryRequest is the /v1/query body. Exactly one of Polygon, Rect or
+// Polygons must be set.
+type queryRequest struct {
+	Dataset string `json:"dataset"`
+	// Polygon is an outer ring of [x, y] vertices.
+	Polygon [][2]float64 `json:"polygon,omitempty"`
+	// Rect is [minX, minY, maxX, maxY].
+	Rect *[4]float64 `json:"rect,omitempty"`
+	// Polygons is the batch form: one ring per query, answered with one
+	// shared covering pass.
+	Polygons [][][2]float64 `json:"polygons,omitempty"`
+	Aggs     []aggJSON      `json:"aggs"`
+}
+
+// queryResponse is the /v1/query answer. Result is set for the polygon
+// and rect forms, Results for the batch form.
+type queryResponse struct {
+	Dataset   string       `json:"dataset"`
+	Result    *resultJSON  `json:"result,omitempty"`
+	Results   []resultJSON `json:"results,omitempty"`
+	ElapsedUS int64        `json:"elapsed_us"`
+}
+
+func parseRing(ring [][2]float64) (*geom.Polygon, error) {
+	pts := make([]geom.Point, len(ring))
+	for i, v := range ring {
+		pts[i] = geom.Pt(v[0], v[1])
+	}
+	return geom.TryPolygon(pts)
+}
+
+// queryStatus maps a query error to an HTTP status: schema errors are the
+// caller's fault.
+func queryStatus(err error) int {
+	if errors.Is(err, geoblocks.ErrUnknownColumn) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.reqQuery.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, "missing dataset")
+		return
+	}
+	d, ok := s.store.Get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	forms := 0
+	for _, set := range []bool{req.Polygon != nil, req.Rect != nil, req.Polygons != nil} {
+		if set {
+			forms++
+		}
+	}
+	if forms != 1 {
+		writeError(w, http.StatusBadRequest, "exactly one of polygon, rect or polygons must be set")
+		return
+	}
+	if req.Polygons != nil && len(req.Polygons) == 0 {
+		writeError(w, http.StatusBadRequest, "polygons must not be empty")
+		return
+	}
+	if len(req.Aggs) == 0 {
+		writeError(w, http.StatusBadRequest, "missing aggs")
+		return
+	}
+	reqs := make([]geoblocks.AggRequest, len(req.Aggs))
+	for i, a := range req.Aggs {
+		ar, err := a.toRequest()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "aggs[%d]: %v", i, err)
+			return
+		}
+		reqs[i] = ar
+	}
+
+	start := time.Now()
+	resp := queryResponse{Dataset: req.Dataset}
+	switch {
+	case req.Polygon != nil:
+		poly, err := parseRing(req.Polygon)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "polygon: %v", err)
+			return
+		}
+		res, err := d.Query(poly, reqs...)
+		if err != nil {
+			writeError(w, queryStatus(err), "query: %v", err)
+			return
+		}
+		rj := toResultJSON(res)
+		resp.Result = &rj
+	case req.Rect != nil:
+		rc := geom.Rect{Min: geom.Pt(req.Rect[0], req.Rect[1]), Max: geom.Pt(req.Rect[2], req.Rect[3])}
+		if !rc.IsValid() {
+			writeError(w, http.StatusBadRequest, "rect: min exceeds max")
+			return
+		}
+		res, err := d.QueryRect(rc, reqs...)
+		if err != nil {
+			writeError(w, queryStatus(err), "query: %v", err)
+			return
+		}
+		rj := toResultJSON(res)
+		resp.Result = &rj
+	default:
+		polys := make([]*geom.Polygon, len(req.Polygons))
+		for i, ring := range req.Polygons {
+			poly, err := parseRing(ring)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "polygons[%d]: %v", i, err)
+				return
+			}
+			polys[i] = poly
+		}
+		results, err := d.QueryBatch(polys, reqs...)
+		if err != nil {
+			writeError(w, queryStatus(err), "query: %v", err)
+			return
+		}
+		resp.Results = make([]resultJSON, len(results))
+		for i, res := range results {
+			resp.Results[i] = toResultJSON(res)
+		}
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// datasetsResponse is the GET /v1/datasets body.
+type datasetsResponse struct {
+	Datasets []store.DatasetStats `json:"datasets"`
+}
+
+func (s *server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	s.reqDatasets.Add(1)
+	// The list view stays compact; /v1/stats has the per-shard breakdown.
+	writeJSON(w, http.StatusOK, datasetsResponse{Datasets: s.store.Summaries()})
+}
+
+// createRequest is the POST /v1/datasets body: build a synthetic dataset
+// (internal/dataset spec) with per-dataset sharding and cache
+// configuration.
+type createRequest struct {
+	Name string `json:"name"`
+	// Spec is the synthetic dataset generator: taxi, tweets or osm.
+	Spec string `json:"spec"`
+	Rows int    `json:"rows"`
+	Seed int64  `json:"seed"`
+	// Level is the block grid level; 0 picks the default (14).
+	Level      int `json:"level"`
+	ShardLevel int `json:"shard_level"`
+	// CacheThreshold > 0 enables per-shard query caches with that
+	// aggregate-threshold fraction.
+	CacheThreshold   float64 `json:"cache_threshold"`
+	CacheAutoRefresh int     `json:"cache_auto_refresh"`
+}
+
+// SpecByName resolves the synthetic generator specs the daemon can load.
+func SpecByName(name string) (dataset.Spec, bool) {
+	switch strings.ToLower(name) {
+	case "taxi":
+		return dataset.NYCTaxi(), true
+	case "tweets":
+		return dataset.USTweets(), true
+	case "osm":
+		return dataset.OSMAmericas(), true
+	}
+	return dataset.Spec{}, false
+}
+
+// BuildSynthetic generates spec rows and builds a store dataset from them.
+func BuildSynthetic(name, specName string, rows int, seed int64, opts store.Options) (*store.Dataset, error) {
+	spec, ok := SpecByName(specName)
+	if !ok {
+		return nil, fmt.Errorf("unknown spec %q (taxi, tweets, osm)", specName)
+	}
+	raw := dataset.Generate(spec, rows, seed)
+	clean := raw.CleanRule()
+	opts.Clean = &clean
+	return store.Build(name, raw.Spec.Bound, raw.Spec.Schema, raw.Points, raw.Cols, opts)
+}
+
+func (s *server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	s.reqDatasets.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "missing name")
+		return
+	}
+	if req.Rows <= 0 || req.Rows > maxCreateRows {
+		writeError(w, http.StatusBadRequest, "rows must be in [1, %d], got %d", maxCreateRows, req.Rows)
+		return
+	}
+	if req.Level == 0 {
+		req.Level = DefaultLevel
+	}
+	if _, exists := s.store.Get(req.Name); exists {
+		writeError(w, http.StatusConflict, "dataset %q already exists", req.Name)
+		return
+	}
+	// Reserve the name for the duration of the build so concurrent
+	// creates of the same dataset do not each run the (potentially
+	// multi-second) generation and indexing; the final Add still decides
+	// conflicts with already-registered datasets atomically.
+	if _, busy := s.creating.LoadOrStore(req.Name, struct{}{}); busy {
+		writeError(w, http.StatusConflict, "dataset %q is being created", req.Name)
+		return
+	}
+	defer s.creating.Delete(req.Name)
+	d, err := BuildSynthetic(req.Name, req.Spec, req.Rows, req.Seed, store.Options{
+		Level:            req.Level,
+		ShardLevel:       req.ShardLevel,
+		CacheThreshold:   req.CacheThreshold,
+		CacheAutoRefresh: req.CacheAutoRefresh,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "build: %v", err)
+		return
+	}
+	if err := s.store.Add(d); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, d.Stats())
+}
+
+func (s *server) handleDropDataset(w http.ResponseWriter, r *http.Request) {
+	s.reqDatasets.Add(1)
+	name := r.PathValue("name")
+	if !s.store.Drop(name) {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.reqStats.Add(1)
+	if name := r.URL.Query().Get("dataset"); name != "" {
+		d, ok := s.store.Get(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown dataset %q", name)
+			return
+		}
+		writeJSON(w, http.StatusOK, d.Stats())
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetsResponse{Datasets: s.store.Stats()})
+}
+
+// handleMetrics renders Prometheus-style text metrics: per-dataset sizes,
+// query counts and cache effectiveness counters, plus daemon totals.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reqMetrics.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	writeMetric := func(name, labels string, v float64) {
+		if labels != "" {
+			fmt.Fprintf(&b, "%s{%s} %g\n", name, labels, v)
+		} else {
+			fmt.Fprintf(&b, "%s %g\n", name, v)
+		}
+	}
+	fmt.Fprintf(&b, "# geoblocksd metrics\n")
+	writeMetric("geoblocksd_uptime_seconds", "", time.Since(s.start).Seconds())
+	writeMetric("geoblocksd_requests_total", `endpoint="datasets"`, float64(s.reqDatasets.Load()))
+	writeMetric("geoblocksd_requests_total", `endpoint="query"`, float64(s.reqQuery.Load()))
+	writeMetric("geoblocksd_requests_total", `endpoint="stats"`, float64(s.reqStats.Load()))
+	writeMetric("geoblocksd_requests_total", `endpoint="metrics"`, float64(s.reqMetrics.Load()))
+
+	for _, st := range s.store.Summaries() {
+		l := fmt.Sprintf("dataset=%q", st.Name)
+		writeMetric("geoblocks_dataset_shards", l, float64(st.NumShards))
+		writeMetric("geoblocks_dataset_cells", l, float64(st.Cells))
+		writeMetric("geoblocks_dataset_tuples", l, float64(st.Tuples))
+		writeMetric("geoblocks_dataset_size_bytes", l, float64(st.SizeBytes))
+		writeMetric("geoblocks_dataset_queries_total", l, float64(st.Queries))
+		writeMetric("geoblocks_cache_bytes", l, float64(st.CacheBytes))
+		writeMetric("geoblocks_cache_probes_total", l, float64(st.Cache.Probes))
+		writeMetric("geoblocks_cache_full_hits_total", l, float64(st.Cache.FullHits))
+		writeMetric("geoblocks_cache_partial_hits_total", l, float64(st.Cache.PartialHits))
+		writeMetric("geoblocks_cache_misses_total", l, float64(st.Cache.Misses))
+		writeMetric("geoblocks_cache_derived_hits_total", l, float64(st.Cache.DerivedHits))
+	}
+	_, _ = w.Write([]byte(b.String()))
+}

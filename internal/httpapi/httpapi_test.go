@@ -1,0 +1,317 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"geoblocks/internal/store"
+)
+
+// testStore builds a small sharded store for the handler tests.
+func testStore(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New()
+	d, err := BuildSynthetic("taxi", "taxi", 20_000, 1, store.Options{
+		Level:          12,
+		ShardLevel:     2,
+		CacheThreshold: 0.1,
+	})
+	if err != nil {
+		t.Fatalf("BuildSynthetic: %v", err)
+	}
+	if err := st.Add(d); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	return st
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+// taxiRect is a rect query body over the middle of the NYC bound.
+const taxiRect = `{"dataset":"taxi","rect":[-74.05,40.60,-73.85,40.85],"aggs":[{"func":"count"},{"func":"sum","col":"fare_amount"}]}`
+
+func TestQueryEndpoint(t *testing.T) {
+	_, h := newServer(testStore(t))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	t.Run("rect", func(t *testing.T) {
+		resp, body := postJSON(t, ts, "/v1/query", taxiRect)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var qr queryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if qr.Result == nil || qr.Result.Count == 0 {
+			t.Fatalf("rect query found nothing: %s", body)
+		}
+		if len(qr.Result.Values) != 2 {
+			t.Fatalf("want 2 values, got %s", body)
+		}
+	})
+
+	t.Run("polygon", func(t *testing.T) {
+		body := `{"dataset":"taxi","polygon":[[-74.05,40.60],[-73.85,40.60],[-73.85,40.85],[-74.05,40.85]],"aggs":[{"func":"count"}]}`
+		resp, data := postJSON(t, ts, "/v1/query", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		var qr queryResponse
+		if err := json.Unmarshal(data, &qr); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if qr.Result == nil || qr.Result.Count == 0 {
+			t.Fatalf("polygon query found nothing: %s", data)
+		}
+	})
+
+	t.Run("batch", func(t *testing.T) {
+		body := `{"dataset":"taxi","polygons":[
+			[[-74.05,40.60],[-73.85,40.60],[-73.85,40.85],[-74.05,40.85]],
+			[[-80,40],[-79,40],[-79,41],[-80,41]]
+		],"aggs":[{"func":"count"},{"func":"min","col":"fare_amount"}]}`
+		resp, data := postJSON(t, ts, "/v1/query", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		var qr queryResponse
+		if err := json.Unmarshal(data, &qr); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if len(qr.Results) != 2 {
+			t.Fatalf("want 2 batch results, got %s", data)
+		}
+		if qr.Results[0].Count == 0 {
+			t.Errorf("first polygon found nothing")
+		}
+		// The second polygon is outside the NYC bound: zero rows, and its
+		// MIN must serialise as null (NaN is not valid JSON).
+		if qr.Results[1].Count != 0 {
+			t.Errorf("out-of-domain polygon count = %d", qr.Results[1].Count)
+		}
+		if !strings.Contains(string(data), "null") {
+			t.Errorf("empty MIN not serialised as null: %s", data)
+		}
+	})
+
+	// batch result equals the one-at-a-time polygon answer.
+	t.Run("batch matches single", func(t *testing.T) {
+		single := `{"dataset":"taxi","polygon":[[-74.05,40.60],[-73.85,40.60],[-73.85,40.85],[-74.05,40.85]],"aggs":[{"func":"count"}]}`
+		batch := `{"dataset":"taxi","polygons":[[[-74.05,40.60],[-73.85,40.60],[-73.85,40.85],[-74.05,40.85]]],"aggs":[{"func":"count"}]}`
+		_, sData := postJSON(t, ts, "/v1/query", single)
+		_, bData := postJSON(t, ts, "/v1/query", batch)
+		var sr, br queryResponse
+		if err := json.Unmarshal(sData, &sr); err != nil {
+			t.Fatalf("unmarshal single: %v", err)
+		}
+		if err := json.Unmarshal(bData, &br); err != nil {
+			t.Fatalf("unmarshal batch: %v", err)
+		}
+		if sr.Result.Count != br.Results[0].Count {
+			t.Errorf("batch count %d != single count %d", br.Results[0].Count, sr.Result.Count)
+		}
+	})
+}
+
+// TestQueryErrors is the table-driven malformed-request suite.
+func TestQueryErrors(t *testing.T) {
+	_, h := newServer(testStore(t))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"malformed json", `{"dataset":`, http.StatusBadRequest},
+		{"missing dataset", `{"rect":[0,0,1,1],"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+		{"unknown dataset", `{"dataset":"nope","rect":[0,0,1,1],"aggs":[{"func":"count"}]}`, http.StatusNotFound},
+		{"no region", `{"dataset":"taxi","aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+		{"two regions", `{"dataset":"taxi","rect":[0,0,1,1],"polygon":[[0,0],[1,0],[0,1]],"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+		{"missing aggs", `{"dataset":"taxi","rect":[0,0,1,1]}`, http.StatusBadRequest},
+		{"unknown agg func", `{"dataset":"taxi","rect":[0,0,1,1],"aggs":[{"func":"median","col":"fare_amount"}]}`, http.StatusBadRequest},
+		{"agg without col", `{"dataset":"taxi","rect":[0,0,1,1],"aggs":[{"func":"sum"}]}`, http.StatusBadRequest},
+		{"unknown column", `{"dataset":"taxi","rect":[-74.05,40.60,-73.85,40.85],"aggs":[{"func":"sum","col":"nope"}]}`, http.StatusBadRequest},
+		{"invalid rect", `{"dataset":"taxi","rect":[1,1,0,0],"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+		{"degenerate polygon", `{"dataset":"taxi","polygon":[[0,0],[1,1]],"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+		{"degenerate batch polygon", `{"dataset":"taxi","polygons":[[[0,0],[1,1]]],"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+		{"empty batch", `{"dataset":"taxi","polygons":[],"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts, "/v1/query", tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, tc.status, body)
+			}
+			var er errorResponse
+			if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+				t.Fatalf("error body not JSON {error}: %s", body)
+			}
+		})
+	}
+
+	t.Run("method not allowed", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/query")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /v1/query status = %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+func TestDatasetsEndpoint(t *testing.T) {
+	_, h := newServer(testStore(t))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, body := getJSON(t, ts, "/v1/datasets")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d", resp.StatusCode)
+	}
+	var dl datasetsResponse
+	if err := json.Unmarshal(body, &dl); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(dl.Datasets) != 1 || dl.Datasets[0].Name != "taxi" {
+		t.Fatalf("list = %s", body)
+	}
+	if dl.Datasets[0].NumShards < 2 {
+		t.Errorf("taxi not sharded: %s", body)
+	}
+
+	// Create a second dataset with its own cache configuration, query it,
+	// then drop it.
+	create := `{"name":"tweets-small","spec":"tweets","rows":5000,"level":10,"shard_level":1,"cache_threshold":0.25}`
+	resp, body = postJSON(t, ts, "/v1/datasets", create)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d: %s", resp.StatusCode, body)
+	}
+	var st store.DatasetStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("unmarshal create: %v", err)
+	}
+	if !st.CacheEnabled || st.ShardLevel != 1 {
+		t.Fatalf("create stats = %s", body)
+	}
+
+	// Error paths for creation.
+	for name, tc := range map[string]struct {
+		body   string
+		status int
+	}{
+		"duplicate":    {create, http.StatusConflict},
+		"unknown spec": {`{"name":"x","spec":"mars","rows":10}`, http.StatusBadRequest},
+		"zero rows":    {`{"name":"x","spec":"taxi","rows":0}`, http.StatusBadRequest},
+		"missing name": {`{"spec":"taxi","rows":10}`, http.StatusBadRequest},
+		"bad options":  {`{"name":"x","spec":"taxi","rows":10,"level":5,"shard_level":6}`, http.StatusBadRequest},
+	} {
+		resp, body := postJSON(t, ts, "/v1/datasets", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("create %s: status %d, want %d (%s)", name, resp.StatusCode, tc.status, body)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/datasets/tweets-small", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("drop status %d", dresp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/datasets/tweets-small", nil)
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second drop status %d, want 404", dresp.StatusCode)
+	}
+}
+
+func TestStatsAndMetricsEndpoints(t *testing.T) {
+	_, h := newServer(testStore(t))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Drive a few queries so the counters move.
+	for i := 0; i < 3; i++ {
+		postJSON(t, ts, "/v1/query", taxiRect)
+	}
+
+	resp, body := getJSON(t, ts, "/v1/stats?dataset=taxi")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st store.DatasetStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("unmarshal stats: %v", err)
+	}
+	if st.Queries != 3 {
+		t.Errorf("stats queries = %d, want 3", st.Queries)
+	}
+	if len(st.Shards) != st.NumShards || st.NumShards == 0 {
+		t.Errorf("per-shard stats missing: %s", body)
+	}
+
+	resp, _ = getJSON(t, ts, "/v1/stats?dataset=nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown stats dataset status %d, want 404", resp.StatusCode)
+	}
+
+	resp, body = getJSON(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`geoblocks_dataset_queries_total{dataset="taxi"} 3`,
+		`geoblocks_dataset_tuples{dataset="taxi"}`,
+		`geoblocks_dataset_shards{dataset="taxi"}`,
+		`geoblocks_cache_probes_total{dataset="taxi"}`,
+		`geoblocksd_requests_total{endpoint="query"} 3`,
+		"geoblocksd_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}

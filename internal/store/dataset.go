@@ -1,0 +1,455 @@
+package store
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"geoblocks"
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/core"
+	"geoblocks/internal/cover"
+	"geoblocks/internal/geom"
+)
+
+// MaxShardLevel bounds the shard prefix level: level 6 already yields up
+// to 4096 shards, far beyond what a single process usefully fans out to.
+const MaxShardLevel = 6
+
+// Options configure a dataset build.
+type Options struct {
+	// Level is the block grid level of every shard (the spatial error
+	// bound, as for a single GeoBlock).
+	Level int
+	// ShardLevel is the cell level of the spatial partition: each
+	// non-empty cell at this level becomes one shard. 0 builds a single
+	// unsharded block. Must not exceed Level (a shard must be at least
+	// one grid cell) nor MaxShardLevel.
+	ShardLevel int
+	// CacheThreshold, when positive, enables a per-shard query cache with
+	// that aggregate-threshold budget fraction (geoblocks.EnableCache).
+	CacheThreshold float64
+	// CacheAutoRefresh is the per-shard auto-refresh cadence in queries
+	// (0 = manual refresh), forwarded to EnableCache.
+	CacheAutoRefresh int
+	// Clean overrides the extract phase's outlier rule. Nil keeps the
+	// builder default (drop points outside the dataset bound).
+	Clean *core.CleanRule
+}
+
+func (o Options) validate() error {
+	if o.Level < 0 || o.Level > geoblocks.MaxLevel {
+		return fmt.Errorf("store: block level %d out of range [0,%d]", o.Level, geoblocks.MaxLevel)
+	}
+	if o.ShardLevel < 0 || o.ShardLevel > MaxShardLevel {
+		return fmt.Errorf("store: shard level %d out of range [0,%d]", o.ShardLevel, MaxShardLevel)
+	}
+	if o.ShardLevel > o.Level {
+		return fmt.Errorf("store: shard level %d exceeds block level %d", o.ShardLevel, o.Level)
+	}
+	if o.CacheThreshold < 0 {
+		return fmt.Errorf("store: cache threshold must be >= 0, got %v", o.CacheThreshold)
+	}
+	return nil
+}
+
+// shard is one spatial partition: the cell at the shard level whose leaf
+// range the shard owns, and the GeoBlock holding exactly that range's
+// rows. Shards are sorted by cell, i.e. by the contiguous, disjoint
+// cell-id ranges they own.
+type shard struct {
+	cell  cellid.ID
+	block *geoblocks.GeoBlock
+}
+
+// Dataset is one named, spatially sharded dataset: a set of GeoBlocks over
+// a common domain, partitioned by top-level cell prefix, plus the coverer
+// shared by all queries. Datasets are immutable once built (the per-shard
+// query caches adapt internally and are safe for concurrent use).
+type Dataset struct {
+	name    string
+	opts    Options
+	dom     cellid.Domain
+	schema  geoblocks.Schema
+	coverer *cover.Coverer
+	shards  []shard
+
+	// queries counts routed queries (each batch element counts once).
+	queries atomic.Uint64
+}
+
+// Build partitions the raw rows by shard-level cell prefix and builds one
+// GeoBlock per non-empty shard, all over the same domain so cell ids and
+// coverings are comparable across shards. Rows outside bound are dropped
+// by the extract phase of the shard they clamp into (or by opts.Clean).
+// A dataset with no surviving rows still gets one empty shard so queries
+// resolve and return identity results.
+func Build(name string, bound geom.Rect, schema geoblocks.Schema, pts []geom.Point, cols [][]float64, opts Options) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("store: dataset name must not be empty")
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	dom, err := cellid.NewDomain(bound)
+	if err != nil {
+		return nil, err
+	}
+	cov, err := cover.NewCoverer(dom, cover.DefaultOptions(opts.Level))
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) != schema.NumCols() {
+		return nil, fmt.Errorf("store: got %d columns, schema has %d", len(cols), schema.NumCols())
+	}
+	for c := range cols {
+		if len(cols[c]) != len(pts) {
+			return nil, fmt.Errorf("store: column %d has %d rows, want %d", c, len(cols[c]), len(pts))
+		}
+	}
+
+	// Partition row indices by shard cell. Points outside the bound clamp
+	// into an edge shard and are dropped there by the clean rule.
+	byCell := make(map[cellid.ID][]int)
+	for i, p := range pts {
+		cell := dom.CellAt(p, opts.ShardLevel)
+		byCell[cell] = append(byCell[cell], i)
+	}
+	cells := make([]cellid.ID, 0, len(byCell))
+	for cell := range byCell {
+		cells = append(cells, cell)
+	}
+	if len(cells) == 0 {
+		// Keep one empty shard so queries can resolve aggregate specs.
+		cells = append(cells, cellid.Begin(opts.ShardLevel))
+	}
+	slices.Sort(cells)
+
+	d := &Dataset{
+		name:    name,
+		opts:    opts,
+		dom:     dom,
+		schema:  schema,
+		coverer: cov,
+		shards:  make([]shard, 0, len(cells)),
+	}
+	rowPts := make([]geom.Point, 0)
+	rowCols := make([][]float64, schema.NumCols())
+	for _, cell := range cells {
+		idxs := byCell[cell]
+		rowPts = rowPts[:0]
+		for c := range rowCols {
+			rowCols[c] = rowCols[c][:0]
+		}
+		for _, i := range idxs {
+			rowPts = append(rowPts, pts[i])
+			for c := range rowCols {
+				rowCols[c] = append(rowCols[c], cols[c][i])
+			}
+		}
+		b, err := geoblocks.NewBuilder(bound, schema)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Clean != nil {
+			b.SetCleanRule(*opts.Clean)
+		}
+		if err := b.AddRows(rowPts, rowCols); err != nil {
+			return nil, err
+		}
+		blk, err := b.Build(opts.Level, nil)
+		if err != nil {
+			return nil, fmt.Errorf("store: building shard %v: %w", cell, err)
+		}
+		if opts.CacheThreshold > 0 {
+			if err := blk.EnableCache(opts.CacheThreshold, opts.CacheAutoRefresh); err != nil {
+				return nil, err
+			}
+		}
+		d.shards = append(d.shards, shard{cell: cell, block: blk})
+	}
+	return d, nil
+}
+
+// Name returns the dataset name.
+func (d *Dataset) Name() string { return d.name }
+
+// Schema returns the dataset's value-column schema.
+func (d *Dataset) Schema() geoblocks.Schema { return d.schema }
+
+// Bound returns the dataset's spatial domain bound.
+func (d *Dataset) Bound() geom.Rect { return d.dom.Bound() }
+
+// Level returns the block grid level of the shards.
+func (d *Dataset) Level() int { return d.opts.Level }
+
+// ShardLevel returns the cell level of the spatial partition.
+func (d *Dataset) ShardLevel() int { return d.opts.ShardLevel }
+
+// NumShards returns the number of shards.
+func (d *Dataset) NumShards() int { return len(d.shards) }
+
+// Cover computes the dataset-level cell covering of a polygon — computed
+// once per query and split across shards by the router.
+func (d *Dataset) Cover(poly *geom.Polygon) []cellid.ID {
+	return d.coverer.Cover(poly).Cells
+}
+
+// CoverRect computes the covering of a rectangle.
+func (d *Dataset) CoverRect(r geom.Rect) []cellid.ID {
+	return d.coverer.CoverRect(r).Cells
+}
+
+// Query answers a SELECT aggregate query over a polygon: one covering,
+// split across shards, merged partials.
+func (d *Dataset) Query(poly *geom.Polygon, reqs ...geoblocks.AggRequest) (geoblocks.Result, error) {
+	return d.QueryCovering(d.Cover(poly), reqs...)
+}
+
+// QueryRect answers a SELECT aggregate query over a rectangle.
+func (d *Dataset) QueryRect(r geom.Rect, reqs ...geoblocks.AggRequest) (geoblocks.Result, error) {
+	return d.QueryCovering(d.CoverRect(r), reqs...)
+}
+
+// QueryCovering answers a SELECT query over a pre-computed covering
+// (ascending, disjoint, no cells finer than the block level). Shards whose
+// range the covering misses are never touched; multi-shard queries fan out
+// one goroutine per involved shard and merge the partial accumulators in
+// shard order (COUNT/MIN/MAX bit-identical to an unsharded block, SUM/AVG
+// up to floating-point reassociation — see the package comment).
+func (d *Dataset) QueryCovering(cov []cellid.ID, reqs ...geoblocks.AggRequest) (geoblocks.Result, error) {
+	d.queries.Add(1)
+	return d.queryCovering(cov, reqs, true)
+}
+
+// queryPart is one routed unit: a shard and the sub-covering it answers.
+type queryPart struct {
+	shard *shard
+	sub   []cellid.ID
+}
+
+// route splits the covering across the shards it intersects. Shards are
+// sorted by their disjoint cell ranges and the covering spans
+// [cov[0].RangeMin(), cov[last].RangeMax()], so a binary search bounds
+// the candidate shards and routing costs O(log shards + candidates)
+// instead of scanning all shards for every query.
+func (d *Dataset) route(cov []cellid.ID) []queryPart {
+	if len(cov) == 0 {
+		return nil
+	}
+	lo, hi := cov[0].RangeMin(), cov[len(cov)-1].RangeMax()
+	first := sort.Search(len(d.shards), func(i int) bool {
+		return d.shards[i].cell.RangeMax() >= lo
+	})
+	var parts []queryPart
+	for i := first; i < len(d.shards) && d.shards[i].cell.RangeMin() <= hi; i++ {
+		sh := &d.shards[i]
+		if sub := geoblocks.SplitCovering(cov, sh.cell); len(sub) > 0 {
+			parts = append(parts, queryPart{shard: sh, sub: sub})
+		}
+	}
+	return parts
+}
+
+func (d *Dataset) queryCovering(cov []cellid.ID, reqs []geoblocks.AggRequest, parallel bool) (geoblocks.Result, error) {
+	parts := d.route(cov)
+	switch len(parts) {
+	case 0:
+		// Empty covering, or one that misses every shard: an empty
+		// partial against any shard resolves the specs and finalises the
+		// identity result (zero count, NaN extrema).
+		acc, err := d.shards[0].block.QueryCoveringPartial(nil, reqs...)
+		if err != nil {
+			return geoblocks.Result{}, err
+		}
+		return acc.Result(), nil
+	case 1:
+		acc, err := parts[0].shard.block.QueryCoveringPartial(parts[0].sub, reqs...)
+		if err != nil {
+			return geoblocks.Result{}, err
+		}
+		return acc.Result(), nil
+	}
+
+	accs := make([]*geoblocks.Accumulator, len(parts))
+	errs := make([]error, len(parts))
+	if parallel {
+		var wg sync.WaitGroup
+		for i := range parts {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				accs[i], errs[i] = parts[i].shard.block.QueryCoveringPartial(parts[i].sub, reqs...)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range parts {
+			accs[i], errs[i] = parts[i].shard.block.QueryCoveringPartial(parts[i].sub, reqs...)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return geoblocks.Result{}, err
+		}
+	}
+	// Merge in shard (ascending cell-range) order: deterministic for a
+	// fixed covering and sharding.
+	total := accs[0]
+	for _, acc := range accs[1:] {
+		if err := total.MergeFrom(acc); err != nil {
+			return geoblocks.Result{}, err
+		}
+	}
+	return total.Result(), nil
+}
+
+// QueryBatch answers one SELECT query per polygon, sharing the covering
+// machinery: coverings are computed once up front, then the polygons are
+// answered concurrently (each batch element routes across shards
+// serially, so the fan-out stays one goroutine per in-flight polygon).
+// Results are positionally aligned with polys.
+func (d *Dataset) QueryBatch(polys []*geom.Polygon, reqs ...geoblocks.AggRequest) ([]geoblocks.Result, error) {
+	covs := make([][]cellid.ID, len(polys))
+	for i, p := range polys {
+		covs[i] = d.Cover(p)
+	}
+	return d.QueryBatchCoverings(covs, reqs...)
+}
+
+// QueryBatchCoverings is QueryBatch over pre-computed coverings.
+func (d *Dataset) QueryBatchCoverings(covs [][]cellid.ID, reqs ...geoblocks.AggRequest) ([]geoblocks.Result, error) {
+	d.queries.Add(uint64(len(covs)))
+	results := make([]geoblocks.Result, len(covs))
+	errs := make([]error, len(covs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(covs) {
+		workers = len(covs)
+	}
+	if workers <= 1 {
+		for i, cov := range covs {
+			results[i], errs[i] = d.queryCovering(cov, reqs, false)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(covs) {
+						return
+					}
+					results[i], errs[i] = d.queryCovering(covs[i], reqs, false)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RefreshCaches rebuilds every shard's query cache from its accumulated
+// statistics. No-op for shards without an enabled cache. Unlike the other
+// Dataset methods this is a structural mutation on each shard and must
+// not run concurrently with queries (geoblocks.GeoBlock's concurrency
+// contract); prefer CacheAutoRefresh for live serving.
+func (d *Dataset) RefreshCaches() {
+	for i := range d.shards {
+		d.shards[i].block.RefreshCache()
+	}
+}
+
+// ShardStats describes one shard for stats reporting.
+type ShardStats struct {
+	// Cell is the shard's prefix cell (level-tagged hex token).
+	Cell string `json:"cell"`
+	// Cells is the number of non-empty grid cells in the shard block.
+	Cells int `json:"cells"`
+	// Tuples is the number of aggregated tuples.
+	Tuples uint64 `json:"tuples"`
+	// SizeBytes is the shard block's aggregate storage size.
+	SizeBytes int `json:"size_bytes"`
+	// CacheBytes is the shard's current cache arena size.
+	CacheBytes int `json:"cache_bytes,omitempty"`
+}
+
+// DatasetStats is the stats snapshot of one dataset.
+type DatasetStats struct {
+	Name       string   `json:"name"`
+	Level      int      `json:"level"`
+	ShardLevel int      `json:"shard_level"`
+	NumShards  int      `json:"num_shards"`
+	Columns    []string `json:"columns"`
+	// ErrorBound is the spatial error bound in domain units (one grid
+	// cell diagonal).
+	ErrorBound float64 `json:"error_bound"`
+	Cells      int     `json:"cells"`
+	Tuples     uint64  `json:"tuples"`
+	SizeBytes  int     `json:"size_bytes"`
+	Queries    uint64  `json:"queries"`
+	// CacheEnabled reports whether the shards carry query caches; Cache
+	// sums the per-shard effectiveness counters.
+	CacheEnabled bool                   `json:"cache_enabled"`
+	CacheBytes   int                    `json:"cache_bytes"`
+	Cache        geoblocks.CacheMetrics `json:"cache"`
+	Shards       []ShardStats           `json:"shards,omitempty"`
+}
+
+// Stats snapshots the dataset: totals plus per-shard breakdown. Cache
+// counters are summed across shards (each counter is read atomically; the
+// snapshot as a whole may be skewed by in-flight queries, as with a single
+// block's CacheMetrics).
+func (d *Dataset) Stats() DatasetStats { return d.stats(true) }
+
+// StatsSummary is Stats without the per-shard breakdown, for callers
+// (dataset listings, metrics scrapes) that only read the totals.
+func (d *Dataset) StatsSummary() DatasetStats { return d.stats(false) }
+
+func (d *Dataset) stats(includeShards bool) DatasetStats {
+	st := DatasetStats{
+		Name:         d.name,
+		Level:        d.opts.Level,
+		ShardLevel:   d.opts.ShardLevel,
+		NumShards:    len(d.shards),
+		Columns:      d.schema.Names,
+		Queries:      d.queries.Load(),
+		CacheEnabled: d.opts.CacheThreshold > 0,
+	}
+	if len(d.shards) > 0 {
+		st.ErrorBound = d.shards[0].block.ErrorBound()
+	}
+	for i := range d.shards {
+		blk := d.shards[i].block
+		m := blk.CacheMetrics()
+		st.Cells += blk.NumCells()
+		st.Tuples += blk.NumTuples()
+		st.SizeBytes += blk.SizeBytes()
+		st.CacheBytes += blk.CacheSizeBytes()
+		st.Cache.Probes += m.Probes
+		st.Cache.FullHits += m.FullHits
+		st.Cache.PartialHits += m.PartialHits
+		st.Cache.Misses += m.Misses
+		st.Cache.DerivedHits += m.DerivedHits
+		if includeShards {
+			st.Shards = append(st.Shards, ShardStats{
+				Cell:       d.shards[i].cell.String(),
+				Cells:      blk.NumCells(),
+				Tuples:     blk.NumTuples(),
+				SizeBytes:  blk.SizeBytes(),
+				CacheBytes: blk.CacheSizeBytes(),
+			})
+		}
+	}
+	return st
+}

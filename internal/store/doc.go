@@ -1,0 +1,44 @@
+// Package store is the serving tier above the GeoBlock library: a
+// registry of named datasets, each spatially sharded into multiple
+// GeoBlocks by top-level cell prefix, with a router that answers polygon,
+// rectangle and batch aggregate queries across the shards.
+//
+// # Sharding
+//
+// A dataset is partitioned at a configurable shard level: every cell at
+// that level of the spatial decomposition (internal/cellid) that contains
+// data becomes one shard, holding a GeoBlock built from exactly the rows
+// whose leaf key falls inside the shard cell's range. All shards share the
+// dataset's domain, so cell ids — and therefore coverings — are directly
+// comparable across shards, and a shard is one contiguous cell-id range
+// (the prefix property of Hilbert-ordered quadtree ids). Shard level 0
+// yields a single unsharded block.
+//
+// # Routing and merging
+//
+// A query computes one covering (internal/cover) per region, splits it
+// across shards with geoblocks.SplitCovering — a pair of binary searches
+// per shard, returning sub-slices of the one covering — fans the
+// sub-coverings out to the shard blocks, and merges the per-shard partial
+// accumulators (geoblocks.Accumulator.MergeFrom) before finalising. A
+// covering cell coarser than the shard level is routed to every shard it
+// overlaps; because the shards partition the underlying cell aggregates,
+// those per-shard contributions are disjoint and the merge is exact.
+// COUNT, MIN and MAX merge associatively and are bit-identical to an
+// unsharded block; SUM and the AVG numerator re-associate additions at the
+// merge points with the floating-point bound documented in DESIGN.md
+// Sec. 6 (exact for integer-valued columns below 2^53). Shard partials
+// always merge in ascending shard order, so results are deterministic for
+// a fixed (covering, sharding).
+//
+// # Concurrency
+//
+// A built Dataset is immutable apart from its per-shard query caches,
+// which are concurrent serving structures (DESIGN.md Sec. 6); any number
+// of goroutines may query one dataset. The Store registry serialises
+// Add/Drop behind a mutex while lookups are lock-light; a dataset dropped
+// mid-flight keeps serving queries already holding it.
+//
+// cmd/geoblocksd exposes this package over HTTP; docs/ARCHITECTURE.md
+// documents the full layer stack and the sharding/merge contract.
+package store

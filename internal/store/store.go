@@ -1,0 +1,99 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store is a registry of named datasets. The zero value is not usable;
+// call New.
+type Store struct {
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{datasets: make(map[string]*Dataset)}
+}
+
+// Add registers a dataset under its name. It fails when the name is
+// already taken; Drop first to replace.
+func (s *Store) Add(d *Dataset) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.datasets[d.Name()]; ok {
+		return fmt.Errorf("store: dataset %q already exists", d.Name())
+	}
+	s.datasets[d.Name()] = d
+	return nil
+}
+
+// Get returns the dataset registered under name.
+func (s *Store) Get(name string) (*Dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[name]
+	return d, ok
+}
+
+// Drop unregisters a dataset and reports whether it existed. Queries
+// already holding the dataset keep working; the registry simply stops
+// handing it out.
+func (s *Store) Drop(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.datasets[name]
+	delete(s.datasets, name)
+	return ok
+}
+
+// Names returns the registered dataset names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats returns the stats of every registered dataset, sorted by name,
+// including the per-shard breakdown. The registry is snapshotted under
+// one lock acquisition; the per-dataset stats are then collected outside
+// it.
+func (s *Store) Stats() []DatasetStats {
+	ds := s.snapshot()
+	out := make([]DatasetStats, len(ds))
+	for i, d := range ds {
+		out[i] = d.Stats()
+	}
+	return out
+}
+
+// Summaries is Stats without the per-shard breakdowns — the cheap
+// variant for dataset listings and metrics scrapes.
+func (s *Store) Summaries() []DatasetStats {
+	ds := s.snapshot()
+	out := make([]DatasetStats, len(ds))
+	for i, d := range ds {
+		out[i] = d.StatsSummary()
+	}
+	return out
+}
+
+// snapshot collects the registered datasets under one lock acquisition,
+// sorted by name.
+func (s *Store) snapshot() []*Dataset {
+	s.mu.RLock()
+	ds := make([]*Dataset, 0, len(s.datasets))
+	for _, d := range s.datasets {
+		ds = append(ds, d)
+	}
+	s.mu.RUnlock()
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Name() < ds[j].Name() })
+	return ds
+}

@@ -2,11 +2,15 @@
 // (Sec. 4.1): polygon sets standing in for NYC neighborhoods and US states
 // (jittered tessellations of "simple quadrilaterals or pentagons", which is
 // how the paper describes the real polygons), random rectangles, skewed
-// sub-workloads, and selectivity-calibrated query regions.
+// sub-workloads, and selectivity-calibrated query regions. ShardLocal and
+// CrossShard generate the multi-shard serving workloads of the sharded
+// store (internal/store): queries confined to one shard and queries
+// straddling shard boundaries.
 package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"geoblocks/internal/cellid"
@@ -131,6 +135,62 @@ func Combined(base, skewed []*geom.Polygon, skewedRuns int) []*geom.Polygon {
 	out = append(out, base...)
 	for r := 0; r < skewedRuns; r++ {
 		out = append(out, skewed...)
+	}
+	return out
+}
+
+// ShardLocal generates n polygons that each lie strictly inside one
+// random cell of the level-shardLevel grid over bound — the shard-local
+// workload of a spatially partitioned deployment (internal/store): every
+// query's covering routes to exactly one shard, so this is the
+// best-case traffic for sharded serving. Polygons keep a comfortable
+// margin (¼ of the shard cell) from the shard boundary so block-level
+// covering cells cannot leak into a neighbouring shard.
+func ShardLocal(bound geom.Rect, shardLevel, n int, seed int64) []*geom.Polygon {
+	if shardLevel < 0 || shardLevel > 15 {
+		panic(fmt.Sprintf("workload: shard level %d out of range", shardLevel))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := 1 << uint(shardLevel)
+	cw := bound.Width() / float64(side)
+	ch := bound.Height() / float64(side)
+	out := make([]*geom.Polygon, n)
+	for k := range out {
+		i := rng.Intn(side)
+		j := rng.Intn(side)
+		// Centre within the middle half of the cell; radius below the
+		// remaining quarter-cell margin.
+		cx := bound.Min.X + (float64(i)+0.3+rng.Float64()*0.4)*cw
+		cy := bound.Min.Y + (float64(j)+0.3+rng.Float64()*0.4)*ch
+		r := (0.05 + rng.Float64()*0.15) * math.Min(cw, ch)
+		out[k] = geom.RegularPolygon(geom.Pt(cx, cy), r, 4+rng.Intn(5))
+	}
+	return out
+}
+
+// CrossShard generates n polygons centred on random interior corners of
+// the level-shardLevel grid over bound, so every query straddles the
+// (typically four) shards meeting at that corner — the worst-case
+// fan-out traffic for sharded serving, exercising the covering split and
+// partial-accumulator merge on every query. shardLevel must be at least
+// 1 (a level-0 grid has no interior corners).
+func CrossShard(bound geom.Rect, shardLevel, n int, seed int64) []*geom.Polygon {
+	if shardLevel < 1 || shardLevel > 15 {
+		panic(fmt.Sprintf("workload: cross-shard needs shard level in [1,15], got %d", shardLevel))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := 1 << uint(shardLevel)
+	cw := bound.Width() / float64(side)
+	ch := bound.Height() / float64(side)
+	out := make([]*geom.Polygon, n)
+	for k := range out {
+		cx := bound.Min.X + float64(1+rng.Intn(side-1))*cw
+		cy := bound.Min.Y + float64(1+rng.Intn(side-1))*ch
+		// Radius within half a shard cell: big enough that the covering
+		// reaches into all adjacent shards, small enough to stay off
+		// further corners.
+		r := (0.15 + rng.Float64()*0.3) * math.Min(cw, ch)
+		out[k] = geom.RegularPolygon(geom.Pt(cx, cy), r, 6+rng.Intn(7))
 	}
 	return out
 }

@@ -155,3 +155,49 @@ func TestSelectivityRect(t *testing.T) {
 		t.Fatalf("target 1.0 should return the domain bound")
 	}
 }
+
+// shardCellOf returns the grid indices of the level-L shard cell
+// containing p over testBound.
+func shardCellOf(p geom.Point, shardLevel int) (int, int) {
+	side := float64(int(1) << uint(shardLevel))
+	return int((p.X - testBound.Min.X) / testBound.Width() * side),
+		int((p.Y - testBound.Min.Y) / testBound.Height() * side)
+}
+
+func TestShardLocal(t *testing.T) {
+	const shardLevel = 2
+	polys := ShardLocal(testBound, shardLevel, 64, 3)
+	if len(polys) != 64 {
+		t.Fatalf("polygons = %d, want 64", len(polys))
+	}
+	for i, p := range polys {
+		bb := p.Bound()
+		if !testBound.ContainsRect(bb) {
+			t.Fatalf("polygon %d leaves the bound: %v", i, bb)
+		}
+		i0, j0 := shardCellOf(bb.Min, shardLevel)
+		i1, j1 := shardCellOf(bb.Max, shardLevel)
+		if i0 != i1 || j0 != j1 {
+			t.Fatalf("polygon %d spans shard cells (%d,%d)-(%d,%d)", i, i0, j0, i1, j1)
+		}
+	}
+}
+
+func TestCrossShard(t *testing.T) {
+	const shardLevel = 2
+	polys := CrossShard(testBound, shardLevel, 64, 4)
+	if len(polys) != 64 {
+		t.Fatalf("polygons = %d, want 64", len(polys))
+	}
+	for i, p := range polys {
+		bb := p.Bound()
+		if !testBound.ContainsRect(bb) {
+			t.Fatalf("polygon %d leaves the bound: %v", i, bb)
+		}
+		i0, j0 := shardCellOf(bb.Min, shardLevel)
+		i1, j1 := shardCellOf(bb.Max, shardLevel)
+		if i0 == i1 && j0 == j1 {
+			t.Fatalf("polygon %d confined to one shard cell (%d,%d)", i, i0, j0)
+		}
+	}
+}

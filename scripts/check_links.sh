@@ -1,0 +1,37 @@
+#!/bin/sh
+# check_links.sh — fail on broken relative links in the repository's
+# Markdown files. External (http/https/mailto) and pure-anchor links are
+# skipped; anchors on relative links are stripped before the existence
+# check. Run from anywhere inside the repository:
+#
+#   scripts/check_links.sh
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+broken=$(mktemp)
+trap 'rm -f "$broken"' EXIT
+
+# shellcheck disable=SC2044
+for file in $(find "$root" -name '*.md' -not -path '*/.git/*'); do
+	dir=$(dirname "$file")
+	# Extract the (target) of every [text](target) occurrence; tolerate
+	# several links per line.
+	grep -o ']([^)]*)' "$file" 2>/dev/null | sed 's/^](//; s/)$//' |
+		while IFS= read -r link; do
+			case "$link" in
+			http://* | https://* | mailto:* | '#'*) continue ;;
+			esac
+			target=${link%%#*}
+			[ -n "$target" ] || continue
+			if [ ! -e "$dir/$target" ]; then
+				echo "${file#"$root"/}: broken relative link: $link" >>"$broken"
+			fi
+		done
+done
+
+if [ -s "$broken" ]; then
+	cat "$broken" >&2
+	echo "check_links: broken links found" >&2
+	exit 1
+fi
+echo "check_links: all relative Markdown links resolve"
