@@ -17,7 +17,10 @@
 // SelectCoveringParallel fan-out — producing the committed BENCH_PR2.json.
 // With -sharded it runs the pr3 sharded-store bench mode — store-routed
 // queries/sec at shard levels 0..2 against the raw single-block kernel —
-// producing the committed BENCH_PR3.json.
+// producing the committed BENCH_PR3.json. With -snapshot it runs the pr4
+// durability bench mode — snapshot save/restore wall time and MB/s
+// against rebuild-from-rows at shard levels 0..2 — producing the
+// committed BENCH_PR4.json.
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 		perfJSON  = flag.String("perf-json", "", "run the pr1 perf snapshot and write JSON to this file")
 		parallel  = flag.Bool("parallel", false, "with -perf-json: run the pr2 parallel bench mode (queries/sec at 1..GOMAXPROCS goroutines) instead of pr1")
 		sharded   = flag.Bool("sharded", false, "with -perf-json: run the pr3 sharded-store bench mode (store routing vs raw block) instead of pr1")
+		snapMode  = flag.Bool("snapshot", false, "with -perf-json: run the pr4 durability bench mode (snapshot save/restore vs rebuild) instead of pr1")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: geobench [flags] [experiment ...]\n\nexperiments:\n")
@@ -80,14 +84,22 @@ func main() {
 
 	if *perfJSON != "" {
 		write := writePerfSnapshot
+		modes := 0
+		for _, m := range []bool{*parallel, *sharded, *snapMode} {
+			if m {
+				modes++
+			}
+		}
 		switch {
-		case *parallel && *sharded:
-			fmt.Fprintf(os.Stderr, "geobench: -parallel and -sharded are mutually exclusive\n")
+		case modes > 1:
+			fmt.Fprintf(os.Stderr, "geobench: -parallel, -sharded and -snapshot are mutually exclusive\n")
 			os.Exit(2)
 		case *parallel:
 			write = writeParallelSnapshot
 		case *sharded:
 			write = writeShardedSnapshot
+		case *snapMode:
+			write = writeDurabilitySnapshot
 		}
 		if err := write(cfg, *perfJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
@@ -172,6 +184,49 @@ type shardedSnapshot struct {
 	TaxiRows   int                    `json:"taxi_rows"`
 	Seed       int64                  `json:"seed"`
 	Points     []experiments.PR3Point `json:"points"`
+}
+
+// durabilitySnapshot is the BENCH_PR4.json document: the raw pr4
+// measurements plus the machine context needed to read the throughput
+// columns (disk and core counts dominate them).
+type durabilitySnapshot struct {
+	Experiment string                 `json:"experiment"`
+	GoVersion  string                 `json:"go_version"`
+	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	NumCPU     int                    `json:"num_cpu"`
+	TaxiRows   int                    `json:"taxi_rows"`
+	Seed       int64                  `json:"seed"`
+	Points     []experiments.PR4Point `json:"points"`
+}
+
+// writeDurabilitySnapshot runs the pr4 sweep, prints its table and
+// writes the raw points as indented JSON.
+func writeDurabilitySnapshot(cfg experiments.Config, path string) error {
+	start := time.Now()
+	tables, points := experiments.PR4Perf(cfg)
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	snap := durabilitySnapshot{
+		Experiment: "pr4",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		TaxiRows:   cfg.TaxiRows,
+		Seed:       cfg.Seed,
+		Points:     points,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("durability snapshot written to %s in %v\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // writeShardedSnapshot runs the pr3 sweep, prints its table and writes

@@ -5,21 +5,30 @@
 //
 //	geoblocksd [-addr :8080] [-load spec[:rows]]... [-level N]
 //	           [-shard-level N] [-cache F] [-cache-refresh N]
-//	           [-seed N] [-drain D]
+//	           [-seed N] [-drain D] [-data-dir DIR] [-snapshot-on-exit]
 //
 // Each -load builds one synthetic dataset at startup (spec taxi, tweets
 // or osm; default 100000 rows), registered under the spec name. More
 // datasets — with per-dataset level, sharding and cache configuration —
 // can be created at runtime via POST /v1/datasets.
 //
+// With -data-dir the daemon is durable: every snapshot directory under
+// DIR is restored at startup (corrupt or version-mismatched snapshots
+// are skipped with an error log and register nothing), the snapshot
+// endpoint defaults to DIR/<name>, and -snapshot-on-exit snapshots every
+// registered dataset into DIR after the graceful drain, so the next
+// start resumes with the same data. docs/FORMAT.md specifies the on-disk
+// artifacts; docs/OPERATIONS.md has the runbook.
+//
 // Endpoints (full reference with curl examples in docs/OPERATIONS.md):
 //
-//	GET    /v1/datasets        list datasets
-//	POST   /v1/datasets        create a synthetic dataset
-//	DELETE /v1/datasets/{name} drop a dataset
-//	POST   /v1/query           polygon / rect / batch aggregate query
-//	GET    /v1/stats           detailed statistics (?dataset=NAME)
-//	GET    /metrics            Prometheus-style counters
+//	GET    /v1/datasets                 list datasets
+//	POST   /v1/datasets                 create a dataset (synthetic or from snapshot)
+//	DELETE /v1/datasets/{name}          drop a dataset (?purge=1 also removes its snapshot)
+//	POST   /v1/datasets/{name}/snapshot write a durable snapshot
+//	POST   /v1/query                    polygon / rect / batch aggregate query
+//	GET    /v1/stats                    detailed statistics (?dataset=NAME)
+//	GET    /metrics                     Prometheus-style counters
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, in-flight requests get -drain (default 5s) to finish.
@@ -34,12 +43,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"geoblocks/internal/httpapi"
+	"geoblocks/internal/snapshot"
 	"geoblocks/internal/store"
 )
 
@@ -75,6 +86,8 @@ func main() {
 		cacheRefresh = flag.Int("cache-refresh", 2000, "per-shard cache auto-refresh cadence in queries (0 = manual)")
 		seed         = flag.Int64("seed", 1, "generation seed for -load datasets")
 		drain        = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+		dataDir      = flag.String("data-dir", "", "snapshot directory: restore all snapshots at startup, default target for the snapshot endpoint")
+		snapOnExit   = flag.Bool("snapshot-on-exit", false, "snapshot every dataset into -data-dir after the graceful drain")
 	)
 	var loads []loadSpec
 	flag.Func("load", "synthetic dataset to serve, spec[:rows] (taxi, tweets, osm); repeatable", func(arg string) error {
@@ -86,9 +99,24 @@ func main() {
 		return nil
 	})
 	flag.Parse()
+	if *snapOnExit && *dataDir == "" {
+		log.Fatalf("geoblocksd: -snapshot-on-exit requires -data-dir")
+	}
 
 	st := store.New()
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("geoblocksd: %v", err)
+		}
+		if err := restoreDataDir(st, *dataDir, log.Printf); err != nil {
+			log.Fatalf("geoblocksd: %v", err)
+		}
+	}
 	for _, ls := range loads {
+		if _, ok := st.Get(ls.spec); ok {
+			log.Printf("skipping -load %s: already registered (restored from snapshot, or duplicate -load)", ls.spec)
+			continue
+		}
 		start := time.Now()
 		d, err := httpapi.BuildSynthetic(ls.spec, ls.spec, ls.rows, *seed, store.Options{
 			Level:            *level,
@@ -107,19 +135,105 @@ func main() {
 			s.Name, s.Tuples, s.NumShards, s.ShardLevel, s.Level, time.Since(start).Round(time.Millisecond))
 	}
 
-	handler := httpapi.NewHandler(st)
+	handler := httpapi.NewHandler(st, httpapi.Config{DataDir: *dataDir})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("geoblocksd: %v", err)
 	}
-	log.Printf("serving %d dataset(s) on %s", len(loads), l.Addr())
+	log.Printf("serving %d dataset(s) on %s", len(st.Names()), l.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := serve(ctx, l, handler, *drain); err != nil {
 		log.Fatalf("geoblocksd: %v", err)
 	}
+	if *snapOnExit {
+		if err := snapshotAll(st, *dataDir, log.Printf); err != nil {
+			log.Fatalf("geoblocksd: %v", err)
+		}
+	}
 	log.Printf("shut down cleanly")
+}
+
+// restoreDataDir sweeps crash remnants of interrupted saves
+// (snapshot.Recover), then restores every snapshot directory found under
+// dataDir. Each snapshot registers under its *directory* name — the
+// name the snapshot endpoint writes to and purge removes — so a copied
+// or renamed snapshot directory becomes a dataset of that name instead
+// of colliding with the original. A corrupt, version-mismatched or
+// otherwise unloadable snapshot is skipped with an error log — it
+// registers nothing (fail closed) but does not take down the datasets
+// that do load.
+func restoreDataDir(st *store.Store, dataDir string, logf func(string, ...any)) error {
+	actions, err := snapshot.Recover(dataDir)
+	for _, a := range actions {
+		logf("snapshot sweep: %s", a)
+	}
+	if err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		dir := filepath.Join(dataDir, e.Name())
+		if _, err := os.Stat(filepath.Join(dir, snapshot.ManifestFile)); err != nil {
+			logf("skipping %s: no snapshot manifest", dir)
+			continue
+		}
+		start := time.Now()
+		d, err := store.Open(dir, e.Name())
+		if err != nil {
+			logf("ERROR: skipping snapshot %s: %v", dir, err)
+			continue
+		}
+		if err := st.Add(d); err != nil {
+			logf("ERROR: skipping snapshot %s: %v", dir, err)
+			continue
+		}
+		s := d.Stats()
+		logf("restored %s: %d tuples, %d shards at level %d (block level %d) in %v",
+			s.Name, s.Tuples, s.NumShards, s.ShardLevel, s.Level, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// snapshotAll writes one snapshot per registered dataset into dataDir,
+// replacing previous snapshots atomically. Datasets whose names are not
+// safe path elements are skipped with a log line (the HTTP API refuses
+// to create such names; -load specs are always safe).
+func snapshotAll(st *store.Store, dataDir string, logf func(string, ...any)) error {
+	var firstErr error
+	for _, name := range st.Names() {
+		d, ok := st.Get(name)
+		if !ok {
+			continue
+		}
+		if !httpapi.ValidDatasetName(name) {
+			logf("not snapshotting %q: unsafe name", name)
+			continue
+		}
+		start := time.Now()
+		m, err := d.Snapshot(filepath.Join(dataDir, name))
+		if err != nil {
+			logf("ERROR: snapshotting %s: %v", name, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		var total int64
+		for _, sh := range m.Shards {
+			total += sh.Bytes
+		}
+		logf("snapshotted %s: %d shards, %.1f MiB in %v",
+			name, len(m.Shards), float64(total)/(1<<20), time.Since(start).Round(time.Millisecond))
+	}
+	return firstErr
 }
 
 // serve runs an HTTP server on l until ctx is cancelled, then shuts down

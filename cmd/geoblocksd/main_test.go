@@ -5,8 +5,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	"geoblocks"
+	"geoblocks/internal/store"
 )
 
 // TestGracefulShutdown verifies the serve loop: cancelling the context
@@ -83,5 +89,110 @@ func TestParseLoad(t *testing.T) {
 		if _, err := parseLoad(bad); err == nil {
 			t.Errorf("parseLoad(%q) accepted", bad)
 		}
+	}
+}
+
+// TestSnapshotAllAndRestoreDataDir is the daemon-level durability cycle:
+// snapshotAll writes every dataset, restoreDataDir brings a fresh store
+// back to the same answers, and corrupt snapshots are skipped without
+// registering anything.
+func TestSnapshotAllAndRestoreDataDir(t *testing.T) {
+	bound := geoblocks.Rect{Min: geoblocks.Pt(0, 0), Max: geoblocks.Pt(10, 10)}
+	pts := make([]geoblocks.Point, 500)
+	vals := make([]float64, len(pts))
+	for i := range pts {
+		pts[i] = geoblocks.Pt(float64(i%100)/10, float64(i%97)/10)
+		vals[i] = float64(i % 13)
+	}
+	st := store.New()
+	for _, name := range []string{"alpha", "beta"} {
+		d, err := store.Build(name, bound, geoblocks.NewSchema("v"), pts, [][]float64{vals},
+			store.Options{Level: 8, ShardLevel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dataDir := t.TempDir()
+	var logs []string
+	logf := func(format string, args ...any) { logs = append(logs, fmt.Sprintf(format, args...)) }
+	if err := snapshotAll(st, dataDir, logf); err != nil {
+		t.Fatalf("snapshotAll: %v (logs: %v)", err, logs)
+	}
+
+	want, err := mustGet(st, "alpha").QueryRect(bound, geoblocks.Count(), geoblocks.Sum("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Non-snapshot clutter and corrupt snapshots must be skipped.
+	if err := os.MkdirAll(filepath.Join(dataDir, "not-a-snapshot"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	corruptManifest := filepath.Join(dataDir, "beta", "manifest.json")
+	if err := os.Truncate(corruptManifest, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := store.New()
+	logs = nil
+	if err := restoreDataDir(st2, dataDir, logf); err != nil {
+		t.Fatalf("restoreDataDir: %v", err)
+	}
+	if names := st2.Names(); len(names) != 1 || names[0] != "alpha" {
+		t.Fatalf("restored %v, want [alpha] (logs: %v)", names, logs)
+	}
+	got, err := mustGet(st2, "alpha").QueryRect(bound, geoblocks.Count(), geoblocks.Sum("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != want.Count || got.Values[0] != want.Values[0] {
+		t.Fatalf("restored answers differ: %+v vs %+v", got, want)
+	}
+	joined := strings.Join(logs, "\n")
+	if !strings.Contains(joined, "beta") {
+		t.Fatalf("corrupt snapshot skip not logged: %q", joined)
+	}
+}
+
+func mustGet(st *store.Store, name string) *store.Dataset {
+	d, ok := st.Get(name)
+	if !ok {
+		panic("dataset " + name + " missing")
+	}
+	return d
+}
+
+// TestRestoreDataDirUsesDirectoryNames pins the directory-name
+// precedence: a copied snapshot directory restores as a dataset named
+// after the directory, it does not collide with the original under the
+// manifest's internal name.
+func TestRestoreDataDirUsesDirectoryNames(t *testing.T) {
+	bound := geoblocks.Rect{Min: geoblocks.Pt(0, 0), Max: geoblocks.Pt(10, 10)}
+	pts := []geoblocks.Point{geoblocks.Pt(1, 1), geoblocks.Pt(8, 8), geoblocks.Pt(4, 6)}
+	d, err := store.Build("alpha", bound, geoblocks.NewSchema("v"), pts, [][]float64{{1, 2, 3}},
+		store.Options{Level: 6, ShardLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataDir := t.TempDir()
+	if _, err := d.Snapshot(filepath.Join(dataDir, "alpha")); err != nil {
+		t.Fatal(err)
+	}
+	// A backup copy next to the live snapshot — its manifest still says
+	// "alpha" inside.
+	if err := os.CopyFS(filepath.Join(dataDir, "alpha-backup"), os.DirFS(filepath.Join(dataDir, "alpha"))); err != nil {
+		t.Fatal(err)
+	}
+
+	st := store.New()
+	if err := restoreDataDir(st, dataDir, func(string, ...any) {}); err != nil {
+		t.Fatal(err)
+	}
+	names := st.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "alpha-backup" {
+		t.Fatalf("restored %v, want [alpha alpha-backup]", names)
 	}
 }

@@ -52,4 +52,14 @@
 // internal/store builds the sharded dataset registry on these hooks and
 // cmd/geoblocksd serves it over HTTP; docs/ARCHITECTURE.md shows the full
 // layer stack.
+//
+// # Persistence
+//
+// A built block serialises without its base data or cache: WriteTo
+// streams the raw serialization-v2 payload, WriteFramed wraps it in a
+// length-prefixed, CRC32C-checksummed frame for storage, and
+// ReadGeoBlock / ReadGeoBlockFramed read them back (typed failures:
+// ErrCorruptBlock, ErrBlockVersion). The frame is the building block of
+// the snapshot subsystem (internal/snapshot) that makes the serving
+// tier durable; docs/FORMAT.md specifies every on-disk byte.
 package geoblocks

@@ -42,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: httpapi.NewHandler(st)}
+	srv := &http.Server{Handler: httpapi.NewHandler(st, httpapi.Config{})}
 	go func() {
 		if err := srv.Serve(l); err != http.ErrServerClosed {
 			log.Fatal(err)

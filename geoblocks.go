@@ -471,6 +471,45 @@ func ReadGeoBlock(r io.Reader) (*GeoBlock, error) {
 	return wrapBlock(b)
 }
 
+// FrameInfo describes a framed serialization: total frame size, payload
+// size and the payload's CRC32C — the facts a durable store records in
+// its manifest next to the payload file.
+type FrameInfo = core.FrameInfo
+
+// Typed deserialization failures, wrapped by every ReadGeoBlock /
+// ReadGeoBlockFramed error: ErrCorruptBlock for malformed or
+// checksum-failing bytes, ErrBlockVersion for a format version this
+// build does not read. The snapshot subsystem maps them onto its own
+// artifact-level sentinels.
+var (
+	ErrCorruptBlock = core.ErrCorrupt
+	ErrBlockVersion = core.ErrVersion
+)
+
+// WriteFramed serialises the block as a self-delimiting frame: the
+// WriteTo payload wrapped in a length prefix and a CRC32C trailer
+// (docs/FORMAT.md specifies the bytes). This is the on-disk form used by
+// snapshot artifacts; prefer it over WriteTo whenever the bytes touch
+// storage or a network.
+func (g *GeoBlock) WriteFramed(w io.Writer) (FrameInfo, error) {
+	return g.inner.EncodeFramed(w)
+}
+
+// ReadGeoBlockFramed deserialises a block written with WriteFramed,
+// validating frame magic, format version and checksum before decoding.
+// Failures wrap ErrCorruptBlock or ErrBlockVersion.
+func ReadGeoBlockFramed(r io.Reader) (*GeoBlock, FrameInfo, error) {
+	b, info, err := core.DecodeFramed(r)
+	if err != nil {
+		return nil, FrameInfo{}, err
+	}
+	g, err := wrapBlock(b)
+	if err != nil {
+		return nil, FrameInfo{}, err
+	}
+	return g, info, nil
+}
+
 // LevelForError returns the coarsest block level whose cell diagonal does
 // not exceed maxError over the given domain bound — the user-facing way to
 // turn a spatial error bound into a block level.

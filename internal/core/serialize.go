@@ -2,8 +2,11 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -35,6 +38,20 @@ import (
 const (
 	blockMagic   = "GBLK"
 	blockVersion = 2
+)
+
+// Typed deserialization failures. Every error returned by ReadBlock and
+// DecodeFramed wraps one of these, so callers (the snapshot subsystem,
+// its HTTP status mapping) can fail closed with errors.Is instead of
+// string matching. docs/FORMAT.md is the byte-level format reference.
+var (
+	// ErrCorrupt reports a payload that is not a well-formed GeoBlock
+	// stream: bad magic, implausible counts, truncation, or a CRC
+	// mismatch in the framed form.
+	ErrCorrupt = errors.New("core: corrupt block payload")
+	// ErrVersion reports a well-formed stream whose format version this
+	// build does not read.
+	ErrVersion = errors.New("core: unsupported block version")
 )
 
 type leWriter struct {
@@ -161,13 +178,13 @@ func (b *GeoBlock) WriteTo(dst io.Writer) (int64, error) {
 func ReadBlock(src io.Reader) (*GeoBlock, error) {
 	r := &leReader{r: bufio.NewReader(src)}
 	if magic := string(r.bytes(4)); r.err == nil && magic != blockMagic {
-		return nil, fmt.Errorf("core: bad magic %q", magic)
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
 	}
 	if v := r.u32(); r.err == nil && v != blockVersion {
 		if v == 1 {
-			return nil, fmt.Errorf("core: unsupported version 1 (pre-SoA interleaved aggregate layout; rebuild the block from base data and re-serialise with version %d)", blockVersion)
+			return nil, fmt.Errorf("%w: version 1 (pre-SoA interleaved aggregate layout; rebuild the block from base data and re-serialise with version %d)", ErrVersion, blockVersion)
 		}
-		return nil, fmt.Errorf("core: unsupported version %d (this build reads version %d)", v, blockVersion)
+		return nil, fmt.Errorf("%w: version %d (this build reads version %d)", ErrVersion, v, blockVersion)
 	}
 
 	bound := geom.Rect{
@@ -185,20 +202,20 @@ func ReadBlock(src io.Reader) (*GeoBlock, error) {
 
 	numCols := int(r.u32())
 	if numCols < 0 || numCols > 1<<16 {
-		return nil, fmt.Errorf("core: implausible column count %d", numCols)
+		return nil, fmt.Errorf("%w: implausible column count %d", ErrCorrupt, numCols)
 	}
 	names := make([]string, numCols)
 	for i := range names {
 		n := int(r.u32())
 		if n < 0 || n > 1<<20 {
-			return nil, fmt.Errorf("core: implausible name length %d", n)
+			return nil, fmt.Errorf("%w: implausible name length %d", ErrCorrupt, n)
 		}
 		names[i] = string(r.bytes(n))
 	}
 
 	numPreds := int(r.u32())
 	if numPreds < 0 || numPreds > 1<<16 {
-		return nil, fmt.Errorf("core: implausible predicate count %d", numPreds)
+		return nil, fmt.Errorf("%w: implausible predicate count %d", ErrCorrupt, numPreds)
 	}
 	filter := make(column.Filter, numPreds)
 	for i := range filter {
@@ -225,7 +242,7 @@ func ReadBlock(src io.Reader) (*GeoBlock, error) {
 
 	n := int(r.u64())
 	if n < 0 || n > 1<<31 {
-		return nil, fmt.Errorf("core: implausible cell count %d", n)
+		return nil, fmt.Errorf("%w: implausible cell count %d", ErrCorrupt, n)
 	}
 	b.keys = make([]cellid.ID, n)
 	for i := range b.keys {
@@ -268,4 +285,123 @@ func ReadBlock(src io.Reader) (*GeoBlock, error) {
 	}
 	b.buildPrefixes()
 	return b, nil
+}
+
+// Framed serialization. A frame wraps one WriteTo payload with a length
+// prefix and a CRC32C trailer so on-disk artifacts (the snapshot
+// subsystem's per-shard files) are self-delimiting and tamper-evident:
+//
+//	frame magic "GBF1" | payload length u64 | payload | CRC32C(payload) u32
+//
+// The checksum is CRC32C (Castagnoli polynomial, as in iSCSI and ext4)
+// over exactly the payload bytes. docs/FORMAT.md specifies the layout
+// byte by byte.
+const frameMagic = "GBF1"
+
+// maxFramePayload bounds the length prefix a reader will trust: 1 TiB is
+// orders of magnitude above any realistic shard block, so anything larger
+// is a corrupt or hostile frame, not data.
+const maxFramePayload = 1 << 40
+
+// crcTable is the Castagnoli table shared by all frame writers/readers.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC32C computes the Castagnoli checksum used throughout the on-disk
+// format (frame trailers and the snapshot manifest sidecar).
+func CRC32C(data []byte) uint32 { return crc32.Checksum(data, crcTable) }
+
+// FrameInfo describes an encoded frame: the manifest-level facts a
+// durable store records next to the payload.
+type FrameInfo struct {
+	// Bytes is the total frame size: magic + length + payload + trailer.
+	Bytes int64
+	// PayloadBytes is the length of the wrapped WriteTo payload.
+	PayloadBytes int64
+	// CRC32C is the Castagnoli checksum of the payload (the trailer
+	// value).
+	CRC32C uint32
+}
+
+// EncodeFramed serialises the block as one frame. The payload is staged
+// in memory to compute the length prefix and checksum, so encoding
+// transiently needs about one serialized-block copy of memory.
+func (b *GeoBlock) EncodeFramed(dst io.Writer) (FrameInfo, error) {
+	var payload bytes.Buffer
+	if _, err := b.WriteTo(&payload); err != nil {
+		return FrameInfo{}, err
+	}
+	info := FrameInfo{
+		Bytes:        int64(4 + 8 + payload.Len() + 4),
+		PayloadBytes: int64(payload.Len()),
+		CRC32C:       crc32.Checksum(payload.Bytes(), crcTable),
+	}
+	w := &leWriter{w: bufio.NewWriter(dst)}
+	w.bytes([]byte(frameMagic))
+	w.u64(uint64(payload.Len()))
+	w.bytes(payload.Bytes())
+	w.u32(info.CRC32C)
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	if w.err != nil {
+		return FrameInfo{}, w.err
+	}
+	return info, nil
+}
+
+// DecodeFramed reads one frame written by EncodeFramed, validates it and
+// deserialises the payload. Validation order: frame magic, length sanity,
+// payload magic and version (so a stale-format file reports ErrVersion
+// rather than a checksum mismatch), then the CRC32C trailer, then the
+// payload decode. Every failure wraps ErrCorrupt or ErrVersion.
+func DecodeFramed(src io.Reader) (*GeoBlock, FrameInfo, error) {
+	r := &leReader{r: bufio.NewReader(src)}
+	if magic := string(r.bytes(4)); r.err == nil && magic != frameMagic {
+		return nil, FrameInfo{}, fmt.Errorf("%w: bad frame magic %q", ErrCorrupt, magic)
+	}
+	n := r.u64()
+	if r.err != nil {
+		return nil, FrameInfo{}, fmt.Errorf("%w: truncated frame header: %v", ErrCorrupt, r.err)
+	}
+	if n < 8 || n > maxFramePayload {
+		return nil, FrameInfo{}, fmt.Errorf("%w: implausible frame payload length %d", ErrCorrupt, n)
+	}
+	// The length prefix is untrusted input: never allocate it up front.
+	// Copying through a growing buffer bounds memory by the bytes that
+	// actually arrive, so a corrupt prefix on a short file fails with
+	// ErrCorrupt instead of a giant allocation.
+	var buf bytes.Buffer
+	if n <= 1<<20 {
+		buf.Grow(int(n))
+	}
+	if m, err := io.CopyN(&buf, r.r, int64(n)); err != nil || m != int64(n) {
+		return nil, FrameInfo{}, fmt.Errorf("%w: truncated frame payload (got %d of %d bytes)", ErrCorrupt, buf.Len(), n)
+	}
+	payload := buf.Bytes()
+	if magic := string(payload[:4]); magic != blockMagic {
+		return nil, FrameInfo{}, fmt.Errorf("%w: bad payload magic %q", ErrCorrupt, magic)
+	}
+	if v := binary.LittleEndian.Uint32(payload[4:8]); v != blockVersion {
+		return nil, FrameInfo{}, fmt.Errorf("%w: payload version %d (this build reads version %d)", ErrVersion, v, blockVersion)
+	}
+	trailer := r.u32()
+	if r.err != nil {
+		return nil, FrameInfo{}, fmt.Errorf("%w: truncated frame trailer: %v", ErrCorrupt, r.err)
+	}
+	info := FrameInfo{
+		Bytes:        int64(4 + 8 + len(payload) + 4),
+		PayloadBytes: int64(len(payload)),
+		CRC32C:       crc32.Checksum(payload, crcTable),
+	}
+	if info.CRC32C != trailer {
+		return nil, FrameInfo{}, fmt.Errorf("%w: payload CRC32C %08x does not match trailer %08x", ErrCorrupt, info.CRC32C, trailer)
+	}
+	b, err := ReadBlock(bytes.NewReader(payload))
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrVersion) {
+			return nil, FrameInfo{}, err
+		}
+		return nil, FrameInfo{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return b, info, nil
 }

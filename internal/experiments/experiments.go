@@ -169,6 +169,7 @@ func All() []Runner {
 		{ID: "pr1", Desc: "Prefix-sum SELECT fast path vs scan ablation across levels", Run: PR1},
 		{ID: "pr2", Desc: "Concurrent throughput scaling and parallel covering aggregation", Run: PR2},
 		{ID: "pr3", Desc: "Sharded store routing vs single-block serving throughput", Run: PR3},
+		{ID: "pr4", Desc: "Durable snapshot save/restore vs rebuild-from-rows", Run: PR4},
 	}
 }
 

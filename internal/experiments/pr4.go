@@ -1,0 +1,153 @@
+package experiments
+
+// PR4 is the durability snapshot for the snapshot subsystem
+// (internal/snapshot): on the clustered taxi workload it builds sharded
+// datasets at shard levels 0-2 and measures, per level, the wall time
+// and throughput of (a) rebuilding the dataset from raw rows, (b)
+// saving a durable snapshot and (c) restoring it — the operate-vs-
+// rebuild trade the snapshot subsystem exists for. Restored datasets
+// are spot-checked for COUNT equivalence against the original before
+// any number is reported. cmd/geobench serialises the points to
+// BENCH_PR4.json via -perf-json -snapshot.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"geoblocks"
+	"geoblocks/internal/dataset"
+	"geoblocks/internal/store"
+	"geoblocks/internal/workload"
+)
+
+// PR4Point is one shard-level measurement of the durability snapshot.
+type PR4Point struct {
+	ShardLevel int `json:"shard_level"`
+	Shards     int `json:"shards"`
+	Rows       int `json:"rows"`
+	// SnapshotBytes is the total on-disk snapshot size (manifest
+	// payloads excluded — it is dominated by the shard frames).
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// BuildNS is the rebuild-from-rows wall time (store.Build, the
+	// restart cost without snapshots); SaveNS and RestoreNS are the
+	// snapshot write and verified read wall times.
+	BuildNS   int64 `json:"build_ns"`
+	SaveNS    int64 `json:"save_ns"`
+	RestoreNS int64 `json:"restore_ns"`
+	// SaveMBps / RestoreMBps are SnapshotBytes over the respective wall
+	// times, in MB/s (decimal).
+	SaveMBps    float64 `json:"save_mb_per_s"`
+	RestoreMBps float64 `json:"restore_mb_per_s"`
+	// RestoreVsBuild is BuildNS/RestoreNS: how many times faster a
+	// restart recovers from a snapshot than from raw rows.
+	RestoreVsBuild float64 `json:"restore_vs_build"`
+}
+
+// pr4ShardLevels are the shard prefix levels swept; same points as pr3.
+var pr4ShardLevels = []int{0, 1, 2}
+
+// PR4Perf runs the snapshot and returns both the rendered table and the
+// raw points for JSON serialisation.
+func PR4Perf(cfg Config) ([]*Table, []PR4Point) {
+	raw := dataset.Generate(dataset.NYCTaxi(), cfg.TaxiRows, cfg.Seed)
+	clean := raw.CleanRule()
+	bound := raw.Spec.Bound
+
+	tmp, err := os.MkdirTemp("", "geoblocks-pr4-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	// Verification polygons: mixed shard-local / cross-shard, as in pr3.
+	polys := append(workload.ShardLocal(bound, 2, 16, cfg.Seed+10),
+		workload.CrossShard(bound, 1, 8, cfg.Seed+11)...)
+	reqs := []geoblocks.AggRequest{geoblocks.Count(), geoblocks.Sum("fare_amount")}
+
+	tbl := &Table{
+		ID:    "pr4",
+		Title: "Durable snapshots: save/restore wall time and throughput vs rebuild-from-rows (taxi)",
+		Note:  fmt.Sprintf("%d rows; restore includes full CRC validation; build is store.Build from raw rows", cfg.TaxiRows),
+		Header: []string{"shard lvl", "shards", "snap MB", "build ms", "save ms", "restore ms",
+			"save MB/s", "restore MB/s", "restore vs build"},
+	}
+	var points []PR4Point
+	for _, shardLevel := range pr4ShardLevels {
+		opts := store.Options{Level: pr3Level, ShardLevel: shardLevel, Clean: &clean}
+		buildStart := time.Now()
+		ds, err := store.Build("taxi", bound, raw.Spec.Schema, raw.Points, raw.Cols, opts)
+		if err != nil {
+			panic(err)
+		}
+		build := time.Since(buildStart)
+
+		dir := filepath.Join(tmp, fmt.Sprintf("taxi-l%d", shardLevel))
+		saveStart := time.Now()
+		m, err := ds.Snapshot(dir)
+		if err != nil {
+			panic(err)
+		}
+		save := time.Since(saveStart)
+		var bytes int64
+		for _, sh := range m.Shards {
+			bytes += sh.Bytes
+		}
+
+		restoreStart := time.Now()
+		rd, err := store.Open(dir, "")
+		if err != nil {
+			panic(err)
+		}
+		restore := time.Since(restoreStart)
+
+		// Fail loudly rather than report numbers for a broken restore.
+		for _, p := range polys {
+			want, err := ds.Query(p, reqs...)
+			if err != nil {
+				panic(err)
+			}
+			got, err := rd.Query(p, reqs...)
+			if err != nil {
+				panic(err)
+			}
+			if want.Count != got.Count {
+				panic(fmt.Sprintf("pr4: restored count %d != %d at shard level %d", got.Count, want.Count, shardLevel))
+			}
+		}
+
+		mb := float64(bytes) / 1e6
+		p := PR4Point{
+			ShardLevel:     shardLevel,
+			Shards:         ds.NumShards(),
+			Rows:           cfg.TaxiRows,
+			SnapshotBytes:  bytes,
+			BuildNS:        build.Nanoseconds(),
+			SaveNS:         save.Nanoseconds(),
+			RestoreNS:      restore.Nanoseconds(),
+			SaveMBps:       mb / save.Seconds(),
+			RestoreMBps:    mb / restore.Seconds(),
+			RestoreVsBuild: float64(build.Nanoseconds()) / float64(restore.Nanoseconds()),
+		}
+		points = append(points, p)
+		tbl.AddRow(
+			fmt.Sprintf("%d", shardLevel),
+			fmt.Sprintf("%d", p.Shards),
+			fmt.Sprintf("%.1f", mb),
+			fmt.Sprintf("%.0f", float64(p.BuildNS)/1e6),
+			fmt.Sprintf("%.0f", float64(p.SaveNS)/1e6),
+			fmt.Sprintf("%.0f", float64(p.RestoreNS)/1e6),
+			fmt.Sprintf("%.0f", p.SaveMBps),
+			fmt.Sprintf("%.0f", p.RestoreMBps),
+			fmt.Sprintf("%.1fx", p.RestoreVsBuild),
+		)
+	}
+	return []*Table{tbl}, points
+}
+
+// PR4 is the Runner entry point.
+func PR4(cfg Config) []*Table {
+	tables, _ := PR4Perf(cfg)
+	return tables
+}

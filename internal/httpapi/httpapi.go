@@ -1,16 +1,21 @@
 // Package httpapi implements the HTTP/JSON API of the geoblocksd
-// serving daemon over a store.Store: dataset registry, polygon /
+// serving daemon over a store.Store: dataset registry (including
+// create-from-snapshot and the per-dataset snapshot endpoint), polygon /
 // rectangle / batch aggregate queries, statistics and Prometheus-style
 // metrics. cmd/geoblocksd wires this handler to a listener with flags
-// and graceful shutdown; docs/OPERATIONS.md is the endpoint reference.
+// and graceful shutdown; docs/OPERATIONS.md is the endpoint reference
+// and docs/FORMAT.md specifies the snapshot artifacts.
 package httpapi
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -20,6 +25,7 @@ import (
 	"geoblocks"
 	"geoblocks/internal/dataset"
 	"geoblocks/internal/geom"
+	"geoblocks/internal/snapshot"
 	"geoblocks/internal/store"
 )
 
@@ -38,16 +44,31 @@ const maxBodyBytes = 8 << 20
 // paper's mid-range operating point.
 const DefaultLevel = 14
 
+// Config carries the daemon-level handler configuration.
+type Config struct {
+	// DataDir is the snapshot directory: the default target of the
+	// per-dataset snapshot endpoint (DataDir/<name>), the tree the
+	// daemon restores at startup, and the scope of DELETE's ?purge=1.
+	// Empty disables the defaults — snapshot requests then must carry an
+	// explicit path, and purge is rejected.
+	DataDir string
+}
+
 // server holds the daemon state behind the HTTP handlers: the dataset
-// store plus request counters for /metrics.
+// store, the snapshot configuration, plus request counters for /metrics.
 type server struct {
 	store *store.Store
+	cfg   Config
 	start time.Time
 
-	// creating reserves dataset names while a POST /v1/datasets build is
-	// in flight, so concurrent creates of one name run the expensive
-	// build only once.
+	// creating reserves dataset names while a POST /v1/datasets build or
+	// snapshot restore is in flight, so concurrent creates of one name
+	// run the expensive work only once.
 	creating sync.Map
+	// snapshotting reserves dataset names while a snapshot write is in
+	// flight, so concurrent snapshot requests cannot interleave writes
+	// to one target directory.
+	snapshotting sync.Map
 
 	// per-endpoint-group request counters, exported by /metrics.
 	reqDatasets atomic.Uint64
@@ -56,30 +77,51 @@ type server struct {
 	reqMetrics  atomic.Uint64
 }
 
-// NewHandler wraps a store in the daemon's HTTP handler. The four
-// endpoint groups (docs/OPERATIONS.md has the full reference):
+// NewHandler wraps a store in the daemon's HTTP handler. The endpoint
+// groups (docs/OPERATIONS.md has the full reference):
 //
 //	GET/POST /v1/datasets, DELETE /v1/datasets/{name} — registry
+//	POST /v1/datasets/{name}/snapshot — durable snapshot to disk
 //	POST /v1/query — polygon, rect and batch-of-polygons aggregation
 //	GET /v1/stats — dataset statistics with per-shard breakdown
 //	GET /metrics — Prometheus-style counters
-func NewHandler(st *store.Store) http.Handler {
-	_, h := newServer(st)
+func NewHandler(st *store.Store, cfg Config) http.Handler {
+	_, h := newServer(st, cfg)
 	return h
 }
 
 // newServer builds the server state and its routing mux; tests use the
 // server to reach the counters directly.
-func newServer(st *store.Store) (*server, http.Handler) {
-	s := &server{store: st, start: time.Now()}
+func newServer(st *store.Store, cfg Config) (*server, http.Handler) {
+	s := &server{store: st, cfg: cfg, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDropDataset)
+	mux.HandleFunc("POST /v1/datasets/{name}/snapshot", s.handleSnapshotDataset)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, mux
+}
+
+// ValidDatasetName bounds the names the daemon will create or touch on
+// disk: snapshot directories are named after datasets, so names must be
+// safe single path elements. Letters, digits, '.', '_' and '-' up to 128
+// characters, not starting with '.' (no hidden directories, no "..").
+func ValidDatasetName(name string) bool {
+	if name == "" || len(name) > 128 || name[0] == '.' {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // writeJSON writes v as the response body with the given status.
@@ -305,11 +347,17 @@ func (s *server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, datasetsResponse{Datasets: s.store.Summaries()})
 }
 
-// createRequest is the POST /v1/datasets body: build a synthetic dataset
-// (internal/dataset spec) with per-dataset sharding and cache
-// configuration.
+// createRequest is the POST /v1/datasets body. source selects where the
+// dataset comes from: "synthetic" (default) builds from an
+// internal/dataset spec; "snapshot" restores a durable snapshot
+// directory written by the snapshot endpoint (docs/FORMAT.md).
 type createRequest struct {
 	Name string `json:"name"`
+	// Source is "synthetic" (default when empty) or "snapshot".
+	Source string `json:"source"`
+	// Path locates the snapshot directory for source "snapshot"; empty
+	// defaults to <data-dir>/<name>.
+	Path string `json:"path"`
 	// Spec is the synthetic dataset generator: taxi, tweets or osm.
 	Spec string `json:"spec"`
 	Rows int    `json:"rows"`
@@ -360,7 +408,20 @@ func (s *server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing name")
 		return
 	}
-	if req.Rows <= 0 || req.Rows > maxCreateRows {
+	if !ValidDatasetName(req.Name) {
+		writeError(w, http.StatusBadRequest, "invalid dataset name %q (letters, digits, '.', '_', '-'; must not start with '.')", req.Name)
+		return
+	}
+	fromSnapshot := false
+	switch strings.ToLower(req.Source) {
+	case "", "synthetic":
+	case "snapshot":
+		fromSnapshot = true
+	default:
+		writeError(w, http.StatusBadRequest, "unknown source %q (synthetic, snapshot)", req.Source)
+		return
+	}
+	if !fromSnapshot && (req.Rows <= 0 || req.Rows > maxCreateRows) {
 		writeError(w, http.StatusBadRequest, "rows must be in [1, %d], got %d", maxCreateRows, req.Rows)
 		return
 	}
@@ -371,24 +432,43 @@ func (s *server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "dataset %q already exists", req.Name)
 		return
 	}
-	// Reserve the name for the duration of the build so concurrent
-	// creates of the same dataset do not each run the (potentially
-	// multi-second) generation and indexing; the final Add still decides
+	// Reserve the name for the duration of the build or restore so
+	// concurrent creates of the same dataset do not each run the
+	// (potentially multi-second) work; the final Add still decides
 	// conflicts with already-registered datasets atomically.
 	if _, busy := s.creating.LoadOrStore(req.Name, struct{}{}); busy {
 		writeError(w, http.StatusConflict, "dataset %q is being created", req.Name)
 		return
 	}
 	defer s.creating.Delete(req.Name)
-	d, err := BuildSynthetic(req.Name, req.Spec, req.Rows, req.Seed, store.Options{
-		Level:            req.Level,
-		ShardLevel:       req.ShardLevel,
-		CacheThreshold:   req.CacheThreshold,
-		CacheAutoRefresh: req.CacheAutoRefresh,
-	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "build: %v", err)
-		return
+
+	var d *store.Dataset
+	var err error
+	if fromSnapshot {
+		dir := req.Path
+		if dir == "" {
+			if s.cfg.DataDir == "" {
+				writeError(w, http.StatusBadRequest, "source snapshot needs a path (no -data-dir configured)")
+				return
+			}
+			dir = filepath.Join(s.cfg.DataDir, req.Name)
+		}
+		d, err = store.Open(dir, req.Name)
+		if err != nil {
+			writeError(w, snapshotStatus(err), "restore: %v", err)
+			return
+		}
+	} else {
+		d, err = BuildSynthetic(req.Name, req.Spec, req.Rows, req.Seed, store.Options{
+			Level:            req.Level,
+			ShardLevel:       req.ShardLevel,
+			CacheThreshold:   req.CacheThreshold,
+			CacheAutoRefresh: req.CacheAutoRefresh,
+		})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "build: %v", err)
+			return
+		}
 	}
 	if err := s.store.Add(d); err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
@@ -397,14 +477,135 @@ func (s *server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, d.Stats())
 }
 
+// snapshotStatus maps a snapshot load failure to an HTTP status: a
+// corrupt or version-mismatched artifact is 422 (the request was fine,
+// the artifact is not), everything else (typically a missing path) is
+// the caller's 400.
+func snapshotStatus(err error) int {
+	if errors.Is(err, snapshot.ErrCorrupt) || errors.Is(err, snapshot.ErrVersion) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}
+
 func (s *server) handleDropDataset(w http.ResponseWriter, r *http.Request) {
 	s.reqDatasets.Add(1)
 	name := r.PathValue("name")
+	purge := false
+	if v := r.URL.Query().Get("purge"); v != "" {
+		p, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad purge value %q", v)
+			return
+		}
+		purge = p
+	}
+	// Validate the purge preconditions before dropping anything, so a
+	// rejected purge does not half-apply.
+	if purge {
+		if s.cfg.DataDir == "" {
+			writeError(w, http.StatusBadRequest, "purge requires the daemon to run with -data-dir")
+			return
+		}
+		if !ValidDatasetName(name) {
+			writeError(w, http.StatusBadRequest, "invalid dataset name %q", name)
+			return
+		}
+		// Claim the same per-dataset reservation the snapshot endpoint
+		// holds: otherwise an in-flight snapshot could re-create the
+		// directory right after the purge removed it.
+		if _, busy := s.snapshotting.LoadOrStore(name, struct{}{}); busy {
+			writeError(w, http.StatusConflict, "dataset %q is being snapshotted; retry the purge", name)
+			return
+		}
+		defer s.snapshotting.Delete(name)
+	}
 	if !s.store.Drop(name) {
 		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+	// DELETE without ?purge=1 never touches disk: a dropped dataset's
+	// snapshot stays restorable (docs/OPERATIONS.md).
+	if purge {
+		if err := os.RemoveAll(filepath.Join(s.cfg.DataDir, name)); err != nil {
+			writeError(w, http.StatusInternalServerError, "dataset dropped but purge failed: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": name, "purged": purge})
+}
+
+// snapshotRequest is the POST /v1/datasets/{name}/snapshot body. The
+// body is optional; an absent or empty path targets
+// <data-dir>/<name>.
+type snapshotRequest struct {
+	Path string `json:"path"`
+}
+
+// snapshotResponse reports a completed snapshot write.
+type snapshotResponse struct {
+	Dataset string `json:"dataset"`
+	Path    string `json:"path"`
+	// FormatVersion and Shards echo the written manifest; Bytes is the
+	// total payload size on disk.
+	FormatVersion int   `json:"format_version"`
+	Shards        int   `json:"shards"`
+	Bytes         int64 `json:"bytes"`
+	ElapsedUS     int64 `json:"elapsed_us"`
+}
+
+func (s *server) handleSnapshotDataset(w http.ResponseWriter, r *http.Request) {
+	s.reqDatasets.Add(1)
+	name := r.PathValue("name")
+	d, ok := s.store.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
+		return
+	}
+	var req snapshotRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "malformed request body: %v", err)
+		return
+	}
+	dir := req.Path
+	if dir == "" {
+		if s.cfg.DataDir == "" {
+			writeError(w, http.StatusBadRequest, "snapshot needs a path (no -data-dir configured)")
+			return
+		}
+		if !ValidDatasetName(name) {
+			writeError(w, http.StatusBadRequest, "invalid dataset name %q", name)
+			return
+		}
+		dir = filepath.Join(s.cfg.DataDir, name)
+	}
+	// One snapshot per dataset at a time: concurrent writes to one
+	// target directory would race on the rename swap.
+	if _, busy := s.snapshotting.LoadOrStore(name, struct{}{}); busy {
+		writeError(w, http.StatusConflict, "dataset %q is being snapshotted", name)
+		return
+	}
+	defer s.snapshotting.Delete(name)
+
+	start := time.Now()
+	m, err := d.Snapshot(dir)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	var total int64
+	for _, sh := range m.Shards {
+		total += sh.Bytes
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{
+		Dataset:       name,
+		Path:          dir,
+		FormatVersion: m.FormatVersion,
+		Shards:        len(m.Shards),
+		Bytes:         total,
+		ElapsedUS:     time.Since(start).Microseconds(),
+	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

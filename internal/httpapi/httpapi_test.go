@@ -61,7 +61,7 @@ func getJSON(t *testing.T, ts *httptest.Server, path string) (*http.Response, []
 const taxiRect = `{"dataset":"taxi","rect":[-74.05,40.60,-73.85,40.85],"aggs":[{"func":"count"},{"func":"sum","col":"fare_amount"}]}`
 
 func TestQueryEndpoint(t *testing.T) {
-	_, h := newServer(testStore(t))
+	_, h := newServer(testStore(t), Config{})
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -147,7 +147,7 @@ func TestQueryEndpoint(t *testing.T) {
 
 // TestQueryErrors is the table-driven malformed-request suite.
 func TestQueryErrors(t *testing.T) {
-	_, h := newServer(testStore(t))
+	_, h := newServer(testStore(t), Config{})
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -196,7 +196,7 @@ func TestQueryErrors(t *testing.T) {
 }
 
 func TestDatasetsEndpoint(t *testing.T) {
-	_, h := newServer(testStore(t))
+	_, h := newServer(testStore(t), Config{})
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -268,7 +268,7 @@ func TestDatasetsEndpoint(t *testing.T) {
 }
 
 func TestStatsAndMetricsEndpoints(t *testing.T) {
-	_, h := newServer(testStore(t))
+	_, h := newServer(testStore(t), Config{})
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 

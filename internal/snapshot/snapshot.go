@@ -1,0 +1,524 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"geoblocks"
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/core"
+	"geoblocks/internal/geom"
+)
+
+// FormatVersion is the snapshot directory format this build writes and
+// the only one it reads. Bump it when the manifest schema or the frame
+// layout changes incompatibly; docs/FORMAT.md records the policy.
+const FormatVersion = 1
+
+// Artifact file names inside a snapshot directory.
+const (
+	// ManifestFile is the JSON manifest.
+	ManifestFile = "manifest.json"
+	// ManifestChecksumFile is the hex CRC32C sidecar covering the exact
+	// bytes of ManifestFile.
+	ManifestChecksumFile = "manifest.crc32c"
+)
+
+// Typed load failures. Every Load error that stems from the artifact
+// content (rather than plain filesystem trouble like a missing
+// directory) wraps one of these.
+var (
+	// ErrCorrupt reports an artifact whose bytes fail validation:
+	// checksum mismatch, truncation, bad magic, or manifest entries
+	// contradicting the decoded payloads.
+	ErrCorrupt = errors.New("snapshot: corrupt snapshot")
+	// ErrVersion reports a snapshot written in a format version this
+	// build does not read — the artifact may be perfectly intact.
+	ErrVersion = errors.New("snapshot: unsupported snapshot version")
+)
+
+// ShardEntry is one shard's manifest record.
+type ShardEntry struct {
+	// Cell is the shard's prefix cell as a human-readable level-tagged
+	// token (cellid.ID.String()); informational only.
+	Cell string `json:"cell"`
+	// CellID is the raw cell id as 16 lower-case hex digits — the
+	// machine-readable form Load parses.
+	CellID string `json:"cell_id"`
+	// File is the shard payload's file name within the snapshot
+	// directory (always a bare name, never a path).
+	File string `json:"file"`
+	// Rows is the shard block's tuple count.
+	Rows uint64 `json:"rows"`
+	// Bytes is the total framed file size in bytes.
+	Bytes int64 `json:"bytes"`
+	// CRC32C is the Castagnoli checksum of the frame's payload (equal to
+	// the frame trailer).
+	CRC32C uint32 `json:"crc32c"`
+}
+
+// Manifest is the snapshot's metadata document, serialized as
+// manifest.json. All fields are required; unknown fields are ignored on
+// read (additive evolution within one format version).
+type Manifest struct {
+	FormatVersion int    `json:"format_version"`
+	Dataset       string `json:"dataset"`
+	// Level is the block grid level of every shard.
+	Level int `json:"level"`
+	// ShardLevel is the cell level of the spatial partition.
+	ShardLevel int `json:"shard_level"`
+	// CacheThreshold and CacheAutoRefresh are the dataset's query-cache
+	// configuration; caches are rebuilt empty on restore.
+	CacheThreshold   float64 `json:"cache_threshold"`
+	CacheAutoRefresh int     `json:"cache_auto_refresh"`
+	// Bound is the dataset domain as [minX, minY, maxX, maxY].
+	Bound [4]float64 `json:"bound"`
+	// Columns are the value-column names, in schema order.
+	Columns []string `json:"columns"`
+	// Shards lists every shard in ascending cell order.
+	Shards []ShardEntry `json:"shards"`
+}
+
+// Shard pairs a shard's prefix cell with its block: Save's input and
+// Load's output (Load returns blocks without caches; the store layer
+// re-enables them per the manifest).
+type Shard struct {
+	Cell  cellid.ID
+	Block *geoblocks.GeoBlock
+}
+
+// shardFile names the i-th shard payload.
+func shardFile(i int) string { return fmt.Sprintf("shard-%05d.gbk", i) }
+
+// Save writes an atomic snapshot of the shards under dir, replacing any
+// previous snapshot there. The metadata fields of m (everything but
+// Shards) must be filled by the caller; Save computes the per-shard
+// entries while writing the payload files in parallel, stages everything
+// in a temp directory with fsync, and renames it into place. It returns
+// the completed manifest.
+func Save(dir string, m Manifest, shards []Shard) (Manifest, error) {
+	if m.Dataset == "" {
+		return Manifest{}, fmt.Errorf("snapshot: dataset name must not be empty")
+	}
+	if len(shards) == 0 {
+		return Manifest{}, fmt.Errorf("snapshot: no shards to save")
+	}
+	m.FormatVersion = FormatVersion
+	m.Shards = make([]ShardEntry, len(shards))
+
+	dir = filepath.Clean(dir)
+	// Only ever replace a previous snapshot (or an empty directory):
+	// Save moves the existing target aside and deletes it, and that must
+	// never be able to destroy an unrelated directory handed in by a
+	// caller (the HTTP snapshot endpoint accepts client paths).
+	if st, err := os.Stat(dir); err == nil {
+		if !st.IsDir() {
+			return Manifest{}, fmt.Errorf("snapshot: target %s exists and is not a directory", dir)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("snapshot: %w", err)
+		}
+		if len(entries) > 0 {
+			if _, err := os.Stat(filepath.Join(dir, ManifestFile)); err != nil {
+				return Manifest{}, fmt.Errorf("snapshot: refusing to replace %s: non-empty directory without a snapshot manifest", dir)
+			}
+		}
+	}
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+	}
+	tmp, err := os.MkdirTemp(parent, ".snap-")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	if err := forEachShard(len(shards), func(i int) error {
+		entry, err := writeShard(filepath.Join(tmp, shardFile(i)), shards[i])
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		entry.File = shardFile(i)
+		m.Shards[i] = entry
+		return nil
+	}); err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+	}
+
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	if err := writeFileSync(filepath.Join(tmp, ManifestFile), data); err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+	}
+	sum := fmt.Sprintf("%08x\n", core.CRC32C(data))
+	if err := writeFileSync(filepath.Join(tmp, ManifestChecksumFile), []byte(sum)); err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+	}
+	if err := syncDir(tmp); err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+	}
+
+	// Swap the staged directory into place. A previous snapshot is moved
+	// aside first so the target path atomically transitions between two
+	// complete snapshots (never a partial one).
+	old := tmp + ".old"
+	replaced := false
+	if _, err := os.Stat(dir); err == nil {
+		if err := os.Rename(dir, old); err != nil {
+			return Manifest{}, fmt.Errorf("snapshot: %w", err)
+		}
+		replaced = true
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		if replaced {
+			_ = os.Rename(old, dir) // best-effort restore of the previous snapshot
+		}
+		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+	}
+	if replaced {
+		if err := os.RemoveAll(old); err != nil {
+			return Manifest{}, fmt.Errorf("snapshot: removing previous snapshot: %w", err)
+		}
+	}
+	if err := syncDir(parent); err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+	}
+	return m, nil
+}
+
+// Load reads and fully validates a snapshot directory, returning the
+// manifest and one Shard per manifest entry, in manifest (ascending
+// cell) order. Content-level failures wrap ErrCorrupt or ErrVersion; a
+// path that simply holds no snapshot surfaces the underlying fs error.
+func Load(dir string) (Manifest, []Shard, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	if err := validateManifest(&m); err != nil {
+		return Manifest{}, nil, err
+	}
+
+	shards := make([]Shard, len(m.Shards))
+	if err := forEachShard(len(m.Shards), func(i int) error {
+		sh, err := loadShard(dir, &m, i)
+		if err != nil {
+			return err
+		}
+		shards[i] = sh
+		return nil
+	}); err != nil {
+		return Manifest{}, nil, err
+	}
+	return m, shards, nil
+}
+
+// readManifest reads and checksum-verifies manifest.json, returning the
+// parsed document after the format-version gate (but before the deeper
+// validateManifest invariants).
+func readManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+	}
+	sumData, err := os.ReadFile(filepath.Join(dir, ManifestChecksumFile))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("%w: manifest checksum sidecar: %v", ErrCorrupt, err)
+	}
+	want, err := strconv.ParseUint(strings.TrimSpace(string(sumData)), 16, 32)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("%w: malformed manifest checksum sidecar", ErrCorrupt)
+	}
+	if got := core.CRC32C(data); got != uint32(want) {
+		return Manifest{}, fmt.Errorf("%w: manifest CRC32C %08x does not match sidecar %08x", ErrCorrupt, got, uint32(want))
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return Manifest{}, fmt.Errorf("%w: format version %d (this build reads version %d)", ErrVersion, m.FormatVersion, FormatVersion)
+	}
+	return m, nil
+}
+
+// Recover sweeps the crash remnants of interrupted Saves under dataDir
+// and returns one human-readable line per action taken. Three cases:
+//
+//   - A ".snap-*.old" directory holding a verifiable snapshot whose
+//     target (dataDir/<dataset name>) is missing is the previous
+//     snapshot of a Save that crashed between its two renames — it is
+//     moved back into place (recovered).
+//   - A ".snap-*.old" whose target exists is a superseded previous
+//     snapshot whose cleanup was interrupted — it is deleted.
+//   - Any other ".snap-*" entry is dead staging space — deleted.
+//
+// An .old remnant whose manifest cannot be read, or whose dataset name
+// is not a safe path element, is left on disk and reported rather than
+// guessed about. Callers (geoblocksd startup) run this before scanning
+// dataDir for snapshots.
+func Recover(dataDir string) ([]string, error) {
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	var actions []string
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), ".snap-") {
+			continue
+		}
+		path := filepath.Join(dataDir, e.Name())
+		if !strings.HasSuffix(e.Name(), ".old") {
+			if err := os.RemoveAll(path); err != nil {
+				return actions, fmt.Errorf("snapshot: %w", err)
+			}
+			actions = append(actions, fmt.Sprintf("removed dead staging directory %s", e.Name()))
+			continue
+		}
+		m, err := readManifest(path)
+		if err != nil {
+			actions = append(actions, fmt.Sprintf("leaving %s alone: %v", e.Name(), err))
+			continue
+		}
+		if m.Dataset == "" || m.Dataset != filepath.Base(m.Dataset) || strings.HasPrefix(m.Dataset, ".") {
+			actions = append(actions, fmt.Sprintf("leaving %s alone: unsafe dataset name %q", e.Name(), m.Dataset))
+			continue
+		}
+		target := filepath.Join(dataDir, m.Dataset)
+		if _, err := os.Stat(target); err == nil {
+			if err := os.RemoveAll(path); err != nil {
+				return actions, fmt.Errorf("snapshot: %w", err)
+			}
+			actions = append(actions, fmt.Sprintf("removed superseded snapshot %s (current %s exists)", e.Name(), m.Dataset))
+			continue
+		}
+		if err := os.Rename(path, target); err != nil {
+			return actions, fmt.Errorf("snapshot: recovering %s: %w", e.Name(), err)
+		}
+		actions = append(actions, fmt.Sprintf("recovered snapshot %s from interrupted save (%s)", m.Dataset, e.Name()))
+	}
+	return actions, nil
+}
+
+// validateManifest checks the metadata and entry invariants that do not
+// need the payloads: plausible levels and bound, safe file names,
+// strictly ascending shard cells at the shard level.
+func validateManifest(m *Manifest) error {
+	if m.Dataset == "" {
+		return fmt.Errorf("%w: manifest has no dataset name", ErrCorrupt)
+	}
+	if m.Level < 0 || m.Level > cellid.MaxLevel {
+		return fmt.Errorf("%w: block level %d out of range", ErrCorrupt, m.Level)
+	}
+	if m.ShardLevel < 0 || m.ShardLevel > m.Level {
+		return fmt.Errorf("%w: shard level %d out of range [0,%d]", ErrCorrupt, m.ShardLevel, m.Level)
+	}
+	bound := geom.Rect{Min: geom.Pt(m.Bound[0], m.Bound[1]), Max: geom.Pt(m.Bound[2], m.Bound[3])}
+	if !bound.IsValid() {
+		return fmt.Errorf("%w: invalid domain bound %v", ErrCorrupt, m.Bound)
+	}
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("%w: manifest lists no shards", ErrCorrupt)
+	}
+	var prev cellid.ID
+	for i := range m.Shards {
+		e := &m.Shards[i]
+		if e.File == "" || e.File != filepath.Base(e.File) || strings.HasPrefix(e.File, ".") {
+			return fmt.Errorf("%w: shard %d has unsafe file name %q", ErrCorrupt, i, e.File)
+		}
+		cell, err := parseCellID(e.CellID)
+		if err != nil {
+			return fmt.Errorf("%w: shard %d: %v", ErrCorrupt, i, err)
+		}
+		if cell.Level() != m.ShardLevel {
+			return fmt.Errorf("%w: shard %d cell %v is at level %d, want shard level %d", ErrCorrupt, i, cell, cell.Level(), m.ShardLevel)
+		}
+		if i > 0 && cell <= prev {
+			return fmt.Errorf("%w: shard cells not strictly ascending at entry %d", ErrCorrupt, i)
+		}
+		prev = cell
+	}
+	return nil
+}
+
+// loadShard reads, verifies and decodes one shard payload, cross-checking
+// the frame against the manifest entry.
+func loadShard(dir string, m *Manifest, i int) (Shard, error) {
+	e := &m.Shards[i]
+	f, err := os.Open(filepath.Join(dir, e.File))
+	if err != nil {
+		return Shard{}, fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return Shard{}, fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
+	}
+	if st.Size() != e.Bytes {
+		return Shard{}, fmt.Errorf("%w: shard file %s is %d bytes, manifest says %d", ErrCorrupt, e.File, st.Size(), e.Bytes)
+	}
+	blk, info, err := geoblocks.ReadGeoBlockFramed(f)
+	if err != nil {
+		if errors.Is(err, core.ErrVersion) {
+			return Shard{}, fmt.Errorf("%w: shard file %s: %v", ErrVersion, e.File, err)
+		}
+		return Shard{}, fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
+	}
+	if info.CRC32C != e.CRC32C {
+		return Shard{}, fmt.Errorf("%w: shard file %s payload CRC32C %08x, manifest says %08x", ErrCorrupt, e.File, info.CRC32C, e.CRC32C)
+	}
+	if info.Bytes != e.Bytes {
+		return Shard{}, fmt.Errorf("%w: shard file %s frame is %d bytes, manifest says %d", ErrCorrupt, e.File, info.Bytes, e.Bytes)
+	}
+	if blk.Level() != m.Level {
+		return Shard{}, fmt.Errorf("%w: shard file %s block level %d, manifest says %d", ErrCorrupt, e.File, blk.Level(), m.Level)
+	}
+	if blk.NumTuples() != e.Rows {
+		return Shard{}, fmt.Errorf("%w: shard file %s has %d rows, manifest says %d", ErrCorrupt, e.File, blk.NumTuples(), e.Rows)
+	}
+	if got := blk.Schema().Names; !equalStrings(got, m.Columns) {
+		return Shard{}, fmt.Errorf("%w: shard file %s schema %v, manifest says %v", ErrCorrupt, e.File, got, m.Columns)
+	}
+	bound := blk.Inner().Domain().Bound()
+	if [4]float64{bound.Min.X, bound.Min.Y, bound.Max.X, bound.Max.Y} != m.Bound {
+		return Shard{}, fmt.Errorf("%w: shard file %s domain bound disagrees with manifest", ErrCorrupt, e.File)
+	}
+	cell, err := parseCellID(e.CellID)
+	if err != nil {
+		return Shard{}, fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
+	}
+	return Shard{Cell: cell, Block: blk}, nil
+}
+
+// writeShard frames one shard block into path, fsyncs it and returns the
+// manifest entry (File is filled by the caller).
+func writeShard(path string, sh Shard) (ShardEntry, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return ShardEntry{}, err
+	}
+	info, err := sh.Block.WriteFramed(f)
+	if err != nil {
+		f.Close()
+		return ShardEntry{}, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return ShardEntry{}, err
+	}
+	if err := f.Close(); err != nil {
+		return ShardEntry{}, err
+	}
+	return ShardEntry{
+		Cell:   sh.Cell.String(),
+		CellID: fmt.Sprintf("%016x", uint64(sh.Cell)),
+		Rows:   sh.Block.NumTuples(),
+		Bytes:  info.Bytes,
+		CRC32C: info.CRC32C,
+	}, nil
+}
+
+// parseCellID decodes the manifest's 16-hex-digit cell id.
+func parseCellID(s string) (cellid.ID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed cell id %q", s)
+	}
+	id := cellid.ID(v)
+	if !id.IsValid() {
+		return 0, fmt.Errorf("invalid cell id %q", s)
+	}
+	return id, nil
+}
+
+// forEachShard runs fn(i) for every shard index on a bounded worker
+// pool (the same fan-out shape as the store's batch query path) and
+// returns the first error.
+func forEachShard(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so the entries created in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// equalStrings reports whether two string slices are element-wise equal.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -13,6 +13,7 @@ import (
 	"geoblocks/internal/core"
 	"geoblocks/internal/cover"
 	"geoblocks/internal/geom"
+	"geoblocks/internal/snapshot"
 )
 
 // MaxShardLevel bounds the shard prefix level: level 6 already yields up
@@ -357,6 +358,83 @@ func (d *Dataset) QueryBatchCoverings(covs [][]cellid.ID, reqs ...geoblocks.AggR
 		}
 	}
 	return results, nil
+}
+
+// Snapshot writes a durable snapshot of the dataset to dir: a manifest
+// plus one framed, checksummed GeoBlock payload per shard, staged and
+// renamed atomically (internal/snapshot; docs/FORMAT.md has the bytes).
+// Shard payloads are written in parallel. Snapshotting is a read-only
+// walk over the immutable aggregate arrays, so it is safe concurrently
+// with queries; per-shard cache contents are not persisted — restored
+// datasets rebuild their caches empty from the recorded configuration.
+func (d *Dataset) Snapshot(dir string) (snapshot.Manifest, error) {
+	bound := d.dom.Bound()
+	m := snapshot.Manifest{
+		Dataset:          d.name,
+		Level:            d.opts.Level,
+		ShardLevel:       d.opts.ShardLevel,
+		CacheThreshold:   d.opts.CacheThreshold,
+		CacheAutoRefresh: d.opts.CacheAutoRefresh,
+		Bound:            [4]float64{bound.Min.X, bound.Min.Y, bound.Max.X, bound.Max.Y},
+		Columns:          d.schema.Names,
+	}
+	shards := make([]snapshot.Shard, len(d.shards))
+	for i := range d.shards {
+		shards[i] = snapshot.Shard{Cell: d.shards[i].cell, Block: d.shards[i].block}
+	}
+	return snapshot.Save(dir, m, shards)
+}
+
+// Open loads a snapshot directory into a Dataset without registering it:
+// every shard is read, checksum-verified and cross-checked against the
+// manifest (failures wrap snapshot.ErrCorrupt / snapshot.ErrVersion and
+// return no dataset), the coverer is rebuilt, and per-shard query caches
+// are re-enabled empty when the manifest records a cache configuration.
+// name overrides the dataset's registered name; empty keeps the
+// manifest's.
+func Open(dir, name string) (*Dataset, error) {
+	m, shards, err := snapshot.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = m.Dataset
+	}
+	opts := Options{
+		Level:            m.Level,
+		ShardLevel:       m.ShardLevel,
+		CacheThreshold:   m.CacheThreshold,
+		CacheAutoRefresh: m.CacheAutoRefresh,
+	}
+	if err := opts.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	bound := geom.Rect{Min: geom.Pt(m.Bound[0], m.Bound[1]), Max: geom.Pt(m.Bound[2], m.Bound[3])}
+	dom, err := cellid.NewDomain(bound)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	cov, err := cover.NewCoverer(dom, cover.DefaultOptions(m.Level))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	d := &Dataset{
+		name:    name,
+		opts:    opts,
+		dom:     dom,
+		schema:  geoblocks.NewSchema(m.Columns...),
+		coverer: cov,
+		shards:  make([]shard, len(shards)),
+	}
+	for i, sh := range shards {
+		if opts.CacheThreshold > 0 {
+			if err := sh.Block.EnableCache(opts.CacheThreshold, opts.CacheAutoRefresh); err != nil {
+				return nil, fmt.Errorf("%w: enabling shard cache: %v", snapshot.ErrCorrupt, err)
+			}
+		}
+		d.shards[i] = shard{cell: sh.Cell, block: sh.Block}
+	}
+	return d, nil
 }
 
 // RefreshCaches rebuilds every shard's query cache from its accumulated

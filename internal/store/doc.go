@@ -39,6 +39,17 @@
 // Add/Drop behind a mutex while lookups are lock-light; a dataset dropped
 // mid-flight keeps serving queries already holding it.
 //
+// # Durability
+//
+// Dataset.Snapshot persists a dataset as a versioned, checksummed
+// snapshot directory (internal/snapshot; docs/FORMAT.md specifies the
+// bytes): one framed GeoBlock payload per shard plus a manifest, written
+// atomically and safe to take while queries are flowing. Store.Restore
+// (and Open, for restore-under-another-name) load one back with full
+// validation — a corrupt or version-mismatched snapshot registers
+// nothing. Cache configuration survives the round trip; cache contents
+// restart empty.
+//
 // cmd/geoblocksd exposes this package over HTTP; docs/ARCHITECTURE.md
 // documents the full layer stack and the sharding/merge contract.
 package store

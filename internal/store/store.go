@@ -30,6 +30,22 @@ func (s *Store) Add(d *Dataset) error {
 	return nil
 }
 
+// Restore loads the snapshot at dir (Open) and registers the resulting
+// dataset under its manifest name. The load validates every artifact
+// before anything is registered, so a corrupt or version-mismatched
+// snapshot leaves the store untouched — there is no partial
+// registration. Registration still fails if the name is already taken.
+func (s *Store) Restore(dir string) (*Dataset, error) {
+	d, err := Open(dir, "")
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Add(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
 // Get returns the dataset registered under name.
 func (s *Store) Get(name string) (*Dataset, bool) {
 	s.mu.RLock()

@@ -1,0 +1,85 @@
+#!/bin/sh
+# snapshot_smoke.sh — end-to-end snapshot round trip against a real
+# geoblocksd: build the daemon, create a dataset, query it, snapshot it,
+# kill the daemon, restart it with the same -data-dir, and verify the
+# restored dataset answers the query identically. Run from anywhere
+# inside the repository:
+#
+#   scripts/snapshot_smoke.sh [port]
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+port=${1:-18080}
+base="http://127.0.0.1:$port"
+work=$(mktemp -d)
+pid=""
+
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	wait 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "snapshot_smoke: FAIL: $*" >&2
+	[ -f "$work/daemon.log" ] && sed 's/^/  daemon: /' "$work/daemon.log" >&2
+	exit 1
+}
+
+wait_ready() {
+	i=0
+	until curl -sf "$base/v1/datasets" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && fail "daemon did not become ready"
+		sleep 0.1
+	done
+}
+
+# The query used before and after the restart; elapsed_us is stripped
+# before diffing (it is the only legitimately nondeterministic field).
+query() {
+	curl -sf "$base/v1/query" -d '{
+	  "dataset": "taxi", "rect": [-74.05, 40.60, -73.85, 40.85],
+	  "aggs": [{"func":"count"},{"func":"sum","col":"fare_amount"},
+	           {"func":"min","col":"fare_amount"},{"func":"max","col":"fare_amount"}]
+	}' | grep -v elapsed_us
+}
+
+echo "snapshot_smoke: building geoblocksd"
+go build -o "$work/geoblocksd" "$root/cmd/geoblocksd"
+
+echo "snapshot_smoke: first run (build dataset, snapshot, SIGTERM)"
+"$work/geoblocksd" -addr "127.0.0.1:$port" -data-dir "$work/data" \
+	-load taxi:30000 -shard-level 2 >"$work/daemon.log" 2>&1 &
+pid=$!
+wait_ready
+
+query >"$work/before.json"
+grep -q '"count"' "$work/before.json" || fail "query before snapshot returned no count"
+
+curl -sf -X POST "$base/v1/datasets/taxi/snapshot" >"$work/snap.json" ||
+	fail "snapshot endpoint failed"
+[ -f "$work/data/taxi/manifest.json" ] || fail "no manifest written"
+[ -f "$work/data/taxi/manifest.crc32c" ] || fail "no manifest sidecar written"
+
+kill -TERM "$pid"
+wait "$pid" || fail "daemon did not exit cleanly"
+pid=""
+
+echo "snapshot_smoke: second run (restore from -data-dir, re-query)"
+"$work/geoblocksd" -addr "127.0.0.1:$port" -data-dir "$work/data" \
+	>"$work/daemon.log" 2>&1 &
+pid=$!
+wait_ready
+grep -q "restored taxi" "$work/daemon.log" || fail "daemon did not restore from snapshot"
+
+query >"$work/after.json"
+diff -u "$work/before.json" "$work/after.json" ||
+	fail "restored dataset answers differently"
+
+kill -TERM "$pid"
+wait "$pid" || fail "second daemon did not exit cleanly"
+pid=""
+
+echo "snapshot_smoke: OK (restored answers are identical)"
