@@ -486,3 +486,34 @@ func BenchmarkStoreBatchQuery(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPlannerMaxError is the per-query latency view of the pr5
+// sweep: the routed store path answering the same polygon workload at
+// progressively looser error bounds. maxErr=0 is the exact baseline;
+// each coarser admitted level should shrink the latency with it.
+func BenchmarkPlannerMaxError(b *testing.B) {
+	raw := dataset.Generate(dataset.NYCTaxi(), 150_000, 1)
+	clean := raw.CleanRule()
+	ds, err := store.Build("taxi", raw.Spec.Bound, raw.Spec.Schema, raw.Points, raw.Cols,
+		store.Options{Level: 14, ShardLevel: 2, PyramidLevels: 6, Clean: &clean})
+	if err != nil {
+		b.Fatal(err)
+	}
+	polys := workload.Neighborhoods(raw.Spec.Bound, 5)[:16]
+	dom := raw.Domain()
+	for _, lvl := range []int{14, 12, 10, 8} {
+		maxErr := 0.0
+		if lvl < 14 {
+			maxErr = dom.CellDiagonal(lvl)
+		}
+		b.Run(fmt.Sprintf("level=%d", lvl), func(b *testing.B) {
+			opts := geoblocks.QueryOptions{MaxError: maxErr}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ds.QueryOpts(polys[i%len(polys)], opts, storeBenchReqs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -20,7 +20,10 @@
 // producing the committed BENCH_PR3.json. With -snapshot it runs the pr4
 // durability bench mode — snapshot save/restore wall time and MB/s
 // against rebuild-from-rows at shard levels 0..2 — producing the
-// committed BENCH_PR4.json.
+// committed BENCH_PR4.json. With -maxerror it runs the pr5 query-planner
+// bench mode — latency/qps and cells visited across a MaxError sweep over
+// the block pyramid, with every approximate answer checked against its
+// guaranteed error bound — producing the committed BENCH_PR5.json.
 package main
 
 import (
@@ -49,6 +52,7 @@ func main() {
 		parallel  = flag.Bool("parallel", false, "with -perf-json: run the pr2 parallel bench mode (queries/sec at 1..GOMAXPROCS goroutines) instead of pr1")
 		sharded   = flag.Bool("sharded", false, "with -perf-json: run the pr3 sharded-store bench mode (store routing vs raw block) instead of pr1")
 		snapMode  = flag.Bool("snapshot", false, "with -perf-json: run the pr4 durability bench mode (snapshot save/restore vs rebuild) instead of pr1")
+		maxErr    = flag.Bool("maxerror", false, "with -perf-json: run the pr5 query-planner bench mode (latency/qps and covering work vs error bound) instead of pr1")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: geobench [flags] [experiment ...]\n\nexperiments:\n")
@@ -85,14 +89,14 @@ func main() {
 	if *perfJSON != "" {
 		write := writePerfSnapshot
 		modes := 0
-		for _, m := range []bool{*parallel, *sharded, *snapMode} {
+		for _, m := range []bool{*parallel, *sharded, *snapMode, *maxErr} {
 			if m {
 				modes++
 			}
 		}
 		switch {
 		case modes > 1:
-			fmt.Fprintf(os.Stderr, "geobench: -parallel, -sharded and -snapshot are mutually exclusive\n")
+			fmt.Fprintf(os.Stderr, "geobench: -parallel, -sharded, -snapshot and -maxerror are mutually exclusive\n")
 			os.Exit(2)
 		case *parallel:
 			write = writeParallelSnapshot
@@ -100,6 +104,8 @@ func main() {
 			write = writeShardedSnapshot
 		case *snapMode:
 			write = writeDurabilitySnapshot
+		case *maxErr:
+			write = writePlannerSnapshot
 		}
 		if err := write(cfg, *perfJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
@@ -198,6 +204,49 @@ type durabilitySnapshot struct {
 	TaxiRows   int                    `json:"taxi_rows"`
 	Seed       int64                  `json:"seed"`
 	Points     []experiments.PR4Point `json:"points"`
+}
+
+// plannerSnapshot is the BENCH_PR5.json document: the raw pr5
+// measurements plus the machine context needed to read the latency and
+// throughput columns.
+type plannerSnapshot struct {
+	Experiment string                 `json:"experiment"`
+	GoVersion  string                 `json:"go_version"`
+	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	NumCPU     int                    `json:"num_cpu"`
+	TaxiRows   int                    `json:"taxi_rows"`
+	Seed       int64                  `json:"seed"`
+	Points     []experiments.PR5Point `json:"points"`
+}
+
+// writePlannerSnapshot runs the pr5 sweep, prints its table and writes
+// the raw points as indented JSON.
+func writePlannerSnapshot(cfg experiments.Config, path string) error {
+	start := time.Now()
+	tables, points := experiments.PR5Perf(cfg)
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	snap := plannerSnapshot{
+		Experiment: "pr5",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		TaxiRows:   cfg.TaxiRows,
+		Seed:       cfg.Seed,
+		Points:     points,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("planner snapshot written to %s in %v\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // writeDurabilitySnapshot runs the pr4 sweep, prints its table and

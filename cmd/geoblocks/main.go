@@ -6,8 +6,13 @@
 //	       generate a synthetic dataset, run extract+build, persist the block
 //	info   -block FILE
 //	       print a block's header and configuration
-//	query  -block FILE -poly "x,y x,y x,y ..." [-agg count,sum:col,...] [-cache PCT]
-//	       run a polygon aggregate query against a persisted block
+//	query  -block FILE -poly "x,y x,y x,y ..." [-agg count,sum:col,...]
+//	       [-max-error E] [-repeat N]
+//	       run a polygon aggregate query against a persisted block;
+//	       -max-error > 0 builds a coarsening pyramid and lets the query
+//	       planner answer at the coarsest level whose spatial error bound
+//	       (cell diagonal, in domain units) stays within E — the output
+//	       reports the level actually used and its guaranteed bound
 //
 // The polygon is given as a space-separated list of comma-separated
 // lon,lat vertex pairs. Aggregates default to count.
@@ -57,7 +62,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   geoblocks build -dataset taxi|tweets|osm -rows N -level L [-filter "col op val"] -out FILE
   geoblocks info  -block FILE
-  geoblocks query -block FILE -poly "x,y x,y x,y ..." [-agg count,sum:col,...] [-repeat N]`)
+  geoblocks query -block FILE -poly "x,y x,y x,y ..." [-agg count,sum:col,...] [-max-error E] [-repeat N]`)
 }
 
 func specFor(name string) (dataset.Spec, error) {
@@ -157,6 +162,7 @@ func runQuery(args []string) error {
 	path := fs.String("block", "block.gb", "block file")
 	polyStr := fs.String("poly", "", "polygon vertices: \"x,y x,y x,y ...\"")
 	aggStr := fs.String("agg", "count", "aggregates: count,sum:col,min:col,max:col,avg:col")
+	maxError := fs.Float64("max-error", 0, "acceptable spatial error bound in domain units (0 = exact)")
 	repeat := fs.Int("repeat", 1, "repeat the query N times (timing)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -176,14 +182,30 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	opts := geoblocks.QueryOptions{MaxError: *maxError}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	if *maxError > 0 {
+		// A persisted block carries only its base level; derive exactly
+		// the coarser levels the requested bound can make use of — the
+		// planner never selects below LevelForMaxDiagonal(maxError).
+		want := blk.Inner().Domain().LevelForMaxDiagonal(*maxError)
+		if n := blk.Level() - want; n > 0 {
+			if err := blk.BuildPyramid(n); err != nil {
+				return err
+			}
+		}
+	}
 
 	var res geoblocks.Result
 	for i := 0; i < max(*repeat, 1); i++ {
-		res, err = blk.Query(poly, reqs...)
+		res, err = blk.QueryOpts(poly, opts, reqs...)
 		if err != nil {
 			return err
 		}
 	}
+	fmt.Printf("answered at level %d (guaranteed error bound %g domain units)\n", res.Level, res.ErrorBound)
 	fmt.Printf("covering cells: %d combined aggregates, %d tuples\n", res.CellsVisited, res.Count)
 	for i, name := range names {
 		fmt.Printf("%-12s %g\n", name, res.Values[i])

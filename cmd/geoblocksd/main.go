@@ -5,12 +5,18 @@
 //
 //	geoblocksd [-addr :8080] [-load spec[:rows]]... [-level N]
 //	           [-shard-level N] [-cache F] [-cache-refresh N]
-//	           [-seed N] [-drain D] [-data-dir DIR] [-snapshot-on-exit]
+//	           [-pyramid-levels N] [-seed N] [-drain D]
+//	           [-data-dir DIR] [-snapshot-on-exit]
 //
 // Each -load builds one synthetic dataset at startup (spec taxi, tweets
 // or osm; default 100000 rows), registered under the spec name. More
-// datasets — with per-dataset level, sharding and cache configuration —
-// can be created at runtime via POST /v1/datasets.
+// datasets — with per-dataset level, sharding, cache and pyramid
+// configuration — can be created at runtime via POST /v1/datasets.
+//
+// -pyramid-levels derives that many coarser grid levels per shard; the
+// query planner then answers /v1/query requests carrying "max_error" at
+// the coarsest level satisfying the bound (responses report the achieved
+// level and bound, /v1/stats the pyramid memory cost).
 //
 // With -data-dir the daemon is durable: every snapshot directory under
 // DIR is restored at startup (corrupt or version-mismatched snapshots
@@ -84,6 +90,7 @@ func main() {
 		shardLevel   = flag.Int("shard-level", 2, "shard prefix level for -load datasets (0 = unsharded)")
 		cache        = flag.Float64("cache", 0.10, "per-shard cache aggregate threshold for -load datasets (0 = no cache)")
 		cacheRefresh = flag.Int("cache-refresh", 2000, "per-shard cache auto-refresh cadence in queries (0 = manual)")
+		pyramid      = flag.Int("pyramid-levels", 4, "coarser pyramid levels per shard for -load datasets (0 = full resolution only)")
 		seed         = flag.Int64("seed", 1, "generation seed for -load datasets")
 		drain        = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 		dataDir      = flag.String("data-dir", "", "snapshot directory: restore all snapshots at startup, default target for the snapshot endpoint")
@@ -123,6 +130,7 @@ func main() {
 			ShardLevel:       *shardLevel,
 			CacheThreshold:   *cache,
 			CacheAutoRefresh: *cacheRefresh,
+			PyramidLevels:    *pyramid,
 		})
 		if err != nil {
 			log.Fatalf("geoblocksd: loading %s: %v", ls.spec, err)

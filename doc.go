@@ -24,6 +24,23 @@
 // An optional trie-based query cache ("BlockQC") adapts to workload skew
 // by pre-combining aggregates of frequently queried regions.
 //
+// # Query planner and the error/speed knob
+//
+// The paper's central trade — spatial accuracy for speed — is a
+// per-query decision here, not a build-time one. BuildPyramid derives a
+// pyramid of coarser levels from a built block (via Coarsen, no
+// base-data rescan; each level carries its own coverer and, when
+// enabled, its own query cache), and every query method resolves
+// through one plan→execute pipeline driven by QueryOptions: MaxError
+// picks the coarsest pyramid level whose cell diagonal satisfies the
+// bound, Workers selects the serial or parallel kernel, DisableCache
+// bypasses the cache. Results report the level answered at and the
+// guaranteed error bound of the covering actually executed
+// (Result.Level, Result.ErrorBound); MaxError 0 — and every legacy
+// method, which wraps the pipeline with zero options — is bit-identical
+// to the exact path. LevelFor and AtLevel expose the planner's level
+// arithmetic to sharded routers.
+//
 // # Quick start
 //
 //	schema := geoblocks.NewSchema("fare", "distance")

@@ -1,8 +1,14 @@
-// Error bounds: sweeps the block level for one query polygon and prints
-// the trade-off the paper's Sec. 3.2 and Fig. 16 describe — the covering's
-// guaranteed distance bound halves per level while the number of covering
-// cells (and thus query cost) roughly quadruples, and the measured count
-// error falls accordingly.
+// Error bounds at query time: one block, one pyramid, one knob. The
+// paper's headline trade (Sec. 3.2/3.4) is spatial accuracy for speed — a
+// coarser grid shrinks coverings and makes polygon queries cheaper, with
+// the error bounded by the cell diagonal. This example builds a single
+// full-resolution GeoBlock, derives a coarsening pyramid, and then sweeps
+// the *query-time* MaxError knob: the planner answers each query at the
+// coarsest pyramid level whose guarantee satisfies the request, and the
+// result reports the level used and the bound actually achieved.
+//
+// An appendix shows the build-time alternative (manual Coarsen), which the
+// query planner supersedes for serving.
 package main
 
 import (
@@ -16,7 +22,10 @@ import (
 )
 
 func main() {
-	const rows = 400_000
+	const (
+		rows      = 400_000
+		baseLevel = 13
+	)
 	raw := dataset.Generate(dataset.NYCTaxi(), rows, 5)
 	builder, err := geoblocks.NewBuilder(raw.Spec.Bound, raw.Spec.Schema)
 	if err != nil {
@@ -26,9 +35,19 @@ func main() {
 	if err := builder.AddRows(raw.Points, raw.Cols); err != nil {
 		log.Fatal(err)
 	}
-	if err := builder.Extract(); err != nil {
+	block, err := builder.Build(baseLevel, nil)
+	if err != nil {
 		log.Fatal(err)
 	}
+	// One call derives every coarser level the planner may answer at —
+	// no base-data rescan, and the memory cost is a fraction of the base
+	// block (each level holds ~1/4 the cells of the next finer one).
+	if err := block.BuildPyramid(8); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base level %d (%d cells, %d KiB); pyramid levels %v (+%d KiB)\n\n",
+		block.Level(), block.NumCells(), block.SizeBytes()/1024,
+		block.PyramidLevels(), block.PyramidBytes()/1024)
 
 	// An irregular pentagon around lower Manhattan.
 	poly, err := geoblocks.NewPolygon([]geoblocks.Point{
@@ -45,41 +64,69 @@ func main() {
 	exact := baseline.ExactPolygonCount(base.Table, base.Domain, poly)
 	fmt.Printf("query polygon truth: %d of %d trips\n\n", exact, base.NumRows())
 
-	fmt.Printf("%-6s %-14s %-10s %-9s %-10s %-10s\n",
-		"level", "error_bound_m", "cells", "covering", "count_err", "query_time")
-	for level := 5; level <= 13; level++ {
-		block, err := builder.Build(level, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
-		covering := block.Cover(poly)
-
+	// The sweep: instead of rebuilding blocks per level, ask the SAME
+	// block for progressively looser error bounds. MaxError 0 is the
+	// exact path; each doubling admits one coarser pyramid level.
+	fmt.Printf("%-12s %-6s %-14s %-9s %-10s %-10s\n",
+		"max_error_m", "level", "bound_m", "cells", "count_err", "query_time")
+	maxErr := 0.0
+	for step := 0; step <= 8; step++ {
+		opts := geoblocks.QueryOptions{MaxError: maxErr}
 		var res geoblocks.Result
 		start := time.Now()
 		const reps = 20
 		for i := 0; i < reps; i++ {
-			res, err = block.QueryCovering(covering, geoblocks.Count())
+			res, err = block.QueryOpts(poly, opts, geoblocks.Count())
 			if err != nil {
 				log.Fatal(err)
 			}
 		}
 		elapsed := time.Since(start) / reps
 
-		errFrac := float64(res.Count-exact) / float64(exact)
 		// The covering only adds false positives: the error is one-sided.
 		if res.Count < exact {
-			log.Fatalf("covering lost tuples at level %d", level)
+			log.Fatalf("covering lost tuples at max_error %g", maxErr)
 		}
-		fmt.Printf("%-6d %-14.1f %-10d %-9d %-10.2f%% %v\n",
-			level,
-			block.ErrorBound()*100_000, // degrees -> metres, order of magnitude
-			block.NumCells(),
-			len(covering),
+		errFrac := float64(res.Count-exact) / float64(exact)
+		fmt.Printf("%-12.1f %-6d %-14.1f %-9d %-10.2f%% %v\n",
+			maxErr*100_000, // degrees -> metres, order of magnitude
+			res.Level,
+			res.ErrorBound*100_000,
+			res.CellsVisited,
 			100*errFrac,
 			elapsed.Round(time.Microsecond))
+
+		if maxErr == 0 {
+			maxErr = block.ErrorBound() // start at the base guarantee...
+		} else {
+			maxErr *= 2 // ...and admit one coarser level per step
+		}
 	}
 
-	fmt.Println("\nerror bound halves per level; covering cells and query cost grow ~4x.")
-	fmt.Println("pick the coarsest level whose bound meets your accuracy target")
-	fmt.Println("(geoblocks.LevelForError does this automatically).")
+	fmt.Println("\nsame block, one knob: each doubling of max_error admits one coarser")
+	fmt.Println("pyramid level — the covering (and query cost) shrinks ~4x while the")
+	fmt.Println("reported bound stays a hard guarantee on the answer.")
+
+	appendixManualCoarsen(block, poly)
+}
+
+// appendixManualCoarsen shows the build-time form of the same trade: a
+// standalone coarser block derived by hand. Queries against it behave
+// like the planner's coarse answers, but every error bound needs its own
+// block handle — the query planner wraps exactly this machinery behind
+// QueryOptions.MaxError (and geoblocks.LevelForError maps a bound to a
+// build level when a fixed-resolution block is really wanted).
+func appendixManualCoarsen(block *geoblocks.GeoBlock, poly *geoblocks.Polygon) {
+	fmt.Println("\n--- appendix: manual Coarsen (build-time knob) ---")
+	coarse, err := block.Coarsen(block.Level() - 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := coarse.Query(poly, geoblocks.Count())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Coarsen(%d): %d cells, count %d, bound %.1f m — one block per bound,\n",
+		coarse.Level(), coarse.NumCells(), res.Count, coarse.ErrorBound()*100_000)
+	fmt.Println("vs. the pyramid's every-bound-one-block planner above.")
 }

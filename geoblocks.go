@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -147,6 +148,18 @@ type GeoBlock struct {
 	coverer *cover.Coverer
 	cached  *aggtrie.CachedBlock
 
+	// pyramid holds coarser read-only blocks derived from this one with
+	// Coarsen, sorted finest-first (strictly descending level). Each entry
+	// is a complete GeoBlock with its own coverer and — when the base
+	// block's cache is enabled — its own query cache, so hot approximate
+	// traffic at one error bound warms a cache dedicated to its level.
+	// Built by BuildPyramid, consulted by the query planner; nil means
+	// every query answers at the base level.
+	pyramid []*GeoBlock
+	// cacheThreshold remembers the EnableCache threshold so pyramid levels
+	// built later inherit the cache configuration (0 = no cache).
+	cacheThreshold float64
+
 	// autoRefresh rebuilds the cache every n queries (0 = manual).
 	autoRefresh int
 	// queries counts cache-served queries; crossing a multiple of
@@ -208,23 +221,174 @@ func (g *GeoBlock) CoverRect(r Rect) []CellID {
 	return g.coverer.CoverRect(r).Cells
 }
 
+// QueryOptions are the unified knobs of the query planner. One options
+// struct replaces the combinatorial method matrix (Query/QueryRect/
+// QueryCovering × serial/parallel × cached/uncached): every query resolves
+// through one plan→execute pipeline, and the legacy signatures remain as
+// thin wrappers over it. The zero value reproduces the exact serial path
+// bit for bit.
+type QueryOptions struct {
+	// MaxError is the acceptable spatial error bound in domain units.
+	// 0 answers exactly, at the base block level. A positive value lets
+	// the planner answer at the coarsest pyramid level (BuildPyramid)
+	// whose cell diagonal does not exceed it — a smaller covering and a
+	// cheaper query, the paper's accuracy-for-speed trade (Sec. 3.4).
+	// When no pyramid level satisfies the bound (or no pyramid is built)
+	// the planner answers at the base level; Result.ErrorBound always
+	// reports the bound actually achieved. Must be finite and >= 0.
+	MaxError float64
+	// Workers selects the execution kernel: 0 or 1 runs the serial,
+	// cache-probing kernel; > 1 partitions large coverings across that
+	// many goroutines; < 0 uses GOMAXPROCS. The parallel kernel neither
+	// probes nor warms the query cache and falls back to the serial kernel
+	// for coverings too small to amortise the fan-out.
+	Workers int
+	// DisableCache answers directly from the aggregate arrays even when a
+	// query cache is enabled, leaving cache state and statistics
+	// untouched — for latency probes and cache-benefit measurements.
+	DisableCache bool
+}
+
+// Validate reports whether the options are well-formed: MaxError must be
+// finite and non-negative. Serving layers call it up front to map bad
+// options onto caller errors; the query methods validate internally.
+func (o QueryOptions) Validate() error {
+	if o.MaxError < 0 || math.IsNaN(o.MaxError) || math.IsInf(o.MaxError, 0) {
+		return fmt.Errorf("geoblocks: MaxError must be finite and >= 0, got %v", o.MaxError)
+	}
+	return nil
+}
+
+// plan validates the options and resolves the block that will execute the
+// query: the base block, or the pyramid level the error bound admits.
+func (g *GeoBlock) plan(opts QueryOptions) (*GeoBlock, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return g.planTarget(opts.MaxError), nil
+}
+
+// planTarget picks the coarsest available level whose cell diagonal does
+// not exceed maxError. The pyramid is sorted finest-first, so the last
+// entry still meeting the wanted level is the cheapest admissible block.
+func (g *GeoBlock) planTarget(maxError float64) *GeoBlock {
+	if maxError <= 0 || len(g.pyramid) == 0 {
+		return g
+	}
+	want := g.inner.Domain().LevelForMaxDiagonal(maxError)
+	if want >= g.Level() {
+		return g
+	}
+	target := g
+	for _, pb := range g.pyramid {
+		if pb.Level() < want {
+			break
+		}
+		target = pb
+	}
+	return target
+}
+
+// execCovering is the single execution kernel behind every public query
+// method. Running on the plan's target block, it resolves the aggregate
+// requests against the schema, dispatches onto the parallel, cached or
+// plain serial kernel per the options, and stamps the achieved level and
+// guaranteed error bound into the result.
+func (g *GeoBlock) execCovering(cov []CellID, bound float64, opts QueryOptions, reqs []AggRequest) (Result, error) {
+	specs, err := resolveSpecs(g.inner.Schema(), reqs)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	switch {
+	case opts.Workers > 1 || opts.Workers < 0:
+		res, err = g.inner.SelectCoveringParallel(cov, specs, opts.Workers)
+	case g.cached != nil && !opts.DisableCache:
+		res, err = g.cached.Select(cov, specs)
+		if err == nil {
+			g.maybeAutoRefresh()
+		}
+	default:
+		res, err = g.inner.SelectCovering(cov, specs)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Level = g.Level()
+	res.ErrorBound = bound
+	return res, nil
+}
+
+// QueryOpts answers a SELECT aggregate query over a polygon through the
+// query planner: pick the coarsest pyramid level admitted by
+// opts.MaxError, compute the covering at that level, execute through the
+// kernel opts selects. The result reports the level answered at and the
+// guaranteed error bound of the covering actually executed (0 when the
+// covering is exact). QueryOpts with zero options is exactly Query.
+func (g *GeoBlock) QueryOpts(poly *Polygon, opts QueryOptions, reqs ...AggRequest) (Result, error) {
+	t, err := g.plan(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	cov := t.coverer.Cover(poly)
+	return t.execCovering(cov.Cells, t.coverer.GuaranteedErrorDistance(cov), opts, reqs)
+}
+
+// QueryRectOpts is QueryOpts over a rectangle (rectangles are just
+// constrained polygons; the same planning and covering machinery applies).
+func (g *GeoBlock) QueryRectOpts(r Rect, opts QueryOptions, reqs ...AggRequest) (Result, error) {
+	t, err := g.plan(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	cov := t.coverer.CoverRect(r)
+	return t.execCovering(cov.Cells, t.coverer.GuaranteedErrorDistance(cov), opts, reqs)
+}
+
+// QueryCoveringOpts is QueryOpts over a pre-computed covering. The
+// covering fixes the grid level, so opts.MaxError does not re-plan: the
+// query executes against this block as given (compute the covering with
+// AtLevel's coverer to target a pyramid level). Without interior flags the
+// reported bound is conservative — the diagonal of the coarsest covering
+// cell.
+func (g *GeoBlock) QueryCoveringOpts(cov []CellID, opts QueryOptions, reqs ...AggRequest) (Result, error) {
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	return g.execCovering(cov, g.coveringBound(cov), opts, reqs)
+}
+
+// coveringBound is the conservative guaranteed bound of a bare cell list:
+// the diagonal of its coarsest cell, 0 for an empty covering.
+func (g *GeoBlock) coveringBound(cov []CellID) float64 {
+	return g.inner.Domain().MaxDiagonal(cov)
+}
+
 // Query answers a SELECT aggregate query over an arbitrary polygon.
 // COUNT/SUM/AVG combine each covering cell in O(1) from stored offsets and
 // prefix sums; MIN/MAX scan the covered aggregates with fused per-column
-// kernels.
+// kernels. Query is QueryOpts with zero options: exact, serial, cached.
 func (g *GeoBlock) Query(poly *Polygon, reqs ...AggRequest) (Result, error) {
-	return g.queryCovering(g.Cover(poly), reqs)
+	return g.QueryOpts(poly, QueryOptions{}, reqs...)
 }
 
-// QueryRect answers a SELECT aggregate query over a rectangle (rectangles
-// are just constrained polygons; the same covering machinery applies).
+// QueryRect answers a SELECT aggregate query over a rectangle.
 func (g *GeoBlock) QueryRect(r Rect, reqs ...AggRequest) (Result, error) {
-	return g.queryCovering(g.CoverRect(r), reqs)
+	return g.QueryRectOpts(r, QueryOptions{}, reqs...)
 }
 
 // QueryCovering answers a SELECT query over a pre-computed covering.
 func (g *GeoBlock) QueryCovering(cov []CellID, reqs ...AggRequest) (Result, error) {
-	return g.queryCovering(cov, reqs)
+	return g.QueryCoveringOpts(cov, QueryOptions{}, reqs...)
+}
+
+// normalizeWorkers maps the legacy parallel-method convention (<= 0 means
+// GOMAXPROCS) onto QueryOptions.Workers (< 0 means GOMAXPROCS).
+func normalizeWorkers(workers int) int {
+	if workers <= 0 {
+		return -1
+	}
+	return workers
 }
 
 // QueryParallel answers a SELECT query over a polygon, partitioning a
@@ -237,17 +401,17 @@ func (g *GeoBlock) QueryCovering(cov []CellID, reqs ...AggRequest) (Result, erro
 // analytical coverings where splitting the scan beats pre-combined
 // records.
 func (g *GeoBlock) QueryParallel(poly *Polygon, workers int, reqs ...AggRequest) (Result, error) {
-	return g.queryCoveringParallel(g.Cover(poly), workers, reqs)
+	return g.QueryOpts(poly, QueryOptions{Workers: normalizeWorkers(workers), DisableCache: true}, reqs...)
 }
 
 // QueryRectParallel is QueryParallel over a rectangle.
 func (g *GeoBlock) QueryRectParallel(r Rect, workers int, reqs ...AggRequest) (Result, error) {
-	return g.queryCoveringParallel(g.CoverRect(r), workers, reqs)
+	return g.QueryRectOpts(r, QueryOptions{Workers: normalizeWorkers(workers), DisableCache: true}, reqs...)
 }
 
 // QueryCoveringParallel is QueryParallel over a pre-computed covering.
 func (g *GeoBlock) QueryCoveringParallel(cov []CellID, workers int, reqs ...AggRequest) (Result, error) {
-	return g.queryCoveringParallel(cov, workers, reqs)
+	return g.QueryCoveringOpts(cov, QueryOptions{Workers: normalizeWorkers(workers), DisableCache: true}, reqs...)
 }
 
 // QueryCoveringPartial answers a SELECT query over a pre-computed covering
@@ -259,11 +423,28 @@ func (g *GeoBlock) QueryCoveringParallel(cov []CellID, workers int, reqs ...AggR
 // algorithm (probes, statistics and auto-refresh included), exactly like
 // Query.
 func (g *GeoBlock) QueryCoveringPartial(cov []CellID, reqs ...AggRequest) (*Accumulator, error) {
+	return g.QueryCoveringPartialOpts(cov, QueryOptions{}, reqs...)
+}
+
+// QueryCoveringPartialOpts is QueryCoveringPartial with options. Like the
+// other covering-taking forms it never re-plans the level — the sharded
+// router resolves the pyramid level once per query (LevelFor, AtLevel) and
+// computes one covering at it. Workers selects the in-shard kernel (the
+// parallel kernel bypasses the cache, falls back to serial for small
+// sub-coverings, and composes with the router's per-shard fan-out);
+// DisableCache bypasses the cache on the serial path.
+func (g *GeoBlock) QueryCoveringPartialOpts(cov []CellID, opts QueryOptions, reqs ...AggRequest) (*Accumulator, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	specs, err := resolveSpecs(g.inner.Schema(), reqs)
 	if err != nil {
 		return nil, err
 	}
-	if g.cached != nil {
+	if opts.Workers > 1 || opts.Workers < 0 {
+		return g.inner.SelectCoveringPartialParallel(cov, specs, opts.Workers)
+	}
+	if g.cached != nil && !opts.DisableCache {
 		acc, err := g.cached.SelectPartial(cov, specs)
 		if err != nil {
 			return nil, err
@@ -289,30 +470,6 @@ func SplitCovering(cov []CellID, cell CellID) []CellID {
 	first := sort.Search(len(cov), func(i int) bool { return cov[i].RangeMax() >= lo })
 	last := sort.Search(len(cov), func(i int) bool { return cov[i].RangeMin() > hi })
 	return cov[first:last:last]
-}
-
-func (g *GeoBlock) queryCoveringParallel(cov []CellID, workers int, reqs []AggRequest) (Result, error) {
-	specs, err := resolveSpecs(g.inner.Schema(), reqs)
-	if err != nil {
-		return Result{}, err
-	}
-	return g.inner.SelectCoveringParallel(cov, specs, workers)
-}
-
-func (g *GeoBlock) queryCovering(cov []CellID, reqs []AggRequest) (Result, error) {
-	specs, err := resolveSpecs(g.inner.Schema(), reqs)
-	if err != nil {
-		return Result{}, err
-	}
-	if g.cached != nil {
-		res, err := g.cached.Select(cov, specs)
-		if err != nil {
-			return Result{}, err
-		}
-		g.maybeAutoRefresh()
-		return res, nil
-	}
-	return g.inner.SelectCovering(cov, specs)
 }
 
 // Count answers a COUNT query over a polygon with the specialised
@@ -345,6 +502,9 @@ func (g *GeoBlock) CountRect(r Rect) uint64 {
 // can never store a record. autoRefreshEvery > 0 rebuilds the cache from
 // query statistics (in the background, off the query path) every that
 // many queries; 0 leaves refresh manual; negative values are rejected.
+// A pyramid level built later (BuildPyramid) inherits the cache
+// configuration with its own private cache; enabling on a block that
+// already carries a pyramid enables one cache per level.
 func (g *GeoBlock) EnableCache(threshold float64, autoRefreshEvery int) error {
 	if autoRefreshEvery < 0 {
 		return fmt.Errorf("geoblocks: autoRefreshEvery must be >= 0, got %d", autoRefreshEvery)
@@ -355,45 +515,72 @@ func (g *GeoBlock) EnableCache(threshold float64, autoRefreshEvery int) error {
 	}
 	g.waitRefresh()
 	g.cached = cached
+	g.cacheThreshold = threshold
 	g.autoRefresh = autoRefreshEvery
 	g.queries.Store(0)
+	for _, pb := range g.pyramid {
+		if err := pb.EnableCache(threshold, autoRefreshEvery); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// DisableCache detaches the query cache and clears the auto-refresh
-// cadence and query counter, so a later EnableCache(t, 0) cannot inherit
-// a stale auto-refresh schedule.
+// DisableCache detaches the query cache (on every pyramid level too) and
+// clears the auto-refresh cadence and query counter, so a later
+// EnableCache(t, 0) cannot inherit a stale auto-refresh schedule.
 func (g *GeoBlock) DisableCache() {
 	g.waitRefresh()
 	g.cached = nil
+	g.cacheThreshold = 0
 	g.autoRefresh = 0
 	g.queries.Store(0)
+	for _, pb := range g.pyramid {
+		pb.DisableCache()
+	}
 }
 
-// RefreshCache rebuilds the query cache from accumulated statistics. It is
-// a no-op without an enabled cache.
+// RefreshCache rebuilds the query cache (and every pyramid level's) from
+// accumulated statistics. It is a no-op without an enabled cache.
 func (g *GeoBlock) RefreshCache() {
 	if g.cached != nil {
 		g.waitRefresh()
 		g.cached.Refresh()
 	}
+	for _, pb := range g.pyramid {
+		pb.RefreshCache()
+	}
 }
 
-// CacheMetrics returns cache effectiveness counters (zero value without a
-// cache).
+// CacheMetrics returns cache effectiveness counters, summed over the base
+// cache and the per-level pyramid caches (zero value without a cache).
 func (g *GeoBlock) CacheMetrics() CacheMetrics {
-	if g.cached == nil {
-		return CacheMetrics{}
+	var m CacheMetrics
+	if g.cached != nil {
+		m = g.cached.Metrics()
 	}
-	return g.cached.Metrics()
+	for _, pb := range g.pyramid {
+		pm := pb.CacheMetrics()
+		m.Probes += pm.Probes
+		m.FullHits += pm.FullHits
+		m.PartialHits += pm.PartialHits
+		m.Misses += pm.Misses
+		m.DerivedHits += pm.DerivedHits
+	}
+	return m
 }
 
-// CacheSizeBytes returns the current cache arena size.
+// CacheSizeBytes returns the current cache arena size, summed over the
+// base cache and the per-level pyramid caches.
 func (g *GeoBlock) CacheSizeBytes() int {
-	if g.cached == nil {
-		return 0
+	total := 0
+	if g.cached != nil {
+		total = g.cached.Trie().SizeBytes()
 	}
-	return g.cached.Trie().SizeBytes()
+	for _, pb := range g.pyramid {
+		total += pb.CacheSizeBytes()
+	}
+	return total
 }
 
 // autoRefreshMaxMissRate is the miss share above which an armed
@@ -441,10 +628,100 @@ func (g *GeoBlock) Coarsen(level int) (*GeoBlock, error) {
 	return wrapBlock(nb)
 }
 
+// BuildPyramid derives a pyramid of coarser levels below the base block:
+// levels base−1, base−2, …, down to max(0, base−levels), each obtained by
+// coarsening the previous level — one pass over the finer aggregates, no
+// base-data rescan (core.Coarsen). The query planner (QueryOpts) answers
+// error-bounded queries at the coarsest admissible pyramid level. Each
+// level inherits the block's cache configuration with its own private
+// cache. Because each level holds at most as many cells as the next finer
+// one (typically ~1/4), a full pyramid costs at most a constant factor of
+// the base block's memory; PyramidBytes reports the actual cost.
+//
+// levels <= 0 removes the pyramid. BuildPyramid is a structural mutation
+// under the block's concurrency contract: it must not run concurrently
+// with queries. Serialization is unaffected — WriteTo persists only the
+// base level and readers rebuild the pyramid (the snapshot subsystem does
+// so on restore).
+func (g *GeoBlock) BuildPyramid(levels int) error {
+	g.waitRefresh()
+	if levels <= 0 {
+		g.pyramid = nil
+		return nil
+	}
+	pyr := make([]*GeoBlock, 0, levels)
+	prev := g.inner
+	for lvl := g.Level() - 1; lvl >= 0 && len(pyr) < levels; lvl-- {
+		nb, err := core.Coarsen(prev, lvl)
+		if err != nil {
+			return err
+		}
+		pb, err := wrapBlock(nb)
+		if err != nil {
+			return err
+		}
+		if g.cacheThreshold > 0 {
+			if err := pb.EnableCache(g.cacheThreshold, g.autoRefresh); err != nil {
+				return err
+			}
+		}
+		pyr = append(pyr, pb)
+		prev = nb
+	}
+	g.pyramid = pyr
+	return nil
+}
+
+// PyramidLevels returns the block levels of the pyramid, finest first,
+// excluding the base level. Empty without a pyramid.
+func (g *GeoBlock) PyramidLevels() []int {
+	out := make([]int, len(g.pyramid))
+	for i, pb := range g.pyramid {
+		out[i] = pb.Level()
+	}
+	return out
+}
+
+// PyramidBytes returns the total in-memory size of the pyramid levels'
+// aggregate storage — the memory price of the query-time error knob.
+func (g *GeoBlock) PyramidBytes() int {
+	total := 0
+	for _, pb := range g.pyramid {
+		total += pb.SizeBytes()
+	}
+	return total
+}
+
+// AtLevel returns the block answering queries at exactly the given grid
+// level — the base block or a pyramid entry — and whether one exists. The
+// returned block supports the full query API (own coverer, own cache);
+// sharded routers use it to execute one planned level across shards.
+func (g *GeoBlock) AtLevel(level int) (*GeoBlock, bool) {
+	if level == g.Level() {
+		return g, true
+	}
+	for _, pb := range g.pyramid {
+		if pb.Level() == level {
+			return pb, true
+		}
+	}
+	return nil, false
+}
+
+// LevelFor returns the grid level the planner would answer at for the
+// given error bound: the coarsest available level whose cell diagonal
+// does not exceed maxError, or the base level when maxError is 0 (or
+// tighter than the base diagonal, or no pyramid is built).
+func (g *GeoBlock) LevelFor(maxError float64) int {
+	return g.planTarget(maxError).Level()
+}
+
 // Update folds a batch of new tuples into the block's aggregates (paper
 // Sec. 5). It returns core.ErrRebuildRequired when tuples land outside all
 // existing cell aggregates; rebuild with Builder in that case. Updating
-// invalidates cached aggregates, so an enabled cache is rebuilt.
+// invalidates cached aggregates, so an enabled cache is rebuilt, and
+// re-derives any pyramid levels (their aggregates are views of the base
+// block's; per-level caches restart empty).
 func (g *GeoBlock) Update(batch *UpdateBatch) error {
 	// Drain any in-flight background refresh before mutating: it reads
 	// the aggregate arrays the update is about to patch.
@@ -454,6 +731,11 @@ func (g *GeoBlock) Update(batch *UpdateBatch) error {
 	}
 	if g.cached != nil {
 		g.cached.Refresh()
+	}
+	if n := len(g.pyramid); n > 0 {
+		if err := g.BuildPyramid(n); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -177,6 +177,88 @@ func ExactPolygonCount(t *column.Table, dom cellid.Domain, poly *geom.Polygon) u
 	return n
 }
 
+// distToSegment returns the distance from p to the segment [a, b].
+func distToSegment(p, a, b geom.Point) float64 {
+	ab := b.Sub(a)
+	den := ab.Dot(ab)
+	t := 0.0
+	if den > 0 {
+		t = p.Sub(a).Dot(ab) / den
+	}
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.Dist(a.Add(ab.Scale(t)))
+}
+
+// DistanceToPolygon returns 0 for points inside (or on the boundary of)
+// the polygon, and otherwise the distance to the nearest ring segment.
+func DistanceToPolygon(p geom.Point, poly *geom.Polygon) float64 {
+	if poly.ContainsPoint(p) {
+		return 0
+	}
+	best := math.Inf(1)
+	measure := func(ring []geom.Point) {
+		for i := range ring {
+			j := i + 1
+			if j == len(ring) {
+				j = 0
+			}
+			if d := distToSegment(p, ring[i], ring[j]); d < best {
+				best = d
+			}
+		}
+	}
+	measure(poly.Outer())
+	for _, hole := range poly.Holes() {
+		measure(hole)
+	}
+	return best
+}
+
+// ExactDilatedPolygonCount counts base tuples within margin of the
+// polygon (tuples inside it included), reconstructing locations as
+// leaf-cell centres like ExactPolygonCount. It is the upper reference of
+// the query planner's guarantee: an error-bounded answer may add only
+// tuples lying within its reported bound of the query region, so for any
+// result with guaranteed bound e,
+//
+//	ExactPolygonCount <= result.Count <= ExactDilatedPolygonCount(…, e).
+func ExactDilatedPolygonCount(t *column.Table, dom cellid.Domain, poly *geom.Polygon, margin float64) uint64 {
+	bb := poly.Bound().Expanded(margin)
+	var n uint64
+	for i := 0; i < t.NumRows(); i++ {
+		p := dom.CellCenter(cellid.ID(t.Keys[i]))
+		if !bb.ContainsPoint(p) {
+			continue
+		}
+		if DistanceToPolygon(p, poly) <= margin {
+			n++
+		}
+	}
+	return n
+}
+
+// ExactDilatedPolygonColSum is ExactDilatedPolygonCount for the sum of
+// one value column: with margin 0 it is the exact in-polygon sum, the
+// lower reference of the planner's guarantee for non-negative columns.
+func ExactDilatedPolygonColSum(t *column.Table, dom cellid.Domain, poly *geom.Polygon, col int, margin float64) float64 {
+	bb := poly.Bound().Expanded(margin)
+	sum := 0.0
+	for i := 0; i < t.NumRows(); i++ {
+		p := dom.CellCenter(cellid.ID(t.Keys[i]))
+		if !bb.ContainsPoint(p) {
+			continue
+		}
+		if DistanceToPolygon(p, poly) <= margin {
+			sum += t.Cols[col][i]
+		}
+	}
+	return sum
+}
+
 // ExactRectCount is ExactPolygonCount for rectangles.
 func ExactRectCount(t *column.Table, dom cellid.Domain, r geom.Rect) uint64 {
 	var n uint64

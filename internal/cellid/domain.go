@@ -111,6 +111,22 @@ func (d Domain) CellDiagonal(level int) float64 {
 	return math.Hypot(w, h)
 }
 
+// MaxDiagonal returns the diagonal of the coarsest cell among cells — the
+// conservative guaranteed error bound of a bare covering whose interior
+// flags are unknown. It returns 0 for an empty slice.
+func (d Domain) MaxDiagonal(cells []ID) float64 {
+	coarsest := -1
+	for _, id := range cells {
+		if l := id.Level(); coarsest < 0 || l < coarsest {
+			coarsest = l
+		}
+	}
+	if coarsest < 0 {
+		return 0
+	}
+	return d.CellDiagonal(coarsest)
+}
+
 // LevelForMaxDiagonal returns the coarsest level whose cell diagonal does
 // not exceed maxDiagonal, i.e. the cheapest level meeting the user's error
 // bound. It returns MaxLevel when even leaves are larger than requested.

@@ -37,6 +37,29 @@ func (b *GeoBlock) SelectCoveringParallel(cov []cellid.ID, specs []AggSpec, work
 	if err := b.validateSpecs(specs); err != nil {
 		return Result{}, err
 	}
+	total, visited := b.selectCoveringParallel(cov, specs, workers)
+	return total.finish(visited), nil
+}
+
+// SelectCoveringPartialParallel is SelectCoveringParallel stopped before
+// finalisation: the merged per-worker partials are returned as one
+// Accumulator, so a sharded router can fan a huge sub-covering across
+// workers inside one shard and still merge the shard partials exactly as
+// with the serial kernel. Same fallback and determinism contract as
+// SelectCoveringParallel.
+func (b *GeoBlock) SelectCoveringPartialParallel(cov []cellid.ID, specs []AggSpec, workers int) (*Accumulator, error) {
+	if err := b.validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	total, visited := b.selectCoveringParallel(cov, specs, workers)
+	return &Accumulator{b: b, inner: total, visited: visited, cursor: len(b.keys)}, nil
+}
+
+// selectCoveringParallel is the shared fan-out kernel: it partitions the
+// covering into balanced contiguous chunks, folds each on its own
+// goroutine with the unchanged serial kernel, and merges the per-worker
+// accumulators in chunk order. Specs must already be validated.
+func (b *GeoBlock) selectCoveringParallel(cov []cellid.ID, specs []AggSpec, workers int) (*accumulator, int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -44,7 +67,9 @@ func (b *GeoBlock) SelectCoveringParallel(cov []cellid.ID, specs []AggSpec, work
 		workers = max
 	}
 	if workers <= 1 {
-		return b.SelectCovering(cov, specs)
+		acc := newAccumulator(specs)
+		visited := b.selectCoveringInto(acc, cov)
+		return acc, visited
 	}
 
 	accs := make([]*accumulator, workers)
@@ -72,5 +97,5 @@ func (b *GeoBlock) SelectCoveringParallel(cov []cellid.ID, specs []AggSpec, work
 		total.mergeFrom(accs[w])
 		visited += visits[w]
 	}
-	return total.finish(visited), nil
+	return total, visited
 }

@@ -53,6 +53,16 @@ type Result struct {
 	// CellsVisited counts cell aggregates combined, a work metric used by
 	// the experiments.
 	CellsVisited int
+	// Level is the block level the query was answered at. The core kernels
+	// leave it zero; the geoblocks-layer query planner fills it in when it
+	// resolves a query onto a pyramid level.
+	Level int
+	// ErrorBound is the guaranteed spatial error bound of this answer in
+	// domain units: every tuple it includes beyond the exact query region
+	// lies within this distance of the region, and no tuple inside the
+	// region is missed (paper Sec. 3.2). Like Level it is filled in by the
+	// planner, from the covering actually executed.
+	ErrorBound float64
 }
 
 // validateSpecs checks the requested aggregates against the schema.

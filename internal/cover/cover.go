@@ -307,6 +307,32 @@ func (c *Coverer) CoverPolygon(p *geom.Polygon) *Covering { return c.Cover(p) }
 // CoverRect is shorthand for Cover on a rectangle.
 func (c *Coverer) CoverRect(r geom.Rect) *Covering { return c.Cover(RectRegion(r)) }
 
+// GuaranteedErrorDistance returns the covering's guaranteed spatial error
+// bound: the diagonal of the coarsest boundary (non-interior) cell.
+// Interior cells are fully contained in the region and contribute no
+// approximation error; every point of a boundary cell lies within that
+// cell's diagonal of the region, so the coarsest boundary diagonal bounds
+// the distance of any covered false positive from the region. It returns 0
+// for an empty or all-interior covering — such answers are exact.
+//
+// Unlike MaxErrorDistance below this is a sound per-query bound even when
+// the MaxCells budget truncated refinement and left coarse boundary cells.
+func (c *Coverer) GuaranteedErrorDistance(cov *Covering) float64 {
+	coarsest := -1
+	for i, id := range cov.Cells {
+		if cov.Interior[i] {
+			continue
+		}
+		if l := id.Level(); coarsest < 0 || l < coarsest {
+			coarsest = l
+		}
+	}
+	if coarsest < 0 {
+		return 0
+	}
+	return c.dom.CellDiagonal(coarsest)
+}
+
 // MaxErrorDistance returns the covering's worst-case distance bound: the
 // diagonal of a cell at the covering's finest level (paper Sec. 3.2). It
 // returns 0 for an empty covering.

@@ -1,0 +1,225 @@
+package experiments
+
+// PR5 is the query-planner snapshot for the multi-resolution pyramid: on
+// the clustered taxi workload it builds a sharded dataset with a coarsening
+// pyramid and sweeps the planner's MaxError knob from exact (0) through the
+// cell diagonal of each pyramid level, measuring per point the achieved
+// level, covering work (cells visited), latency and throughput. Answers
+// are checked against the planner's guarantee before any number is
+// reported — the count must lie between the exact in-polygon count and
+// the count of the polygon dilated by the reported error bound (a broad
+// subset per sweep point at test scale, a small one at full bench
+// scale; the exhaustive check is pyramid_test.go's) — and the
+// MaxError=0 bit-identity plus covering-work monotonicity are asserted
+// on the whole workload. cmd/geobench serialises the points to
+// BENCH_PR5.json via -perf-json -maxerror.
+
+import (
+	"fmt"
+	"time"
+
+	"geoblocks"
+	"geoblocks/internal/baseline"
+	"geoblocks/internal/dataset"
+	"geoblocks/internal/store"
+	"geoblocks/internal/workload"
+)
+
+// PR5Point is one max-error measurement of the planner sweep.
+type PR5Point struct {
+	// MaxError is the requested spatial error bound in domain units
+	// (0 = exact).
+	MaxError float64 `json:"max_error"`
+	// Level is the grid level the planner answered at; AvgBound is the
+	// mean guaranteed error bound actually reported across the workload.
+	Level    int     `json:"level"`
+	AvgBound float64 `json:"avg_reported_bound"`
+	// AvgCells is the mean number of cell aggregates combined per query —
+	// the covering work the coarser level saves.
+	AvgCells float64 `json:"avg_cells_visited"`
+	// AvgLatencyNS and QPS are the serial per-query wall time and
+	// throughput of the routed store path.
+	AvgLatencyNS int64   `json:"avg_latency_ns"`
+	QPS          float64 `json:"qps"`
+	// MaxDevFrac is the largest |approx − exact| / exact count deviation
+	// observed across the workload (0 at MaxError 0, where answers are
+	// bit-identical to the exact path).
+	MaxDevFrac float64 `json:"max_count_deviation_frac"`
+}
+
+// pr5Level is the base (exact) block level; pr5PyramidLevels coarser
+// levels sit below it for the planner to choose from.
+const (
+	pr5Level         = 14
+	pr5PyramidLevels = 8
+	pr5SweepLevels   = 6
+)
+
+// PR5Perf runs the planner sweep and returns both the rendered table and
+// the raw points for JSON serialisation.
+func PR5Perf(cfg Config) ([]*Table, []PR5Point) {
+	raw := dataset.Generate(dataset.NYCTaxi(), cfg.TaxiRows, cfg.Seed)
+	clean := raw.CleanRule()
+	bound := raw.Spec.Bound
+
+	ds, err := store.Build("taxi", bound, raw.Spec.Schema, raw.Points, raw.Cols, store.Options{
+		Level:         pr5Level,
+		ShardLevel:    2,
+		PyramidLevels: pr5PyramidLevels,
+		Clean:         &clean,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Exact reference data for the guarantee check: the same cleaned,
+	// sorted base the blocks aggregate.
+	base, _, err := raw.Extract(-1)
+	if err != nil {
+		panic(err)
+	}
+	dom := base.Domain
+
+	// Mixed workload: neighbourhood-scale polygons plus shard-local ones.
+	polys := append(workload.Neighborhoods(bound, cfg.Seed+7),
+		workload.ShardLocal(bound, 2, 12, cfg.Seed+8)...)
+	reqs := []geoblocks.AggRequest{geoblocks.Count(), geoblocks.Sum("fare_amount")}
+
+	// Sweep: exact, then the cell diagonal of each of the first
+	// pr5SweepLevels pyramid levels — each step doubles the admissible
+	// error and should halve-to-quarter the covering work.
+	maxErrs := []float64{0}
+	for lvl := pr5Level - 1; lvl >= pr5Level-pr5SweepLevels && lvl >= 0; lvl-- {
+		maxErrs = append(maxErrs, dom.CellDiagonal(lvl))
+	}
+
+	exact := make([]geoblocks.Result, len(polys))
+	for i, p := range polys {
+		if exact[i], err = ds.Query(p, reqs...); err != nil {
+			panic(err)
+		}
+	}
+	// Brute-forcing the dilated reference costs two passes over the base
+	// table per polygon and sweep point, so the envelope check runs on a
+	// subset: a broad one at test scale, a small one at full bench scale
+	// (the exhaustive every-answer property check across configurations
+	// lives in the repository-root pyramid_test.go suite). The MaxError=0
+	// bit-identity and covering-work monotonicity are asserted on the
+	// whole workload regardless.
+	verify := 48
+	if cfg.TaxiRows > 200_000 {
+		verify = 6
+	}
+	if verify > len(polys) {
+		verify = len(polys)
+	}
+
+	tbl := &Table{
+		ID:    "pr5",
+		Title: "Query planner: latency, covering work and deviation vs requested error bound (taxi)",
+		Note: fmt.Sprintf("%d rows, block level %d, shard level 2, %d pyramid levels; answers spot-checked against their guaranteed bound (48/sweep point at test scale, 6 at full scale)",
+			cfg.TaxiRows, pr5Level, pr5PyramidLevels),
+		Header: []string{"max_error", "level", "avg bound", "avg cells", "avg us", "qps", "max dev"},
+	}
+	var points []PR5Point
+	prevCells := -1.0
+	for _, me := range maxErrs {
+		opts := geoblocks.QueryOptions{MaxError: me}
+
+		// Timed pass: enough repetitions to dampen scheduler noise while
+		// keeping the quick (test) configuration fast — the workload is
+		// ~200 polygons, so even a few repetitions average hundreds of
+		// queries per sweep point.
+		reps := 10
+		if cfg.TaxiRows <= 200_000 {
+			reps = 2
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			for _, p := range polys {
+				if _, err := ds.QueryOpts(p, opts, reqs...); err != nil {
+					panic(err)
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		n := reps * len(polys)
+
+		// Measurement + verification pass.
+		var cells, bounds, maxDev float64
+		lvl := ds.PlanLevel(me)
+		for i, p := range polys {
+			res, err := ds.QueryOpts(p, opts, reqs...)
+			if err != nil {
+				panic(err)
+			}
+			if res.Level != lvl {
+				panic(fmt.Sprintf("pr5: planned level %d but answered at %d", lvl, res.Level))
+			}
+			cells += float64(res.CellsVisited)
+			bounds += res.ErrorBound
+			if dev := countDevFrac(res.Count, exact[i].Count); dev > maxDev {
+				maxDev = dev
+			}
+			if me == 0 && res.Count != exact[i].Count {
+				panic("pr5: MaxError=0 answer differs from the exact path")
+			}
+			if i < verify {
+				truth := baseline.ExactPolygonCount(base.Table, dom, p)
+				margin := res.ErrorBound*(1+1e-9) + 1e-12
+				upper := baseline.ExactDilatedPolygonCount(base.Table, dom, p, margin)
+				if res.Count < truth || res.Count > upper {
+					panic(fmt.Sprintf("pr5: count %d outside guaranteed envelope [%d, %d] at max_error %g (bound %g)",
+						res.Count, truth, upper, me, res.ErrorBound))
+				}
+			}
+		}
+		avgCells := cells / float64(len(polys))
+		if prevCells >= 0 && avgCells > prevCells {
+			panic(fmt.Sprintf("pr5: covering work grew as the error bound relaxed (%.1f -> %.1f cells)", prevCells, avgCells))
+		}
+		prevCells = avgCells
+
+		p := PR5Point{
+			MaxError:     me,
+			Level:        lvl,
+			AvgBound:     bounds / float64(len(polys)),
+			AvgCells:     avgCells,
+			AvgLatencyNS: elapsed.Nanoseconds() / int64(n),
+			QPS:          float64(n) / elapsed.Seconds(),
+			MaxDevFrac:   maxDev,
+		}
+		points = append(points, p)
+		tbl.AddRow(
+			fmt.Sprintf("%.6f", me),
+			fmt.Sprintf("%d", p.Level),
+			fmt.Sprintf("%.6f", p.AvgBound),
+			fmt.Sprintf("%.1f", p.AvgCells),
+			fmt.Sprintf("%.1f", float64(p.AvgLatencyNS)/1000),
+			fmt.Sprintf("%.0f", p.QPS),
+			fmt.Sprintf("%.3f", p.MaxDevFrac),
+		)
+	}
+	return []*Table{tbl}, points
+}
+
+// countDevFrac is |approx − exact| / exact, 0 when both are zero.
+func countDevFrac(approx, exact uint64) float64 {
+	if exact == 0 {
+		if approx == 0 {
+			return 0
+		}
+		return 1
+	}
+	diff := float64(approx) - float64(exact)
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff / float64(exact)
+}
+
+// PR5 is the Runner entry point.
+func PR5(cfg Config) []*Table {
+	tables, _ := PR5Perf(cfg)
+	return tables
+}

@@ -155,15 +155,26 @@ func (f jsonFloat) MarshalJSON() ([]byte, error) {
 	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
 }
 
-// resultJSON is one query answer on the wire.
+// resultJSON is one query answer on the wire. level and error_bound
+// report the query planner's decision: the grid level the answer was
+// computed at and the guaranteed spatial error bound of that answer in
+// domain units (0 = exact).
 type resultJSON struct {
 	Count        uint64      `json:"count"`
 	Values       []jsonFloat `json:"values"`
 	CellsVisited int         `json:"cells_visited"`
+	Level        int         `json:"level"`
+	ErrorBound   jsonFloat   `json:"error_bound"`
 }
 
 func toResultJSON(r geoblocks.Result) resultJSON {
-	out := resultJSON{Count: r.Count, Values: make([]jsonFloat, len(r.Values)), CellsVisited: r.CellsVisited}
+	out := resultJSON{
+		Count:        r.Count,
+		Values:       make([]jsonFloat, len(r.Values)),
+		CellsVisited: r.CellsVisited,
+		Level:        r.Level,
+		ErrorBound:   jsonFloat(r.ErrorBound),
+	}
 	for i, v := range r.Values {
 		out.Values[i] = jsonFloat(v)
 	}
@@ -210,6 +221,33 @@ type queryRequest struct {
 	// shared covering pass.
 	Polygons [][][2]float64 `json:"polygons,omitempty"`
 	Aggs     []aggJSON      `json:"aggs"`
+	// MaxError is the acceptable spatial error bound in domain units; the
+	// planner answers at the coarsest pyramid level satisfying it (0 =
+	// exact). Applies to every form, batch included.
+	MaxError float64 `json:"max_error,omitempty"`
+	// Workers > 1 executes each query's covering with that many
+	// goroutines (bypassing the query cache); 0 is the serial default.
+	Workers int `json:"workers,omitempty"`
+	// NoCache answers directly from the aggregate arrays even when the
+	// dataset carries query caches.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// maxQueryWorkers caps the per-request parallel fan-out a client may ask
+// for; anything larger is a request error, not a bigger goroutine pool.
+const maxQueryWorkers = 256
+
+// options validates the planner knobs of a query request and converts
+// them to geoblocks.QueryOptions.
+func (q queryRequest) options() (geoblocks.QueryOptions, error) {
+	if q.Workers < 0 || q.Workers > maxQueryWorkers {
+		return geoblocks.QueryOptions{}, fmt.Errorf("workers must be in [0, %d], got %d", maxQueryWorkers, q.Workers)
+	}
+	opts := geoblocks.QueryOptions{MaxError: q.MaxError, Workers: q.Workers, DisableCache: q.NoCache}
+	if err := opts.Validate(); err != nil {
+		return geoblocks.QueryOptions{}, fmt.Errorf("max_error must be finite and >= 0, got %v", q.MaxError)
+	}
+	return opts, nil
 }
 
 // queryResponse is the /v1/query answer. Result is set for the polygon
@@ -282,6 +320,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		reqs[i] = ar
 	}
+	opts, err := req.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
 	start := time.Now()
 	resp := queryResponse{Dataset: req.Dataset}
@@ -292,7 +335,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "polygon: %v", err)
 			return
 		}
-		res, err := d.Query(poly, reqs...)
+		res, err := d.QueryOpts(poly, opts, reqs...)
 		if err != nil {
 			writeError(w, queryStatus(err), "query: %v", err)
 			return
@@ -305,7 +348,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "rect: min exceeds max")
 			return
 		}
-		res, err := d.QueryRect(rc, reqs...)
+		res, err := d.QueryRectOpts(rc, opts, reqs...)
 		if err != nil {
 			writeError(w, queryStatus(err), "query: %v", err)
 			return
@@ -322,7 +365,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 			polys[i] = poly
 		}
-		results, err := d.QueryBatch(polys, reqs...)
+		results, err := d.QueryBatchOpts(polys, opts, reqs...)
 		if err != nil {
 			writeError(w, queryStatus(err), "query: %v", err)
 			return
@@ -369,6 +412,9 @@ type createRequest struct {
 	// aggregate-threshold fraction.
 	CacheThreshold   float64 `json:"cache_threshold"`
 	CacheAutoRefresh int     `json:"cache_auto_refresh"`
+	// PyramidLevels derives that many coarser levels per shard for the
+	// query planner's max_error knob (0 = full resolution only).
+	PyramidLevels int `json:"pyramid_levels"`
 }
 
 // SpecByName resolves the synthetic generator specs the daemon can load.
@@ -464,6 +510,7 @@ func (s *server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 			ShardLevel:       req.ShardLevel,
 			CacheThreshold:   req.CacheThreshold,
 			CacheAutoRefresh: req.CacheAutoRefresh,
+			PyramidLevels:    req.PyramidLevels,
 		})
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "build: %v", err)
@@ -648,6 +695,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeMetric("geoblocks_dataset_cells", l, float64(st.Cells))
 		writeMetric("geoblocks_dataset_tuples", l, float64(st.Tuples))
 		writeMetric("geoblocks_dataset_size_bytes", l, float64(st.SizeBytes))
+		writeMetric("geoblocks_pyramid_levels", l, float64(st.PyramidLevels))
+		writeMetric("geoblocks_pyramid_bytes", l, float64(st.PyramidBytes))
 		writeMetric("geoblocks_dataset_queries_total", l, float64(st.Queries))
 		writeMetric("geoblocks_cache_bytes", l, float64(st.CacheBytes))
 		writeMetric("geoblocks_cache_probes_total", l, float64(st.Cache.Probes))

@@ -19,6 +19,7 @@ func testStore(t *testing.T) *store.Store {
 		Level:          12,
 		ShardLevel:     2,
 		CacheThreshold: 0.1,
+		PyramidLevels:  4,
 	})
 	if err != nil {
 		t.Fatalf("BuildSynthetic: %v", err)
@@ -126,6 +127,39 @@ func TestQueryEndpoint(t *testing.T) {
 		}
 	})
 
+	// max_error routes through the planner: the answer reports a coarser
+	// level with a positive guaranteed bound and combines fewer cells.
+	t.Run("max_error", func(t *testing.T) {
+		exactResp, exactBody := postJSON(t, ts, "/v1/query", taxiRect)
+		if exactResp.StatusCode != http.StatusOK {
+			t.Fatalf("exact status %d", exactResp.StatusCode)
+		}
+		approx := `{"dataset":"taxi","rect":[-74.05,40.60,-73.85,40.85],"max_error":0.1,"aggs":[{"func":"count"},{"func":"sum","col":"fare_amount"}]}`
+		resp, body := postJSON(t, ts, "/v1/query", approx)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var eq, aq queryResponse
+		if err := json.Unmarshal(exactBody, &eq); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(body, &aq); err != nil {
+			t.Fatal(err)
+		}
+		if eq.Result.Level != 12 {
+			t.Errorf("exact level = %d, want 12", eq.Result.Level)
+		}
+		if aq.Result.Level >= 12 || aq.Result.ErrorBound <= 0 {
+			t.Errorf("approximate answer not planned coarser: level %d bound %g", aq.Result.Level, aq.Result.ErrorBound)
+		}
+		if aq.Result.CellsVisited > eq.Result.CellsVisited {
+			t.Errorf("approximate query combined more cells (%d) than exact (%d)", aq.Result.CellsVisited, eq.Result.CellsVisited)
+		}
+		if aq.Result.Count < eq.Result.Count {
+			t.Errorf("coarser covering lost tuples: %d < %d", aq.Result.Count, eq.Result.Count)
+		}
+	})
+
 	// batch result equals the one-at-a-time polygon answer.
 	t.Run("batch matches single", func(t *testing.T) {
 		single := `{"dataset":"taxi","polygon":[[-74.05,40.60],[-73.85,40.60],[-73.85,40.85],[-74.05,40.85]],"aggs":[{"func":"count"}]}`
@@ -169,6 +203,18 @@ func TestQueryErrors(t *testing.T) {
 		{"degenerate polygon", `{"dataset":"taxi","polygon":[[0,0],[1,1]],"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
 		{"degenerate batch polygon", `{"dataset":"taxi","polygons":[[[0,0],[1,1]]],"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
 		{"empty batch", `{"dataset":"taxi","polygons":[],"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+		// Planner options: max_error must be a finite non-negative JSON
+		// number (JSON cannot carry NaN/Inf — a string stand-in is a type
+		// error, caught by the decoder) and workers must stay within the
+		// daemon's fan-out cap. Bad options are rejected on the batch form
+		// exactly like on the single forms.
+		{"negative max_error", `{"dataset":"taxi","rect":[0,0,1,1],"max_error":-0.5,"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+		{"NaN max_error", `{"dataset":"taxi","rect":[0,0,1,1],"max_error":"NaN","aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+		{"Inf max_error", `{"dataset":"taxi","rect":[0,0,1,1],"max_error":"+Inf","aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+		{"negative workers", `{"dataset":"taxi","rect":[0,0,1,1],"workers":-1,"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+		{"huge workers", `{"dataset":"taxi","rect":[0,0,1,1],"workers":100000,"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+		{"negative max_error on batch", `{"dataset":"taxi","polygons":[[[0,0],[1,0],[1,1],[0,1]]],"max_error":-1,"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
+		{"bad workers on batch", `{"dataset":"taxi","polygons":[[[0,0],[1,0],[1,1],[0,1]]],"workers":-7,"aggs":[{"func":"count"}]}`, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -79,6 +79,12 @@ type Manifest struct {
 	// configuration; caches are rebuilt empty on restore.
 	CacheThreshold   float64 `json:"cache_threshold"`
 	CacheAutoRefresh int     `json:"cache_auto_refresh"`
+	// PyramidLevels is the dataset's pyramid configuration (the number of
+	// coarser levels each shard serves). Pyramid aggregates are never
+	// persisted — only the base-level payloads are — so restore re-derives
+	// the levels from this count. Absent in pre-pyramid snapshots, which
+	// read as 0 (no pyramid) within the same format version.
+	PyramidLevels int `json:"pyramid_levels,omitempty"`
 	// Bound is the dataset domain as [minX, minY, maxX, maxY].
 	Bound [4]float64 `json:"bound"`
 	// Columns are the value-column names, in schema order.

@@ -36,6 +36,11 @@ type Options struct {
 	// CacheAutoRefresh is the per-shard auto-refresh cadence in queries
 	// (0 = manual refresh), forwarded to EnableCache.
 	CacheAutoRefresh int
+	// PyramidLevels is the number of coarser pyramid levels each shard
+	// derives below the block level (geoblocks.BuildPyramid): the levels
+	// the query planner can answer error-bounded queries at. 0 disables
+	// the pyramid — every query answers at full resolution.
+	PyramidLevels int
 	// Clean overrides the extract phase's outlier rule. Nil keeps the
 	// builder default (drop points outside the dataset bound).
 	Clean *core.CleanRule
@@ -53,6 +58,9 @@ func (o Options) validate() error {
 	}
 	if o.CacheThreshold < 0 {
 		return fmt.Errorf("store: cache threshold must be >= 0, got %v", o.CacheThreshold)
+	}
+	if o.PyramidLevels < 0 {
+		return fmt.Errorf("store: pyramid levels must be >= 0, got %d", o.PyramidLevels)
 	}
 	return nil
 }
@@ -77,6 +85,12 @@ type Dataset struct {
 	schema  geoblocks.Schema
 	coverer *cover.Coverer
 	shards  []shard
+
+	// coverers holds one coverer per servable grid level — the block level
+	// plus every pyramid level — so the router computes each planned
+	// query's covering at the level the shards will execute it at. Built
+	// once at Build/Open time, read-only afterwards.
+	coverers map[int]*cover.Coverer
 
 	// queries counts routed queries (each batch element counts once).
 	queries atomic.Uint64
@@ -170,9 +184,31 @@ func Build(name string, bound geom.Rect, schema geoblocks.Schema, pts []geom.Poi
 				return nil, err
 			}
 		}
+		if err := blk.BuildPyramid(opts.PyramidLevels); err != nil {
+			return nil, fmt.Errorf("store: pyramid of shard %v: %w", cell, err)
+		}
 		d.shards = append(d.shards, shard{cell: cell, block: blk})
 	}
+	if err := d.initCoverers(); err != nil {
+		return nil, err
+	}
 	return d, nil
+}
+
+// initCoverers builds one coverer per servable grid level: the block
+// level (reusing the dataset coverer) plus each pyramid level of the
+// shards. Every shard is built with the same Options, so shard 0's
+// pyramid describes them all.
+func (d *Dataset) initCoverers() error {
+	d.coverers = map[int]*cover.Coverer{d.opts.Level: d.coverer}
+	for _, lvl := range d.shards[0].block.PyramidLevels() {
+		c, err := cover.NewCoverer(d.dom, cover.DefaultOptions(lvl))
+		if err != nil {
+			return err
+		}
+		d.coverers[lvl] = c
+	}
+	return nil
 }
 
 // Name returns the dataset name.
@@ -204,26 +240,100 @@ func (d *Dataset) CoverRect(r geom.Rect) []cellid.ID {
 	return d.coverer.CoverRect(r).Cells
 }
 
+// PlanLevel returns the grid level the dataset's query planner answers at
+// for the given error bound: the coarsest shard pyramid level whose cell
+// diagonal does not exceed maxError, or the block level. Every shard
+// shares one pyramid configuration, so shard 0 decides for the dataset.
+func (d *Dataset) PlanLevel(maxError float64) int {
+	return d.shards[0].block.LevelFor(maxError)
+}
+
+// covererAt returns the coverer of a servable level (the dataset coverer
+// for the block level).
+func (d *Dataset) covererAt(lvl int) *cover.Coverer {
+	if c, ok := d.coverers[lvl]; ok {
+		return c
+	}
+	return d.coverer
+}
+
 // Query answers a SELECT aggregate query over a polygon: one covering,
 // split across shards, merged partials.
 func (d *Dataset) Query(poly *geom.Polygon, reqs ...geoblocks.AggRequest) (geoblocks.Result, error) {
-	return d.QueryCovering(d.Cover(poly), reqs...)
+	return d.QueryOpts(poly, geoblocks.QueryOptions{}, reqs...)
 }
 
 // QueryRect answers a SELECT aggregate query over a rectangle.
 func (d *Dataset) QueryRect(r geom.Rect, reqs ...geoblocks.AggRequest) (geoblocks.Result, error) {
-	return d.QueryCovering(d.CoverRect(r), reqs...)
+	return d.QueryRectOpts(r, geoblocks.QueryOptions{}, reqs...)
+}
+
+// QueryOpts answers a SELECT aggregate query over a polygon through the
+// query planner: the router resolves the pyramid level admitted by
+// opts.MaxError once, computes one covering at that level, splits it
+// across the shards and merges the per-shard partials executed against
+// each shard's pyramid block. The result reports the level answered at
+// and the guaranteed error bound of the covering (paper Sec. 3.4); zero
+// options reproduce the exact path bit for bit.
+func (d *Dataset) QueryOpts(poly *geom.Polygon, opts geoblocks.QueryOptions, reqs ...geoblocks.AggRequest) (geoblocks.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return geoblocks.Result{}, err
+	}
+	d.queries.Add(1)
+	lvl := d.PlanLevel(opts.MaxError)
+	c := d.covererAt(lvl)
+	cov := c.Cover(poly)
+	res, err := d.queryCovering(cov.Cells, lvl, opts, reqs, true)
+	if err != nil {
+		return geoblocks.Result{}, err
+	}
+	res.Level = lvl
+	res.ErrorBound = c.GuaranteedErrorDistance(cov)
+	return res, nil
+}
+
+// QueryRectOpts is QueryOpts over a rectangle.
+func (d *Dataset) QueryRectOpts(r geom.Rect, opts geoblocks.QueryOptions, reqs ...geoblocks.AggRequest) (geoblocks.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return geoblocks.Result{}, err
+	}
+	d.queries.Add(1)
+	lvl := d.PlanLevel(opts.MaxError)
+	c := d.covererAt(lvl)
+	cov := c.CoverRect(r)
+	res, err := d.queryCovering(cov.Cells, lvl, opts, reqs, true)
+	if err != nil {
+		return geoblocks.Result{}, err
+	}
+	res.Level = lvl
+	res.ErrorBound = c.GuaranteedErrorDistance(cov)
+	return res, nil
 }
 
 // QueryCovering answers a SELECT query over a pre-computed covering
-// (ascending, disjoint, no cells finer than the block level). Shards whose
-// range the covering misses are never touched; multi-shard queries fan out
-// one goroutine per involved shard and merge the partial accumulators in
-// shard order (COUNT/MIN/MAX bit-identical to an unsharded block, SUM/AVG
-// up to floating-point reassociation — see the package comment).
+// (ascending, disjoint, no cells finer than the block level). The
+// covering fixes the grid level — it executes at full resolution with a
+// conservative reported bound (diagonal of its coarsest cell). Shards
+// whose range the covering misses are never touched; multi-shard queries
+// fan out one goroutine per involved shard and merge the partial
+// accumulators in shard order (COUNT/MIN/MAX bit-identical to an
+// unsharded block, SUM/AVG up to floating-point reassociation — see the
+// package comment).
 func (d *Dataset) QueryCovering(cov []cellid.ID, reqs ...geoblocks.AggRequest) (geoblocks.Result, error) {
 	d.queries.Add(1)
-	return d.queryCovering(cov, reqs, true)
+	res, err := d.queryCovering(cov, d.opts.Level, geoblocks.QueryOptions{}, reqs, true)
+	if err != nil {
+		return geoblocks.Result{}, err
+	}
+	res.Level = d.opts.Level
+	res.ErrorBound = d.coveringBound(cov)
+	return res, nil
+}
+
+// coveringBound is the conservative guaranteed bound of a bare cell
+// list: the diagonal of its coarsest cell, 0 for an empty covering.
+func (d *Dataset) coveringBound(cov []cellid.ID) float64 {
+	return d.dom.MaxDiagonal(cov)
 }
 
 // queryPart is one routed unit: a shard and the sub-covering it answers.
@@ -255,20 +365,35 @@ func (d *Dataset) route(cov []cellid.ID) []queryPart {
 	return parts
 }
 
-func (d *Dataset) queryCovering(cov []cellid.ID, reqs []geoblocks.AggRequest, parallel bool) (geoblocks.Result, error) {
+// levelBlock resolves the shard block executing a query planned at lvl:
+// the shard's pyramid entry for that level, or the base block when the
+// level is not materialised (defensive — the planner only emits
+// materialised levels).
+func levelBlock(sh *shard, lvl int) *geoblocks.GeoBlock {
+	if lb, ok := sh.block.AtLevel(lvl); ok {
+		return lb
+	}
+	return sh.block
+}
+
+// queryCovering executes one planned query: cov must have been computed
+// at grid level lvl, and every involved shard answers its sub-covering
+// with its level-lvl pyramid block (hitting that level's own query cache
+// unless the options disable it).
+func (d *Dataset) queryCovering(cov []cellid.ID, lvl int, opts geoblocks.QueryOptions, reqs []geoblocks.AggRequest, parallel bool) (geoblocks.Result, error) {
 	parts := d.route(cov)
 	switch len(parts) {
 	case 0:
 		// Empty covering, or one that misses every shard: an empty
 		// partial against any shard resolves the specs and finalises the
 		// identity result (zero count, NaN extrema).
-		acc, err := d.shards[0].block.QueryCoveringPartial(nil, reqs...)
+		acc, err := levelBlock(&d.shards[0], lvl).QueryCoveringPartialOpts(nil, opts, reqs...)
 		if err != nil {
 			return geoblocks.Result{}, err
 		}
 		return acc.Result(), nil
 	case 1:
-		acc, err := parts[0].shard.block.QueryCoveringPartial(parts[0].sub, reqs...)
+		acc, err := levelBlock(parts[0].shard, lvl).QueryCoveringPartialOpts(parts[0].sub, opts, reqs...)
 		if err != nil {
 			return geoblocks.Result{}, err
 		}
@@ -283,13 +408,13 @@ func (d *Dataset) queryCovering(cov []cellid.ID, reqs []geoblocks.AggRequest, pa
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				accs[i], errs[i] = parts[i].shard.block.QueryCoveringPartial(parts[i].sub, reqs...)
+				accs[i], errs[i] = levelBlock(parts[i].shard, lvl).QueryCoveringPartialOpts(parts[i].sub, opts, reqs...)
 			}(i)
 		}
 		wg.Wait()
 	} else {
 		for i := range parts {
-			accs[i], errs[i] = parts[i].shard.block.QueryCoveringPartial(parts[i].sub, reqs...)
+			accs[i], errs[i] = levelBlock(parts[i].shard, lvl).QueryCoveringPartialOpts(parts[i].sub, opts, reqs...)
 		}
 	}
 	for _, err := range errs {
@@ -314,15 +439,53 @@ func (d *Dataset) queryCovering(cov []cellid.ID, reqs []geoblocks.AggRequest, pa
 // serially, so the fan-out stays one goroutine per in-flight polygon).
 // Results are positionally aligned with polys.
 func (d *Dataset) QueryBatch(polys []*geom.Polygon, reqs ...geoblocks.AggRequest) ([]geoblocks.Result, error) {
-	covs := make([][]cellid.ID, len(polys))
-	for i, p := range polys {
-		covs[i] = d.Cover(p)
-	}
-	return d.QueryBatchCoverings(covs, reqs...)
+	return d.QueryBatchOpts(polys, geoblocks.QueryOptions{}, reqs...)
 }
 
-// QueryBatchCoverings is QueryBatch over pre-computed coverings.
+// QueryBatchOpts is QueryBatch through the query planner: the pyramid
+// level is planned once for the whole batch, every covering is computed
+// at it, and each result reports the achieved level plus its own
+// covering's guaranteed error bound.
+func (d *Dataset) QueryBatchOpts(polys []*geom.Polygon, opts geoblocks.QueryOptions, reqs ...geoblocks.AggRequest) ([]geoblocks.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	lvl := d.PlanLevel(opts.MaxError)
+	c := d.covererAt(lvl)
+	covs := make([][]cellid.ID, len(polys))
+	bounds := make([]float64, len(polys))
+	for i, p := range polys {
+		cov := c.Cover(p)
+		covs[i] = cov.Cells
+		bounds[i] = c.GuaranteedErrorDistance(cov)
+	}
+	results, err := d.queryBatchCoverings(covs, lvl, opts, reqs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range results {
+		results[i].Level = lvl
+		results[i].ErrorBound = bounds[i]
+	}
+	return results, nil
+}
+
+// QueryBatchCoverings is QueryBatch over pre-computed coverings, executed
+// at full resolution with conservative per-covering bounds (see
+// QueryCovering).
 func (d *Dataset) QueryBatchCoverings(covs [][]cellid.ID, reqs ...geoblocks.AggRequest) ([]geoblocks.Result, error) {
+	results, err := d.queryBatchCoverings(covs, d.opts.Level, geoblocks.QueryOptions{}, reqs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range results {
+		results[i].Level = d.opts.Level
+		results[i].ErrorBound = d.coveringBound(covs[i])
+	}
+	return results, nil
+}
+
+func (d *Dataset) queryBatchCoverings(covs [][]cellid.ID, lvl int, opts geoblocks.QueryOptions, reqs []geoblocks.AggRequest) ([]geoblocks.Result, error) {
 	d.queries.Add(uint64(len(covs)))
 	results := make([]geoblocks.Result, len(covs))
 	errs := make([]error, len(covs))
@@ -332,7 +495,7 @@ func (d *Dataset) QueryBatchCoverings(covs [][]cellid.ID, reqs ...geoblocks.AggR
 	}
 	if workers <= 1 {
 		for i, cov := range covs {
-			results[i], errs[i] = d.queryCovering(cov, reqs, false)
+			results[i], errs[i] = d.queryCovering(cov, lvl, opts, reqs, false)
 		}
 	} else {
 		var next atomic.Int64
@@ -346,7 +509,7 @@ func (d *Dataset) QueryBatchCoverings(covs [][]cellid.ID, reqs ...geoblocks.AggR
 					if i >= len(covs) {
 						return
 					}
-					results[i], errs[i] = d.queryCovering(covs[i], reqs, false)
+					results[i], errs[i] = d.queryCovering(covs[i], lvl, opts, reqs, false)
 				}
 			}()
 		}
@@ -375,6 +538,7 @@ func (d *Dataset) Snapshot(dir string) (snapshot.Manifest, error) {
 		ShardLevel:       d.opts.ShardLevel,
 		CacheThreshold:   d.opts.CacheThreshold,
 		CacheAutoRefresh: d.opts.CacheAutoRefresh,
+		PyramidLevels:    d.opts.PyramidLevels,
 		Bound:            [4]float64{bound.Min.X, bound.Min.Y, bound.Max.X, bound.Max.Y},
 		Columns:          d.schema.Names,
 	}
@@ -405,6 +569,7 @@ func Open(dir, name string) (*Dataset, error) {
 		ShardLevel:       m.ShardLevel,
 		CacheThreshold:   m.CacheThreshold,
 		CacheAutoRefresh: m.CacheAutoRefresh,
+		PyramidLevels:    m.PyramidLevels,
 	}
 	if err := opts.validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
@@ -432,7 +597,16 @@ func Open(dir, name string) (*Dataset, error) {
 				return nil, fmt.Errorf("%w: enabling shard cache: %v", snapshot.ErrCorrupt, err)
 			}
 		}
+		// Pyramids are not persisted (the snapshot format carries only the
+		// base-level payloads, docs/FORMAT.md); re-derive them from the
+		// recorded configuration.
+		if err := sh.Block.BuildPyramid(opts.PyramidLevels); err != nil {
+			return nil, fmt.Errorf("%w: rebuilding shard pyramid: %v", snapshot.ErrCorrupt, err)
+		}
 		d.shards[i] = shard{cell: sh.Cell, block: sh.Block}
+	}
+	if err := d.initCoverers(); err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
 	}
 	return d, nil
 }
@@ -458,8 +632,11 @@ type ShardStats struct {
 	Tuples uint64 `json:"tuples"`
 	// SizeBytes is the shard block's aggregate storage size.
 	SizeBytes int `json:"size_bytes"`
-	// CacheBytes is the shard's current cache arena size.
+	// CacheBytes is the shard's current cache arena size (all levels).
 	CacheBytes int `json:"cache_bytes,omitempty"`
+	// PyramidBytes is the aggregate storage of the shard's coarser
+	// pyramid levels.
+	PyramidBytes int `json:"pyramid_bytes,omitempty"`
 }
 
 // DatasetStats is the stats snapshot of one dataset.
@@ -475,7 +652,13 @@ type DatasetStats struct {
 	Cells      int     `json:"cells"`
 	Tuples     uint64  `json:"tuples"`
 	SizeBytes  int     `json:"size_bytes"`
-	Queries    uint64  `json:"queries"`
+	// PyramidLevels is the number of coarser levels each shard serves
+	// below the block level; PyramidBytes is their total aggregate
+	// storage across shards (the memory cost of the query-time error
+	// knob).
+	PyramidLevels int    `json:"pyramid_levels"`
+	PyramidBytes  int    `json:"pyramid_bytes"`
+	Queries       uint64 `json:"queries"`
 	// CacheEnabled reports whether the shards carry query caches; Cache
 	// sums the per-shard effectiveness counters.
 	CacheEnabled bool                   `json:"cache_enabled"`
@@ -505,6 +688,9 @@ func (d *Dataset) stats(includeShards bool) DatasetStats {
 		CacheEnabled: d.opts.CacheThreshold > 0,
 	}
 	if len(d.shards) > 0 {
+		st.PyramidLevels = len(d.shards[0].block.PyramidLevels())
+	}
+	if len(d.shards) > 0 {
 		st.ErrorBound = d.shards[0].block.ErrorBound()
 	}
 	for i := range d.shards {
@@ -513,6 +699,7 @@ func (d *Dataset) stats(includeShards bool) DatasetStats {
 		st.Cells += blk.NumCells()
 		st.Tuples += blk.NumTuples()
 		st.SizeBytes += blk.SizeBytes()
+		st.PyramidBytes += blk.PyramidBytes()
 		st.CacheBytes += blk.CacheSizeBytes()
 		st.Cache.Probes += m.Probes
 		st.Cache.FullHits += m.FullHits
@@ -521,11 +708,12 @@ func (d *Dataset) stats(includeShards bool) DatasetStats {
 		st.Cache.DerivedHits += m.DerivedHits
 		if includeShards {
 			st.Shards = append(st.Shards, ShardStats{
-				Cell:       d.shards[i].cell.String(),
-				Cells:      blk.NumCells(),
-				Tuples:     blk.NumTuples(),
-				SizeBytes:  blk.SizeBytes(),
-				CacheBytes: blk.CacheSizeBytes(),
+				Cell:         d.shards[i].cell.String(),
+				Cells:        blk.NumCells(),
+				Tuples:       blk.NumTuples(),
+				SizeBytes:    blk.SizeBytes(),
+				CacheBytes:   blk.CacheSizeBytes(),
+				PyramidBytes: blk.PyramidBytes(),
 			})
 		}
 	}

@@ -14,13 +14,21 @@
 // (the prefix property of Hilbert-ordered quadtree ids). Shard level 0
 // yields a single unsharded block.
 //
-// # Routing and merging
+// # Planning, routing and merging
 //
-// A query computes one covering (internal/cover) per region, splits it
+// A query first resolves its grid level: with Options.PyramidLevels > 0
+// every shard carries a pyramid of coarser blocks
+// (geoblocks.BuildPyramid, each level with its own query cache), and the
+// router plans once per query — the coarsest level whose cell diagonal
+// satisfies the QueryOptions.MaxError bound (geoblocks.LevelFor). It then
+// computes one covering (internal/cover) at that level, splits it
 // across shards with geoblocks.SplitCovering — a pair of binary searches
 // per shard, returning sub-slices of the one covering — fans the
-// sub-coverings out to the shard blocks, and merges the per-shard partial
-// accumulators (geoblocks.Accumulator.MergeFrom) before finalising. A
+// sub-coverings out to the shard blocks at the planned level
+// (geoblocks.AtLevel, QueryCoveringPartialOpts), and merges the
+// per-shard partial accumulators (geoblocks.Accumulator.MergeFrom)
+// before finalising; results report the achieved level and guaranteed
+// error bound. A
 // covering cell coarser than the shard level is routed to every shard it
 // overlaps; because the shards partition the underlying cell aggregates,
 // those per-shard contributions are disjoint and the merge is exact.
@@ -47,8 +55,10 @@
 // atomically and safe to take while queries are flowing. Store.Restore
 // (and Open, for restore-under-another-name) load one back with full
 // validation — a corrupt or version-mismatched snapshot registers
-// nothing. Cache configuration survives the round trip; cache contents
-// restart empty.
+// nothing. Cache and pyramid configuration survive the round trip;
+// cache contents restart empty and pyramid levels are re-derived from
+// the base payloads (they are never persisted — the on-disk format is
+// identical with and without a pyramid).
 //
 // cmd/geoblocksd exposes this package over HTTP; docs/ARCHITECTURE.md
 // documents the full layer stack and the sharding/merge contract.
