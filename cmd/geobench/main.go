@@ -23,7 +23,11 @@
 // committed BENCH_PR4.json. With -maxerror it runs the pr5 query-planner
 // bench mode — latency/qps and cells visited across a MaxError sweep over
 // the block pyramid, with every approximate answer checked against its
-// guaranteed error bound — producing the committed BENCH_PR5.json.
+// guaranteed error bound — producing the committed BENCH_PR5.json. With
+// -resultcache it runs the pr6 result-cache bench mode — a Zipfian
+// hot-region stream served cache-off, cache-cold and cache-warm, with
+// every cached answer checked against the uncached twin — producing the
+// committed BENCH_PR6.json.
 package main
 
 import (
@@ -53,6 +57,7 @@ func main() {
 		sharded   = flag.Bool("sharded", false, "with -perf-json: run the pr3 sharded-store bench mode (store routing vs raw block) instead of pr1")
 		snapMode  = flag.Bool("snapshot", false, "with -perf-json: run the pr4 durability bench mode (snapshot save/restore vs rebuild) instead of pr1")
 		maxErr    = flag.Bool("maxerror", false, "with -perf-json: run the pr5 query-planner bench mode (latency/qps and covering work vs error bound) instead of pr1")
+		resCache  = flag.Bool("resultcache", false, "with -perf-json: run the pr6 result-cache bench mode (Zipfian hot-region stream, cached vs uncached) instead of pr1")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: geobench [flags] [experiment ...]\n\nexperiments:\n")
@@ -89,14 +94,14 @@ func main() {
 	if *perfJSON != "" {
 		write := writePerfSnapshot
 		modes := 0
-		for _, m := range []bool{*parallel, *sharded, *snapMode, *maxErr} {
+		for _, m := range []bool{*parallel, *sharded, *snapMode, *maxErr, *resCache} {
 			if m {
 				modes++
 			}
 		}
 		switch {
 		case modes > 1:
-			fmt.Fprintf(os.Stderr, "geobench: -parallel, -sharded, -snapshot and -maxerror are mutually exclusive\n")
+			fmt.Fprintf(os.Stderr, "geobench: -parallel, -sharded, -snapshot, -maxerror and -resultcache are mutually exclusive\n")
 			os.Exit(2)
 		case *parallel:
 			write = writeParallelSnapshot
@@ -106,6 +111,8 @@ func main() {
 			write = writeDurabilitySnapshot
 		case *maxErr:
 			write = writePlannerSnapshot
+		case *resCache:
+			write = writeResultCacheSnapshot
 		}
 		if err := write(cfg, *perfJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
@@ -218,6 +225,49 @@ type plannerSnapshot struct {
 	TaxiRows   int                    `json:"taxi_rows"`
 	Seed       int64                  `json:"seed"`
 	Points     []experiments.PR5Point `json:"points"`
+}
+
+// resultCacheSnapshot is the BENCH_PR6.json document: the raw pr6
+// measurements plus the machine context needed to read the throughput
+// and speedup columns.
+type resultCacheSnapshot struct {
+	Experiment string                 `json:"experiment"`
+	GoVersion  string                 `json:"go_version"`
+	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	NumCPU     int                    `json:"num_cpu"`
+	TaxiRows   int                    `json:"taxi_rows"`
+	Seed       int64                  `json:"seed"`
+	Points     []experiments.PR6Point `json:"points"`
+}
+
+// writeResultCacheSnapshot runs the pr6 bench, prints its table and
+// writes the raw points as indented JSON.
+func writeResultCacheSnapshot(cfg experiments.Config, path string) error {
+	start := time.Now()
+	tables, points := experiments.PR6Perf(cfg)
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	snap := resultCacheSnapshot{
+		Experiment: "pr6",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		TaxiRows:   cfg.TaxiRows,
+		Seed:       cfg.Seed,
+		Points:     points,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("result-cache snapshot written to %s in %v\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // writePlannerSnapshot runs the pr5 sweep, prints its table and writes

@@ -5,7 +5,8 @@
 //
 //	geoblocksd [-addr :8080] [-load spec[:rows]]... [-level N]
 //	           [-shard-level N] [-cache F] [-cache-refresh N]
-//	           [-pyramid-levels N] [-seed N] [-drain D]
+//	           [-pyramid-levels N] [-result-cache-bytes N]
+//	           [-result-cache-min-hits N] [-seed N] [-drain D]
 //	           [-data-dir DIR] [-snapshot-on-exit]
 //
 // Each -load builds one synthetic dataset at startup (spec taxi, tweets
@@ -17,6 +18,14 @@
 // query planner then answers /v1/query requests carrying "max_error" at
 // the coarsest level satisfying the bound (responses report the achieved
 // level and bound, /v1/stats the pyramid memory cost).
+//
+// -result-cache-bytes attaches the dataset-level result cache to every
+// -load dataset with that byte budget (0 disables it);
+// -result-cache-min-hits is its admission floor. Restored snapshots keep
+// the configuration recorded in their manifest instead. /v1/stats
+// reports hit/miss/hotness counters, /metrics the
+// geoblocks_resultcache_* series; docs/OPERATIONS.md has the tuning
+// runbook.
 //
 // With -data-dir the daemon is durable: every snapshot directory under
 // DIR is restored at startup (corrupt or version-mismatched snapshots
@@ -56,6 +65,7 @@ import (
 	"time"
 
 	"geoblocks/internal/httpapi"
+	"geoblocks/internal/resultcache"
 	"geoblocks/internal/snapshot"
 	"geoblocks/internal/store"
 )
@@ -91,6 +101,8 @@ func main() {
 		cache        = flag.Float64("cache", 0.10, "per-shard cache aggregate threshold for -load datasets (0 = no cache)")
 		cacheRefresh = flag.Int("cache-refresh", 2000, "per-shard cache auto-refresh cadence in queries (0 = manual)")
 		pyramid      = flag.Int("pyramid-levels", 4, "coarser pyramid levels per shard for -load datasets (0 = full resolution only)")
+		rcBytes      = flag.Int64("result-cache-bytes", 64<<20, "result cache byte budget for -load datasets (0 = no result cache)")
+		rcMinHits    = flag.Int("result-cache-min-hits", resultcache.DefaultMinHits, "result cache admission floor for -load datasets (0 = admit on first miss)")
 		seed         = flag.Int64("seed", 1, "generation seed for -load datasets")
 		drain        = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 		dataDir      = flag.String("data-dir", "", "snapshot directory: restore all snapshots at startup, default target for the snapshot endpoint")
@@ -126,11 +138,13 @@ func main() {
 		}
 		start := time.Now()
 		d, err := httpapi.BuildSynthetic(ls.spec, ls.spec, ls.rows, *seed, store.Options{
-			Level:            *level,
-			ShardLevel:       *shardLevel,
-			CacheThreshold:   *cache,
-			CacheAutoRefresh: *cacheRefresh,
-			PyramidLevels:    *pyramid,
+			Level:              *level,
+			ShardLevel:         *shardLevel,
+			CacheThreshold:     *cache,
+			CacheAutoRefresh:   *cacheRefresh,
+			PyramidLevels:      *pyramid,
+			ResultCacheBytes:   *rcBytes,
+			ResultCacheMinHits: *rcMinHits,
 		})
 		if err != nil {
 			log.Fatalf("geoblocksd: loading %s: %v", ls.spec, err)

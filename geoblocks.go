@@ -102,6 +102,16 @@ type AggRequest struct {
 	col string
 }
 
+// String returns the request's canonical spelling — "count",
+// "sum(fare)" — the form serving layers use to tag query footprints and
+// the HTTP API accepts in aggregate specs.
+func (r AggRequest) String() string {
+	if r.fn == core.AggCount {
+		return r.fn.String()
+	}
+	return r.fn.String() + "(" + r.col + ")"
+}
+
 // ErrUnknownColumn reports an aggregate request naming a column absent
 // from the block's schema; wrap-aware callers (the HTTP layer's status
 // mapping) match it with errors.Is.

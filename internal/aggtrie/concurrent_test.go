@@ -13,6 +13,7 @@ import (
 
 	"geoblocks/internal/cellid"
 	"geoblocks/internal/core"
+	"geoblocks/internal/workload"
 )
 
 // TestConcurrentSelectWithRefresh is the acceptance test of the lock-light
@@ -195,12 +196,13 @@ func TestShardedRankedDeterministicUnderInterleaving(t *testing.T) {
 			cells = append(cells, c2)
 		}
 	}
+	// Zipf-distributed skew (workload.ZipfIndices) so scores genuinely
+	// differ between hot and cold cells.
 	stream := make([]cellid.ID, 0, 2000)
-	rng := rand.New(rand.NewSource(7))
-	for i := 0; i < 2000; i++ {
-		// Zipf-ish skew so scores genuinely differ.
-		stream = append(stream, cells[rng.Intn(1+rng.Intn(len(cells)))])
+	for _, idx := range workload.ZipfIndices(len(cells), 2000, 1.3, 7) {
+		stream = append(stream, cells[idx])
 	}
+	rng := rand.New(rand.NewSource(7))
 
 	var ref []cellid.ID
 	for trial := 0; trial < 4; trial++ {

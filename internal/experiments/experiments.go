@@ -171,6 +171,7 @@ func All() []Runner {
 		{ID: "pr3", Desc: "Sharded store routing vs single-block serving throughput", Run: PR3},
 		{ID: "pr4", Desc: "Durable snapshot save/restore vs rebuild-from-rows", Run: PR4},
 		{ID: "pr5", Desc: "Query planner error-bound sweep over the block pyramid", Run: PR5},
+		{ID: "pr6", Desc: "Hot-region result cache vs uncached serving under Zipfian skew", Run: PR6},
 	}
 }
 

@@ -1,0 +1,279 @@
+package experiments
+
+// PR6 is the result-cache snapshot: on the clustered taxi workload it
+// builds twin sharded datasets — one bare, one carrying the dataset-level
+// result cache (internal/resultcache) — and drives both with the same
+// Zipfian hot-region query stream (workload.ZipfianHotspot). Three
+// configurations are measured: the uncached baseline, the cache warming
+// up from cold, and the cache at steady state. Correctness is asserted
+// in-run before any number is reported: every cache-on answer must match
+// its cache-off twin (COUNT/MIN/MAX bit-identically, SUM within
+// floating-point reassociation tolerance), the steady-state hit ratio
+// must exceed 0.8, the steady-state speedup must reach 5x, and after an
+// identical update to both twins the cache must serve nothing stale.
+// cmd/geobench serialises the points to BENCH_PR6.json via
+// -perf-json -resultcache.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"geoblocks"
+	"geoblocks/internal/core"
+	"geoblocks/internal/dataset"
+	"geoblocks/internal/geom"
+	"geoblocks/internal/store"
+	"geoblocks/internal/workload"
+)
+
+// PR6Point is one configuration's measurement of the result-cache bench.
+type PR6Point struct {
+	// Config identifies the measured configuration: "cache-off",
+	// "cache-cold" (first pass over the stream) or "cache-warm" (second
+	// pass, steady state).
+	Config string `json:"config"`
+	// Queries is the number of queries timed for this configuration.
+	Queries int `json:"queries"`
+	// QPS and AvgLatencyNS are the serial throughput and per-query wall
+	// time of the routed store path.
+	QPS          float64 `json:"qps"`
+	AvgLatencyNS int64   `json:"avg_latency_ns"`
+	// HitRatio is the result cache's hit fraction over this pass (0 for
+	// cache-off).
+	HitRatio float64 `json:"hit_ratio"`
+	// CacheBytes and CacheEntries snapshot the cache occupancy after the
+	// pass.
+	CacheBytes   int64 `json:"cache_bytes"`
+	CacheEntries int   `json:"cache_entries"`
+	// Speedup is this configuration's QPS over the cache-off QPS.
+	Speedup float64 `json:"speedup_vs_off"`
+}
+
+const (
+	// pr6Level matches the serving daemon's default grid level.
+	pr6Level = 14
+	// pr6PoolSize and pr6Skew shape the Zipfian hot-region stream: 200
+	// distinct footprints with s=1.5 concentrate most of the stream on a
+	// few dozen hot regions, the regime the result cache targets.
+	pr6PoolSize = 200
+	pr6Skew     = 1.5
+	// pr6CacheBytes and pr6MinHits are the daemon's serving defaults.
+	pr6CacheBytes = 64 << 20
+	pr6MinHits    = 2
+	// pr6MinHitRatio and pr6MinSpeedup are the in-run acceptance floors
+	// for the steady-state pass.
+	pr6MinHitRatio = 0.8
+	pr6MinSpeedup  = 5.0
+)
+
+// PR6Perf runs the result-cache bench and returns both the rendered table
+// and the raw points for JSON serialisation.
+func PR6Perf(cfg Config) ([]*Table, []PR6Point) {
+	raw := dataset.Generate(dataset.NYCTaxi(), cfg.TaxiRows, cfg.Seed)
+	bound := raw.Spec.Bound
+
+	build := func(name string, rcBytes int64) *store.Dataset {
+		clean := raw.CleanRule()
+		ds, err := store.Build(name, bound, raw.Spec.Schema, raw.Points, raw.Cols, store.Options{
+			Level:              pr6Level,
+			ShardLevel:         2,
+			PyramidLevels:      4,
+			ResultCacheBytes:   rcBytes,
+			ResultCacheMinHits: pr6MinHits,
+			Clean:              &clean,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return ds
+	}
+	off := build("taxi-off", 0)
+	on := build("taxi-on", pr6CacheBytes)
+
+	// The query stream is fixed up front so every pass replays the exact
+	// same sequence on both twins.
+	hs := workload.ZipfianHotspot(bound, pr6PoolSize, pr6Skew, cfg.Seed+9)
+	pool := hs.Pool()
+	nQueries := 4000
+	if cfg.TaxiRows <= 200_000 {
+		nQueries = 1200
+	}
+	stream := make([]int, nQueries)
+	for i := range stream {
+		stream[i] = hs.NextIndex()
+	}
+	reqs := []geoblocks.AggRequest{
+		geoblocks.Count(), geoblocks.Sum("fare_amount"),
+		geoblocks.Min("fare_amount"), geoblocks.Max("fare_amount"),
+	}
+
+	runStream := func(ds *store.Dataset) ([]geoblocks.Result, time.Duration) {
+		out := make([]geoblocks.Result, len(stream))
+		start := time.Now()
+		for i, qi := range stream {
+			res, err := ds.Query(pool[qi], reqs...)
+			if err != nil {
+				panic(err)
+			}
+			out[i] = res
+		}
+		return out, time.Since(start)
+	}
+
+	offResults, offElapsed := runStream(off)
+	offQPS := float64(nQueries) / offElapsed.Seconds()
+
+	tbl := &Table{
+		ID:    "pr6",
+		Title: "Result cache: Zipfian hot-region stream, cached vs uncached serving (taxi)",
+		Note: fmt.Sprintf("%d rows, block level %d, shard level 2, %d-polygon pool at s=%.1f, %d queries/pass, %d MiB budget, min hits %d; every cached answer checked against the uncached twin",
+			cfg.TaxiRows, pr6Level, pr6PoolSize, pr6Skew, nQueries, pr6CacheBytes>>20, pr6MinHits),
+		Header: []string{"config", "queries", "qps", "avg us", "hit ratio", "cache KiB", "entries", "speedup"},
+	}
+	var points []PR6Point
+	addPoint := func(p PR6Point) {
+		points = append(points, p)
+		tbl.AddRow(
+			p.Config,
+			fmt.Sprintf("%d", p.Queries),
+			fmt.Sprintf("%.0f", p.QPS),
+			fmt.Sprintf("%.1f", float64(p.AvgLatencyNS)/1000),
+			fmt.Sprintf("%.3f", p.HitRatio),
+			fmt.Sprintf("%d", p.CacheBytes>>10),
+			fmt.Sprintf("%d", p.CacheEntries),
+			fmt.Sprintf("%.1fx", p.Speedup),
+		)
+	}
+	addPoint(PR6Point{
+		Config:       "cache-off",
+		Queries:      nQueries,
+		QPS:          offQPS,
+		AvgLatencyNS: offElapsed.Nanoseconds() / int64(nQueries),
+		Speedup:      1,
+	})
+
+	cachedPass := func(config string) PR6Point {
+		before := *on.ResultCacheStats()
+		got, elapsed := runStream(on)
+		for i := range got {
+			assertPR6Equivalent(config, i, got[i], offResults[i])
+		}
+		after := *on.ResultCacheStats()
+		probes := float64(after.Hits - before.Hits + after.Misses - before.Misses)
+		p := PR6Point{
+			Config:       config,
+			Queries:      nQueries,
+			QPS:          float64(nQueries) / elapsed.Seconds(),
+			AvgLatencyNS: elapsed.Nanoseconds() / int64(nQueries),
+			CacheBytes:   after.Bytes,
+			CacheEntries: after.Entries,
+		}
+		if probes > 0 {
+			p.HitRatio = float64(after.Hits-before.Hits) / probes
+		}
+		p.Speedup = p.QPS / offQPS
+		return p
+	}
+	addPoint(cachedPass("cache-cold"))
+	warm := cachedPass("cache-warm")
+	addPoint(warm)
+
+	if warm.HitRatio < pr6MinHitRatio {
+		panic(fmt.Sprintf("pr6: steady-state hit ratio %.3f below the %.1f floor", warm.HitRatio, pr6MinHitRatio))
+	}
+	if warm.Speedup < pr6MinSpeedup {
+		panic(fmt.Sprintf("pr6: steady-state speedup %.1fx below the %.0fx floor", warm.Speedup, pr6MinSpeedup))
+	}
+
+	// Invalidation probe: fold one identical (clean-surviving) row into
+	// both twins, then replay the hottest footprints — the warm cache must
+	// answer with post-update data, not its pre-update entries.
+	pr6UpdateBoth(raw, off, on)
+	for qi := 0; qi < 10; qi++ {
+		want, err := off.Query(pool[qi], reqs...)
+		if err != nil {
+			panic(err)
+		}
+		got, err := on.Query(pool[qi], reqs...)
+		if err != nil {
+			panic(err)
+		}
+		assertPR6Equivalent("post-update", qi, got, want)
+	}
+	// The hottest footprints were all cached pre-update, so the replay
+	// must have found (and refused to serve) their stale entries.
+	if stale := on.ResultCacheStats().StaleMisses; stale == 0 {
+		panic("pr6: update invalidated nothing despite a warm cache")
+	}
+	return []*Table{tbl}, points
+}
+
+// assertPR6Equivalent panics unless a cache-on answer matches its
+// cache-off twin: planner outputs and COUNT/MIN/MAX bit-identically, SUM
+// within floating-point reassociation tolerance.
+func assertPR6Equivalent(config string, i int, got, want geoblocks.Result) {
+	if got.Count != want.Count || got.Level != want.Level || got.ErrorBound != want.ErrorBound {
+		panic(fmt.Sprintf("pr6 %s: query %d count/level/bound diverge from the uncached twin", config, i))
+	}
+	for k := range want.Values {
+		a, b := got.Values[k], want.Values[k]
+		if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
+			continue
+		}
+		// Values[1] is the SUM; everything else must be bit-identical.
+		if k == 1 {
+			if diff := math.Abs(a - b); diff <= 1e-9*math.Max(math.Abs(a), math.Abs(b)) {
+				continue
+			}
+		}
+		panic(fmt.Sprintf("pr6 %s: query %d value %d = %v, uncached twin %v", config, i, k, a, b))
+	}
+}
+
+// pr6UpdateBoth applies one identical single-row update batch to both
+// twins. The row reuses a generated row that survives the dataset's clean
+// rule, so its cell is guaranteed to be aggregated (no rebuild path).
+func pr6UpdateBoth(raw *dataset.Raw, off, on *store.Dataset) {
+	clean := raw.CleanRule()
+	row := -1
+	for i, p := range raw.Points {
+		if pr6CleanKeeps(clean, p, raw.Cols, i) {
+			row = i
+			break
+		}
+	}
+	if row < 0 {
+		panic("pr6: no clean row to update with")
+	}
+	cols := make([][]float64, len(raw.Cols))
+	for c := range cols {
+		cols[c] = []float64{raw.Cols[c][row]}
+	}
+	batch := &geoblocks.UpdateBatch{Points: []geom.Point{raw.Points[row]}, Cols: cols}
+	if err := off.Update(batch); err != nil {
+		panic(err)
+	}
+	if err := on.Update(batch); err != nil {
+		panic(err)
+	}
+}
+
+// pr6CleanKeeps mirrors the extract phase's clean rule on one raw row.
+func pr6CleanKeeps(rule core.CleanRule, p geom.Point, cols [][]float64, i int) bool {
+	if rule.Bounds.IsValid() && rule.Bounds.Area() > 0 && !rule.Bounds.ContainsPoint(p) {
+		return false
+	}
+	for _, cr := range rule.ColRanges {
+		if v := cols[cr.Col][i]; v < cr.Min || v > cr.Max {
+			return false
+		}
+	}
+	return true
+}
+
+// PR6 is the Runner entry point.
+func PR6(cfg Config) []*Table {
+	tables, _ := PR6Perf(cfg)
+	return tables
+}

@@ -415,6 +415,14 @@ type createRequest struct {
 	// PyramidLevels derives that many coarser levels per shard for the
 	// query planner's max_error knob (0 = full resolution only).
 	PyramidLevels int `json:"pyramid_levels"`
+	// ResultCacheBytes > 0 attaches the dataset-level result cache with
+	// that byte budget (docs/OPERATIONS.md, "Result cache tuning"). The
+	// field is an integer byte count: fractional or non-numeric budgets
+	// are malformed requests, negative ones are build errors.
+	ResultCacheBytes int64 `json:"result_cache_bytes"`
+	// ResultCacheMinHits is the result cache's admission floor; 0 admits
+	// on first miss. Ignored unless ResultCacheBytes is positive.
+	ResultCacheMinHits int `json:"result_cache_min_hits"`
 }
 
 // SpecByName resolves the synthetic generator specs the daemon can load.
@@ -506,11 +514,13 @@ func (s *server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		d, err = BuildSynthetic(req.Name, req.Spec, req.Rows, req.Seed, store.Options{
-			Level:            req.Level,
-			ShardLevel:       req.ShardLevel,
-			CacheThreshold:   req.CacheThreshold,
-			CacheAutoRefresh: req.CacheAutoRefresh,
-			PyramidLevels:    req.PyramidLevels,
+			Level:              req.Level,
+			ShardLevel:         req.ShardLevel,
+			CacheThreshold:     req.CacheThreshold,
+			CacheAutoRefresh:   req.CacheAutoRefresh,
+			PyramidLevels:      req.PyramidLevels,
+			ResultCacheBytes:   req.ResultCacheBytes,
+			ResultCacheMinHits: req.ResultCacheMinHits,
 		})
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "build: %v", err)
@@ -704,6 +714,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeMetric("geoblocks_cache_partial_hits_total", l, float64(st.Cache.PartialHits))
 		writeMetric("geoblocks_cache_misses_total", l, float64(st.Cache.Misses))
 		writeMetric("geoblocks_cache_derived_hits_total", l, float64(st.Cache.DerivedHits))
+		// Result-cache counters are emitted for every dataset — zeros when
+		// no result cache is attached — so scrapers and alert rules never
+		// see a series appear or vanish with the cache configuration.
+		var rcHits, rcMisses, rcEvictions, rcBytes float64
+		if rc := st.ResultCache; rc != nil {
+			rcHits = float64(rc.Hits)
+			rcMisses = float64(rc.Misses)
+			rcEvictions = float64(rc.Evictions)
+			rcBytes = float64(rc.Bytes)
+		}
+		writeMetric("geoblocks_resultcache_hits", l, rcHits)
+		writeMetric("geoblocks_resultcache_misses", l, rcMisses)
+		writeMetric("geoblocks_resultcache_evictions", l, rcEvictions)
+		writeMetric("geoblocks_resultcache_bytes", l, rcBytes)
 	}
 	_, _ = w.Write([]byte(b.String()))
 }

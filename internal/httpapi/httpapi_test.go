@@ -286,6 +286,14 @@ func TestDatasetsEndpoint(t *testing.T) {
 		"zero rows":    {`{"name":"x","spec":"taxi","rows":0}`, http.StatusBadRequest},
 		"missing name": {`{"spec":"taxi","rows":10}`, http.StatusBadRequest},
 		"bad options":  {`{"name":"x","spec":"taxi","rows":10,"level":5,"shard_level":6}`, http.StatusBadRequest},
+		// Result-cache knobs: a negative byte budget or admission floor is
+		// a build error; a NaN or fractional budget is not an integer byte
+		// count at all, so the decoder rejects the body (JSON numbers
+		// cannot carry NaN — a string stand-in is a type error).
+		"negative result cache bytes":    {`{"name":"x","spec":"taxi","rows":10,"result_cache_bytes":-1}`, http.StatusBadRequest},
+		"NaN result cache bytes":         {`{"name":"x","spec":"taxi","rows":10,"result_cache_bytes":"NaN"}`, http.StatusBadRequest},
+		"fractional result cache bytes":  {`{"name":"x","spec":"taxi","rows":10,"result_cache_bytes":1048576.5}`, http.StatusBadRequest},
+		"negative result cache min hits": {`{"name":"x","spec":"taxi","rows":10,"result_cache_bytes":1048576,"result_cache_min_hits":-2}`, http.StatusBadRequest},
 	} {
 		resp, body := postJSON(t, ts, "/v1/datasets", tc.body)
 		if resp.StatusCode != tc.status {
@@ -358,6 +366,86 @@ func TestStatsAndMetricsEndpoints(t *testing.T) {
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestResultCacheEndpoints drives the result cache through the HTTP
+// surface: create with a byte budget, hit it with a repeated query, then
+// read the effectiveness back through /v1/stats and /metrics. Every
+// geoblocks_resultcache_* series must be present for every dataset —
+// zeros for datasets without a result cache.
+func TestResultCacheEndpoints(t *testing.T) {
+	_, h := newServer(testStore(t), Config{})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	create := `{"name":"rc","spec":"taxi","rows":5000,"level":11,"shard_level":1,"result_cache_bytes":1048576,"result_cache_min_hits":0}`
+	resp, body := postJSON(t, ts, "/v1/datasets", create)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d: %s", resp.StatusCode, body)
+	}
+	var created store.DatasetStats
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatalf("unmarshal create: %v", err)
+	}
+	if created.ResultCache == nil || created.ResultCache.MaxBytes != 1048576 {
+		t.Fatalf("created stats carry no result cache: %s", body)
+	}
+
+	// The same footprint twice: a miss that admits (min_hits 0), then a hit.
+	rcRect := `{"dataset":"rc","rect":[-74.05,40.60,-73.85,40.85],"aggs":[{"func":"count"},{"func":"sum","col":"fare_amount"}]}`
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, ts, "/v1/query", rcRect); resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	resp, body = getJSON(t, ts, "/v1/stats?dataset=rc")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st store.DatasetStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("unmarshal stats: %v", err)
+	}
+	rc := st.ResultCache
+	if rc == nil || rc.Hits != 1 || rc.Misses != 1 || rc.Entries != 1 {
+		t.Fatalf("result cache counters off after miss+hit: %s", body)
+	}
+	if len(st.HotFootprints) != 1 || st.HotFootprints[0].Hits != 1 {
+		t.Fatalf("full stats missing the hot footprint: %s", body)
+	}
+	if !strings.Contains(string(body), `"hot_footprints"`) {
+		t.Fatalf("hot_footprints not serialised: %s", body)
+	}
+
+	resp, body = getJSON(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		// The cache-carrying dataset reports its real counters…
+		`geoblocks_resultcache_hits{dataset="rc"} 1`,
+		`geoblocks_resultcache_misses{dataset="rc"} 1`,
+		`geoblocks_resultcache_evictions{dataset="rc"} 0`,
+		// …and the cacheless dataset still emits every series, as zeros.
+		`geoblocks_resultcache_hits{dataset="taxi"} 0`,
+		`geoblocks_resultcache_misses{dataset="taxi"} 0`,
+		`geoblocks_resultcache_evictions{dataset="taxi"} 0`,
+		`geoblocks_resultcache_bytes{dataset="taxi"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+	// The occupied cache reports a positive byte size.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `geoblocks_resultcache_bytes{dataset="rc"}`) {
+			if strings.HasSuffix(line, " 0") {
+				t.Errorf("occupied result cache reports zero bytes: %s", line)
+			}
 		}
 	}
 }

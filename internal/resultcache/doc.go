@@ -1,0 +1,31 @@
+// Package resultcache is the serving tier's hot-region adaptive result
+// cache. GeoBlocks' per-block query cache (internal/aggtrie) accelerates
+// covering traversal inside one block, but production traffic — map
+// tiles over urban centers — is dominated by repeated whole queries
+// over hot regions, and every repeat still pays covering computation,
+// per-shard fan-out and merge. This package caches final answers at the
+// layer above the router.
+//
+// Identity: a cached result is keyed by its canonical query footprint —
+// dataset, normalized covering token (a 128-bit hash over the covering
+// cells the router already computes), planned pyramid level, MaxError
+// bucket and canonical aggregate spec. Geometry is canonicalized through
+// the covering: two differently-phrased queries whose coverings
+// normalize identically share one entry. A geometry-hash index in front
+// of the footprint map memoizes each region's covering, so a hit pays
+// neither covering computation nor fan-out, and a post-invalidation
+// refresh pays only the re-aggregation (coverings are data-independent).
+//
+// Adaptivity: admission is gated on per-footprint hotness, tracked by
+// the same sharded-stripe machinery the block cache uses for cell
+// statistics (aggtrie.ShardedStats): a footprint must repeat before it
+// is cached, and under byte pressure it must additionally out-score the
+// LRU victims it would displace. Scores age by periodic halving, so the
+// threshold adapts to where current traffic concentrates.
+//
+// Correctness: entries carry the dataset generation they were computed
+// at and are verified on every read; a data mutation bumps one counter
+// and never serves stale bytes nor flushes the cache. Because the
+// store's single-worker merge path is deterministic, a cached answer is
+// bit-identical to recomputation at the same generation.
+package resultcache

@@ -1,0 +1,134 @@
+package resultcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// hotShards is the number of hotness stripes. Footprint hashes spread
+// uniformly, so two goroutines recording different footprints almost
+// never touch the same lock — the same striping trade-off as the query
+// statistics the per-block cache keeps (aggtrie.ShardedStats). Power of
+// two, required by the mask below.
+const hotShards = 16
+
+// hotShardCap bounds one stripe's key map. When an insert would exceed
+// it, the stripe ages first (halving drops cold keys); a key that still
+// does not fit is discarded and counted, so adversarial query streams
+// cannot grow the tracker without bound — the node-cap policy of
+// aggtrie.Stats applied to footprint hashes.
+const hotShardCap = 4096
+
+// defaultAgeWindow is how many recorded touches (across all stripes)
+// separate aging passes. Each pass halves every count and drops zeros,
+// so a footprint's score reflects *recent* repetition: a region that was
+// hot yesterday but has gone cold decays back below the admission
+// threshold instead of pinning cache space forever.
+const defaultAgeWindow = 1 << 17
+
+// hotness tracks per-footprint hit scores: how often each candidate
+// query footprint has been seen recently. It is the admission side of
+// the result cache — entries are only admitted once their footprint's
+// recent score clears the threshold — and follows the shape of the
+// existing ShardedStats machinery: cache-line-padded lock stripes picked
+// by a Fibonacci hash, per-stripe capacity bounds, and cheap global
+// counters.
+type hotness struct {
+	shards [hotShards]hotShard
+	// ops counts touches since the last aging pass; crossing ageWindow
+	// arms a per-stripe halving.
+	ops       atomic.Uint64
+	ageWindow uint64
+	dropped   atomic.Uint64
+}
+
+// hotShard pads each lock+map pair so stripe locks do not false-share.
+type hotShard struct {
+	mu     sync.Mutex
+	counts map[uint64]uint32
+	_      [64 - 16]byte
+}
+
+func newHotness() *hotness {
+	h := &hotness{ageWindow: defaultAgeWindow}
+	for i := range h.shards {
+		h.shards[i].counts = make(map[uint64]uint32)
+	}
+	return h
+}
+
+// shardFor picks the stripe of a footprint hash. The multiplier spreads
+// structured inputs; the high bits select the stripe (the same scheme
+// ShardedStats uses for cell ids).
+func (h *hotness) shardFor(key uint64) *hotShard {
+	x := key * 0x9e3779b97f4a7c15
+	return &h.shards[(x>>48)&(hotShards-1)]
+}
+
+// touch records one sighting of the footprint and returns its updated
+// recent score. New footprints that do not fit under the stripe cap even
+// after aging are dropped (score 0).
+func (h *hotness) touch(key uint64) uint32 {
+	sh := h.shardFor(key)
+	sh.mu.Lock()
+	c, ok := sh.counts[key]
+	if !ok && len(sh.counts) >= hotShardCap {
+		sh.ageLocked()
+		if len(sh.counts) >= hotShardCap {
+			sh.mu.Unlock()
+			h.dropped.Add(1)
+			return 0
+		}
+	}
+	c++
+	sh.counts[key] = c
+	sh.mu.Unlock()
+
+	if h.ops.Add(1)%h.ageWindow == 0 {
+		h.age()
+	}
+	return c
+}
+
+// estimate returns the footprint's current recent score without
+// recording a sighting.
+func (h *hotness) estimate(key uint64) uint32 {
+	sh := h.shardFor(key)
+	sh.mu.Lock()
+	c := sh.counts[key]
+	sh.mu.Unlock()
+	return c
+}
+
+// age halves every stripe's counts, dropping keys that reach zero.
+func (h *hotness) age() {
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		sh.ageLocked()
+		sh.mu.Unlock()
+	}
+}
+
+func (sh *hotShard) ageLocked() {
+	for k, c := range sh.counts {
+		c >>= 1
+		if c == 0 {
+			delete(sh.counts, k)
+		} else {
+			sh.counts[k] = c
+		}
+	}
+}
+
+// tracked returns how many footprints currently hold a non-zero score.
+func (h *hotness) tracked() int {
+	total := 0
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		total += len(sh.counts)
+		sh.mu.Unlock()
+	}
+	return total
+}

@@ -85,6 +85,13 @@ type Manifest struct {
 	// the levels from this count. Absent in pre-pyramid snapshots, which
 	// read as 0 (no pyramid) within the same format version.
 	PyramidLevels int `json:"pyramid_levels,omitempty"`
+	// ResultCacheBytes and ResultCacheMinHits are the dataset's
+	// result-cache configuration (internal/resultcache); like the query
+	// caches, result-cache contents are never persisted — restore starts
+	// a cold cache from this configuration. Absent in older snapshots,
+	// which read as 0 (no result cache) within the same format version.
+	ResultCacheBytes   int64 `json:"result_cache_bytes,omitempty"`
+	ResultCacheMinHits int   `json:"result_cache_min_hits,omitempty"`
 	// Bound is the dataset domain as [minX, minY, maxX, maxY].
 	Bound [4]float64 `json:"bound"`
 	// Columns are the value-column names, in schema order.

@@ -13,6 +13,7 @@ import (
 	"geoblocks/internal/core"
 	"geoblocks/internal/cover"
 	"geoblocks/internal/geom"
+	"geoblocks/internal/resultcache"
 	"geoblocks/internal/snapshot"
 )
 
@@ -44,6 +45,15 @@ type Options struct {
 	// Clean overrides the extract phase's outlier rule. Nil keeps the
 	// builder default (drop points outside the dataset bound).
 	Clean *core.CleanRule
+	// ResultCacheBytes, when positive, enables the dataset-level result
+	// cache (internal/resultcache) with that byte budget: repeated
+	// queries over hot regions are answered from their canonical
+	// footprint instead of re-running covering, fan-out and merge.
+	ResultCacheBytes int64
+	// ResultCacheMinHits is the result cache's admission floor: how often
+	// a query footprint must repeat before its result is cached. 0 admits
+	// on first miss. Ignored unless ResultCacheBytes is positive.
+	ResultCacheMinHits int
 }
 
 func (o Options) validate() error {
@@ -62,6 +72,12 @@ func (o Options) validate() error {
 	if o.PyramidLevels < 0 {
 		return fmt.Errorf("store: pyramid levels must be >= 0, got %d", o.PyramidLevels)
 	}
+	if o.ResultCacheBytes < 0 {
+		return fmt.Errorf("store: result cache bytes must be >= 0, got %d", o.ResultCacheBytes)
+	}
+	if o.ResultCacheMinHits < 0 {
+		return fmt.Errorf("store: result cache min hits must be >= 0, got %d", o.ResultCacheMinHits)
+	}
 	return nil
 }
 
@@ -76,8 +92,10 @@ type shard struct {
 
 // Dataset is one named, spatially sharded dataset: a set of GeoBlocks over
 // a common domain, partitioned by top-level cell prefix, plus the coverer
-// shared by all queries. Datasets are immutable once built (the per-shard
-// query caches adapt internally and are safe for concurrent use).
+// shared by all queries. Queries, snapshots and stats may run from any
+// number of goroutines; Update (and the other structural mutations) are
+// serialised against them by the dataset's reader/writer lock, so live
+// serving keeps working through a data mutation.
 type Dataset struct {
 	name    string
 	opts    Options
@@ -86,11 +104,23 @@ type Dataset struct {
 	coverer *cover.Coverer
 	shards  []shard
 
+	// mu orders queries (read side) against structural mutations —
+	// Update, EnableResultCache, RefreshCaches (write side). The shard
+	// slice itself never changes; the lock protects the block internals
+	// the mutations patch.
+	mu sync.RWMutex
+
 	// coverers holds one coverer per servable grid level — the block level
 	// plus every pyramid level — so the router computes each planned
 	// query's covering at the level the shards will execute it at. Built
 	// once at Build/Open time, read-only afterwards.
 	coverers map[int]*cover.Coverer
+
+	// results is the dataset-level result cache, nil when disabled. It
+	// fronts the router: hot repeated queries are served from their
+	// canonical footprint, verified against the cache's generation
+	// counter (bumped by Update/Drop — see Invalidate).
+	results *resultcache.Cache
 
 	// queries counts routed queries (each batch element counts once).
 	queries atomic.Uint64
@@ -192,7 +222,29 @@ func Build(name string, bound geom.Rect, schema geoblocks.Schema, pts []geom.Poi
 	if err := d.initCoverers(); err != nil {
 		return nil, err
 	}
+	if err := d.initResultCache(); err != nil {
+		return nil, err
+	}
 	return d, nil
+}
+
+// initResultCache creates the dataset-level result cache when the options
+// ask for one.
+func (d *Dataset) initResultCache() error {
+	if d.opts.ResultCacheBytes <= 0 {
+		d.results = nil
+		return nil
+	}
+	rc, err := resultcache.New(resultcache.Config{
+		Dataset:  d.name,
+		MaxBytes: d.opts.ResultCacheBytes,
+		MinHits:  d.opts.ResultCacheMinHits,
+	})
+	if err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	d.results = rc
+	return nil
 }
 
 // initCoverers builds one coverer per servable grid level: the block
@@ -280,7 +332,15 @@ func (d *Dataset) QueryOpts(poly *geom.Polygon, opts geoblocks.QueryOptions, req
 		return geoblocks.Result{}, err
 	}
 	d.queries.Add(1)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	lvl := d.PlanLevel(opts.MaxError)
+	if d.results != nil && resultCacheable(opts) {
+		key := resultcache.PolygonKey(poly, lvl, opts.MaxError, aggsTag(reqs))
+		return d.queryCached(key, lvl, opts, reqs, func(c *cover.Coverer) *cover.Covering {
+			return c.Cover(poly)
+		})
+	}
 	c := d.covererAt(lvl)
 	cov := c.Cover(poly)
 	res, err := d.queryCovering(cov.Cells, lvl, opts, reqs, true)
@@ -298,7 +358,15 @@ func (d *Dataset) QueryRectOpts(r geom.Rect, opts geoblocks.QueryOptions, reqs .
 		return geoblocks.Result{}, err
 	}
 	d.queries.Add(1)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	lvl := d.PlanLevel(opts.MaxError)
+	if d.results != nil && resultCacheable(opts) {
+		key := resultcache.RectKey(r, lvl, opts.MaxError, aggsTag(reqs))
+		return d.queryCached(key, lvl, opts, reqs, func(c *cover.Coverer) *cover.Covering {
+			return c.CoverRect(r)
+		})
+	}
 	c := d.covererAt(lvl)
 	cov := c.CoverRect(r)
 	res, err := d.queryCovering(cov.Cells, lvl, opts, reqs, true)
@@ -307,6 +375,76 @@ func (d *Dataset) QueryRectOpts(r geom.Rect, opts geoblocks.QueryOptions, reqs .
 	}
 	res.Level = lvl
 	res.ErrorBound = c.GuaranteedErrorDistance(cov)
+	return res, nil
+}
+
+// resultCacheable reports whether the options select the deterministic
+// serial-kernel path whose answers the result cache may serve verbatim.
+// Workers > 1 (and < 0) run the parallel in-shard kernel, whose SUM may
+// reassociate differently from the serial one; DisableCache is the
+// caller's explicit measurement escape hatch and bypasses the result
+// cache alongside the per-shard caches.
+func resultCacheable(opts geoblocks.QueryOptions) bool {
+	return (opts.Workers == 0 || opts.Workers == 1) && !opts.DisableCache
+}
+
+// aggsTag is the canonical aggregate-spec component of a query footprint:
+// the requests' canonical spellings joined in request order (order is
+// semantic — results are positional).
+func aggsTag(reqs []geoblocks.AggRequest) string {
+	switch len(reqs) {
+	case 0:
+		return ""
+	case 1:
+		return reqs[0].String()
+	}
+	n := len(reqs) - 1
+	for _, r := range reqs {
+		n += len(r.String())
+	}
+	b := make([]byte, 0, n)
+	for i, r := range reqs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, r.String()...)
+	}
+	return string(b)
+}
+
+// queryCached is the result-cache-fronted query path, called with the
+// dataset read lock held. On a hit the cached result is returned without
+// touching the router; on a covered miss (the region's covering is
+// memoized but the result is missing or from an older generation) only
+// the scatter-gather re-runs; on a cold miss the covering is computed
+// via coverFn and offered to the cache along with the result. The cached
+// ErrorBound and Level are data-independent — both derive from the
+// covering alone — so replaying them after an invalidation is exact.
+func (d *Dataset) queryCached(key resultcache.Key, lvl int, opts geoblocks.QueryOptions, reqs []geoblocks.AggRequest, coverFn func(*cover.Coverer) *cover.Covering) (geoblocks.Result, error) {
+	gen := d.results.Generation()
+	res, cells, bound, outcome := d.results.Lookup(key, gen)
+	switch outcome {
+	case resultcache.Hit:
+		return res, nil
+	case resultcache.MissCovered:
+		res, err := d.queryCovering(cells, lvl, opts, reqs, true)
+		if err != nil {
+			return geoblocks.Result{}, err
+		}
+		res.Level = lvl
+		res.ErrorBound = bound
+		d.results.Store(key, cells, bound, res, gen)
+		return res, nil
+	}
+	c := d.covererAt(lvl)
+	cov := coverFn(c)
+	res, err := d.queryCovering(cov.Cells, lvl, opts, reqs, true)
+	if err != nil {
+		return geoblocks.Result{}, err
+	}
+	res.Level = lvl
+	res.ErrorBound = c.GuaranteedErrorDistance(cov)
+	d.results.Store(key, cov.Cells, res.ErrorBound, res, gen)
 	return res, nil
 }
 
@@ -321,6 +459,8 @@ func (d *Dataset) QueryRectOpts(r geom.Rect, opts geoblocks.QueryOptions, reqs .
 // package comment).
 func (d *Dataset) QueryCovering(cov []cellid.ID, reqs ...geoblocks.AggRequest) (geoblocks.Result, error) {
 	d.queries.Add(1)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	res, err := d.queryCovering(cov, d.opts.Level, geoblocks.QueryOptions{}, reqs, true)
 	if err != nil {
 		return geoblocks.Result{}, err
@@ -450,22 +590,71 @@ func (d *Dataset) QueryBatchOpts(polys []*geom.Polygon, opts geoblocks.QueryOpti
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	d.queries.Add(uint64(len(polys)))
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	lvl := d.PlanLevel(opts.MaxError)
 	c := d.covererAt(lvl)
-	covs := make([][]cellid.ID, len(polys))
-	bounds := make([]float64, len(polys))
-	for i, p := range polys {
-		cov := c.Cover(p)
-		covs[i] = cov.Cells
-		bounds[i] = c.GuaranteedErrorDistance(cov)
+
+	if d.results == nil || !resultCacheable(opts) {
+		covs := make([][]cellid.ID, len(polys))
+		bounds := make([]float64, len(polys))
+		for i, p := range polys {
+			cov := c.Cover(p)
+			covs[i] = cov.Cells
+			bounds[i] = c.GuaranteedErrorDistance(cov)
+		}
+		results, err := d.queryBatchCoverings(covs, lvl, opts, reqs)
+		if err != nil {
+			return nil, err
+		}
+		for i := range results {
+			results[i].Level = lvl
+			results[i].ErrorBound = bounds[i]
+		}
+		return results, nil
 	}
-	results, err := d.queryBatchCoverings(covs, lvl, opts, reqs)
+
+	// Result-cached batch: resolve every element against the cache first
+	// (hits and memoized coverings both count), then run only the misses
+	// through the batch executor. The batch and single-query paths share
+	// the serial in-shard kernel and the shard-order merge, so results
+	// cached by one are bit-identical to recomputation by the other.
+	tag := aggsTag(reqs)
+	gen := d.results.Generation()
+	results := make([]geoblocks.Result, len(polys))
+	keys := make([]resultcache.Key, len(polys))
+	missIdx := make([]int, 0, len(polys))
+	covs := make([][]cellid.ID, 0, len(polys))
+	bounds := make([]float64, 0, len(polys))
+	for i, p := range polys {
+		keys[i] = resultcache.PolygonKey(p, lvl, opts.MaxError, tag)
+		res, cells, bound, outcome := d.results.Lookup(keys[i], gen)
+		switch outcome {
+		case resultcache.Hit:
+			results[i] = res
+			continue
+		case resultcache.Miss:
+			cov := c.Cover(p)
+			cells = cov.Cells
+			bound = c.GuaranteedErrorDistance(cov)
+		}
+		missIdx = append(missIdx, i)
+		covs = append(covs, cells)
+		bounds = append(bounds, bound)
+	}
+	if len(missIdx) == 0 {
+		return results, nil
+	}
+	missRes, err := d.queryBatchCoverings(covs, lvl, opts, reqs)
 	if err != nil {
 		return nil, err
 	}
-	for i := range results {
-		results[i].Level = lvl
-		results[i].ErrorBound = bounds[i]
+	for j, i := range missIdx {
+		missRes[j].Level = lvl
+		missRes[j].ErrorBound = bounds[j]
+		results[i] = missRes[j]
+		d.results.Store(keys[i], covs[j], bounds[j], missRes[j], gen)
 	}
 	return results, nil
 }
@@ -474,6 +663,9 @@ func (d *Dataset) QueryBatchOpts(polys []*geom.Polygon, opts geoblocks.QueryOpti
 // at full resolution with conservative per-covering bounds (see
 // QueryCovering).
 func (d *Dataset) QueryBatchCoverings(covs [][]cellid.ID, reqs ...geoblocks.AggRequest) ([]geoblocks.Result, error) {
+	d.queries.Add(uint64(len(covs)))
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	results, err := d.queryBatchCoverings(covs, d.opts.Level, geoblocks.QueryOptions{}, reqs)
 	if err != nil {
 		return nil, err
@@ -486,7 +678,6 @@ func (d *Dataset) QueryBatchCoverings(covs [][]cellid.ID, reqs ...geoblocks.AggR
 }
 
 func (d *Dataset) queryBatchCoverings(covs [][]cellid.ID, lvl int, opts geoblocks.QueryOptions, reqs []geoblocks.AggRequest) ([]geoblocks.Result, error) {
-	d.queries.Add(uint64(len(covs)))
 	results := make([]geoblocks.Result, len(covs))
 	errs := make([]error, len(covs))
 	workers := runtime.GOMAXPROCS(0)
@@ -531,16 +722,20 @@ func (d *Dataset) queryBatchCoverings(covs [][]cellid.ID, lvl int, opts geoblock
 // with queries; per-shard cache contents are not persisted — restored
 // datasets rebuild their caches empty from the recorded configuration.
 func (d *Dataset) Snapshot(dir string) (snapshot.Manifest, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	bound := d.dom.Bound()
 	m := snapshot.Manifest{
-		Dataset:          d.name,
-		Level:            d.opts.Level,
-		ShardLevel:       d.opts.ShardLevel,
-		CacheThreshold:   d.opts.CacheThreshold,
-		CacheAutoRefresh: d.opts.CacheAutoRefresh,
-		PyramidLevels:    d.opts.PyramidLevels,
-		Bound:            [4]float64{bound.Min.X, bound.Min.Y, bound.Max.X, bound.Max.Y},
-		Columns:          d.schema.Names,
+		Dataset:            d.name,
+		Level:              d.opts.Level,
+		ShardLevel:         d.opts.ShardLevel,
+		CacheThreshold:     d.opts.CacheThreshold,
+		CacheAutoRefresh:   d.opts.CacheAutoRefresh,
+		PyramidLevels:      d.opts.PyramidLevels,
+		ResultCacheBytes:   d.opts.ResultCacheBytes,
+		ResultCacheMinHits: d.opts.ResultCacheMinHits,
+		Bound:              [4]float64{bound.Min.X, bound.Min.Y, bound.Max.X, bound.Max.Y},
+		Columns:            d.schema.Names,
 	}
 	shards := make([]snapshot.Shard, len(d.shards))
 	for i := range d.shards {
@@ -565,11 +760,13 @@ func Open(dir, name string) (*Dataset, error) {
 		name = m.Dataset
 	}
 	opts := Options{
-		Level:            m.Level,
-		ShardLevel:       m.ShardLevel,
-		CacheThreshold:   m.CacheThreshold,
-		CacheAutoRefresh: m.CacheAutoRefresh,
-		PyramidLevels:    m.PyramidLevels,
+		Level:              m.Level,
+		ShardLevel:         m.ShardLevel,
+		CacheThreshold:     m.CacheThreshold,
+		CacheAutoRefresh:   m.CacheAutoRefresh,
+		PyramidLevels:      m.PyramidLevels,
+		ResultCacheBytes:   m.ResultCacheBytes,
+		ResultCacheMinHits: m.ResultCacheMinHits,
 	}
 	if err := opts.validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
@@ -608,18 +805,163 @@ func Open(dir, name string) (*Dataset, error) {
 	if err := d.initCoverers(); err != nil {
 		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
 	}
+	// Result-cache contents are not persisted; restored datasets start a
+	// cold cache from the recorded configuration at generation 0.
+	if err := d.initResultCache(); err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
 	return d, nil
 }
 
 // RefreshCaches rebuilds every shard's query cache from its accumulated
-// statistics. No-op for shards without an enabled cache. Unlike the other
-// Dataset methods this is a structural mutation on each shard and must
-// not run concurrently with queries (geoblocks.GeoBlock's concurrency
-// contract); prefer CacheAutoRefresh for live serving.
+// statistics. No-op for shards without an enabled cache. It is a
+// structural mutation on each shard, serialised against in-flight
+// queries by the dataset lock; prefer CacheAutoRefresh for live serving.
 func (d *Dataset) RefreshCaches() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for i := range d.shards {
 		d.shards[i].block.RefreshCache()
 	}
+}
+
+// Update folds a batch of new tuples into the dataset's shards (paper
+// Sec. 5): rows are partitioned by shard-level cell prefix and each
+// involved shard absorbs its slice in place, rebuilding its query cache
+// and re-deriving its pyramid levels. Rows landing outside every
+// existing shard (or outside a shard's aggregated cells) return
+// core.ErrRebuildRequired — rebuild the dataset in that case. The update
+// is serialised against queries by the dataset lock, so concurrent
+// readers see either the old or the new aggregates, never a mix; it is
+// NOT atomic across shards on error — a failing shard leaves earlier
+// shards updated (the same batched-maintenance caveat as a single
+// block's Update, per shard).
+//
+// Update bumps the dataset generation whether or not it succeeds, so the
+// result cache never serves an answer computed before a partial
+// mutation.
+func (d *Dataset) Update(batch *geoblocks.UpdateBatch) error {
+	if batch == nil || batch.Len() == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.results != nil {
+		defer d.results.Invalidate()
+	}
+
+	// Partition rows by the shard cell their point lands in.
+	byShard := make(map[int][]int)
+	for i, p := range batch.Points {
+		cell := d.dom.CellAt(p, d.opts.ShardLevel)
+		s, ok := d.shardIndex(cell)
+		if !ok {
+			return fmt.Errorf("store: update row %d lands in unbuilt shard %v: %w", i, cell, core.ErrRebuildRequired)
+		}
+		byShard[s] = append(byShard[s], i)
+	}
+
+	// Ascending shard order for a deterministic failure point.
+	order := make([]int, 0, len(byShard))
+	for s := range byShard {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+	sub := geoblocks.UpdateBatch{Cols: make([][]float64, len(batch.Cols))}
+	for _, s := range order {
+		idxs := byShard[s]
+		sub.Points = sub.Points[:0]
+		for c := range sub.Cols {
+			sub.Cols[c] = sub.Cols[c][:0]
+		}
+		for _, i := range idxs {
+			sub.Points = append(sub.Points, batch.Points[i])
+			for c := range sub.Cols {
+				sub.Cols[c] = append(sub.Cols[c], batch.Cols[c][i])
+			}
+		}
+		if err := d.shards[s].block.Update(&sub); err != nil {
+			return fmt.Errorf("store: updating shard %v: %w", d.shards[s].cell, err)
+		}
+	}
+	return nil
+}
+
+// shardIndex locates the shard owning a shard-level cell by binary search
+// over the sorted shard slice.
+func (d *Dataset) shardIndex(cell cellid.ID) (int, bool) {
+	i := sort.Search(len(d.shards), func(i int) bool {
+		return d.shards[i].cell >= cell
+	})
+	if i < len(d.shards) && d.shards[i].cell == cell {
+		return i, true
+	}
+	return 0, false
+}
+
+// Invalidate bumps the dataset's result-cache generation, making every
+// cached result unservable (verified lazily on read — nothing is
+// flushed, and memoized coverings stay warm). The store calls it when a
+// dataset is dropped from the registry; Update invalidates internally.
+// No-op without a result cache.
+func (d *Dataset) Invalidate() {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.results != nil {
+		d.results.Invalidate()
+	}
+}
+
+// Generation returns the dataset's result-cache generation (0 without a
+// result cache): the counter cached results are verified against.
+func (d *Dataset) Generation() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.results == nil {
+		return 0
+	}
+	return d.results.Generation()
+}
+
+// EnableResultCache attaches (or reconfigures) the dataset-level result
+// cache with the given byte budget and admission floor; maxBytes 0
+// detaches it. Reconfiguring starts from an empty cache. The recorded
+// options change with it, so subsequent snapshots carry the
+// configuration and Open re-enables the cache on restore.
+func (d *Dataset) EnableResultCache(maxBytes int64, minHits int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	opts := d.opts
+	opts.ResultCacheBytes = maxBytes
+	opts.ResultCacheMinHits = minHits
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	d.opts = opts
+	return d.initResultCache()
+}
+
+// ResultCacheStats snapshots the result cache's effectiveness counters;
+// nil without a result cache.
+func (d *Dataset) ResultCacheStats() *resultcache.Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.results == nil {
+		return nil
+	}
+	s := d.results.Stats()
+	return &s
+}
+
+// HotFootprints returns the k most-served result-cache footprints,
+// hottest first; nil without a result cache.
+func (d *Dataset) HotFootprints(k int) []resultcache.FootprintStat {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.results == nil {
+		return nil
+	}
+	return d.results.TopFootprints(k)
 }
 
 // ShardStats describes one shard for stats reporting.
@@ -664,8 +1006,21 @@ type DatasetStats struct {
 	CacheEnabled bool                   `json:"cache_enabled"`
 	CacheBytes   int                    `json:"cache_bytes"`
 	Cache        geoblocks.CacheMetrics `json:"cache"`
-	Shards       []ShardStats           `json:"shards,omitempty"`
+	// Generation is the dataset's result-cache generation (0 without a
+	// result cache): bumped by every Update/Drop, carried by every cached
+	// result, verified on every cache read.
+	Generation uint64 `json:"generation"`
+	// ResultCache holds the dataset-level result cache's effectiveness
+	// counters, nil when no result cache is enabled.
+	ResultCache *resultcache.Stats `json:"result_cache,omitempty"`
+	// HotFootprints lists the hottest cached query footprints (full Stats
+	// only, nil in summaries and without a result cache).
+	HotFootprints []resultcache.FootprintStat `json:"hot_footprints,omitempty"`
+	Shards        []ShardStats                `json:"shards,omitempty"`
 }
+
+// hotFootprintsTopK is how many footprints a full Stats reports.
+const hotFootprintsTopK = 10
 
 // Stats snapshots the dataset: totals plus per-shard breakdown. Cache
 // counters are summed across shards (each counter is read atomically; the
@@ -678,6 +1033,8 @@ func (d *Dataset) Stats() DatasetStats { return d.stats(true) }
 func (d *Dataset) StatsSummary() DatasetStats { return d.stats(false) }
 
 func (d *Dataset) stats(includeShards bool) DatasetStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	st := DatasetStats{
 		Name:         d.name,
 		Level:        d.opts.Level,
@@ -686,6 +1043,14 @@ func (d *Dataset) stats(includeShards bool) DatasetStats {
 		Columns:      d.schema.Names,
 		Queries:      d.queries.Load(),
 		CacheEnabled: d.opts.CacheThreshold > 0,
+	}
+	if d.results != nil {
+		st.Generation = d.results.Generation()
+		rcs := d.results.Stats()
+		st.ResultCache = &rcs
+		if includeShards {
+			st.HotFootprints = d.results.TopFootprints(hotFootprintsTopK)
+		}
 	}
 	if len(d.shards) > 0 {
 		st.PyramidLevels = len(d.shards[0].block.PyramidLevels())

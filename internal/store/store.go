@@ -56,12 +56,18 @@ func (s *Store) Get(name string) (*Dataset, bool) {
 
 // Drop unregisters a dataset and reports whether it existed. Queries
 // already holding the dataset keep working; the registry simply stops
-// handing it out.
+// handing it out. The dropped dataset's result-cache generation is
+// bumped, so a replacement registered under the same name never has
+// results computed against the old data served for it, even by a caller
+// still holding the old handle.
 func (s *Store) Drop(name string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.datasets[name]
+	d, ok := s.datasets[name]
 	delete(s.datasets, name)
+	s.mu.Unlock()
+	if ok {
+		d.Invalidate()
+	}
 	return ok
 }
 

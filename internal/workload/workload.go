@@ -195,6 +195,81 @@ func CrossShard(bound geom.Rect, shardLevel, n int, seed int64) []*geom.Polygon 
 	return out
 }
 
+// Hotspot is a deterministic skewed repeated-query generator: a fixed
+// pool of small polygons ("map tiles over urban centers") drawn with
+// Zipf-distributed frequencies, so a few hot regions dominate the stream
+// while the tail stays long — the serving-tier traffic shape the result
+// cache (internal/resultcache) adapts to. Construct with ZipfianHotspot.
+type Hotspot struct {
+	pool []*geom.Polygon
+	zipf *rand.Zipf
+}
+
+// ZipfianHotspot builds a Hotspot over bound: a pool of nPolys small
+// convex polygons (radius 1–4% of the bound's smaller extent) placed
+// uniformly, drawn by rank with Zipf exponent s. Pool rank i is the
+// (i+1)-th most popular query. s must exceed 1 (the math/rand Zipf
+// sampler's domain); larger s concentrates more of the stream on the
+// hottest few polygons. The same (bound, nPolys, s, seed) always yields
+// the same pool and the same draw sequence.
+func ZipfianHotspot(bound geom.Rect, nPolys int, s float64, seed int64) *Hotspot {
+	if nPolys < 1 {
+		panic(fmt.Sprintf("workload: hotspot needs >= 1 polygon, got %d", nPolys))
+	}
+	if s <= 1 {
+		panic(fmt.Sprintf("workload: zipf exponent must be > 1, got %v", s))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ext := math.Min(bound.Width(), bound.Height())
+	pool := make([]*geom.Polygon, nPolys)
+	for i := range pool {
+		r := (0.01 + rng.Float64()*0.03) * ext
+		cx := bound.Min.X + r + rng.Float64()*(bound.Width()-2*r)
+		cy := bound.Min.Y + r + rng.Float64()*(bound.Height()-2*r)
+		pool[i] = geom.RegularPolygon(geom.Pt(cx, cy), r, 4+rng.Intn(5))
+	}
+	return &Hotspot{pool: pool, zipf: rand.NewZipf(rng, s, 1, uint64(nPolys-1))}
+}
+
+// Pool returns the polygon pool, hottest rank first. The slice is shared;
+// callers must not mutate it.
+func (h *Hotspot) Pool() []*geom.Polygon { return h.pool }
+
+// NextIndex draws the next pool rank of the stream.
+func (h *Hotspot) NextIndex() int { return int(h.zipf.Uint64()) }
+
+// Next draws the next query polygon of the stream.
+func (h *Hotspot) Next() *geom.Polygon { return h.pool[h.NextIndex()] }
+
+// Draw returns the next n query polygons of the stream.
+func (h *Hotspot) Draw(n int) []*geom.Polygon {
+	out := make([]*geom.Polygon, n)
+	for i := range out {
+		out[i] = h.Next()
+	}
+	return out
+}
+
+// ZipfIndices draws count Zipf-distributed ranks in [0, n) with exponent
+// s — the bare index stream for callers with their own query pool (e.g.
+// skewed cell streams in cache tests). Deterministic per seed; s must
+// exceed 1.
+func ZipfIndices(n, count int, s float64, seed int64) []int {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: zipf indices need n >= 1, got %d", n))
+	}
+	if s <= 1 {
+		panic(fmt.Sprintf("workload: zipf exponent must be > 1, got %v", s))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, s, 1, uint64(n-1))
+	out := make([]int, count)
+	for i := range out {
+		out[i] = int(zipf.Uint64())
+	}
+	return out
+}
+
 // SelectivityRect grows a rectangle around the data's spatial median until
 // it contains approximately the target fraction of the table's rows (the
 // paper's Fig. 12 polygons "covering a part of NYC which contains a

@@ -201,3 +201,111 @@ func TestCrossShard(t *testing.T) {
 		}
 	}
 }
+
+// TestZipfianHotspotDeterminism pins the generator contract: identical
+// parameters reproduce the identical pool and draw sequence; a different
+// seed produces a different stream.
+func TestZipfianHotspotDeterminism(t *testing.T) {
+	a := ZipfianHotspot(testBound, 100, 1.5, 42)
+	b := ZipfianHotspot(testBound, 100, 1.5, 42)
+	if len(a.Pool()) != 100 {
+		t.Fatalf("pool size %d, want 100", len(a.Pool()))
+	}
+	for i := range a.Pool() {
+		pa, pb := a.Pool()[i], b.Pool()[i]
+		if pa.Centroid() != pb.Centroid() || len(pa.Outer()) != len(pb.Outer()) {
+			t.Fatalf("pool diverged at %d", i)
+		}
+	}
+	same := true
+	for i := 0; i < 1000; i++ {
+		if a.NextIndex() != b.NextIndex() {
+			same = false
+			break
+		}
+	}
+	if !same {
+		t.Fatal("same-seed draw sequences diverged")
+	}
+
+	c := ZipfianHotspot(testBound, 100, 1.5, 43)
+	diff := false
+	for i := 0; i < 1000; i++ {
+		if a.NextIndex() != c.NextIndex() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("cross-seed draw sequences identical")
+	}
+}
+
+// TestZipfianHotspotSkewShape asserts the distribution actually is a
+// hot-spot: with s = 1.5 over 100 polygons, rank 0 dominates and the top
+// ten carry most of the stream, while the tail still appears.
+func TestZipfianHotspotSkewShape(t *testing.T) {
+	h := ZipfianHotspot(testBound, 100, 1.5, 7)
+	const draws = 50_000
+	counts := make([]int, 100)
+	for i := 0; i < draws; i++ {
+		counts[h.NextIndex()]++
+	}
+	if frac := float64(counts[0]) / draws; frac < 0.2 {
+		t.Fatalf("rank-0 share %v, want > 0.2", frac)
+	}
+	top10 := 0
+	for _, c := range counts[:10] {
+		top10 += c
+	}
+	if frac := float64(top10) / draws; frac < 0.6 {
+		t.Fatalf("top-10 share %v, want > 0.6", frac)
+	}
+	tail := 0
+	for _, c := range counts[50:] {
+		tail += c
+	}
+	if tail == 0 {
+		t.Fatal("tail never drawn — not a long-tailed distribution")
+	}
+	// Monotone-ish: rank 0 must beat every rank past the head.
+	for i := 20; i < 100; i++ {
+		if counts[i] > counts[0] {
+			t.Fatalf("rank %d (%d draws) beats rank 0 (%d)", i, counts[i], counts[0])
+		}
+	}
+
+	// Every pool polygon stays inside the bound.
+	for i, p := range h.Pool() {
+		b := p.Bound()
+		if b.Min.X < testBound.Min.X || b.Min.Y < testBound.Min.Y ||
+			b.Max.X > testBound.Max.X || b.Max.Y > testBound.Max.Y {
+			t.Fatalf("pool polygon %d leaves the bound: %v", i, b)
+		}
+	}
+}
+
+// TestZipfIndices covers the bare index stream used by cache tests.
+func TestZipfIndices(t *testing.T) {
+	idx := ZipfIndices(37, 500, 1.3, 11)
+	if len(idx) != 500 {
+		t.Fatalf("len %d, want 500", len(idx))
+	}
+	for _, i := range idx {
+		if i < 0 || i >= 37 {
+			t.Fatalf("index %d out of [0,37)", i)
+		}
+	}
+	idx2 := ZipfIndices(37, 500, 1.3, 11)
+	for i := range idx {
+		if idx[i] != idx2[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	// n = 1 degenerates to a constant stream.
+	for _, i := range ZipfIndices(1, 50, 2, 3) {
+		if i != 0 {
+			t.Fatalf("n=1 drew %d", i)
+		}
+	}
+}
