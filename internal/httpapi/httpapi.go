@@ -724,9 +724,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			rcEvictions = float64(rc.Evictions)
 			rcBytes = float64(rc.Bytes)
 		}
-		writeMetric("geoblocks_resultcache_hits", l, rcHits)
-		writeMetric("geoblocks_resultcache_misses", l, rcMisses)
-		writeMetric("geoblocks_resultcache_evictions", l, rcEvictions)
+		writeMetric("geoblocks_resultcache_hits_total", l, rcHits)
+		writeMetric("geoblocks_resultcache_misses_total", l, rcMisses)
+		writeMetric("geoblocks_resultcache_evictions_total", l, rcEvictions)
 		writeMetric("geoblocks_resultcache_bytes", l, rcBytes)
 	}
 	_, _ = w.Write([]byte(b.String()))

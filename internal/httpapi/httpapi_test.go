@@ -427,13 +427,13 @@ func TestResultCacheEndpoints(t *testing.T) {
 	text := string(body)
 	for _, want := range []string{
 		// The cache-carrying dataset reports its real counters…
-		`geoblocks_resultcache_hits{dataset="rc"} 1`,
-		`geoblocks_resultcache_misses{dataset="rc"} 1`,
-		`geoblocks_resultcache_evictions{dataset="rc"} 0`,
+		`geoblocks_resultcache_hits_total{dataset="rc"} 1`,
+		`geoblocks_resultcache_misses_total{dataset="rc"} 1`,
+		`geoblocks_resultcache_evictions_total{dataset="rc"} 0`,
 		// …and the cacheless dataset still emits every series, as zeros.
-		`geoblocks_resultcache_hits{dataset="taxi"} 0`,
-		`geoblocks_resultcache_misses{dataset="taxi"} 0`,
-		`geoblocks_resultcache_evictions{dataset="taxi"} 0`,
+		`geoblocks_resultcache_hits_total{dataset="taxi"} 0`,
+		`geoblocks_resultcache_misses_total{dataset="taxi"} 0`,
+		`geoblocks_resultcache_evictions_total{dataset="taxi"} 0`,
 		`geoblocks_resultcache_bytes{dataset="taxi"} 0`,
 	} {
 		if !strings.Contains(text, want) {

@@ -275,7 +275,7 @@ func (c *Cache) Store(k Key, cells []cellid.ID, bound float64, res core.Result, 
 			e.res = cloneResult(res)
 			e.gen = gen
 			c.lru.MoveToFront(e.node)
-			c.evictToBudgetLocked(score)
+			c.evictToBudgetLocked(hk, score)
 			return
 		}
 	}
@@ -292,7 +292,7 @@ func (c *Cache) Store(k Key, cells []cellid.ID, bound float64, res core.Result, 
 		c.rejectedCold.Add(1)
 		return
 	}
-	if !c.makeRoomLocked(need, score) {
+	if !c.makeRoomLocked(need, hk, score) {
 		c.rejectedColder.Add(1)
 		return
 	}
@@ -309,6 +309,15 @@ func (c *Cache) Store(k Key, cells []cellid.ID, bound float64, res core.Result, 
 		c.index[indexKey{k.Geom, k.Level}] = rec
 		c.bytes += covBytes
 		ekey = entryKey{rec.token, k.Level, k.Bucket, k.Aggs}
+	}
+	if old, ok := c.entries[ekey]; ok {
+		// An entry under this footprint already exists but was orphaned:
+		// its covering record was evicted (a Hit moves the entry ahead of
+		// its record in the LRU, so records go first), and the same
+		// covering is now being re-admitted under a fresh record.
+		// Overwriting the map slot without this removal would leak the old
+		// entry's bytes and leave its LRU node dangling.
+		c.removeEntryLocked(ekey, old)
 	}
 	e := &entry{
 		res:   cloneResult(res),
@@ -328,47 +337,71 @@ func (c *Cache) Store(k Key, cells []cellid.ID, bound float64, res core.Result, 
 // when the budget is full of genuinely hot footprints, the effective
 // admission threshold rises to whatever the coldest resident scores,
 // and a flood of one-off queries cannot displace the working set. A
-// false return leaves the cache unchanged (minus any victims already
-// evicted, which were colder than the candidate anyway).
-func (c *Cache) makeRoomLocked(need int64, score uint32) bool {
+// victim carrying the candidate's own footprint hash is always
+// evictable: it is being replaced by the same footprint, and scoring it
+// against itself would tie forever and wedge re-admission. A false
+// return leaves the cache unchanged (minus any victims already evicted,
+// which were colder than the candidate anyway).
+func (c *Cache) makeRoomLocked(need int64, hk uint64, score uint32) bool {
 	for c.bytes+need > c.maxBytes {
 		victim := c.lru.Back()
 		if victim == nil {
 			return false
 		}
 		n := victim.Value.(*lruNode)
-		var victimHot uint64
+		victimHot, live := uint64(0), false
 		if n.isEntry {
-			victimHot = c.entries[n.ekey].hot
+			if e, ok := c.entries[n.ekey]; ok && e.node == victim {
+				victimHot, live = e.hot, true
+			}
 		} else {
-			victimHot = c.index[n.ikey].hot
+			if rec, ok := c.index[n.ikey]; ok && rec.node == victim {
+				victimHot, live = rec.hot, true
+			}
 		}
-		if c.hot.estimate(victimHot) >= score {
+		if !live {
+			// Stale node: its map entry is gone or re-keyed to a newer
+			// node. Nothing to reclaim — drop the node and keep scanning.
+			c.lru.Remove(victim)
+			continue
+		}
+		if victimHot != hk && c.hot.estimate(victimHot) >= score {
 			return false
 		}
-		c.evictLocked(n)
+		c.evictLocked(victim)
 	}
 	return true
 }
 
 // evictToBudgetLocked trims unconditionally colder-than-candidate
 // victims after an in-place refresh grew an entry.
-func (c *Cache) evictToBudgetLocked(score uint32) {
-	c.makeRoomLocked(0, score)
+func (c *Cache) evictToBudgetLocked(hk uint64, score uint32) {
+	c.makeRoomLocked(0, hk, score)
 }
 
-// evictLocked removes one LRU node and its backing map entry.
-func (c *Cache) evictLocked(n *lruNode) {
+// evictLocked removes one LRU node and its backing map entry. The
+// element itself is removed as well as the node recorded on the map
+// value, so a victim never survives in the list under a missing or
+// re-keyed map slot.
+func (c *Cache) evictLocked(el *list.Element) {
+	n := el.Value.(*lruNode)
+	c.lru.Remove(el)
 	if n.isEntry {
-		e := c.entries[n.ekey]
-		c.lru.Remove(e.node)
-		delete(c.entries, n.ekey)
-		c.bytes -= e.bytes
+		if e, ok := c.entries[n.ekey]; ok {
+			if e.node != el {
+				c.lru.Remove(e.node)
+			}
+			delete(c.entries, n.ekey)
+			c.bytes -= e.bytes
+		}
 	} else {
-		rec := c.index[n.ikey]
-		c.lru.Remove(rec.node)
-		delete(c.index, n.ikey)
-		c.bytes -= rec.bytes
+		if rec, ok := c.index[n.ikey]; ok {
+			if rec.node != el {
+				c.lru.Remove(rec.node)
+			}
+			delete(c.index, n.ikey)
+			c.bytes -= rec.bytes
+		}
 	}
 	c.evictions.Add(1)
 }

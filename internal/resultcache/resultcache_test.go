@@ -479,3 +479,169 @@ func TestConcurrentCacheAccess(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%+v", s)
 }
+
+// assertLRUConsistent walks the shared LRU list and fails if any node no
+// longer resolves to a live map object that points back at it, or if the
+// list length disagrees with the maps — the invariant whose violation
+// made eviction dereference nil under byte pressure.
+func assertLRUConsistent(t *testing.T, c *Cache) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if got, want := c.lru.Len(), len(c.entries)+len(c.index); got != want {
+		t.Fatalf("LRU holds %d nodes for %d entries + %d coverings", got, len(c.entries), len(c.index))
+	}
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		n := el.Value.(*lruNode)
+		if n.isEntry {
+			e, ok := c.entries[n.ekey]
+			if !ok || e.node != el {
+				t.Fatalf("dangling entry LRU node for %+v (present=%v)", n.ekey, ok)
+			}
+		} else {
+			rec, ok := c.index[n.ikey]
+			if !ok || rec.node != el {
+				t.Fatalf("dangling record LRU node for %+v (present=%v)", n.ikey, ok)
+			}
+		}
+	}
+}
+
+// orphanEntry drives the cache into the orphaned-entry state: footprint
+// k's covering record is evicted (a Hit put the entry ahead of its
+// record in the LRU, so the record goes first under pressure) while its
+// entry stays behind, unreachable until the covering is re-admitted.
+// evictor must be sized so that evicting only the record makes room.
+func orphanEntry(t *testing.T, c *Cache, k Key, cells []cellid.ID, res core.Result, evictor Key, evictorCells []cellid.ID, evictorRes core.Result) {
+	t.Helper()
+	gen := c.Generation()
+	if _, _, _, out := c.Lookup(k, gen); out != Miss {
+		t.Fatal("footprint unexpectedly warm")
+	}
+	c.Store(k, cells, 0, res, gen)
+	if _, _, _, out := c.Lookup(k, gen); out != Hit {
+		t.Fatal("footprint not admitted")
+	}
+	// Hotter evictor: its admission must displace k's record (LRU back)
+	// but stop before k's entry.
+	for i := 0; i < 3; i++ {
+		c.Lookup(evictor, gen)
+	}
+	c.Store(evictor, evictorCells, 0, evictorRes, gen)
+	s := c.Stats()
+	if s.Evictions != 1 || s.Coverings != 1 || s.Entries != 2 {
+		t.Fatalf("orphan setup did not evict exactly the covering record: %+v", s)
+	}
+	assertLRUConsistent(t, c)
+}
+
+// TestReadmitOverOrphanedEntry pins the regression where Store's
+// new-admission path overwrote an orphaned entry at the same entryKey
+// (same covering token, reached via a different query geometry) without
+// unlinking the old entry's LRU node or reclaiming its bytes. The
+// dangling node later made eviction dereference a nil *entry and panic
+// in the query path.
+func TestReadmitOverOrphanedEntry(t *testing.T) {
+	const aggs = "c"
+	kA := Key{Geom: 0x1111, Level: 14, Bucket: 0, Aggs: aggs}
+	cellsA := testCells(1, 8)
+	resA := core.Result{Count: 101, Values: []float64{1.5}}
+	entryA := int64(entryOverhead + 8 + len(aggs))
+	recA := int64(recordOverhead + 8*8)
+
+	// The evictor carries a deliberately fat result so that dropping its
+	// stale entry later frees enough room for a no-eviction re-admission.
+	kB := Key{Geom: 0x3333, Level: 14, Bucket: 0, Aggs: aggs}
+	cellsB := testCells(2, 8)
+	resB := core.Result{Count: 500, Values: make([]float64, 100)}
+	entryB := int64(entryOverhead + 8*100 + len(aggs))
+	recB := int64(recordOverhead + 8*8)
+
+	// Budget: storing B forces out exactly A's record
+	// (A+B > budget >= A+B-recA), everything after fits eviction-free.
+	budget := entryA + recA + entryB + recB - recA + 100
+	c := mustCache(t, budget, 0)
+	orphanEntry(t, c, kA, cellsA, resA, kB, cellsB, resB)
+	gen0 := c.Generation()
+
+	// Data moves on; B's fat entry goes stale and is reclaimed on read.
+	c.Invalidate()
+	gen1 := c.Generation()
+	if _, cells, _, out := c.Lookup(kB, gen1); out != MissCovered || len(cells) != len(cellsB) {
+		t.Fatalf("stale lookup: got %v with %d cells", out, len(cells))
+	}
+
+	// A different geometry normalizing to A's covering re-admits the same
+	// covering token while A's orphaned entry still occupies its entryKey.
+	// There is room now, so no eviction runs: the broken path silently
+	// overwrote the orphan here.
+	kA2 := Key{Geom: 0x2222, Level: 14, Bucket: 0, Aggs: aggs}
+	if _, _, _, out := c.Lookup(kA2, gen1); out != Miss {
+		t.Fatal("fresh geometry unexpectedly warm")
+	}
+	c.Store(kA2, cellsA, 0, resA, gen1)
+	if _, _, _, out := c.Lookup(kA2, gen1); out != Hit {
+		t.Fatal("re-admission over the orphaned entry failed")
+	}
+	assertLRUConsistent(t, c)
+	if s := c.Stats(); s.Bytes != entryA+recA+recB {
+		t.Fatalf("bytes %d after re-admission, want %d (orphan not reclaimed)", s.Bytes, entryA+recA+recB)
+	}
+
+	// Byte pressure from a much hotter footprint drains the whole cache:
+	// with the orphan's node dangling this dereferenced nil and panicked.
+	kC := Key{Geom: 0x4444, Level: 14, Bucket: 0, Aggs: aggs}
+	cellsC := testCells(5, 130)
+	for i := 0; i < 10; i++ {
+		c.Lookup(kC, gen1)
+	}
+	c.Store(kC, cellsC, 0, core.Result{Count: 9, Values: []float64{9}}, gen1)
+	if _, _, _, out := c.Lookup(kC, gen1); out != Hit {
+		t.Fatal("hot footprint not admitted under full drain")
+	}
+	assertLRUConsistent(t, c)
+	s := c.Stats()
+	if s.Entries != 1 || s.Coverings != 1 {
+		t.Fatalf("drain left residue: %+v", s)
+	}
+	if want := int64(recordOverhead + 8*130 + entryOverhead + 8 + len(aggs)); s.Bytes != want {
+		t.Fatalf("bytes %d after drain, want %d", s.Bytes, want)
+	}
+	_ = gen0
+}
+
+// TestReadmitHotFootprintAfterRecordEviction pins the eviction-tie
+// regression: a re-admitted hot footprint always ties with its own
+// orphaned entry sitting at the LRU back (same footprint hash), so under
+// byte pressure the hottest footprint could never come back — a
+// permanent rejectedColder livelock. A victim carrying the candidate's
+// own footprint hash is being replaced, not displaced, and must be
+// evictable.
+func TestReadmitHotFootprintAfterRecordEviction(t *testing.T) {
+	const aggs = "c"
+	kA := Key{Geom: 0xAAAA, Level: 14, Bucket: 0, Aggs: aggs}
+	cellsA := testCells(1, 8)
+	resA := core.Result{Count: 101, Values: []float64{1.5}}
+	kB := Key{Geom: 0xBBBB, Level: 14, Bucket: 0, Aggs: aggs}
+
+	// One footprint is entry+record; the budget holds one and a half.
+	c := mustCache(t, 700, 0)
+	orphanEntry(t, c, kA, cellsA, resA, kB, testCells(2, 8), core.Result{Count: 7, Values: []float64{7}})
+	gen := c.Generation()
+
+	// A keeps being asked for — the hottest footprint in the workload —
+	// and must win re-admission over both its own orphan and colder B.
+	for i := 0; i < 3; i++ {
+		if _, _, _, out := c.Lookup(kA, gen); out != Miss {
+			t.Fatalf("lookup %d: want Miss while covering is gone", i)
+		}
+	}
+	c.Store(kA, cellsA, 0, resA, gen)
+	if _, _, _, out := c.Lookup(kA, gen); out != Hit {
+		t.Fatal("hot footprint wedged out by its own orphaned entry")
+	}
+	if s := c.Stats(); s.RejectedColder != 0 {
+		t.Fatalf("re-admission counted as rejected-colder: %+v", s)
+	}
+	assertLRUConsistent(t, c)
+}

@@ -839,10 +839,19 @@ func (d *Dataset) RefreshCaches() {
 //
 // Update bumps the dataset generation whether or not it succeeds, so the
 // result cache never serves an answer computed before a partial
-// mutation.
+// mutation. The one exception is a batch rejected by upfront validation
+// (ragged columns): nothing was touched, so nothing is invalidated.
 func (d *Dataset) Update(batch *geoblocks.UpdateBatch) error {
 	if batch == nil || batch.Len() == 0 {
 		return nil
+	}
+	// Reject ragged batches before partitioning rows: indexing a short
+	// column below would panic under the dataset write lock instead of
+	// surfacing the validation error core's Update would return.
+	for c := range batch.Cols {
+		if len(batch.Cols[c]) != len(batch.Points) {
+			return fmt.Errorf("store: update column %d has %d rows, want %d", c, len(batch.Cols[c]), len(batch.Points))
+		}
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()

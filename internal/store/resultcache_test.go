@@ -238,6 +238,32 @@ func TestUpdateRebuildRequired(t *testing.T) {
 	}
 }
 
+// TestUpdateRaggedBatchRejected pins the upfront validation contract: a
+// batch whose column slices are shorter than its point slice must fail
+// with an error before any row is partitioned — previously it panicked
+// with an index out of range while holding the dataset write lock.
+func TestUpdateRaggedBatchRejected(t *testing.T) {
+	d := buildDataset(t, "ragged", 3_000, 17, Options{
+		Level: 10, ShardLevel: 1, ResultCacheBytes: 1 << 20,
+	})
+	gen := d.Generation()
+	err := d.Update(&geoblocks.UpdateBatch{
+		Points: []geom.Point{geom.Pt(30, 30), geom.Pt(40, 40)},
+		Cols:   [][]float64{{1, 1}, {0.5}}, // second column one row short
+	})
+	if err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+	// Nothing was touched, so nothing is invalidated — and the dataset
+	// still serves queries.
+	if got := d.Generation(); got != gen {
+		t.Fatalf("generation %d after rejected batch, want %d", got, gen)
+	}
+	if _, err := d.Query(geoblocks.RegularPolygon(geom.Pt(50, 50), 15, 6), geoblocks.Count()); err != nil {
+		t.Fatalf("query after rejected batch: %v", err)
+	}
+}
+
 // TestResultCacheConfigPersists pins the snapshot round-trip: the
 // configuration travels through the manifest; contents do not.
 func TestResultCacheConfigPersists(t *testing.T) {
