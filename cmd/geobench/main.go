@@ -27,7 +27,11 @@
 // -resultcache it runs the pr6 result-cache bench mode — a Zipfian
 // hot-region stream served cache-off, cache-cold and cache-warm, with
 // every cached answer checked against the uncached twin — producing the
-// committed BENCH_PR6.json.
+// committed BENCH_PR6.json. With -mmapserve it runs the pr7 mapped-serving
+// bench mode — format-v3 mmap restore vs eager v2 restore measured in
+// fresh child processes (startup-to-first-answer, VmRSS, cold/warm
+// latency, budget-forced eviction), with every answer asserted
+// bit-identical in-run — producing the committed BENCH_PR7.json.
 package main
 
 import (
@@ -44,6 +48,13 @@ import (
 )
 
 func main() {
+	// The pr7 bench re-executes this binary as a serving child process so
+	// its RSS and startup numbers are unpolluted by the parent's build
+	// heap; the env var routes the child before any flag parsing.
+	if os.Getenv("GEOBENCH_PR7_CHILD") != "" {
+		experiments.PR7ChildMain()
+		return
+	}
 	var (
 		quick     = flag.Bool("quick", false, "run at reduced dataset sizes")
 		taxiRows  = flag.Int("taxi-rows", 0, "override taxi dataset rows")
@@ -58,6 +69,7 @@ func main() {
 		snapMode  = flag.Bool("snapshot", false, "with -perf-json: run the pr4 durability bench mode (snapshot save/restore vs rebuild) instead of pr1")
 		maxErr    = flag.Bool("maxerror", false, "with -perf-json: run the pr5 query-planner bench mode (latency/qps and covering work vs error bound) instead of pr1")
 		resCache  = flag.Bool("resultcache", false, "with -perf-json: run the pr6 result-cache bench mode (Zipfian hot-region stream, cached vs uncached) instead of pr1")
+		mmapServe = flag.Bool("mmapserve", false, "with -perf-json: run the pr7 mapped-serving bench mode (v3 mmap restore vs eager v2, child-process RSS) instead of pr1")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: geobench [flags] [experiment ...]\n\nexperiments:\n")
@@ -94,14 +106,14 @@ func main() {
 	if *perfJSON != "" {
 		write := writePerfSnapshot
 		modes := 0
-		for _, m := range []bool{*parallel, *sharded, *snapMode, *maxErr, *resCache} {
+		for _, m := range []bool{*parallel, *sharded, *snapMode, *maxErr, *resCache, *mmapServe} {
 			if m {
 				modes++
 			}
 		}
 		switch {
 		case modes > 1:
-			fmt.Fprintf(os.Stderr, "geobench: -parallel, -sharded, -snapshot, -maxerror and -resultcache are mutually exclusive\n")
+			fmt.Fprintf(os.Stderr, "geobench: -parallel, -sharded, -snapshot, -maxerror, -resultcache and -mmapserve are mutually exclusive\n")
 			os.Exit(2)
 		case *parallel:
 			write = writeParallelSnapshot
@@ -113,6 +125,8 @@ func main() {
 			write = writePlannerSnapshot
 		case *resCache:
 			write = writeResultCacheSnapshot
+		case *mmapServe:
+			write = writeMmapServeSnapshot
 		}
 		if err := write(cfg, *perfJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
@@ -239,6 +253,49 @@ type resultCacheSnapshot struct {
 	TaxiRows   int                    `json:"taxi_rows"`
 	Seed       int64                  `json:"seed"`
 	Points     []experiments.PR6Point `json:"points"`
+}
+
+// mmapServeSnapshot is the BENCH_PR7.json document: the raw pr7
+// measurements plus the machine context needed to read the startup and
+// RSS columns (disk and memory pressure dominate them).
+type mmapServeSnapshot struct {
+	Experiment string                 `json:"experiment"`
+	GoVersion  string                 `json:"go_version"`
+	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	NumCPU     int                    `json:"num_cpu"`
+	TaxiRows   int                    `json:"taxi_rows"`
+	Seed       int64                  `json:"seed"`
+	Points     []experiments.PR7Point `json:"points"`
+}
+
+// writeMmapServeSnapshot runs the pr7 bench, prints its table and writes
+// the raw points as indented JSON.
+func writeMmapServeSnapshot(cfg experiments.Config, path string) error {
+	start := time.Now()
+	tables, points := experiments.PR7Perf(cfg)
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	snap := mmapServeSnapshot{
+		Experiment: "pr7",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		TaxiRows:   cfg.TaxiRows,
+		Seed:       cfg.Seed,
+		Points:     points,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("mmap-serving snapshot written to %s in %v\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // writeResultCacheSnapshot runs the pr6 bench, prints its table and

@@ -8,6 +8,7 @@
 //	           [-pyramid-levels N] [-result-cache-bytes N]
 //	           [-result-cache-min-hits N] [-seed N] [-drain D]
 //	           [-data-dir DIR] [-snapshot-on-exit]
+//	           [-mmap] [-resident-budget BYTES]
 //
 // Each -load builds one synthetic dataset at startup (spec taxi, tweets
 // or osm; default 100000 rows), registered under the spec name. More
@@ -34,6 +35,18 @@
 // registered dataset into DIR after the graceful drain, so the next
 // start resumes with the same data. docs/FORMAT.md specifies the on-disk
 // artifacts; docs/OPERATIONS.md has the runbook.
+//
+// -mmap serves format-v3 snapshots in place: restore validates only
+// manifests and shard metadata (startup cost independent of data
+// volume), each shard's data is mmap'd, checksummed and pyramid-derived
+// on its first query, and -resident-budget bounds the total materialised
+// memory with LRU eviction (0 = unlimited; evicted shards re-fault on
+// demand). Mapped datasets are read-only — updates need an eager
+// restart — and all snapshots the daemon writes under -mmap use format
+// v3, so they restore in place next start; version-1 snapshots still
+// restore eagerly. /v1/stats and /metrics report mapped vs resident
+// bytes, shard faults and evictions. docs/OPERATIONS.md Sec. "Serving
+// snapshots from disk" is the runbook.
 //
 // Endpoints (full reference with curl examples in docs/OPERATIONS.md):
 //
@@ -107,6 +120,8 @@ func main() {
 		drain        = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 		dataDir      = flag.String("data-dir", "", "snapshot directory: restore all snapshots at startup, default target for the snapshot endpoint")
 		snapOnExit   = flag.Bool("snapshot-on-exit", false, "snapshot every dataset into -data-dir after the graceful drain")
+		mmapServe    = flag.Bool("mmap", false, "serve format-v3 snapshots in place via mmap: metadata-only restore, shards fault in on first query; snapshots are written in format v3")
+		residentMax  = flag.Int64("resident-budget", 0, "resident-memory budget in bytes for mmap-served shards, LRU-evicted above it (0 = unlimited; needs -mmap)")
 	)
 	var loads []loadSpec
 	flag.Func("load", "synthetic dataset to serve, spec[:rows] (taxi, tweets, osm); repeatable", func(arg string) error {
@@ -121,8 +136,22 @@ func main() {
 	if *snapOnExit && *dataDir == "" {
 		log.Fatalf("geoblocksd: -snapshot-on-exit requires -data-dir")
 	}
+	if *residentMax != 0 && !*mmapServe {
+		log.Fatalf("geoblocksd: -resident-budget requires -mmap")
+	}
+	if *residentMax < 0 {
+		log.Fatalf("geoblocksd: -resident-budget must be >= 0, got %d", *residentMax)
+	}
 
 	st := store.New()
+	if *mmapServe {
+		st.EnableMmap(*residentMax)
+		if *residentMax > 0 {
+			log.Printf("mmap serving enabled, resident budget %.1f MiB", float64(*residentMax)/(1<<20))
+		} else {
+			log.Printf("mmap serving enabled, unlimited resident budget")
+		}
+	}
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			log.Fatalf("geoblocksd: %v", err)
@@ -157,7 +186,7 @@ func main() {
 			s.Name, s.Tuples, s.NumShards, s.ShardLevel, s.Level, time.Since(start).Round(time.Millisecond))
 	}
 
-	handler := httpapi.NewHandler(st, httpapi.Config{DataDir: *dataDir})
+	handler := httpapi.NewHandler(st, httpapi.Config{DataDir: *dataDir, SnapshotV3: *mmapServe})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("geoblocksd: %v", err)
@@ -170,7 +199,7 @@ func main() {
 		log.Fatalf("geoblocksd: %v", err)
 	}
 	if *snapOnExit {
-		if err := snapshotAll(st, *dataDir, log.Printf); err != nil {
+		if err := snapshotAll(st, *dataDir, *mmapServe, log.Printf); err != nil {
 			log.Fatalf("geoblocksd: %v", err)
 		}
 	}
@@ -187,6 +216,7 @@ func main() {
 // registers nothing (fail closed) but does not take down the datasets
 // that do load.
 func restoreDataDir(st *store.Store, dataDir string, logf func(string, ...any)) error {
+	sweepStart := time.Now()
 	actions, err := snapshot.Recover(dataDir)
 	for _, a := range actions {
 		logf("snapshot sweep: %s", a)
@@ -198,6 +228,10 @@ func restoreDataDir(st *store.Store, dataDir string, logf func(string, ...any)) 
 	if err != nil {
 		return err
 	}
+	res := st.Residency()
+	var datasets, shards, mapped int
+	var tuples uint64
+	var bytes int64
 	for _, e := range entries {
 		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 			continue
@@ -208,7 +242,12 @@ func restoreDataDir(st *store.Store, dataDir string, logf func(string, ...any)) 
 			continue
 		}
 		start := time.Now()
-		d, err := store.Open(dir, e.Name())
+		var d *store.Dataset
+		if res != nil {
+			d, err = store.OpenMapped(dir, e.Name(), res)
+		} else {
+			d, err = store.Open(dir, e.Name())
+		}
 		if err != nil {
 			logf("ERROR: skipping snapshot %s: %v", dir, err)
 			continue
@@ -218,17 +257,33 @@ func restoreDataDir(st *store.Store, dataDir string, logf func(string, ...any)) 
 			continue
 		}
 		s := d.Stats()
-		logf("restored %s: %d tuples, %d shards at level %d (block level %d) in %v",
-			s.Name, s.Tuples, s.NumShards, s.ShardLevel, s.Level, time.Since(start).Round(time.Millisecond))
+		mode := "restored"
+		if s.Mapped {
+			mode = "mapped"
+			mapped++
+		}
+		logf("%s %s: %d tuples, %d shards at level %d (block level %d) in %v",
+			mode, s.Name, s.Tuples, s.NumShards, s.ShardLevel, s.Level, time.Since(start).Round(time.Millisecond))
+		datasets++
+		shards += s.NumShards
+		tuples += s.Tuples
+		bytes += int64(s.SizeBytes)
 	}
+	// One aggregate line at completion: how long the whole data
+	// directory took to come up and how much it holds — the number to
+	// watch when tuning startup (eager decode vs -mmap).
+	logf("restore complete: %d dataset(s) (%d mapped), %d shards, %d tuples, %.1f MiB in %v",
+		datasets, mapped, shards, tuples, float64(bytes)/(1<<20), time.Since(sweepStart).Round(time.Millisecond))
 	return nil
 }
 
 // snapshotAll writes one snapshot per registered dataset into dataDir,
-// replacing previous snapshots atomically. Datasets whose names are not
-// safe path elements are skipped with a log line (the HTTP API refuses
-// to create such names; -load specs are always safe).
-func snapshotAll(st *store.Store, dataDir string, logf func(string, ...any)) error {
+// replacing previous snapshots atomically — in the mappable format v3
+// when the daemon runs with -mmap, so the next start restores in place.
+// Datasets whose names are not safe path elements are skipped with a
+// log line (the HTTP API refuses to create such names; -load specs are
+// always safe).
+func snapshotAll(st *store.Store, dataDir string, v3 bool, logf func(string, ...any)) error {
 	var firstErr error
 	for _, name := range st.Names() {
 		d, ok := st.Get(name)
@@ -240,7 +295,13 @@ func snapshotAll(st *store.Store, dataDir string, logf func(string, ...any)) err
 			continue
 		}
 		start := time.Now()
-		m, err := d.Snapshot(filepath.Join(dataDir, name))
+		var m snapshot.Manifest
+		var err error
+		if v3 {
+			m, err = d.SnapshotV3(filepath.Join(dataDir, name))
+		} else {
+			m, err = d.Snapshot(filepath.Join(dataDir, name))
+		}
 		if err != nil {
 			logf("ERROR: snapshotting %s: %v", name, err)
 			if firstErr == nil {

@@ -802,6 +802,33 @@ func ReadGeoBlockFramed(r io.Reader) (*GeoBlock, FrameInfo, error) {
 	return g, info, nil
 }
 
+// ErrReadOnly reports a mutation attempt on a mapped (format v3
+// view-backed) block; see MapGeoBlock.
+var ErrReadOnly = core.ErrReadOnly
+
+// EncodeV3 serialises the block in the random-access format v3 and
+// returns the complete file image (docs/FORMAT.md Sec. 8). v3 files can
+// be reopened without per-element decode via MapGeoBlock.
+func (g *GeoBlock) EncodeV3() []byte { return g.inner.EncodeV3() }
+
+// MapGeoBlock constructs a read-only block whose aggregate arrays are
+// views directly over data, a complete format-v3 file image — typically
+// an mmap'd region the caller keeps valid for the block's lifetime. The
+// block answers queries through the normal API (derived structures such
+// as prefix sums and pyramid levels live on the heap) but rejects Update
+// with ErrReadOnly. Failures wrap ErrCorruptBlock or ErrBlockVersion.
+func MapGeoBlock(data []byte) (*GeoBlock, error) {
+	b, err := core.MapBlock(data)
+	if err != nil {
+		return nil, err
+	}
+	return wrapBlock(b)
+}
+
+// Mapped reports whether the block is a read-only view over mapped file
+// bytes.
+func (g *GeoBlock) Mapped() bool { return g.inner.Mapped() }
+
 // LevelForError returns the coarsest block level whose cell diagonal does
 // not exceed maxError over the given domain bound — the user-facing way to
 // turn a spatial error bound into a block level.

@@ -147,6 +147,11 @@ type GeoBlock struct {
 	// from, enabling drill-through and finer rebuilds. It is nil for
 	// deserialized blocks.
 	base *column.Table
+
+	// mapped marks a block whose aggregate arrays are unsafe.Slice views
+	// over a read-only byte region (format v3, see MapBlock). Mapped
+	// blocks serve queries normally but reject in-place Update.
+	mapped bool
 }
 
 // Domain returns the spatial domain the block decomposes.
@@ -172,6 +177,10 @@ func (b *GeoBlock) Header() Header { return b.header }
 
 // Base returns the sorted base data the block was built from, or nil.
 func (b *GeoBlock) Base() *column.Table { return b.base }
+
+// Mapped reports whether the block is a read-only view over mapped file
+// bytes (see MapBlock). Mapped blocks reject Update with ErrReadOnly.
+func (b *GeoBlock) Mapped() bool { return b.mapped }
 
 // CellAt returns a record view of the i-th cell aggregate.
 func (b *GeoBlock) CellAt(i int) CellAggregate {

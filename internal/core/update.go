@@ -50,6 +50,9 @@ func (u *UpdateBatch) validate(b *GeoBlock) error {
 // place diverge from Base() until the next rebuild, mirroring the paper's
 // batched-maintenance discussion.
 func (b *GeoBlock) Update(batch *UpdateBatch) error {
+	if b.mapped {
+		return ErrReadOnly
+	}
 	if err := batch.validate(b); err != nil {
 		return err
 	}

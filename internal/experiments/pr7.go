@@ -1,0 +1,469 @@
+package experiments
+
+// PR7 is the mmap-serving snapshot for format v3 (internal/snapshot +
+// internal/store residency): it builds the 1M-row taxi dataset once,
+// writes both a v2 (framed, eager-restore) and a v3 (mapped, lazy)
+// snapshot, then measures serving startup in THREE CHILD PROCESSES so
+// RSS numbers are honest — the parent's build heap never pollutes a
+// child's resident set:
+//
+//	eager  restore the v2 snapshot with the default decode-everything path
+//	mmap   restore the v3 snapshot via store.OpenMapped, unlimited budget
+//	evict  restore the v3 snapshot with a resident budget at ~25% of the
+//	       snapshot, forcing the LRU eviction/re-fault path under load
+//
+// Each child reports startup-to-first-answer wall time, VmRSS, cold and
+// warm per-query latencies, and every answer as raw bits. The parent
+// asserts IN-RUN, before any number is written: the mapped first answer
+// is >=10x faster than the eager one, mapped startup RSS is below the
+// eager RSS, every child's every answer is bit-identical to the parent's
+// in-memory dataset, and the evict child's fault/eviction counters
+// actually moved. cmd/geobench serialises the points to BENCH_PR7.json
+// via -perf-json -mmapserve.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"geoblocks"
+	"geoblocks/internal/dataset"
+	"geoblocks/internal/geom"
+	"geoblocks/internal/store"
+	"geoblocks/internal/workload"
+)
+
+const (
+	// pr7Level / pr7ShardLevel match the serving daemon's defaults; shard
+	// level 2 gives 16 shards, enough for the eviction path to have real
+	// LRU pressure.
+	pr7Level      = 14
+	pr7ShardLevel = 2
+	// pr7PyramidLevels exercises fault-time pyramid derivation, the
+	// costliest part of a shard fault after the checksum pass.
+	pr7PyramidLevels = 3
+	// pr7WarmRounds is how many times the warm pass repeats the polygon
+	// list; the cold pass runs it once, faulting shards as it goes.
+	pr7WarmRounds = 5
+
+	// Child-process protocol: when GEOBENCH_PR7_CHILD is set, geobench
+	// runs one serving scenario instead of its normal CLI.
+	pr7EnvMode   = "GEOBENCH_PR7_CHILD" // eager | mmap | evict
+	pr7EnvDir    = "GEOBENCH_PR7_DIR"
+	pr7EnvBudget = "GEOBENCH_PR7_BUDGET"
+	pr7EnvSeed   = "GEOBENCH_PR7_SEED"
+)
+
+// PR7Point is one child-process serving measurement.
+type PR7Point struct {
+	// Mode is eager (v2 decode-all restore), mmap (v3 lazy, unlimited
+	// budget) or evict (v3 lazy, budget ~25% of the snapshot).
+	Mode   string `json:"mode"`
+	Rows   int    `json:"rows"`
+	Shards int    `json:"shards"`
+	// SnapshotBytes is the restored snapshot's shard payload total (v2
+	// bytes for eager, v3 for the mapped modes).
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// BudgetBytes is the resident budget (evict mode only, else 0).
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
+	// StartupNS is restore-complete wall time; FirstAnswerNS additionally
+	// includes the first probe query — the startup-to-first-answer the
+	// tentpole optimises.
+	StartupNS     int64 `json:"startup_ns"`
+	FirstAnswerNS int64 `json:"first_answer_ns"`
+	// RSSStartupKB is VmRSS right after the first answer; RSSEndKB after
+	// the full cold+warm workload.
+	RSSStartupKB int64 `json:"rss_startup_kb"`
+	RSSEndKB     int64 `json:"rss_end_kb"`
+	// Cold latencies fault shards in (first touch per polygon); warm
+	// latencies repeat the same polygons with shards resident.
+	ColdP50NS int64 `json:"cold_p50_ns"`
+	ColdP99NS int64 `json:"cold_p99_ns"`
+	WarmP50NS int64 `json:"warm_p50_ns"`
+	WarmP99NS int64 `json:"warm_p99_ns"`
+	// Residency counters at child exit (mapped modes only).
+	Faults        uint64 `json:"faults,omitempty"`
+	Evictions     uint64 `json:"evictions,omitempty"`
+	MappedBytes   int64  `json:"mapped_bytes,omitempty"`
+	ResidentBytes int64  `json:"resident_bytes,omitempty"`
+	// FirstAnswerSpeedup is eager FirstAnswerNS over this mode's (1.0 for
+	// eager itself); BitIdentical records the in-run answer check.
+	FirstAnswerSpeedup float64 `json:"first_answer_speedup"`
+	BitIdentical       bool    `json:"bit_identical"`
+}
+
+// pr7ChildResult is the JSON a child prints on stdout.
+type pr7ChildResult struct {
+	Mode          string                `json:"mode"`
+	StartupNS     int64                 `json:"startup_ns"`
+	FirstAnswerNS int64                 `json:"first_answer_ns"`
+	RSSStartupKB  int64                 `json:"rss_startup_kb"`
+	RSSEndKB      int64                 `json:"rss_end_kb"`
+	ColdNS        []int64               `json:"cold_ns"`
+	WarmNS        []int64               `json:"warm_ns"`
+	Answers       []string              `json:"answers"`
+	Residency     *store.ResidencyStats `json:"residency,omitempty"`
+}
+
+// pr7Polys is the serving workload both parent and children derive from
+// the seed alone: shard-local polygons (one shard fault each) plus
+// cross-shard ones (multi-shard merges), over the taxi bound.
+func pr7Polys(bound geom.Rect, seed int64) []*geom.Polygon {
+	return append(workload.ShardLocal(bound, pr7ShardLevel, 16, seed+20),
+		workload.CrossShard(bound, pr7ShardLevel, 8, seed+21)...)
+}
+
+// pr7Probe is the startup probe: a single shard-local polygon, distinct
+// from the measured workload, whose first answer marks serving-ready.
+func pr7Probe(bound geom.Rect, seed int64) *geom.Polygon {
+	return workload.ShardLocal(bound, pr7ShardLevel, 1, seed+22)[0]
+}
+
+func pr7Reqs() []geoblocks.AggRequest {
+	return []geoblocks.AggRequest{geoblocks.Count(), geoblocks.Sum("fare_amount")}
+}
+
+// pr7AnswerBits encodes a result so equality means bit-identity: the
+// exact count plus the IEEE-754 bits of every aggregate value.
+func pr7AnswerBits(res geoblocks.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", res.Count)
+	for _, v := range res.Values {
+		fmt.Fprintf(&b, ":%016x", math.Float64bits(v))
+	}
+	return b.String()
+}
+
+// PR7ChildMain is the child-process entry point; cmd/geobench calls it
+// before flag parsing when GEOBENCH_PR7_CHILD is set. It restores the
+// snapshot in the requested mode, runs the probe + cold + warm workload
+// and prints a pr7ChildResult to stdout.
+func PR7ChildMain() {
+	mode := os.Getenv(pr7EnvMode)
+	dir := os.Getenv(pr7EnvDir)
+	seed, err := strconv.ParseInt(os.Getenv(pr7EnvSeed), 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pr7 child: bad seed: %v\n", err)
+		os.Exit(1)
+	}
+	var budget int64
+	if s := os.Getenv(pr7EnvBudget); s != "" {
+		if budget, err = strconv.ParseInt(s, 10, 64); err != nil {
+			fmt.Fprintf(os.Stderr, "pr7 child: bad budget: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	bound := dataset.NYCTaxi().Bound
+	probe := pr7Probe(bound, seed)
+	polys := pr7Polys(bound, seed)
+	reqs := pr7Reqs()
+
+	// Startup clock: everything between here and the first answered
+	// query is what a restart costs before the service is useful.
+	start := time.Now()
+	var (
+		ds  *store.Dataset
+		res *store.Residency
+	)
+	switch mode {
+	case "eager":
+		ds, err = store.Open(dir, "")
+	case "mmap", "evict":
+		res = store.NewResidency(budget)
+		ds, err = store.OpenMapped(dir, "", res)
+	default:
+		fmt.Fprintf(os.Stderr, "pr7 child: unknown mode %q\n", mode)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pr7 child: restore: %v\n", err)
+		os.Exit(1)
+	}
+	startup := time.Since(start)
+	if _, err := ds.Query(probe, reqs...); err != nil {
+		fmt.Fprintf(os.Stderr, "pr7 child: probe: %v\n", err)
+		os.Exit(1)
+	}
+	firstAnswer := time.Since(start)
+	rssStartup := readVmRSSKB()
+
+	out := pr7ChildResult{
+		Mode:          mode,
+		StartupNS:     startup.Nanoseconds(),
+		FirstAnswerNS: firstAnswer.Nanoseconds(),
+		RSSStartupKB:  rssStartup,
+	}
+	run := func(p *geom.Polygon) (int64, string) {
+		qs := time.Now()
+		qr, err := ds.Query(p, reqs...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pr7 child: query: %v\n", err)
+			os.Exit(1)
+		}
+		return time.Since(qs).Nanoseconds(), pr7AnswerBits(qr)
+	}
+	for _, p := range polys { // cold: first touch faults shards in
+		ns, bits := run(p)
+		out.ColdNS = append(out.ColdNS, ns)
+		out.Answers = append(out.Answers, bits)
+	}
+	for r := 0; r < pr7WarmRounds; r++ {
+		for i, p := range polys {
+			ns, bits := run(p)
+			out.WarmNS = append(out.WarmNS, ns)
+			if bits != out.Answers[i] {
+				fmt.Fprintf(os.Stderr, "pr7 child: warm answer drifted on poly %d: %s != %s\n", i, bits, out.Answers[i])
+				os.Exit(1)
+			}
+		}
+	}
+	out.RSSEndKB = readVmRSSKB()
+	if res != nil {
+		st := res.Stats()
+		out.Residency = &st
+	}
+	enc, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pr7 child: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(enc, '\n'))
+}
+
+// readVmRSSKB reads the process resident set from /proc/self/status;
+// returns 0 where /proc is unavailable (the parent then skips the RSS
+// assertion rather than fabricating a number).
+func readVmRSSKB() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb
+	}
+	return 0
+}
+
+// pr7RunChild re-executes this binary as one serving child and decodes
+// its report. Stderr passes through so a child failure is diagnosable.
+func pr7RunChild(exe, mode, dir string, budget, seed int64) pr7ChildResult {
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		pr7EnvMode+"="+mode,
+		pr7EnvDir+"="+dir,
+		pr7EnvBudget+"="+strconv.FormatInt(budget, 10),
+		pr7EnvSeed+"="+strconv.FormatInt(seed, 10),
+	)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		panic(fmt.Sprintf("pr7: %s child: %v", mode, err))
+	}
+	var res pr7ChildResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		panic(fmt.Sprintf("pr7: %s child output: %v", mode, err))
+	}
+	return res
+}
+
+// pr7Percentile returns the p-th percentile (nearest-rank) of ns.
+func pr7Percentile(ns []int64, p float64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), ns...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// PR7Perf runs the snapshot and returns both the rendered table and the
+// raw points for JSON serialisation.
+func PR7Perf(cfg Config) ([]*Table, []PR7Point) {
+	exe, err := os.Executable()
+	if err != nil {
+		panic(err)
+	}
+	raw := dataset.Generate(dataset.NYCTaxi(), cfg.TaxiRows, cfg.Seed)
+	clean := raw.CleanRule()
+	bound := raw.Spec.Bound
+
+	tmp, err := os.MkdirTemp("", "geoblocks-pr7-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	opts := store.Options{
+		Level:         pr7Level,
+		ShardLevel:    pr7ShardLevel,
+		PyramidLevels: pr7PyramidLevels,
+		Clean:         &clean,
+	}
+	ds, err := store.Build("taxi", bound, raw.Spec.Schema, raw.Points, raw.Cols, opts)
+	if err != nil {
+		panic(err)
+	}
+
+	dirV2 := filepath.Join(tmp, "v2")
+	dirV3 := filepath.Join(tmp, "v3")
+	m2, err := ds.Snapshot(dirV2)
+	if err != nil {
+		panic(err)
+	}
+	m3, err := ds.SnapshotV3(dirV3)
+	if err != nil {
+		panic(err)
+	}
+	var bytesV2, bytesV3 int64
+	for _, sh := range m2.Shards {
+		bytesV2 += sh.Bytes
+	}
+	for _, sh := range m3.Shards {
+		bytesV3 += sh.Bytes
+	}
+
+	// The ground truth every child must match bit-for-bit: answers from
+	// the freshly built in-memory dataset.
+	polys := pr7Polys(bound, cfg.Seed)
+	reqs := pr7Reqs()
+	want := make([]string, len(polys))
+	for i, p := range polys {
+		qr, err := ds.Query(p, reqs...)
+		if err != nil {
+			panic(err)
+		}
+		want[i] = pr7AnswerBits(qr)
+	}
+
+	// Budget at ~25% of the v3 payload: with 16 shards that keeps only a
+	// few resident, so the cold+warm workload must evict and re-fault.
+	evictBudget := bytesV3 / 4
+
+	eager := pr7RunChild(exe, "eager", dirV2, 0, cfg.Seed)
+	mmapRes := pr7RunChild(exe, "mmap", dirV3, 0, cfg.Seed)
+	evict := pr7RunChild(exe, "evict", dirV3, evictBudget, cfg.Seed)
+
+	// In-run acceptance checks — fail loudly rather than report numbers
+	// for a lazy path that is slow, fat or wrong.
+	for _, child := range []pr7ChildResult{eager, mmapRes, evict} {
+		if len(child.Answers) != len(want) {
+			panic(fmt.Sprintf("pr7: %s child answered %d/%d queries", child.Mode, len(child.Answers), len(want)))
+		}
+		for i, bits := range child.Answers {
+			if bits != want[i] {
+				panic(fmt.Sprintf("pr7: %s child answer %d = %s, want %s (not bit-identical)", child.Mode, i, bits, want[i]))
+			}
+		}
+	}
+	// The perf floors only hold at real scale: at the test sizes (Quick)
+	// the eager restore is so short that process noise dominates, so the
+	// thresholds would flake without measuring anything. The committed
+	// BENCH_PR7.json is produced at full scale, where they are enforced.
+	if cfg.TaxiRows >= 500_000 {
+		if mmapRes.FirstAnswerNS*10 > eager.FirstAnswerNS {
+			panic(fmt.Sprintf("pr7: mapped startup-to-first-answer %v is not >=10x faster than eager %v",
+				time.Duration(mmapRes.FirstAnswerNS), time.Duration(eager.FirstAnswerNS)))
+		}
+		if eager.RSSStartupKB > 0 && mmapRes.RSSStartupKB > 0 && mmapRes.RSSStartupKB >= eager.RSSStartupKB {
+			panic(fmt.Sprintf("pr7: mapped startup RSS %d KiB is not below eager %d KiB",
+				mmapRes.RSSStartupKB, eager.RSSStartupKB))
+		}
+	}
+	if evict.Residency == nil || evict.Residency.Evictions == 0 {
+		panic("pr7: evict child recorded no evictions")
+	}
+	if evict.Residency.Faults <= uint64(ds.NumShards()) {
+		panic(fmt.Sprintf("pr7: evict child faulted %d times over %d shards — eviction never forced a re-fault",
+			evict.Residency.Faults, ds.NumShards()))
+	}
+
+	point := func(child pr7ChildResult, snapBytes, budget int64) PR7Point {
+		p := PR7Point{
+			Mode:               child.Mode,
+			Rows:               cfg.TaxiRows,
+			Shards:             ds.NumShards(),
+			SnapshotBytes:      snapBytes,
+			BudgetBytes:        budget,
+			StartupNS:          child.StartupNS,
+			FirstAnswerNS:      child.FirstAnswerNS,
+			RSSStartupKB:       child.RSSStartupKB,
+			RSSEndKB:           child.RSSEndKB,
+			ColdP50NS:          pr7Percentile(child.ColdNS, 50),
+			ColdP99NS:          pr7Percentile(child.ColdNS, 99),
+			WarmP50NS:          pr7Percentile(child.WarmNS, 50),
+			WarmP99NS:          pr7Percentile(child.WarmNS, 99),
+			FirstAnswerSpeedup: float64(eager.FirstAnswerNS) / float64(child.FirstAnswerNS),
+			BitIdentical:       true,
+		}
+		if child.Residency != nil {
+			p.Faults = child.Residency.Faults
+			p.Evictions = child.Residency.Evictions
+			p.MappedBytes = child.Residency.MappedBytes
+			p.ResidentBytes = child.Residency.ResidentBytes
+		}
+		return p
+	}
+	points := []PR7Point{
+		point(eager, bytesV2, 0),
+		point(mmapRes, bytesV3, 0),
+		point(evict, bytesV3, evictBudget),
+	}
+
+	tbl := &Table{
+		ID:    "pr7",
+		Title: "Mapped v3 snapshots: serving startup, RSS and query latency vs eager v2 restore (taxi)",
+		Note: fmt.Sprintf("%d rows, %d shards; each mode is a fresh child process; answers checked bit-identical in-run; evict budget %.1f MB",
+			cfg.TaxiRows, ds.NumShards(), float64(evictBudget)/1e6),
+		Header: []string{"mode", "snap MB", "startup ms", "1st answer ms", "speedup", "RSS MB",
+			"cold p50 ms", "cold p99 ms", "warm p50 ms", "warm p99 ms", "faults", "evictions"},
+	}
+	for _, p := range points {
+		tbl.AddRow(
+			p.Mode,
+			fmt.Sprintf("%.1f", float64(p.SnapshotBytes)/1e6),
+			fmt.Sprintf("%.1f", float64(p.StartupNS)/1e6),
+			fmt.Sprintf("%.1f", float64(p.FirstAnswerNS)/1e6),
+			fmt.Sprintf("%.0fx", p.FirstAnswerSpeedup),
+			fmt.Sprintf("%.1f", float64(p.RSSStartupKB)/1e3),
+			fmt.Sprintf("%.2f", float64(p.ColdP50NS)/1e6),
+			fmt.Sprintf("%.2f", float64(p.ColdP99NS)/1e6),
+			fmt.Sprintf("%.2f", float64(p.WarmP50NS)/1e6),
+			fmt.Sprintf("%.2f", float64(p.WarmP99NS)/1e6),
+			fmt.Sprintf("%d", p.Faults),
+			fmt.Sprintf("%d", p.Evictions),
+		)
+	}
+	return []*Table{tbl}, points
+}
+
+// PR7 is the Runner entry point.
+func PR7(cfg Config) []*Table {
+	tables, _ := PR7Perf(cfg)
+	return tables
+}

@@ -52,6 +52,12 @@ type Config struct {
 	// Empty disables the defaults — snapshot requests then must carry an
 	// explicit path, and purge is rejected.
 	DataDir string
+	// SnapshotV3 makes the snapshot endpoint write mappable format-v3
+	// snapshots (docs/FORMAT.md Sec. 8) instead of version-1 framed
+	// payloads — set by the daemon when mmap serving is on, so written
+	// snapshots restore in place on the next start. Mapped datasets
+	// clone their backing directory either way.
+	SnapshotV3 bool
 }
 
 // server holds the daemon state behind the HTTP handlers: the dataset
@@ -382,6 +388,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // datasetsResponse is the GET /v1/datasets body.
 type datasetsResponse struct {
 	Datasets []store.DatasetStats `json:"datasets"`
+	// Residency reports the store's resident-memory manager when mmap
+	// serving is enabled: how much of the mapped snapshot footprint is
+	// materialised, against what budget, and the fault/eviction churn.
+	// Absent when the daemon serves decoded heap blocks.
+	Residency *store.ResidencyStats `json:"residency,omitempty"`
 }
 
 func (s *server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
@@ -507,7 +518,13 @@ func (s *server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 			}
 			dir = filepath.Join(s.cfg.DataDir, req.Name)
 		}
-		d, err = store.Open(dir, req.Name)
+		// Serve the snapshot in place when the store has mmap serving
+		// enabled (v1 snapshots fall back to the eager decode inside).
+		if res := s.store.Residency(); res != nil {
+			d, err = store.OpenMapped(dir, req.Name, res)
+		} else {
+			d, err = store.Open(dir, req.Name)
+		}
 		if err != nil {
 			writeError(w, snapshotStatus(err), "restore: %v", err)
 			return
@@ -646,7 +663,13 @@ func (s *server) handleSnapshotDataset(w http.ResponseWriter, r *http.Request) {
 	defer s.snapshotting.Delete(name)
 
 	start := time.Now()
-	m, err := d.Snapshot(dir)
+	var m snapshot.Manifest
+	var err error
+	if s.cfg.SnapshotV3 {
+		m, err = d.SnapshotV3(dir)
+	} else {
+		m, err = d.Snapshot(dir)
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		return
@@ -676,7 +699,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.Stats())
 		return
 	}
-	writeJSON(w, http.StatusOK, datasetsResponse{Datasets: s.store.Stats()})
+	resp := datasetsResponse{Datasets: s.store.Stats()}
+	if res := s.store.Residency(); res != nil {
+		rs := res.Stats()
+		resp.Residency = &rs
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics renders Prometheus-style text metrics: per-dataset sizes,
@@ -699,6 +727,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric("geoblocksd_requests_total", `endpoint="stats"`, float64(s.reqStats.Load()))
 	writeMetric("geoblocksd_requests_total", `endpoint="metrics"`, float64(s.reqMetrics.Load()))
 
+	// Residency series exist exactly when the daemon runs with mmap
+	// serving — a per-process configuration, so they are stable for the
+	// lifetime of any scrape target.
+	if res := s.store.Residency(); res != nil {
+		rs := res.Stats()
+		writeMetric("geoblocksd_residency_budget_bytes", "", float64(rs.BudgetBytes))
+		writeMetric("geoblocksd_residency_mapped_bytes", "", float64(rs.MappedBytes))
+		writeMetric("geoblocksd_residency_mapped_shards", "", float64(rs.MappedShards))
+		writeMetric("geoblocksd_residency_resident_bytes", "", float64(rs.ResidentBytes))
+		writeMetric("geoblocksd_residency_resident_shards", "", float64(rs.ResidentShards))
+		writeMetric("geoblocksd_residency_shard_faults_total", "", float64(rs.Faults))
+		writeMetric("geoblocksd_residency_evictions_total", "", float64(rs.Evictions))
+	}
+
 	for _, st := range s.store.Summaries() {
 		l := fmt.Sprintf("dataset=%q", st.Name)
 		writeMetric("geoblocks_dataset_shards", l, float64(st.NumShards))
@@ -708,6 +750,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeMetric("geoblocks_pyramid_levels", l, float64(st.PyramidLevels))
 		writeMetric("geoblocks_pyramid_bytes", l, float64(st.PyramidBytes))
 		writeMetric("geoblocks_dataset_queries_total", l, float64(st.Queries))
+		if st.Mapped {
+			writeMetric("geoblocks_dataset_mapped_bytes", l, float64(st.MappedBytes))
+			writeMetric("geoblocks_dataset_resident_bytes", l, float64(st.ResidentBytes))
+			writeMetric("geoblocks_dataset_resident_shards", l, float64(st.ResidentShards))
+		}
 		writeMetric("geoblocks_cache_bytes", l, float64(st.CacheBytes))
 		writeMetric("geoblocks_cache_probes_total", l, float64(st.Cache.Probes))
 		writeMetric("geoblocks_cache_full_hits_total", l, float64(st.Cache.FullHits))

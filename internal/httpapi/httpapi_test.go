@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -446,6 +447,96 @@ func TestResultCacheEndpoints(t *testing.T) {
 			if strings.HasSuffix(line, " 0") {
 				t.Errorf("occupied result cache reports zero bytes: %s", line)
 			}
+		}
+	}
+}
+
+// TestMmapServing drives the daemon-facing mmap surface end to end: with
+// mmap serving enabled the snapshot endpoint writes format v3, a
+// create-from-snapshot serves it in place (mapped dataset, bit-identical
+// answers), and /v1/stats + /metrics expose the residency series.
+func TestMmapServing(t *testing.T) {
+	st := testStore(t)
+	st.EnableMmap(0)
+	dataDir := t.TempDir()
+	_, h := newServer(st, Config{DataDir: dataDir, SnapshotV3: true})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Snapshot the eager dataset: must be written in format v3.
+	resp, body := postJSON(t, ts, "/v1/datasets/taxi/snapshot", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d: %s", resp.StatusCode, body)
+	}
+	var snap struct {
+		FormatVersion int `json:"format_version"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil || snap.FormatVersion != 2 {
+		t.Fatalf("snapshot format_version = %d (%s), want 2", snap.FormatVersion, body)
+	}
+
+	// Restore it under a new name: with mmap on the store, the dataset
+	// must come up mapped.
+	resp, body = postJSON(t, ts, "/v1/datasets", `{"name":"taxi-mapped","source":"snapshot","path":"`+dataDir+`/taxi"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create from snapshot status %d: %s", resp.StatusCode, body)
+	}
+	var created store.DatasetStats
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	if !created.Mapped || created.MappedBytes <= 0 {
+		t.Fatalf("restored dataset not mapped: %s", body)
+	}
+
+	// Mapped answers must agree with the eager dataset's.
+	q := `{"dataset":"%s","rect":[-74.05,40.60,-73.85,40.85],"aggs":[{"func":"count"},{"func":"sum","col":"fare_amount"}]}`
+	_, eagerBody := postJSON(t, ts, "/v1/query", fmt.Sprintf(q, "taxi"))
+	_, mappedBody := postJSON(t, ts, "/v1/query", fmt.Sprintf(q, "taxi-mapped"))
+	var eager, mapped queryResponse
+	if err := json.Unmarshal(eagerBody, &eager); err != nil || eager.Result == nil {
+		t.Fatalf("eager query: %s", eagerBody)
+	}
+	if err := json.Unmarshal(mappedBody, &mapped); err != nil || mapped.Result == nil {
+		t.Fatalf("mapped query: %s", mappedBody)
+	}
+	if eager.Result.Count != mapped.Result.Count {
+		t.Fatalf("mapped count %d, eager %d", mapped.Result.Count, eager.Result.Count)
+	}
+	if len(eager.Result.Values) != len(mapped.Result.Values) {
+		t.Fatalf("value arity differs: %s vs %s", mappedBody, eagerBody)
+	}
+	for i := range eager.Result.Values {
+		if eager.Result.Values[i] != mapped.Result.Values[i] {
+			t.Fatalf("value[%d]: mapped %v, eager %v", i, mapped.Result.Values[i], eager.Result.Values[i])
+		}
+	}
+
+	// Stats must carry the store-level residency block and per-dataset
+	// mapped figures.
+	resp, body = getJSON(t, ts, "/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var stats datasetsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Residency == nil || stats.Residency.MappedBytes <= 0 || stats.Residency.Faults == 0 {
+		t.Fatalf("missing or empty residency stats: %s", body)
+	}
+
+	_, metrics := getJSON(t, ts, "/metrics")
+	for _, series := range []string{
+		"geoblocksd_residency_mapped_bytes",
+		"geoblocksd_residency_resident_bytes",
+		"geoblocksd_residency_shard_faults_total",
+		"geoblocksd_residency_evictions_total",
+		`geoblocks_dataset_mapped_bytes{dataset="taxi-mapped"}`,
+		`geoblocks_dataset_resident_shards{dataset="taxi-mapped"}`,
+	} {
+		if !strings.Contains(string(metrics), series) {
+			t.Fatalf("metrics missing %s:\n%s", series, metrics)
 		}
 	}
 }

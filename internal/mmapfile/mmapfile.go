@@ -1,0 +1,44 @@
+// Package mmapfile memory-maps read-only files for the snapshot v3 open
+// path. On unix platforms Open mmaps the file (page-aligned, demand
+// paged: bytes are not read until touched, which is what makes lazy shard
+// faulting lazy); elsewhere it falls back to reading the file into
+// memory, preserving the API at the cost of eager IO. The standard
+// library's syscall mmap wrappers are used directly so the module keeps
+// its zero-dependency footprint.
+package mmapfile
+
+import "os"
+
+// Mapping is a read-only view of a file's bytes.
+type Mapping struct {
+	data   []byte
+	mapped bool // true when backed by mmap rather than a heap copy
+}
+
+// Data returns the mapped bytes. The slice is valid until Close.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Mapped reports whether the bytes are demand-paged (mmap) rather than a
+// heap copy. Residency accounting treats heap copies as resident from
+// the start.
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Len returns the file length in bytes.
+func (m *Mapping) Len() int64 { return int64(len(m.data)) }
+
+// Open maps path read-only. Zero-length files yield an empty mapping.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return &Mapping{}, nil
+	}
+	return openSized(f, st.Size())
+}

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package mmapfile
+
+import (
+	"io"
+	"os"
+)
+
+// openSized reads the file into memory: platforms without the unix mmap
+// surface still get a working (if eager) open path.
+func openSized(f *os.File, size int64) (*Mapping, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data}, nil
+}
+
+// Close releases the buffered copy.
+func (m *Mapping) Close() error {
+	m.data = nil
+	return nil
+}

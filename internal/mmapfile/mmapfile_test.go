@@ -1,0 +1,54 @@
+package mmapfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	want := bytes.Repeat([]byte("geoblocks v3 "), 1000)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != int64(len(want)) || !bytes.Equal(m.Data(), want) {
+		t.Fatalf("mapped %d bytes, want %d (equal=%v)", m.Len(), len(want), bytes.Equal(m.Data(), want))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Data() != nil {
+		t.Fatal("Data must be nil after Close")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal("double Close must be a no-op")
+	}
+}
+
+func TestOpenEmptyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 || m.Mapped() {
+		t.Fatalf("empty file: len=%d mapped=%v", m.Len(), m.Mapped())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package mmapfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+func openSized(f *os.File, size int64) (*Mapping, error) {
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapfile: %s is too large to map (%d bytes)", f.Name(), size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapfile: mmap %s: %w", f.Name(), err)
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+// Close releases the mapping. The Data slice must not be used afterwards.
+func (m *Mapping) Close() error {
+	if !m.mapped || m.data == nil {
+		m.data = nil
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	m.mapped = false
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,130 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/core"
+)
+
+// ErrEagerOnly reports a snapshot whose payload format cannot be served
+// in place (version-1 framed payloads must be decoded). Callers fall
+// back to Load.
+var ErrEagerOnly = errors.New("snapshot: snapshot format is not mappable, use eager load")
+
+// LazyShard describes one shard of a mappable (format v3) snapshot after
+// eager validation: everything the store needs to route queries to the
+// shard and budget its memory, without having read the shard's data
+// region. The store materializes the block later via mmap + MapGeoBlock.
+type LazyShard struct {
+	Cell cellid.ID
+	// Path is the shard file's location (inside the snapshot directory).
+	Path string
+	// Bytes is the file length — the amount of address space a mapping
+	// takes and the residency cost of materializing the shard.
+	Bytes int64
+	// Info is the eagerly-validated header/table/meta metadata. The data
+	// region's checksum (Info.DataCRC, cross-checked against the
+	// manifest) is verified at fault time by MapGeoBlock.
+	Info *core.V3Info
+}
+
+// OpenLazy reads and validates everything about a format-v3 snapshot
+// except the shard data regions: the manifest, and each shard file's
+// header, section table and meta section (covered by the eagerly-checked
+// table CRC). The returned shards carry the metadata needed to serve the
+// dataset with every block still cold on disk. Version-1 snapshots
+// return ErrEagerOnly — the caller should Load instead.
+func OpenLazy(dir string) (Manifest, []LazyShard, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	if m.FormatVersion != FormatVersionV3 {
+		return Manifest{}, nil, fmt.Errorf("%w: format version %d", ErrEagerOnly, m.FormatVersion)
+	}
+	if err := validateManifest(&m); err != nil {
+		return Manifest{}, nil, err
+	}
+	shards := make([]LazyShard, len(m.Shards))
+	if err := forEachShard(len(m.Shards), func(i int) error {
+		sh, err := probeShard(dir, &m, i)
+		if err != nil {
+			return err
+		}
+		shards[i] = sh
+		return nil
+	}); err != nil {
+		return Manifest{}, nil, err
+	}
+	return m, shards, nil
+}
+
+// probeShard eagerly validates one v3 shard file without touching its
+// data region: two reads (header, then the prefix up to the data
+// offset), the table CRC, and the manifest cross-checks.
+func probeShard(dir string, m *Manifest, i int) (LazyShard, error) {
+	e := &m.Shards[i]
+	path := filepath.Join(dir, e.File)
+	f, err := os.Open(path)
+	if err != nil {
+		return LazyShard{}, fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return LazyShard{}, fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
+	}
+	if st.Size() != e.Bytes {
+		return LazyShard{}, fmt.Errorf("%w: shard file %s is %d bytes, manifest says %d", ErrCorrupt, e.File, st.Size(), e.Bytes)
+	}
+
+	hdr := make([]byte, 128)
+	if _, err := readFullAt(f, hdr, 0); err != nil {
+		return LazyShard{}, fmt.Errorf("%w: shard file %s: truncated header: %v", ErrCorrupt, e.File, err)
+	}
+	dataOff, err := core.V3DataOff(hdr, st.Size())
+	if err != nil {
+		return LazyShard{}, wrapShardErr(e.File, err)
+	}
+	prefix := make([]byte, dataOff)
+	if _, err := readFullAt(f, prefix, 0); err != nil {
+		return LazyShard{}, fmt.Errorf("%w: shard file %s: truncated prefix: %v", ErrCorrupt, e.File, err)
+	}
+	info, err := core.ProbeV3(prefix, st.Size())
+	if err != nil {
+		return LazyShard{}, wrapShardErr(e.File, err)
+	}
+	if info.DataCRC != e.CRC32C {
+		return LazyShard{}, fmt.Errorf("%w: shard file %s data CRC32C %08x, manifest says %08x", ErrCorrupt, e.File, info.DataCRC, e.CRC32C)
+	}
+	if info.Rows != e.Rows {
+		return LazyShard{}, fmt.Errorf("%w: shard file %s has %d rows, manifest says %d", ErrCorrupt, e.File, info.Rows, e.Rows)
+	}
+	if info.Level != m.Level {
+		return LazyShard{}, fmt.Errorf("%w: shard file %s block level %d, manifest says %d", ErrCorrupt, e.File, info.Level, m.Level)
+	}
+	if !equalStrings(info.Schema.Names, m.Columns) {
+		return LazyShard{}, fmt.Errorf("%w: shard file %s schema %v, manifest says %v", ErrCorrupt, e.File, info.Schema.Names, m.Columns)
+	}
+	if [4]float64{info.Bound.Min.X, info.Bound.Min.Y, info.Bound.Max.X, info.Bound.Max.Y} != m.Bound {
+		return LazyShard{}, fmt.Errorf("%w: shard file %s domain bound disagrees with manifest", ErrCorrupt, e.File)
+	}
+	cell, err := parseCellID(e.CellID)
+	if err != nil {
+		return LazyShard{}, fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
+	}
+	return LazyShard{Cell: cell, Path: path, Bytes: st.Size(), Info: info}, nil
+}
+
+// readFullAt fills buf from the file starting at off.
+func readFullAt(f *os.File, buf []byte, off int64) (int, error) {
+	n, err := f.ReadAt(buf, off)
+	if n == len(buf) {
+		return n, nil
+	}
+	return n, err
+}

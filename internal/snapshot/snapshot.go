@@ -18,10 +18,16 @@ import (
 	"geoblocks/internal/geom"
 )
 
-// FormatVersion is the snapshot directory format this build writes and
-// the only one it reads. Bump it when the manifest schema or the frame
-// layout changes incompatibly; docs/FORMAT.md records the policy.
-const FormatVersion = 1
+// FormatVersion is the default snapshot directory format: version-2
+// framed shard payloads, decoded eagerly on load. FormatVersionV3 marks
+// a directory whose shards are format-v3 random-access files (see
+// core.EncodeV3) that OpenLazy can serve via mmap without decoding;
+// Load reads both. Bump on incompatible manifest or layout changes;
+// docs/FORMAT.md records the policy.
+const (
+	FormatVersion   = 1
+	FormatVersionV3 = 2
+)
 
 // Artifact file names inside a snapshot directory.
 const (
@@ -108,15 +114,24 @@ type Shard struct {
 	Block *geoblocks.GeoBlock
 }
 
-// shardFile names the i-th shard payload.
-func shardFile(i int) string { return fmt.Sprintf("shard-%05d.gbk", i) }
+// shardFile names the i-th shard payload for the given snapshot format:
+// .gbk framed payloads in version 1, .gb3 random-access files in
+// version 2 (the extension is informational; readers go by the manifest).
+func shardFile(formatVersion, i int) string {
+	if formatVersion == FormatVersionV3 {
+		return fmt.Sprintf("shard-%05d.gb3", i)
+	}
+	return fmt.Sprintf("shard-%05d.gbk", i)
+}
 
 // Save writes an atomic snapshot of the shards under dir, replacing any
 // previous snapshot there. The metadata fields of m (everything but
-// Shards) must be filled by the caller; Save computes the per-shard
-// entries while writing the payload files in parallel, stages everything
-// in a temp directory with fsync, and renames it into place. It returns
-// the completed manifest.
+// Shards) must be filled by the caller; m.FormatVersion selects the
+// shard payload format (0 defaults to the framed version-1 layout;
+// FormatVersionV3 writes mappable format-v3 files). Save computes the
+// per-shard entries while writing the payload files in parallel, stages
+// everything in a temp directory with fsync, and renames it into place.
+// It returns the completed manifest.
 func Save(dir string, m Manifest, shards []Shard) (Manifest, error) {
 	if m.Dataset == "" {
 		return Manifest{}, fmt.Errorf("snapshot: dataset name must not be empty")
@@ -124,64 +139,130 @@ func Save(dir string, m Manifest, shards []Shard) (Manifest, error) {
 	if len(shards) == 0 {
 		return Manifest{}, fmt.Errorf("snapshot: no shards to save")
 	}
-	m.FormatVersion = FormatVersion
+	switch m.FormatVersion {
+	case 0:
+		m.FormatVersion = FormatVersion
+	case FormatVersion, FormatVersionV3:
+	default:
+		return Manifest{}, fmt.Errorf("snapshot: cannot write format version %d", m.FormatVersion)
+	}
 	m.Shards = make([]ShardEntry, len(shards))
 
+	err := stageAndSwap(dir, func(tmp string) error {
+		if err := forEachShard(len(shards), func(i int) error {
+			name := shardFile(m.FormatVersion, i)
+			entry, err := writeShard(filepath.Join(tmp, name), shards[i], m.FormatVersion)
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+			entry.File = name
+			m.Shards[i] = entry
+			return nil
+		}); err != nil {
+			return err
+		}
+		return writeManifestFiles(tmp, m)
+	})
+	if err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// Clone copies a complete snapshot byte-for-byte from srcDir to dstDir
+// with the same staging, fsync and atomic-swap discipline as Save. It is
+// how a mapped (read-only) dataset snapshots itself without faulting
+// every shard back into memory: the artifacts it serves from ARE the
+// snapshot. The source manifest is checksum-verified first; shard bytes
+// are trusted as-is (their checksums travel with them).
+func Clone(srcDir, dstDir string) (Manifest, error) {
+	m, err := readManifest(srcDir)
+	if err != nil {
+		return Manifest{}, err
+	}
+	if err := validateManifest(&m); err != nil {
+		return Manifest{}, err
+	}
+	if sAbs, err1 := filepath.Abs(srcDir); err1 == nil {
+		if dAbs, err2 := filepath.Abs(dstDir); err2 == nil && sAbs == dAbs {
+			return m, nil // snapshotting onto itself is a durable no-op
+		}
+	}
+	err = stageAndSwap(dstDir, func(tmp string) error {
+		for i := range m.Shards {
+			e := &m.Shards[i]
+			data, err := os.ReadFile(filepath.Join(srcDir, e.File))
+			if err != nil {
+				return fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
+			}
+			if int64(len(data)) != e.Bytes {
+				return fmt.Errorf("%w: shard file %s is %d bytes, manifest says %d", ErrCorrupt, e.File, len(data), e.Bytes)
+			}
+			if err := writeFileSync(filepath.Join(tmp, e.File), data); err != nil {
+				return err
+			}
+		}
+		return writeManifestFiles(tmp, m)
+	})
+	if err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// writeManifestFiles writes manifest.json plus its checksum sidecar into
+// dir (staging space; files are fsynced).
+func writeManifestFiles(dir string, m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := writeFileSync(filepath.Join(dir, ManifestFile), data); err != nil {
+		return err
+	}
+	sum := fmt.Sprintf("%08x\n", core.CRC32C(data))
+	return writeFileSync(filepath.Join(dir, ManifestChecksumFile), []byte(sum))
+}
+
+// stageAndSwap runs fill over a fresh temp directory next to dir, fsyncs
+// it, and atomically swaps it into place, replacing any previous
+// snapshot at dir. Shared by Save and Clone.
+func stageAndSwap(dir string, fill func(tmp string) error) error {
 	dir = filepath.Clean(dir)
 	// Only ever replace a previous snapshot (or an empty directory):
-	// Save moves the existing target aside and deletes it, and that must
-	// never be able to destroy an unrelated directory handed in by a
-	// caller (the HTTP snapshot endpoint accepts client paths).
+	// the swap moves the existing target aside and deletes it, and that
+	// must never be able to destroy an unrelated directory handed in by
+	// a caller (the HTTP snapshot endpoint accepts client paths).
 	if st, err := os.Stat(dir); err == nil {
 		if !st.IsDir() {
-			return Manifest{}, fmt.Errorf("snapshot: target %s exists and is not a directory", dir)
+			return fmt.Errorf("snapshot: target %s exists and is not a directory", dir)
 		}
 		entries, err := os.ReadDir(dir)
 		if err != nil {
-			return Manifest{}, fmt.Errorf("snapshot: %w", err)
+			return fmt.Errorf("snapshot: %w", err)
 		}
 		if len(entries) > 0 {
 			if _, err := os.Stat(filepath.Join(dir, ManifestFile)); err != nil {
-				return Manifest{}, fmt.Errorf("snapshot: refusing to replace %s: non-empty directory without a snapshot manifest", dir)
+				return fmt.Errorf("snapshot: refusing to replace %s: non-empty directory without a snapshot manifest", dir)
 			}
 		}
 	}
 	parent := filepath.Dir(dir)
 	if err := os.MkdirAll(parent, 0o755); err != nil {
-		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+		return fmt.Errorf("snapshot: %w", err)
 	}
 	tmp, err := os.MkdirTemp(parent, ".snap-")
 	if err != nil {
-		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+		return fmt.Errorf("snapshot: %w", err)
 	}
 	defer os.RemoveAll(tmp)
 
-	if err := forEachShard(len(shards), func(i int) error {
-		entry, err := writeShard(filepath.Join(tmp, shardFile(i)), shards[i])
-		if err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
-		}
-		entry.File = shardFile(i)
-		m.Shards[i] = entry
-		return nil
-	}); err != nil {
-		return Manifest{}, fmt.Errorf("snapshot: %w", err)
-	}
-
-	data, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return Manifest{}, fmt.Errorf("snapshot: %w", err)
-	}
-	data = append(data, '\n')
-	if err := writeFileSync(filepath.Join(tmp, ManifestFile), data); err != nil {
-		return Manifest{}, fmt.Errorf("snapshot: %w", err)
-	}
-	sum := fmt.Sprintf("%08x\n", core.CRC32C(data))
-	if err := writeFileSync(filepath.Join(tmp, ManifestChecksumFile), []byte(sum)); err != nil {
-		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+	if err := fill(tmp); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
 	}
 	if err := syncDir(tmp); err != nil {
-		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+		return fmt.Errorf("snapshot: %w", err)
 	}
 
 	// Swap the staged directory into place. A previous snapshot is moved
@@ -191,7 +272,7 @@ func Save(dir string, m Manifest, shards []Shard) (Manifest, error) {
 	replaced := false
 	if _, err := os.Stat(dir); err == nil {
 		if err := os.Rename(dir, old); err != nil {
-			return Manifest{}, fmt.Errorf("snapshot: %w", err)
+			return fmt.Errorf("snapshot: %w", err)
 		}
 		replaced = true
 	}
@@ -199,17 +280,17 @@ func Save(dir string, m Manifest, shards []Shard) (Manifest, error) {
 		if replaced {
 			_ = os.Rename(old, dir) // best-effort restore of the previous snapshot
 		}
-		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+		return fmt.Errorf("snapshot: %w", err)
 	}
 	if replaced {
 		if err := os.RemoveAll(old); err != nil {
-			return Manifest{}, fmt.Errorf("snapshot: removing previous snapshot: %w", err)
+			return fmt.Errorf("snapshot: removing previous snapshot: %w", err)
 		}
 	}
 	if err := syncDir(parent); err != nil {
-		return Manifest{}, fmt.Errorf("snapshot: %w", err)
+		return fmt.Errorf("snapshot: %w", err)
 	}
-	return m, nil
+	return nil
 }
 
 // Load reads and fully validates a snapshot directory, returning the
@@ -262,8 +343,8 @@ func readManifest(dir string) (Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return Manifest{}, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
 	}
-	if m.FormatVersion != FormatVersion {
-		return Manifest{}, fmt.Errorf("%w: format version %d (this build reads version %d)", ErrVersion, m.FormatVersion, FormatVersion)
+	if m.FormatVersion != FormatVersion && m.FormatVersion != FormatVersionV3 {
+		return Manifest{}, fmt.Errorf("%w: format version %d (this build reads versions %d and %d)", ErrVersion, m.FormatVersion, FormatVersion, FormatVersionV3)
 	}
 	return m, nil
 }
@@ -368,46 +449,59 @@ func validateManifest(m *Manifest) error {
 }
 
 // loadShard reads, verifies and decodes one shard payload, cross-checking
-// the frame against the manifest entry.
+// it against the manifest entry. Both payload formats decode to ordinary
+// in-memory shards here — this is the eager path; OpenLazy is the one
+// that defers v3 payload reads.
 func loadShard(dir string, m *Manifest, i int) (Shard, error) {
 	e := &m.Shards[i]
-	f, err := os.Open(filepath.Join(dir, e.File))
-	if err != nil {
-		return Shard{}, fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
-	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return Shard{}, fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
-	}
-	if st.Size() != e.Bytes {
-		return Shard{}, fmt.Errorf("%w: shard file %s is %d bytes, manifest says %d", ErrCorrupt, e.File, st.Size(), e.Bytes)
-	}
-	blk, info, err := geoblocks.ReadGeoBlockFramed(f)
-	if err != nil {
-		if errors.Is(err, core.ErrVersion) {
-			return Shard{}, fmt.Errorf("%w: shard file %s: %v", ErrVersion, e.File, err)
+	path := filepath.Join(dir, e.File)
+	var blk *geoblocks.GeoBlock
+	if m.FormatVersion == FormatVersionV3 {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return Shard{}, fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
 		}
-		return Shard{}, fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
+		if int64(len(data)) != e.Bytes {
+			return Shard{}, fmt.Errorf("%w: shard file %s is %d bytes, manifest says %d", ErrCorrupt, e.File, len(data), e.Bytes)
+		}
+		info, err := core.ProbeV3(data, int64(len(data)))
+		if err != nil {
+			return Shard{}, wrapShardErr(e.File, err)
+		}
+		if info.DataCRC != e.CRC32C {
+			return Shard{}, fmt.Errorf("%w: shard file %s data CRC32C %08x, manifest says %08x", ErrCorrupt, e.File, info.DataCRC, e.CRC32C)
+		}
+		blk, err = geoblocks.MapGeoBlock(data)
+		if err != nil {
+			return Shard{}, wrapShardErr(e.File, err)
+		}
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return Shard{}, fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
+		}
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil {
+			return Shard{}, fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, e.File, err)
+		}
+		if st.Size() != e.Bytes {
+			return Shard{}, fmt.Errorf("%w: shard file %s is %d bytes, manifest says %d", ErrCorrupt, e.File, st.Size(), e.Bytes)
+		}
+		var info geoblocks.FrameInfo
+		blk, info, err = geoblocks.ReadGeoBlockFramed(f)
+		if err != nil {
+			return Shard{}, wrapShardErr(e.File, err)
+		}
+		if info.CRC32C != e.CRC32C {
+			return Shard{}, fmt.Errorf("%w: shard file %s payload CRC32C %08x, manifest says %08x", ErrCorrupt, e.File, info.CRC32C, e.CRC32C)
+		}
+		if info.Bytes != e.Bytes {
+			return Shard{}, fmt.Errorf("%w: shard file %s frame is %d bytes, manifest says %d", ErrCorrupt, e.File, info.Bytes, e.Bytes)
+		}
 	}
-	if info.CRC32C != e.CRC32C {
-		return Shard{}, fmt.Errorf("%w: shard file %s payload CRC32C %08x, manifest says %08x", ErrCorrupt, e.File, info.CRC32C, e.CRC32C)
-	}
-	if info.Bytes != e.Bytes {
-		return Shard{}, fmt.Errorf("%w: shard file %s frame is %d bytes, manifest says %d", ErrCorrupt, e.File, info.Bytes, e.Bytes)
-	}
-	if blk.Level() != m.Level {
-		return Shard{}, fmt.Errorf("%w: shard file %s block level %d, manifest says %d", ErrCorrupt, e.File, blk.Level(), m.Level)
-	}
-	if blk.NumTuples() != e.Rows {
-		return Shard{}, fmt.Errorf("%w: shard file %s has %d rows, manifest says %d", ErrCorrupt, e.File, blk.NumTuples(), e.Rows)
-	}
-	if got := blk.Schema().Names; !equalStrings(got, m.Columns) {
-		return Shard{}, fmt.Errorf("%w: shard file %s schema %v, manifest says %v", ErrCorrupt, e.File, got, m.Columns)
-	}
-	bound := blk.Inner().Domain().Bound()
-	if [4]float64{bound.Min.X, bound.Min.Y, bound.Max.X, bound.Max.Y} != m.Bound {
-		return Shard{}, fmt.Errorf("%w: shard file %s domain bound disagrees with manifest", ErrCorrupt, e.File)
+	if err := checkShardBlock(blk, m, e); err != nil {
+		return Shard{}, err
 	}
 	cell, err := parseCellID(e.CellID)
 	if err != nil {
@@ -416,17 +510,64 @@ func loadShard(dir string, m *Manifest, i int) (Shard, error) {
 	return Shard{Cell: cell, Block: blk}, nil
 }
 
-// writeShard frames one shard block into path, fsyncs it and returns the
-// manifest entry (File is filled by the caller).
-func writeShard(path string, sh Shard) (ShardEntry, error) {
+// checkShardBlock cross-checks a decoded block against its manifest
+// entry and the dataset-wide manifest fields.
+func checkShardBlock(blk *geoblocks.GeoBlock, m *Manifest, e *ShardEntry) error {
+	if blk.Level() != m.Level {
+		return fmt.Errorf("%w: shard file %s block level %d, manifest says %d", ErrCorrupt, e.File, blk.Level(), m.Level)
+	}
+	if blk.NumTuples() != e.Rows {
+		return fmt.Errorf("%w: shard file %s has %d rows, manifest says %d", ErrCorrupt, e.File, blk.NumTuples(), e.Rows)
+	}
+	if got := blk.Schema().Names; !equalStrings(got, m.Columns) {
+		return fmt.Errorf("%w: shard file %s schema %v, manifest says %v", ErrCorrupt, e.File, got, m.Columns)
+	}
+	bound := blk.Inner().Domain().Bound()
+	if [4]float64{bound.Min.X, bound.Min.Y, bound.Max.X, bound.Max.Y} != m.Bound {
+		return fmt.Errorf("%w: shard file %s domain bound disagrees with manifest", ErrCorrupt, e.File)
+	}
+	return nil
+}
+
+// wrapShardErr maps a core decode failure onto the snapshot-level
+// sentinels with the shard file named.
+func wrapShardErr(file string, err error) error {
+	if errors.Is(err, core.ErrVersion) {
+		return fmt.Errorf("%w: shard file %s: %v", ErrVersion, file, err)
+	}
+	return fmt.Errorf("%w: shard file %s: %v", ErrCorrupt, file, err)
+}
+
+// writeShard persists one shard block into path in the selected payload
+// format, fsyncs it and returns the manifest entry (File is filled by
+// the caller). For v3 the entry checksum is the file's data-region
+// CRC32C; for framed payloads it is the frame trailer.
+func writeShard(path string, sh Shard, formatVersion int) (ShardEntry, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return ShardEntry{}, err
 	}
-	info, err := sh.Block.WriteFramed(f)
-	if err != nil {
-		f.Close()
-		return ShardEntry{}, err
+	var bytes int64
+	var crc uint32
+	if formatVersion == FormatVersionV3 {
+		data := sh.Block.EncodeV3()
+		if _, err := f.Write(data); err != nil {
+			f.Close()
+			return ShardEntry{}, err
+		}
+		info, err := core.ProbeV3(data, int64(len(data)))
+		if err != nil {
+			f.Close()
+			return ShardEntry{}, err
+		}
+		bytes, crc = int64(len(data)), info.DataCRC
+	} else {
+		info, err := sh.Block.WriteFramed(f)
+		if err != nil {
+			f.Close()
+			return ShardEntry{}, err
+		}
+		bytes, crc = info.Bytes, info.CRC32C
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -439,8 +580,8 @@ func writeShard(path string, sh Shard) (ShardEntry, error) {
 		Cell:   sh.Cell.String(),
 		CellID: fmt.Sprintf("%016x", uint64(sh.Cell)),
 		Rows:   sh.Block.NumTuples(),
-		Bytes:  info.Bytes,
-		CRC32C: info.CRC32C,
+		Bytes:  bytes,
+		CRC32C: crc,
 	}, nil
 }
 
@@ -458,13 +599,13 @@ func parseCellID(s string) (cellid.ID, error) {
 }
 
 // forEachShard runs fn(i) for every shard index on a bounded worker
-// pool (the same fan-out shape as the store's batch query path) and
-// returns the first error.
+// pool and returns the first error. Unlike the store's CPU-bound query
+// fan-out, shard IO spends most of its time blocked in read/write/fsync,
+// so the pool floor is 4 regardless of GOMAXPROCS — on a 1-CPU container
+// a GOMAXPROCS-sized pool would serialize the IO and leave the disk
+// idle between syscalls.
 func forEachShard(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
+	workers := min(max(runtime.GOMAXPROCS(0), 4), n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {

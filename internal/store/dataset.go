@@ -1,7 +1,9 @@
 package store
 
 import (
+	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"slices"
 	"sort"
@@ -85,9 +87,32 @@ func (o Options) validate() error {
 // range the shard owns, and the GeoBlock holding exactly that range's
 // rows. Shards are sorted by cell, i.e. by the contiguous, disjoint
 // cell-id ranges they own.
+//
+// An eagerly-restored (or built) shard holds its block directly. A shard
+// of a mapped dataset (OpenMapped) holds a lazyShard instead: the block
+// materialises from the snapshot file on first query and may be evicted
+// by the residency manager, so all access goes through acquire.
 type shard struct {
 	cell  cellid.ID
 	block *geoblocks.GeoBlock
+	lazy  *lazyShard
+}
+
+// noopRelease is the release func of eagerly-held blocks, shared to keep
+// the hot path allocation-free.
+var noopRelease = func() {}
+
+// acquire returns the shard's block pinned for the duration of one
+// query; the caller must invoke the release func when done with it.
+// Eager shards return their block directly; lazy shards fault it in (or
+// wait out a concurrent fault) via the residency manager — this is where
+// a data-region corruption deferred by the lazy open surfaces, as a
+// typed query-time error.
+func (sh *shard) acquire() (*geoblocks.GeoBlock, func(), error) {
+	if sh.lazy == nil {
+		return sh.block, noopRelease, nil
+	}
+	return sh.lazy.acquire()
 }
 
 // Dataset is one named, spatially sharded dataset: a set of GeoBlocks over
@@ -103,6 +128,17 @@ type Dataset struct {
 	schema  geoblocks.Schema
 	coverer *cover.Coverer
 	shards  []shard
+
+	// srcDir is the absolute snapshot directory a mapped dataset serves
+	// from ("" for built / eagerly-restored datasets). Snapshotting a
+	// mapped dataset clones this directory byte for byte instead of
+	// faulting every shard in to re-encode it.
+	srcDir string
+	// residency is the manager budgeting this dataset's materialised
+	// shards; nil for eager datasets. Non-nil also marks the dataset
+	// read-only (Update is rejected — the aggregate arrays are views of
+	// a read-only mapping).
+	residency *Residency
 
 	// mu orders queries (read side) against structural mutations —
 	// Update, EnableResultCache, RefreshCaches (write side). The shard
@@ -253,7 +289,7 @@ func (d *Dataset) initResultCache() error {
 // pyramid describes them all.
 func (d *Dataset) initCoverers() error {
 	d.coverers = map[int]*cover.Coverer{d.opts.Level: d.coverer}
-	for _, lvl := range d.shards[0].block.PyramidLevels() {
+	for _, lvl := range d.pyramidLevelList() {
 		c, err := cover.NewCoverer(d.dom, cover.DefaultOptions(lvl))
 		if err != nil {
 			return err
@@ -261,6 +297,22 @@ func (d *Dataset) initCoverers() error {
 		d.coverers[lvl] = c
 	}
 	return nil
+}
+
+// pyramidLevelList returns the pyramid levels every shard serves,
+// finest first. Eager datasets read shard 0's materialised pyramid;
+// mapped datasets must not fault a shard in just to plan, so they
+// derive the same list from the options — mirroring BuildPyramid's
+// loop: levels base−1, base−2, …, down to max(0, base−PyramidLevels).
+func (d *Dataset) pyramidLevelList() []int {
+	if sh := &d.shards[0]; sh.lazy == nil {
+		return sh.block.PyramidLevels()
+	}
+	var lvls []int
+	for lvl := d.opts.Level - 1; lvl >= 0 && len(lvls) < d.opts.PyramidLevels; lvl-- {
+		lvls = append(lvls, lvl)
+	}
+	return lvls
 }
 
 // Name returns the dataset name.
@@ -295,9 +347,26 @@ func (d *Dataset) CoverRect(r geom.Rect) []cellid.ID {
 // PlanLevel returns the grid level the dataset's query planner answers at
 // for the given error bound: the coarsest shard pyramid level whose cell
 // diagonal does not exceed maxError, or the block level. Every shard
-// shares one pyramid configuration, so shard 0 decides for the dataset.
+// shares one pyramid configuration, so shard 0 decides for the dataset —
+// by its materialised pyramid when eager, and by the equivalent
+// arithmetic over the options when mapped (planning must never fault a
+// shard in; equality with GeoBlock.LevelFor is pinned by test).
 func (d *Dataset) PlanLevel(maxError float64) int {
-	return d.shards[0].block.LevelFor(maxError)
+	if sh := &d.shards[0]; sh.lazy == nil {
+		return sh.block.LevelFor(maxError)
+	}
+	if maxError <= 0 || d.opts.PyramidLevels <= 0 {
+		return d.opts.Level
+	}
+	want := d.dom.LevelForMaxDiagonal(maxError)
+	if want >= d.opts.Level {
+		return d.opts.Level
+	}
+	lowest := d.opts.Level - d.opts.PyramidLevels
+	if lowest < 0 {
+		lowest = 0
+	}
+	return max(want, lowest)
 }
 
 // covererAt returns the coverer of a servable level (the dataset coverer
@@ -505,21 +574,37 @@ func (d *Dataset) route(cov []cellid.ID) []queryPart {
 	return parts
 }
 
-// levelBlock resolves the shard block executing a query planned at lvl:
-// the shard's pyramid entry for that level, or the base block when the
-// level is not materialised (defensive — the planner only emits
-// materialised levels).
-func levelBlock(sh *shard, lvl int) *geoblocks.GeoBlock {
-	if lb, ok := sh.block.AtLevel(lvl); ok {
+// levelBlock resolves the block executing a query planned at lvl: the
+// acquired shard block's pyramid entry for that level, or the base block
+// when the level is not materialised (defensive — the planner only
+// emits materialised levels).
+func levelBlock(blk *geoblocks.GeoBlock, lvl int) *geoblocks.GeoBlock {
+	if lb, ok := blk.AtLevel(lvl); ok {
 		return lb
 	}
-	return sh.block
+	return blk
+}
+
+// shardPartial acquires one shard, runs its sub-covering against the
+// planned level's block, and releases the pin. The pin only needs to
+// outlive the scan: a returned Accumulator holds pre-combined scalar
+// state, so merging and finalising it never touch the (possibly
+// evicted) shard arrays again.
+func shardPartial(sh *shard, sub []cellid.ID, lvl int, opts geoblocks.QueryOptions, reqs []geoblocks.AggRequest) (*geoblocks.Accumulator, error) {
+	blk, release, err := sh.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return levelBlock(blk, lvl).QueryCoveringPartialOpts(sub, opts, reqs...)
 }
 
 // queryCovering executes one planned query: cov must have been computed
 // at grid level lvl, and every involved shard answers its sub-covering
 // with its level-lvl pyramid block (hitting that level's own query cache
-// unless the options disable it).
+// unless the options disable it). On a mapped dataset each involved
+// shard is pinned for its scan — cold shards fault in here, concurrently
+// for multi-shard queries.
 func (d *Dataset) queryCovering(cov []cellid.ID, lvl int, opts geoblocks.QueryOptions, reqs []geoblocks.AggRequest, parallel bool) (geoblocks.Result, error) {
 	parts := d.route(cov)
 	switch len(parts) {
@@ -527,13 +612,13 @@ func (d *Dataset) queryCovering(cov []cellid.ID, lvl int, opts geoblocks.QueryOp
 		// Empty covering, or one that misses every shard: an empty
 		// partial against any shard resolves the specs and finalises the
 		// identity result (zero count, NaN extrema).
-		acc, err := levelBlock(&d.shards[0], lvl).QueryCoveringPartialOpts(nil, opts, reqs...)
+		acc, err := shardPartial(&d.shards[0], nil, lvl, opts, reqs)
 		if err != nil {
 			return geoblocks.Result{}, err
 		}
 		return acc.Result(), nil
 	case 1:
-		acc, err := levelBlock(parts[0].shard, lvl).QueryCoveringPartialOpts(parts[0].sub, opts, reqs...)
+		acc, err := shardPartial(parts[0].shard, parts[0].sub, lvl, opts, reqs)
 		if err != nil {
 			return geoblocks.Result{}, err
 		}
@@ -548,13 +633,13 @@ func (d *Dataset) queryCovering(cov []cellid.ID, lvl int, opts geoblocks.QueryOp
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				accs[i], errs[i] = levelBlock(parts[i].shard, lvl).QueryCoveringPartialOpts(parts[i].sub, opts, reqs...)
+				accs[i], errs[i] = shardPartial(parts[i].shard, parts[i].sub, lvl, opts, reqs)
 			}(i)
 		}
 		wg.Wait()
 	} else {
 		for i := range parts {
-			accs[i], errs[i] = levelBlock(parts[i].shard, lvl).QueryCoveringPartialOpts(parts[i].sub, opts, reqs...)
+			accs[i], errs[i] = shardPartial(parts[i].shard, parts[i].sub, lvl, opts, reqs)
 		}
 	}
 	for _, err := range errs {
@@ -722,10 +807,30 @@ func (d *Dataset) queryBatchCoverings(covs [][]cellid.ID, lvl int, opts geoblock
 // with queries; per-shard cache contents are not persisted — restored
 // datasets rebuild their caches empty from the recorded configuration.
 func (d *Dataset) Snapshot(dir string) (snapshot.Manifest, error) {
+	return d.snapshot(dir, 0)
+}
+
+// SnapshotV3 writes the snapshot in the mappable format v3 (docs/
+// FORMAT.md Sec. 8): aligned little-endian sections a later restore can
+// serve in place via OpenMapped instead of decoding. Daemons running
+// with mmap serving enabled snapshot in this format.
+func (d *Dataset) SnapshotV3(dir string) (snapshot.Manifest, error) {
+	return d.snapshot(dir, snapshot.FormatVersionV3)
+}
+
+func (d *Dataset) snapshot(dir string, formatVersion int) (snapshot.Manifest, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	// A mapped dataset already IS its snapshot: clone the backing
+	// directory byte for byte (manifest checksums included) instead of
+	// faulting every shard in to re-encode unchanged data. Cloning onto
+	// the backing directory itself is a durable no-op.
+	if d.srcDir != "" {
+		return snapshot.Clone(d.srcDir, dir)
+	}
 	bound := d.dom.Bound()
 	m := snapshot.Manifest{
+		FormatVersion:      formatVersion,
 		Dataset:            d.name,
 		Level:              d.opts.Level,
 		ShardLevel:         d.opts.ShardLevel,
@@ -813,6 +918,88 @@ func Open(dir, name string) (*Dataset, error) {
 	return d, nil
 }
 
+// OpenMapped serves the snapshot at dir in place: the manifest and every
+// shard's header/table/meta are validated eagerly (snapshot.OpenLazy),
+// but no shard data is read — blocks materialise via mmap on their first
+// query, budgeted by the residency manager (a nil res gets a private
+// unlimited one). Startup cost is metadata-sized, independent of data
+// volume. The resulting dataset is read-only (Update returns a
+// core.ErrReadOnly-wrapped error) and snapshots by cloning dir.
+//
+// Version-1 snapshots cannot be served in place; they fall back to the
+// eager Open transparently — check Mapped() on the result.
+func OpenMapped(dir, name string, res *Residency) (*Dataset, error) {
+	m, lazies, err := snapshot.OpenLazy(dir)
+	if err != nil {
+		if errors.Is(err, snapshot.ErrEagerOnly) {
+			return Open(dir, name)
+		}
+		return nil, err
+	}
+	if res == nil {
+		res = NewResidency(0)
+	}
+	if name == "" {
+		name = m.Dataset
+	}
+	opts := Options{
+		Level:              m.Level,
+		ShardLevel:         m.ShardLevel,
+		CacheThreshold:     m.CacheThreshold,
+		CacheAutoRefresh:   m.CacheAutoRefresh,
+		PyramidLevels:      m.PyramidLevels,
+		ResultCacheBytes:   m.ResultCacheBytes,
+		ResultCacheMinHits: m.ResultCacheMinHits,
+	}
+	if err := opts.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	bound := geom.Rect{Min: geom.Pt(m.Bound[0], m.Bound[1]), Max: geom.Pt(m.Bound[2], m.Bound[3])}
+	dom, err := cellid.NewDomain(bound)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	cov, err := cover.NewCoverer(dom, cover.DefaultOptions(m.Level))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		name:      name,
+		opts:      opts,
+		dom:       dom,
+		schema:    geoblocks.NewSchema(m.Columns...),
+		coverer:   cov,
+		shards:    make([]shard, len(lazies)),
+		srcDir:    absDir,
+		residency: res,
+	}
+	cfg := materializeCfg{
+		cacheThreshold:   opts.CacheThreshold,
+		cacheAutoRefresh: opts.CacheAutoRefresh,
+		pyramidLevels:    opts.PyramidLevels,
+	}
+	for i, ls := range lazies {
+		lsh := &lazyShard{res: res, src: ls, cfg: cfg}
+		res.register(lsh)
+		d.shards[i] = shard{cell: ls.Cell, lazy: lsh}
+	}
+	if err := d.initCoverers(); err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	if err := d.initResultCache(); err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	return d, nil
+}
+
+// Mapped reports whether the dataset serves a mapped snapshot in place
+// (lazy shards, read-only) rather than decoded heap blocks.
+func (d *Dataset) Mapped() bool { return d.residency != nil }
+
 // RefreshCaches rebuilds every shard's query cache from its accumulated
 // statistics. No-op for shards without an enabled cache. It is a
 // structural mutation on each shard, serialised against in-flight
@@ -821,7 +1008,18 @@ func (d *Dataset) RefreshCaches() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for i := range d.shards {
-		d.shards[i].block.RefreshCache()
+		sh := &d.shards[i]
+		if sh.lazy != nil {
+			// Refresh only already-resident shards: a cache refresh must
+			// not fault cold shards in (an evicted shard restarts with an
+			// empty cache anyway).
+			if blk, release, ok := sh.lazy.peek(); ok {
+				blk.RefreshCache()
+				release()
+			}
+			continue
+		}
+		sh.block.RefreshCache()
 	}
 }
 
@@ -844,6 +1042,12 @@ func (d *Dataset) RefreshCaches() {
 func (d *Dataset) Update(batch *geoblocks.UpdateBatch) error {
 	if batch == nil || batch.Len() == 0 {
 		return nil
+	}
+	// A mapped dataset's aggregate arrays are views of a read-only file
+	// mapping; updates require an eager (decoded) restore.
+	if d.residency != nil {
+		return fmt.Errorf("store: dataset %q serves a mapped snapshot read-only; restore it eagerly to update: %w",
+			d.name, core.ErrReadOnly)
 	}
 	// Reject ragged batches before partitioning rows: indexing a short
 	// column below would panic under the dataset write lock instead of
@@ -988,6 +1192,10 @@ type ShardStats struct {
 	// PyramidBytes is the aggregate storage of the shard's coarser
 	// pyramid levels.
 	PyramidBytes int `json:"pyramid_bytes,omitempty"`
+	// Resident reports whether a mapped dataset's shard is currently
+	// materialised (always false-omitted on eager datasets, whose blocks
+	// are unconditionally heap-resident).
+	Resident bool `json:"resident,omitempty"`
 }
 
 // DatasetStats is the stats snapshot of one dataset.
@@ -1019,6 +1227,15 @@ type DatasetStats struct {
 	// result cache): bumped by every Update/Drop, carried by every cached
 	// result, verified on every cache read.
 	Generation uint64 `json:"generation"`
+	// Mapped reports a dataset served in place from a format-v3 snapshot
+	// (OpenMapped): MappedBytes is its full on-disk footprint,
+	// ResidentBytes/ResidentShards the part currently materialised and
+	// charged against the store's residency budget. All zero-omitted for
+	// eager datasets.
+	Mapped         bool  `json:"mapped,omitempty"`
+	MappedBytes    int64 `json:"mapped_bytes,omitempty"`
+	ResidentBytes  int64 `json:"resident_bytes,omitempty"`
+	ResidentShards int   `json:"resident_shards,omitempty"`
 	// ResultCache holds the dataset-level result cache's effectiveness
 	// counters, nil when no result cache is enabled.
 	ResultCache *resultcache.Stats `json:"result_cache,omitempty"`
@@ -1061,14 +1278,49 @@ func (d *Dataset) stats(includeShards bool) DatasetStats {
 			st.HotFootprints = d.results.TopFootprints(hotFootprintsTopK)
 		}
 	}
-	if len(d.shards) > 0 {
-		st.PyramidLevels = len(d.shards[0].block.PyramidLevels())
-	}
-	if len(d.shards) > 0 {
-		st.ErrorBound = d.shards[0].block.ErrorBound()
-	}
+	st.PyramidLevels = len(d.pyramidLevelList())
+	st.ErrorBound = d.dom.CellDiagonal(d.opts.Level)
+	st.Mapped = d.residency != nil
 	for i := range d.shards {
-		blk := d.shards[i].block
+		sh := &d.shards[i]
+		if sh.lazy != nil {
+			// Structural counts come from the eagerly-validated v3
+			// metadata — stats must not fault cold shards in. Cache and
+			// pyramid figures exist only while the shard is resident.
+			ls := sh.lazy
+			ss := ShardStats{
+				Cell:      sh.cell.String(),
+				Cells:     int(ls.src.Info.NumCells),
+				Tuples:    ls.src.Info.Rows,
+				SizeBytes: int(ls.src.Bytes),
+			}
+			st.Cells += ss.Cells
+			st.Tuples += ss.Tuples
+			st.SizeBytes += ss.SizeBytes
+			st.MappedBytes += ls.src.Bytes
+			if blk, release, ok := ls.peek(); ok {
+				_, cost := ls.residentCost()
+				m := blk.CacheMetrics()
+				ss.Resident = true
+				ss.CacheBytes = blk.CacheSizeBytes()
+				ss.PyramidBytes = blk.PyramidBytes()
+				st.ResidentShards++
+				st.ResidentBytes += cost
+				st.PyramidBytes += ss.PyramidBytes
+				st.CacheBytes += ss.CacheBytes
+				st.Cache.Probes += m.Probes
+				st.Cache.FullHits += m.FullHits
+				st.Cache.PartialHits += m.PartialHits
+				st.Cache.Misses += m.Misses
+				st.Cache.DerivedHits += m.DerivedHits
+				release()
+			}
+			if includeShards {
+				st.Shards = append(st.Shards, ss)
+			}
+			continue
+		}
+		blk := sh.block
 		m := blk.CacheMetrics()
 		st.Cells += blk.NumCells()
 		st.Tuples += blk.NumTuples()
@@ -1082,7 +1334,7 @@ func (d *Dataset) stats(includeShards bool) DatasetStats {
 		st.Cache.DerivedHits += m.DerivedHits
 		if includeShards {
 			st.Shards = append(st.Shards, ShardStats{
-				Cell:         d.shards[i].cell.String(),
+				Cell:         sh.cell.String(),
 				Cells:        blk.NumCells(),
 				Tuples:       blk.NumTuples(),
 				SizeBytes:    blk.SizeBytes(),

@@ -11,11 +11,35 @@ import (
 type Store struct {
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
+
+	// residency, when non-nil, switches Restore to serving snapshots in
+	// place (OpenMapped) and budgets the materialised shards of every
+	// mapped dataset through one shared manager.
+	residency *Residency
 }
 
 // New creates an empty store.
 func New() *Store {
 	return &Store{datasets: make(map[string]*Dataset)}
+}
+
+// EnableMmap makes subsequent Restores serve format-v3 snapshots in
+// place — shards mmap and materialise on first query — with budgetBytes
+// of resident-memory budget shared across all mapped datasets (<= 0 is
+// unlimited). Version-1 snapshots still restore eagerly. Call before
+// restoring; already-restored datasets are unaffected.
+func (s *Store) EnableMmap(budgetBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.residency = NewResidency(budgetBytes)
+}
+
+// Residency returns the store's residency manager, nil when mmap
+// serving is not enabled.
+func (s *Store) Residency() *Residency {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.residency
 }
 
 // Add registers a dataset under its name. It fails when the name is
@@ -30,13 +54,25 @@ func (s *Store) Add(d *Dataset) error {
 	return nil
 }
 
-// Restore loads the snapshot at dir (Open) and registers the resulting
-// dataset under its manifest name. The load validates every artifact
-// before anything is registered, so a corrupt or version-mismatched
-// snapshot leaves the store untouched — there is no partial
-// registration. Registration still fails if the name is already taken.
+// Restore loads the snapshot at dir and registers the resulting dataset
+// under its manifest name — eagerly decoded (Open), or served in place
+// (OpenMapped) when EnableMmap is on and the snapshot's format allows
+// it. The load validates every artifact it reads before anything is
+// registered, so a corrupt or version-mismatched snapshot leaves the
+// store untouched — there is no partial registration. Registration
+// still fails if the name is already taken. (On a mapped restore only
+// the manifests and shard prefixes are validated eagerly; data-region
+// corruption surfaces as a typed error on the first query touching the
+// shard.)
 func (s *Store) Restore(dir string) (*Dataset, error) {
-	d, err := Open(dir, "")
+	res := s.Residency()
+	var d *Dataset
+	var err error
+	if res != nil {
+		d, err = OpenMapped(dir, "", res)
+	} else {
+		d, err = Open(dir, "")
+	}
 	if err != nil {
 		return nil, err
 	}

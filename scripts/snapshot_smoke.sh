@@ -2,8 +2,12 @@
 # snapshot_smoke.sh — end-to-end snapshot round trip against a real
 # geoblocksd: build the daemon, create a dataset, query it, snapshot it,
 # kill the daemon, restart it with the same -data-dir, and verify the
-# restored dataset answers the query identically. Run from anywhere
-# inside the repository:
+# restored dataset answers the query identically. Then the mmap legs:
+# restart with -mmap against the v2 snapshot (eager fallback must serve
+# it), re-snapshot (which writes format v3), and restart with -mmap
+# once more (true mapped serving, shards faulted on demand) — the
+# answers must be byte-identical across all four runs. Run from
+# anywhere inside the repository:
 #
 #   scripts/snapshot_smoke.sh [port]
 set -eu
@@ -82,4 +86,46 @@ kill -TERM "$pid"
 wait "$pid" || fail "second daemon did not exit cleanly"
 pid=""
 
-echo "snapshot_smoke: OK (restored answers are identical)"
+echo "snapshot_smoke: third run (-mmap against the v2 snapshot: eager fallback, then re-snapshot as v3)"
+"$work/geoblocksd" -addr "127.0.0.1:$port" -data-dir "$work/data" -mmap \
+	>"$work/daemon.log" 2>&1 &
+pid=$!
+wait_ready
+# v2 snapshots are not mappable; -mmap must fall back to an eager
+# restore ("restored", not "mapped") and still serve correct answers.
+grep -q "restored taxi" "$work/daemon.log" || fail "-mmap daemon did not eager-fallback on the v2 snapshot"
+
+query >"$work/mmap-fallback.json"
+diff -u "$work/before.json" "$work/mmap-fallback.json" ||
+	fail "-mmap eager-fallback answers differently"
+
+# Re-snapshot under -mmap: the writer now produces format v3.
+curl -sf -X POST "$base/v1/datasets/taxi/snapshot" >"$work/snap-v3.json" ||
+	fail "v3 snapshot endpoint failed"
+grep -q '"format_version": *2' "$work/snap-v3.json" || fail "-mmap snapshot did not report format_version 2"
+ls "$work/data/taxi/" | grep -q '\.gb3$' || fail "no .gb3 shard files written"
+
+kill -TERM "$pid"
+wait "$pid" || fail "third daemon did not exit cleanly"
+pid=""
+
+echo "snapshot_smoke: fourth run (-mmap against the v3 snapshot: mapped serving)"
+"$work/geoblocksd" -addr "127.0.0.1:$port" -data-dir "$work/data" -mmap \
+	>"$work/daemon.log" 2>&1 &
+pid=$!
+wait_ready
+grep -q "mapped taxi" "$work/daemon.log" || fail "daemon did not serve the v3 snapshot mapped"
+
+query >"$work/mmap.json"
+diff -u "$work/before.json" "$work/mmap.json" ||
+	fail "mapped dataset answers differently"
+
+# The query above faulted shards in; the residency counters must show it.
+curl -sf "$base/v1/stats" | grep -q '"faults": *[1-9]' ||
+	fail "mapped serving reported no shard faults"
+
+kill -TERM "$pid"
+wait "$pid" || fail "fourth daemon did not exit cleanly"
+pid=""
+
+echo "snapshot_smoke: OK (restored, eager-fallback and mapped answers are identical)"
