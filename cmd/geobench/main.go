@@ -31,7 +31,12 @@
 // bench mode — format-v3 mmap restore vs eager v2 restore measured in
 // fresh child processes (startup-to-first-answer, VmRSS, cold/warm
 // latency, budget-forced eviction), with every answer asserted
-// bit-identical in-run — producing the committed BENCH_PR7.json.
+// bit-identical in-run — producing the committed BENCH_PR7.json. With
+// -ingest it runs the pr8 streaming-ingest bench mode — the same Zipfian
+// read stream measured read-only and again while background ingesters
+// append batches and the compactor folds them, with the final row count
+// checked against the acknowledged rows — producing the committed
+// BENCH_PR8.json.
 package main
 
 import (
@@ -70,6 +75,7 @@ func main() {
 		maxErr    = flag.Bool("maxerror", false, "with -perf-json: run the pr5 query-planner bench mode (latency/qps and covering work vs error bound) instead of pr1")
 		resCache  = flag.Bool("resultcache", false, "with -perf-json: run the pr6 result-cache bench mode (Zipfian hot-region stream, cached vs uncached) instead of pr1")
 		mmapServe = flag.Bool("mmapserve", false, "with -perf-json: run the pr7 mapped-serving bench mode (v3 mmap restore vs eager v2, child-process RSS) instead of pr1")
+		ingest    = flag.Bool("ingest", false, "with -perf-json: run the pr8 streaming-ingest bench mode (read p50/p99 while ingesting + compacting vs read-only) instead of pr1")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: geobench [flags] [experiment ...]\n\nexperiments:\n")
@@ -106,14 +112,14 @@ func main() {
 	if *perfJSON != "" {
 		write := writePerfSnapshot
 		modes := 0
-		for _, m := range []bool{*parallel, *sharded, *snapMode, *maxErr, *resCache, *mmapServe} {
+		for _, m := range []bool{*parallel, *sharded, *snapMode, *maxErr, *resCache, *mmapServe, *ingest} {
 			if m {
 				modes++
 			}
 		}
 		switch {
 		case modes > 1:
-			fmt.Fprintf(os.Stderr, "geobench: -parallel, -sharded, -snapshot, -maxerror, -resultcache and -mmapserve are mutually exclusive\n")
+			fmt.Fprintf(os.Stderr, "geobench: -parallel, -sharded, -snapshot, -maxerror, -resultcache, -mmapserve and -ingest are mutually exclusive\n")
 			os.Exit(2)
 		case *parallel:
 			write = writeParallelSnapshot
@@ -127,6 +133,8 @@ func main() {
 			write = writeResultCacheSnapshot
 		case *mmapServe:
 			write = writeMmapServeSnapshot
+		case *ingest:
+			write = writeIngestSnapshot
 		}
 		if err := write(cfg, *perfJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
@@ -267,6 +275,50 @@ type mmapServeSnapshot struct {
 	TaxiRows   int                    `json:"taxi_rows"`
 	Seed       int64                  `json:"seed"`
 	Points     []experiments.PR7Point `json:"points"`
+}
+
+// ingestSnapshot is the BENCH_PR8.json document: the raw pr8
+// measurements plus the machine context needed to read the latency and
+// throughput columns (core count governs how much the write path steals
+// from the readers).
+type ingestSnapshot struct {
+	Experiment string                 `json:"experiment"`
+	GoVersion  string                 `json:"go_version"`
+	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	NumCPU     int                    `json:"num_cpu"`
+	TaxiRows   int                    `json:"taxi_rows"`
+	Seed       int64                  `json:"seed"`
+	Points     []experiments.PR8Point `json:"points"`
+}
+
+// writeIngestSnapshot runs the pr8 bench, prints its table and writes
+// the raw points as indented JSON.
+func writeIngestSnapshot(cfg experiments.Config, path string) error {
+	start := time.Now()
+	tables, points := experiments.PR8Perf(cfg)
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	snap := ingestSnapshot{
+		Experiment: "pr8",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		TaxiRows:   cfg.TaxiRows,
+		Seed:       cfg.Seed,
+		Points:     points,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("streaming-ingest snapshot written to %s in %v\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // writeMmapServeSnapshot runs the pr7 bench, prints its table and writes

@@ -8,6 +8,7 @@
 //	           [-pyramid-levels N] [-result-cache-bytes N]
 //	           [-result-cache-min-hits N] [-seed N] [-drain D]
 //	           [-data-dir DIR] [-snapshot-on-exit]
+//	           [-compact-interval D] [-delta-max-rows N]
 //	           [-mmap] [-resident-budget BYTES]
 //
 // Each -load builds one synthetic dataset at startup (spec taxi, tweets
@@ -36,6 +37,17 @@
 // start resumes with the same data. docs/FORMAT.md specifies the on-disk
 // artifacts; docs/OPERATIONS.md has the runbook.
 //
+// Streaming ingest (POST /v1/datasets/{name}/rows) appends rows into
+// per-shard delta blocks served alongside the immutable base; a
+// background compactor folds them into the base every -compact-interval
+// (and immediately when the pending backlog passes half of
+// -delta-max-rows; at the full cap ingest returns 503 until the fold
+// catches up). With -data-dir every acknowledged batch is fsynced to
+// DIR/<name>.wal before the ack and replayed after a crash or restart,
+// so no acknowledged row is lost and none is double-counted
+// (docs/FORMAT.md Sec. 9; docs/OPERATIONS.md "Streaming ingest" is the
+// runbook).
+//
 // -mmap serves format-v3 snapshots in place: restore validates only
 // manifests and shard metadata (startup cost independent of data
 // volume), each shard's data is mmap'd, checksummed and pyramid-derived
@@ -52,7 +64,9 @@
 //
 //	GET    /v1/datasets                 list datasets
 //	POST   /v1/datasets                 create a dataset (synthetic or from snapshot)
-//	DELETE /v1/datasets/{name}          drop a dataset (?purge=1 also removes its snapshot)
+//	DELETE /v1/datasets/{name}          drop a dataset (?purge=1 also removes its snapshot and WAL)
+//	POST   /v1/datasets/{name}/rows     ingest a batch of rows (JSON or NDJSON)
+//	POST   /v1/datasets/{name}/compact  fold pending delta rows into the base
 //	POST   /v1/datasets/{name}/snapshot write a durable snapshot
 //	POST   /v1/query                    polygon / rect / batch aggregate query
 //	GET    /v1/stats                    detailed statistics (?dataset=NAME)
@@ -120,6 +134,8 @@ func main() {
 		drain        = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 		dataDir      = flag.String("data-dir", "", "snapshot directory: restore all snapshots at startup, default target for the snapshot endpoint")
 		snapOnExit   = flag.Bool("snapshot-on-exit", false, "snapshot every dataset into -data-dir after the graceful drain")
+		compactEvery = flag.Duration("compact-interval", 5*time.Second, "background delta compaction cadence (0 folds only on backpressure kicks)")
+		deltaMaxRows = flag.Int64("delta-max-rows", 2_000_000, "ingest backpressure cap on pending delta rows per dataset (0 = uncapped)")
 		mmapServe    = flag.Bool("mmap", false, "serve format-v3 snapshots in place via mmap: metadata-only restore, shards fault in on first query; snapshots are written in format v3")
 		residentMax  = flag.Int64("resident-budget", 0, "resident-memory budget in bytes for mmap-served shards, LRU-evicted above it (0 = unlimited; needs -mmap)")
 	)
@@ -143,7 +159,22 @@ func main() {
 		log.Fatalf("geoblocksd: -resident-budget must be >= 0, got %d", *residentMax)
 	}
 
+	if *deltaMaxRows < 0 {
+		log.Fatalf("geoblocksd: -delta-max-rows must be >= 0, got %d", *deltaMaxRows)
+	}
+
 	st := store.New()
+	// The ingest policy must be in place before any dataset registers:
+	// restores replay their WAL inside Add, -load datasets get their
+	// compactor there too. With -data-dir, acknowledged ingests are
+	// durable (fsynced to <data-dir>/<name>.wal before the ack); without
+	// it, ingest works but is volatile.
+	st.EnableIngest(store.IngestConfig{
+		WALDir:          *dataDir,
+		DeltaMaxRows:    *deltaMaxRows,
+		CompactInterval: *compactEvery,
+		OnError:         func(err error) { log.Printf("ERROR: background compaction: %v", err) },
+	})
 	if *mmapServe {
 		st.EnableMmap(*residentMax)
 		if *residentMax > 0 {
@@ -199,10 +230,14 @@ func main() {
 		log.Fatalf("geoblocksd: %v", err)
 	}
 	if *snapOnExit {
+		// Before the compactors stop: the snapshot path folds pending
+		// deltas itself and truncates each dataset's WAL to the
+		// un-snapshotted tail.
 		if err := snapshotAll(st, *dataDir, *mmapServe, log.Printf); err != nil {
 			log.Fatalf("geoblocksd: %v", err)
 		}
 	}
+	st.Close()
 	log.Printf("shut down cleanly")
 }
 

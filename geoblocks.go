@@ -750,6 +750,54 @@ func (g *GeoBlock) Update(batch *UpdateBatch) error {
 	return nil
 }
 
+// QueryRowsPartial answers a SELECT over raw, un-aggregated rows — the
+// delta half of a base+delta query. Rows are leaf cell ids plus one value
+// slice per schema column; rows outside the covering (or failing the
+// block's filter) are skipped. The block's aggregate arrays are never read,
+// only its schema/filter, so any pyramid level of the same dataset may
+// serve as receiver. Merge the result into the base partial with MergeFrom
+// in a fixed base-then-delta order: COUNT/MIN/MAX stay bit-identical to a
+// from-scratch rebuild and SUM keeps the DESIGN.md Sec. 6 reassociation
+// bound.
+func (g *GeoBlock) QueryRowsPartial(cov []CellID, leaves []CellID, cols [][]float64, reqs ...AggRequest) (*Accumulator, error) {
+	specs, err := resolveSpecs(g.inner.Schema(), reqs)
+	if err != nil {
+		return nil, err
+	}
+	return g.inner.SelectRowsPartial(cov, leaves, cols, specs)
+}
+
+// Fold builds a new GeoBlock with the given raw rows folded into this one's
+// aggregates — the compaction step of the base+delta write path. Unlike
+// Update it absorbs rows landing in cells with no existing aggregate (the
+// sorted layout is rebuilt by one merge pass, never patched in place), and
+// unlike Update it does not mutate the receiver: Fold is safe to run
+// concurrently with queries on g, and the caller swaps the returned block
+// in when done. Rows must be sorted ascending by leaf id. The new block
+// inherits the cache configuration (cache restarts empty; auto-refresh
+// re-warms it) and re-derives the same number of pyramid levels.
+func (g *GeoBlock) Fold(leaves []CellID, cols [][]float64) (*GeoBlock, error) {
+	nb, err := core.FoldRows(g.inner, leaves, cols)
+	if err != nil {
+		return nil, err
+	}
+	ng, err := wrapBlock(nb)
+	if err != nil {
+		return nil, err
+	}
+	if g.cacheThreshold > 0 {
+		if err := ng.EnableCache(g.cacheThreshold, g.autoRefresh); err != nil {
+			return nil, err
+		}
+	}
+	if n := len(g.pyramid); n > 0 {
+		if err := ng.BuildPyramid(n); err != nil {
+			return nil, err
+		}
+	}
+	return ng, nil
+}
+
 // WriteTo serialises the block (without base data or cache).
 func (g *GeoBlock) WriteTo(w io.Writer) (int64, error) { return g.inner.WriteTo(w) }
 
@@ -805,6 +853,11 @@ func ReadGeoBlockFramed(r io.Reader) (*GeoBlock, FrameInfo, error) {
 // ErrReadOnly reports a mutation attempt on a mapped (format v3
 // view-backed) block; see MapGeoBlock.
 var ErrReadOnly = core.ErrReadOnly
+
+// ErrRebuildRequired reports an update or ingest whose rows land outside
+// every aggregated cell (Update) or built shard (store ingest): the
+// block/dataset must be rebuilt with coverage for that region.
+var ErrRebuildRequired = core.ErrRebuildRequired
 
 // EncodeV3 serialises the block in the random-access format v3 and
 // returns the complete file image (docs/FORMAT.md Sec. 8). v3 files can

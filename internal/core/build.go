@@ -195,6 +195,7 @@ func Coarsen(b *GeoBlock, newLevel int) (*GeoBlock, error) {
 	var cur cellid.ID
 	open := false
 	for i := range b.keys {
+		maybeYield(i)
 		parent := b.keys[i].Parent(newLevel)
 		if !open || parent != cur {
 			out.keys = append(out.keys, parent)

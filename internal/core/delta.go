@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"geoblocks/internal/cellid"
+	"sort"
+)
+
+// validateRows checks a raw row set (leaf cell ids plus one value slice per
+// schema column) against the block's schema. Delta rows are the unit of the
+// streaming write path: tuples acknowledged by ingest but not yet folded
+// into any block's sorted aggregate arrays.
+func (b *GeoBlock) validateRows(leaves []cellid.ID, cols [][]float64) error {
+	if len(cols) != b.schema.NumCols() {
+		return fmt.Errorf("core: row set has %d columns, schema has %d", len(cols), b.schema.NumCols())
+	}
+	for c := range cols {
+		if len(cols[c]) != len(leaves) {
+			return fmt.Errorf("core: row column %d has %d rows, want %d", c, len(cols[c]), len(leaves))
+		}
+	}
+	return nil
+}
+
+// rowInCovering reports whether a leaf cell falls inside a sorted, disjoint
+// covering. Containment is checked against leaf ranges, so it is exact for
+// covering cells at any level at or above the leaf level — a pyramid query
+// at a coarse level and a base-level query both classify the same raw row
+// identically.
+func rowInCovering(cov []cellid.ID, leaf cellid.ID) bool {
+	i := sort.Search(len(cov), func(i int) bool { return cov[i].RangeMax() >= leaf })
+	return i < len(cov) && cov[i].RangeMin() <= leaf
+}
+
+// combineRow folds one raw row (its per-schema-column values) into the
+// accumulator. The row contributes exactly like a one-tuple cell aggregate,
+// so COUNT/MIN/MAX stay bit-identical to a block rebuilt with the row and
+// SUM differs only by the documented reassociation bound.
+func (a *accumulator) combineRow(cols [][]float64, i int) {
+	a.count++
+	for k, s := range a.specs {
+		switch s.Func {
+		case AggCount:
+			// Tracked globally via a.count.
+		case AggSum, AggAvg:
+			a.vals[k] += cols[s.Col][i]
+		case AggMin:
+			if v := cols[s.Col][i]; v < a.vals[k] {
+				a.vals[k] = v
+			}
+		case AggMax:
+			if v := cols[s.Col][i]; v > a.vals[k] {
+				a.vals[k] = v
+			}
+		}
+	}
+}
+
+// SelectRowsPartial answers a SELECT over raw, un-aggregated rows: the
+// delta-side half of a base+delta query. Rows are given as leaf cell ids
+// with one value slice per schema column (the same shape UpdateBatch
+// carries after point→leaf conversion); rows outside the covering or not
+// matching the block's filter are skipped. The receiver only supplies the
+// schema, filter and spec validation — its aggregate arrays are never read.
+//
+// The returned Accumulator is a partial over the same specs as the block's
+// other partial kernels, so callers merge it with MergeFrom in a fixed
+// order (base first, then delta) to keep COUNT/MIN/MAX bit-identical to a
+// from-scratch rebuild; SUM and the AVG numerator carry the reassociation
+// bound of DESIGN.md Sec. 6. Rows are accumulated in slice order, so the
+// same row order yields bit-identical sums across runs and restarts.
+// CellsVisited counts matched rows (each raw row is one aggregate record).
+func (b *GeoBlock) SelectRowsPartial(cov []cellid.ID, leaves []cellid.ID, cols [][]float64, specs []AggSpec) (*Accumulator, error) {
+	if err := b.validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	if err := b.validateRows(leaves, cols); err != nil {
+		return nil, err
+	}
+	acc := &Accumulator{b: b, inner: newAccumulator(specs)}
+rows:
+	for i, leaf := range leaves {
+		if !rowInCovering(cov, leaf) {
+			continue
+		}
+		for _, pr := range b.filter {
+			if !pr.Matches(cols[pr.Col][i]) {
+				continue rows
+			}
+		}
+		acc.inner.combineRow(cols, i)
+		acc.visited++
+	}
+	acc.cursor = len(b.keys)
+	return acc, nil
+}

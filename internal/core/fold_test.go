@@ -1,0 +1,275 @@
+package core_test
+
+// Tests for the base+delta write-path kernels: SelectRowsPartial (the
+// delta-side partial select) and FoldRows (compaction). Both are compared
+// against a block rebuilt from scratch with the same rows; integer values
+// make SUM exactly representable, so every assertion is bit-identity, the
+// strongest form of the equivalence the streaming ingest pipeline claims.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+	"geoblocks/internal/core"
+	"geoblocks/internal/cover"
+	"geoblocks/internal/geom"
+)
+
+// buildFrom builds a block from raw points at the given level.
+func buildFrom(t *testing.T, dom cellid.Domain, schema column.Schema, pts []geom.Point, cols [][]float64, level int, filter column.Filter) *core.GeoBlock {
+	t.Helper()
+	base, _, err := core.Extract(dom, pts, schema, cols, core.CleanRule{}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Build(base, core.BuildOptions{Level: level, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// randRows draws n random points with small-integer column values.
+func randRows(rng *rand.Rand, n int) ([]geom.Point, [][]float64) {
+	pts := make([]geom.Point, n)
+	cols := [][]float64{make([]float64, n), make([]float64, n)}
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		cols[0][i] = float64(rng.Intn(1000))
+		cols[1][i] = float64(rng.Intn(50))
+	}
+	return pts, cols
+}
+
+// sortedLeaves converts points to leaf ids sorted ascending, permuting the
+// column slices alongside.
+func sortedLeaves(dom cellid.Domain, pts []geom.Point, cols [][]float64) ([]cellid.ID, [][]float64) {
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	leaves := make([]cellid.ID, len(pts))
+	for i, p := range pts {
+		leaves[i] = dom.FromPoint(p)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return leaves[idx[a]] < leaves[idx[b]] })
+	outLeaves := make([]cellid.ID, len(pts))
+	outCols := make([][]float64, len(cols))
+	for c := range cols {
+		outCols[c] = make([]float64, len(pts))
+	}
+	for k, i := range idx {
+		outLeaves[k] = leaves[i]
+		for c := range cols {
+			outCols[c][k] = cols[c][i]
+		}
+	}
+	return outLeaves, outCols
+}
+
+func sameResult(t *testing.T, ctx string, got, want core.Result) {
+	t.Helper()
+	if got.Count != want.Count {
+		t.Fatalf("%s: count %d, want %d", ctx, got.Count, want.Count)
+	}
+	for i := range want.Values {
+		g, w := got.Values[i], want.Values[i]
+		if math.IsNaN(g) && math.IsNaN(w) {
+			continue
+		}
+		if g != w {
+			t.Fatalf("%s: value[%d] = %v, want %v (bit-identical)", ctx, i, g, w)
+		}
+	}
+}
+
+var foldSpecs = []core.AggSpec{
+	{Func: core.AggCount},
+	{Col: 0, Func: core.AggSum},
+	{Col: 0, Func: core.AggMin},
+	{Col: 0, Func: core.AggMax},
+	{Col: 1, Func: core.AggAvg},
+}
+
+// TestFoldRowsEquivalence folds random row sets — including rows landing in
+// brand-new cells, which Update cannot absorb — and checks the folded block
+// answers every covering bit-identically to a from-scratch rebuild.
+func TestFoldRowsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	dom := cellid.MustDomain(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)})
+	schema := column.NewSchema("a", "b")
+	for round := 0; round < 25; round++ {
+		level := 6 + rng.Intn(8)
+		basePts, baseCols := randRows(rng, 500+rng.Intn(2000))
+		var filter column.Filter
+		if rng.Intn(3) == 0 {
+			filter = column.Pred(schema, "b", column.OpGe, float64(rng.Intn(25)))
+		}
+		block := buildFrom(t, dom, schema, basePts, baseCols, level, filter)
+
+		deltaPts, deltaCols := randRows(rng, 1+rng.Intn(400))
+		leaves, sCols := sortedLeaves(dom, deltaPts, deltaCols)
+		folded, err := core.FoldRows(block, leaves, sCols)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		allPts := append(append([]geom.Point(nil), basePts...), deltaPts...)
+		allCols := [][]float64{
+			append(append([]float64(nil), baseCols[0]...), deltaCols[0]...),
+			append(append([]float64(nil), baseCols[1]...), deltaCols[1]...),
+		}
+		rebuilt := buildFrom(t, dom, schema, allPts, allCols, level, filter)
+
+		if folded.NumTuples() != rebuilt.NumTuples() {
+			t.Fatalf("round %d: folded %d tuples, rebuilt %d", round, folded.NumTuples(), rebuilt.NumTuples())
+		}
+		if folded.NumCells() != rebuilt.NumCells() {
+			t.Fatalf("round %d: folded %d cells, rebuilt %d", round, folded.NumCells(), rebuilt.NumCells())
+		}
+
+		c := cover.MustCoverer(dom, cover.DefaultOptions(level))
+		for q := 0; q < 5; q++ {
+			x0, y0 := rng.Float64()*80, rng.Float64()*80
+			cov := c.CoverRect(geom.Rect{
+				Min: geom.Pt(x0, y0),
+				Max: geom.Pt(x0+rng.Float64()*20+1, y0+rng.Float64()*20+1)}).Cells
+			got, err := folded.SelectCovering(cov, foldSpecs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := rebuilt.SelectCovering(cov, foldSpecs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "fold round", got, want)
+		}
+
+		// The original block must be untouched (fold builds aside).
+		if block.NumTuples() == folded.NumTuples() && len(deltaPts) > 0 && filter == nil {
+			t.Fatalf("round %d: fold mutated the source block", round)
+		}
+	}
+}
+
+// TestSelectRowsPartialEquivalence checks that base partial + delta rows
+// partial, merged base-then-delta, equals a from-scratch rebuild for every
+// covering — the exact merge the sharded store performs per shard.
+func TestSelectRowsPartialEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dom := cellid.MustDomain(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)})
+	schema := column.NewSchema("a", "b")
+	for round := 0; round < 25; round++ {
+		level := 6 + rng.Intn(8)
+		basePts, baseCols := randRows(rng, 500+rng.Intn(1500))
+		block := buildFrom(t, dom, schema, basePts, baseCols, level, nil)
+
+		deltaPts, deltaCols := randRows(rng, rng.Intn(300))
+		leaves := make([]cellid.ID, len(deltaPts))
+		for i, p := range deltaPts {
+			leaves[i] = dom.FromPoint(p)
+		}
+
+		allPts := append(append([]geom.Point(nil), basePts...), deltaPts...)
+		allCols := [][]float64{
+			append(append([]float64(nil), baseCols[0]...), deltaCols[0]...),
+			append(append([]float64(nil), baseCols[1]...), deltaCols[1]...),
+		}
+		rebuilt := buildFrom(t, dom, schema, allPts, allCols, level, nil)
+
+		c := cover.MustCoverer(dom, cover.DefaultOptions(level))
+		for q := 0; q < 5; q++ {
+			x0, y0 := rng.Float64()*80, rng.Float64()*80
+			cov := c.CoverRect(geom.Rect{
+				Min: geom.Pt(x0, y0),
+				Max: geom.Pt(x0+rng.Float64()*30+1, y0+rng.Float64()*30+1)}).Cells
+
+			baseAcc, err := block.SelectCoveringPartial(cov, foldSpecs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			deltaAcc, err := block.SelectRowsPartial(cov, leaves, deltaCols, foldSpecs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := baseAcc.MergeFrom(deltaAcc); err != nil {
+				t.Fatal(err)
+			}
+			want, err := rebuilt.SelectCovering(cov, foldSpecs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "rows partial", baseAcc.Result(), want)
+		}
+	}
+}
+
+// TestSelectRowsPartialFilter checks delta rows respect the block filter.
+func TestSelectRowsPartialFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	dom := cellid.MustDomain(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)})
+	schema := column.NewSchema("a", "b")
+	filter := column.Pred(schema, "b", column.OpGe, 25)
+	basePts, baseCols := randRows(rng, 800)
+	block := buildFrom(t, dom, schema, basePts, baseCols, 10, filter)
+
+	deltaPts, deltaCols := randRows(rng, 200)
+	leaves := make([]cellid.ID, len(deltaPts))
+	for i, p := range deltaPts {
+		leaves[i] = dom.FromPoint(p)
+	}
+	c := cover.MustCoverer(dom, cover.DefaultOptions(10))
+	cov := c.CoverRect(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)}).Cells
+	acc, err := block.SelectRowsPartial(cov, leaves, deltaCols, foldSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(0)
+	for i := range deltaPts {
+		if deltaCols[1][i] >= 25 {
+			want++
+		}
+	}
+	if got := acc.Result().Count; got != want {
+		t.Fatalf("filtered rows partial count = %d, want %d", got, want)
+	}
+}
+
+// TestFoldRowsErrors pins the error paths: unsorted rows, ragged columns
+// and uint32 overflow guards.
+func TestFoldRowsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dom := cellid.MustDomain(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)})
+	schema := column.NewSchema("a", "b")
+	pts, cols := randRows(rng, 100)
+	block := buildFrom(t, dom, schema, pts, cols, 10, nil)
+
+	// Unsorted leaves.
+	leaves := []cellid.ID{dom.FromPoint(geom.Pt(90, 90)), dom.FromPoint(geom.Pt(1, 1))}
+	if leaves[0] < leaves[1] {
+		leaves[0], leaves[1] = leaves[1], leaves[0]
+	}
+	if _, err := core.FoldRows(block, leaves, [][]float64{{1, 2}, {3, 4}}); err == nil {
+		t.Fatal("unsorted fold rows not rejected")
+	}
+	// Ragged columns.
+	if _, err := core.FoldRows(block, leaves[:1], [][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged fold columns not rejected")
+	}
+	// Wrong column count.
+	if _, err := core.FoldRows(block, leaves[:1], [][]float64{{1}}); err == nil {
+		t.Fatal("wrong fold column count not rejected")
+	}
+	// Empty fold is a valid no-op clone.
+	nb, err := core.FoldRows(block, nil, [][]float64{nil, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.NumTuples() != block.NumTuples() || nb.NumCells() != block.NumCells() {
+		t.Fatal("empty fold changed the block")
+	}
+}

@@ -224,6 +224,7 @@ func (b *GeoBlock) buildPrefixes() {
 		}
 		running := 0.0
 		for i, s := range cs.sums {
+			maybeYield(i)
 			running += s
 			cs.prefix[i+1] = running
 		}

@@ -310,6 +310,10 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // format (frame trailers and the snapshot manifest sidecar).
 func CRC32C(data []byte) uint32 { return crc32.Checksum(data, crcTable) }
 
+// CRC32CUpdate extends a running Castagnoli checksum with more bytes, for
+// callers that checksum non-contiguous regions without copying them.
+func CRC32CUpdate(sum uint32, data []byte) uint32 { return crc32.Update(sum, crcTable, data) }
+
 // FrameInfo describes an encoded frame: the manifest-level facts a
 // durable store records next to the payload.
 type FrameInfo struct {

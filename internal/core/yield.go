@@ -1,0 +1,23 @@
+package core
+
+import "runtime"
+
+// yieldStride is the loop stride at which the long structural rebuild
+// passes (fold merge, pyramid coarsening, prefix rebuild) offer the
+// scheduler a chance to run latency-sensitive goroutines. Background
+// compaction runs these passes concurrently with serving; at small
+// GOMAXPROCS (the common container deployment) one un-yielding
+// multi-hundred-millisecond pass would monopolize a core and surface
+// directly in read tail latency. At ~1µs per merge/coarsen iteration a
+// stride of 1024 bounds each uninterruptible chunk to ~1ms — below a
+// typical query — while the Gosched itself costs well under 1% of the
+// pass (and is nearly free when nothing else is runnable).
+const yieldStride = 1 << 10
+
+// maybeYield yields the processor every yieldStride-th call, keyed on a
+// monotonically increasing loop counter.
+func maybeYield(i int) {
+	if i != 0 && i&(yieldStride-1) == 0 {
+		runtime.Gosched()
+	}
+}

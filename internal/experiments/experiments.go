@@ -173,6 +173,7 @@ func All() []Runner {
 		{ID: "pr5", Desc: "Query planner error-bound sweep over the block pyramid", Run: PR5},
 		{ID: "pr6", Desc: "Hot-region result cache vs uncached serving under Zipfian skew", Run: PR6},
 		{ID: "pr7", Desc: "Mapped v3 snapshot serving vs eager v2 restore (startup, RSS, eviction)", Run: PR7},
+		{ID: "pr8", Desc: "Read latency under sustained streaming ingest + background compaction", Run: PR8},
 	}
 }
 

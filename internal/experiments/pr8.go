@@ -1,0 +1,291 @@
+package experiments
+
+// PR8 is the streaming-ingest snapshot: on the clustered taxi workload
+// it builds a sharded serving dataset and measures the read path twice
+// with the same Zipfian hot-region query stream — first read-only, then
+// while background ingesters append row batches and the background
+// compactor folds them into the base. The bench reports read p50/p99
+// under both regimes plus the sustained ingest rate and compaction
+// activity, and asserts in-run that (a) serving under ingest keeps read
+// p99 within a bounded multiple of the read-only p99 and (b) after the
+// stream quiesces and a final fold, the dataset holds exactly the base
+// rows plus every acknowledged ingest row — nothing lost, nothing
+// double-counted. cmd/geobench serialises the points to BENCH_PR8.json
+// via -perf-json -ingest.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geoblocks"
+	"geoblocks/internal/dataset"
+	"geoblocks/internal/geom"
+	"geoblocks/internal/store"
+	"geoblocks/internal/workload"
+)
+
+// PR8Point is one phase's measurement of the streaming-ingest bench.
+type PR8Point struct {
+	// Phase identifies the regime: "read-only" or "mixed" (reads while
+	// ingesting + compacting).
+	Phase string `json:"phase"`
+	// Queries is the number of timed read queries in this phase.
+	Queries int `json:"queries"`
+	// QPS is the serial read throughput of the phase.
+	QPS float64 `json:"qps"`
+	// P50US and P99US are the read latency percentiles in microseconds.
+	P50US float64 `json:"p50_us"`
+	P99US float64 `json:"p99_us"`
+	// P99Ratio is this phase's p99 over the read-only p99 (1 for the
+	// read-only phase itself).
+	P99Ratio float64 `json:"p99_ratio_vs_read_only"`
+	// IngestRows/IngestBatches/IngestRowsPerSec describe the concurrent
+	// write load (zero in the read-only phase).
+	IngestRows       uint64  `json:"ingest_rows"`
+	IngestBatches    uint64  `json:"ingest_batches"`
+	IngestRowsPerSec float64 `json:"ingest_rows_per_sec"`
+	// Compactions and CompactedRows count background folds during the
+	// phase; DeltaRowsEnd is the pending backlog when the phase ended.
+	Compactions   uint64 `json:"compactions"`
+	CompactedRows uint64 `json:"compacted_rows"`
+	DeltaRowsEnd  int64  `json:"delta_rows_end"`
+}
+
+const (
+	// pr8Level matches the serving daemon's default grid level.
+	pr8Level = 14
+	// pr8PoolSize and pr8Skew shape the read stream, same regime as the
+	// pr6 serving bench.
+	pr8PoolSize = 200
+	pr8Skew     = 1.5
+	// pr8BatchRows is the ingest batch size; pr8IngestPause throttles the
+	// writer between batches so ingest is sustained rather than a single
+	// burst that drains before the read stream finishes.
+	pr8BatchRows    = 200
+	pr8IngestPause  = 10 * time.Millisecond
+	pr8CompactEvery = 250 * time.Millisecond
+	// pr8HotLo/pr8HotHi place the ingest hotspot as a fraction of the
+	// domain on both axes: streaming geodata concentrates spatially (fresh
+	// taxi pickups cluster in the city core), and a hotspot inside one
+	// shard of the 4x4 grid also exercises the design's payoff — folds
+	// rebuild only the dirty shard, not the whole dataset.
+	pr8HotLo = 0.30
+	pr8HotHi = 0.45
+	// pr8MinPhase keeps each phase running long enough to cover many
+	// compaction cycles, so the p99 includes fold activity rather than
+	// dodging it.
+	pr8MinPhase = 3 * time.Second
+	// pr8MaxP99Ratio is the in-run acceptance ceiling: read p99 under
+	// sustained ingest within 2x of the read-only p99.
+	pr8MaxP99Ratio = 2.0
+)
+
+// pr8Percentile returns the p-th percentile (0..1) of sorted durations.
+func pr8Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// pr8HotRect returns the ingest hotspot sub-rectangle of the domain.
+func pr8HotRect(bound geom.Rect) geom.Rect {
+	w, h := bound.Max.X-bound.Min.X, bound.Max.Y-bound.Min.Y
+	return geom.RectFromPoints(
+		geom.Pt(bound.Min.X+pr8HotLo*w, bound.Min.Y+pr8HotLo*h),
+		geom.Pt(bound.Min.X+pr8HotHi*w, bound.Min.Y+pr8HotHi*h))
+}
+
+// pr8GenRows draws n rows inside the ingest hotspot whose column values
+// satisfy the taxi clean rule (fare 0.01..500, distance 0.01..100,
+// passengers 1..8): the final row-accounting gate expects every
+// acknowledged row to survive the dataset's filter, so none may be
+// silently cleaned away.
+func pr8GenRows(rng *rand.Rand, hot geom.Rect, numCols, n int) ([]geom.Point, [][]float64) {
+	pts := make([]geom.Point, n)
+	cols := make([][]float64, numCols)
+	for c := range cols {
+		cols[c] = make([]float64, n)
+	}
+	w, h := hot.Max.X-hot.Min.X, hot.Max.Y-hot.Min.Y
+	for i := range pts {
+		pts[i] = geom.Pt(hot.Min.X+rng.Float64()*w, hot.Min.Y+rng.Float64()*h)
+		for c := range cols {
+			cols[c][i] = 1 + rng.Float64()*7
+		}
+	}
+	return pts, cols
+}
+
+// PR8Perf runs the streaming-ingest bench and returns both the rendered
+// table and the raw points for JSON serialisation.
+func PR8Perf(cfg Config) ([]*Table, []PR8Point) {
+	raw := dataset.Generate(dataset.NYCTaxi(), cfg.TaxiRows, cfg.Seed)
+	bound := raw.Spec.Bound
+	clean := raw.CleanRule()
+	ds, err := store.Build("taxi", bound, raw.Spec.Schema, raw.Points, raw.Cols, store.Options{
+		Level:         pr8Level,
+		ShardLevel:    2,
+		PyramidLevels: 4,
+		Clean:         &clean,
+	})
+	if err != nil {
+		panic(err)
+	}
+	baseCount, err := ds.QueryRect(bound, geoblocks.Count())
+	if err != nil {
+		panic(err)
+	}
+
+	hs := workload.ZipfianHotspot(bound, pr8PoolSize, pr8Skew, cfg.Seed+17)
+	pool := hs.Pool()
+	nQueries := 4000
+	if cfg.TaxiRows <= 200_000 {
+		nQueries = 1200
+	}
+	stream := make([]int, nQueries)
+	for i := range stream {
+		stream[i] = hs.NextIndex()
+	}
+	reqs := []geoblocks.AggRequest{
+		geoblocks.Count(), geoblocks.Sum("fare_amount"),
+		geoblocks.Min("fare_amount"), geoblocks.Max("fare_amount"),
+	}
+
+	// runStream replays the query stream, repeating whole passes until the
+	// phase has run for at least pr8MinPhase, and returns the sorted
+	// per-query latencies plus the phase wall time.
+	runStream := func() ([]time.Duration, time.Duration) {
+		var lats []time.Duration
+		start := time.Now()
+		for pass := 0; pass == 0 || time.Since(start) < pr8MinPhase; pass++ {
+			for _, qi := range stream {
+				qs := time.Now()
+				if _, err := ds.Query(pool[qi], reqs...); err != nil {
+					panic(err)
+				}
+				lats = append(lats, time.Since(qs))
+			}
+		}
+		elapsed := time.Since(start)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return lats, elapsed
+	}
+
+	// Phase 1: the read-only baseline.
+	roLats, roElapsed := runStream()
+	roStats := ds.IngestStatsNow()
+	ro := PR8Point{
+		Phase:    "read-only",
+		Queries:  len(roLats),
+		QPS:      float64(len(roLats)) / roElapsed.Seconds(),
+		P50US:    float64(pr8Percentile(roLats, 0.50).Nanoseconds()) / 1000,
+		P99US:    float64(pr8Percentile(roLats, 0.99).Nanoseconds()) / 1000,
+		P99Ratio: 1,
+	}
+
+	// Phase 2: the same read stream while ingesters append and the
+	// background compactor folds.
+	compactor := store.NewCompactor(ds, pr8CompactEvery)
+	compactor.OnError = func(err error) { panic(err) }
+	compactor.Start()
+	var stop atomic.Bool
+	var acked atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	hot := pr8HotRect(bound)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(cfg.Seed + 23))
+		for !stop.Load() {
+			pts, cols := pr8GenRows(rng, hot, raw.Spec.Schema.NumCols(), pr8BatchRows)
+			if _, err := ds.Ingest(pts, cols); err != nil {
+				panic(err)
+			}
+			acked.Add(pr8BatchRows)
+			time.Sleep(pr8IngestPause)
+		}
+	}()
+	mixLats, mixElapsed := runStream()
+	stop.Store(true)
+	wg.Wait()
+	compactor.Close()
+	mixStats := ds.IngestStatsNow()
+
+	mixed := PR8Point{
+		Phase:            "mixed",
+		Queries:          len(mixLats),
+		QPS:              float64(len(mixLats)) / mixElapsed.Seconds(),
+		P50US:            float64(pr8Percentile(mixLats, 0.50).Nanoseconds()) / 1000,
+		P99US:            float64(pr8Percentile(mixLats, 0.99).Nanoseconds()) / 1000,
+		IngestRows:       mixStats.Rows - roStats.Rows,
+		IngestBatches:    mixStats.Batches - roStats.Batches,
+		IngestRowsPerSec: float64(mixStats.Rows-roStats.Rows) / mixElapsed.Seconds(),
+		Compactions:      mixStats.Compactions - roStats.Compactions,
+		CompactedRows:    mixStats.CompactedRows - roStats.CompactedRows,
+		DeltaRowsEnd:     mixStats.DeltaRows,
+	}
+	mixed.P99Ratio = mixed.P99US / ro.P99US
+
+	tbl := &Table{
+		ID:    "pr8",
+		Title: "Streaming ingest: read latency while ingesting + compacting vs read-only (taxi)",
+		Note: fmt.Sprintf("%d rows, block level %d, shard level 2, %d-polygon pool at s=%.1f, %d queries/phase; %d-row batches, %v compaction cadence; final count checked against acked rows",
+			cfg.TaxiRows, pr8Level, pr8PoolSize, pr8Skew, nQueries, pr8BatchRows, pr8CompactEvery),
+		Header: []string{"phase", "queries", "qps", "p50 us", "p99 us", "p99 ratio", "ingested", "rows/s", "compactions"},
+	}
+	points := []PR8Point{ro, mixed}
+	for _, p := range points {
+		tbl.AddRow(
+			p.Phase,
+			fmt.Sprintf("%d", p.Queries),
+			fmt.Sprintf("%.0f", p.QPS),
+			fmt.Sprintf("%.1f", p.P50US),
+			fmt.Sprintf("%.1f", p.P99US),
+			fmt.Sprintf("%.2fx", p.P99Ratio),
+			fmt.Sprintf("%d", p.IngestRows),
+			fmt.Sprintf("%.0f", p.IngestRowsPerSec),
+			fmt.Sprintf("%d", p.Compactions),
+		)
+	}
+
+	// The in-run gates, after the table exists so a failure still shows
+	// the measured numbers.
+	fail := func(format string, args ...any) {
+		tbl.Render(os.Stderr)
+		panic(fmt.Sprintf(format, args...))
+	}
+	// Row accounting: quiesce, fold everything, and expect base plus every
+	// acknowledged row — the serving-while-ingesting correctness gate.
+	if _, err := ds.Compact(); err != nil {
+		panic(err)
+	}
+	finalCount, err := ds.QueryRect(bound, geoblocks.Count())
+	if err != nil {
+		panic(err)
+	}
+	if want := baseCount.Count + acked.Load(); finalCount.Count != want {
+		fail("pr8: final count %d, want base %d + %d acked rows",
+			finalCount.Count, baseCount.Count, acked.Load())
+	}
+	if mixed.P99Ratio > pr8MaxP99Ratio {
+		fail("pr8: read p99 under ingest is %.2fx the read-only p99 (ceiling %.1fx)",
+			mixed.P99Ratio, pr8MaxP99Ratio)
+	}
+	if mixed.Compactions == 0 {
+		fail("pr8: no background compaction ran during the mixed phase")
+	}
+	return []*Table{tbl}, points
+}
+
+// PR8 is the Runner entry point.
+func PR8(cfg Config) []*Table {
+	tables, _ := PR8Perf(cfg)
+	return tables
+}

@@ -81,12 +81,17 @@ type server struct {
 	reqQuery    atomic.Uint64
 	reqStats    atomic.Uint64
 	reqMetrics  atomic.Uint64
+	reqIngest   atomic.Uint64
+	// ingestedRows counts rows acknowledged through the rows endpoint.
+	ingestedRows atomic.Uint64
 }
 
 // NewHandler wraps a store in the daemon's HTTP handler. The endpoint
 // groups (docs/OPERATIONS.md has the full reference):
 //
 //	GET/POST /v1/datasets, DELETE /v1/datasets/{name} — registry
+//	POST /v1/datasets/{name}/rows — streaming ingest (JSON or NDJSON)
+//	POST /v1/datasets/{name}/compact — fold pending rows into the base
 //	POST /v1/datasets/{name}/snapshot — durable snapshot to disk
 //	POST /v1/query — polygon, rect and batch-of-polygons aggregation
 //	GET /v1/stats — dataset statistics with per-shard breakdown
@@ -104,6 +109,8 @@ func newServer(st *store.Store, cfg Config) (*server, http.Handler) {
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
 	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDropDataset)
+	mux.HandleFunc("POST /v1/datasets/{name}/rows", s.handleIngest)
+	mux.HandleFunc("POST /v1/datasets/{name}/compact", s.handleCompact)
 	mux.HandleFunc("POST /v1/datasets/{name}/snapshot", s.handleSnapshotDataset)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -599,10 +606,14 @@ func (s *server) handleDropDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// DELETE without ?purge=1 never touches disk: a dropped dataset's
-	// snapshot stays restorable (docs/OPERATIONS.md).
+	// snapshot+WAL pair stays restorable (docs/OPERATIONS.md).
 	if purge {
 		if err := os.RemoveAll(filepath.Join(s.cfg.DataDir, name)); err != nil {
 			writeError(w, http.StatusInternalServerError, "dataset dropped but purge failed: %v", err)
+			return
+		}
+		if err := snapshot.RemoveWAL(s.cfg.DataDir, name); err != nil {
+			writeError(w, http.StatusInternalServerError, "dataset dropped but wal purge failed: %v", err)
 			return
 		}
 	}
@@ -726,6 +737,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric("geoblocksd_requests_total", `endpoint="query"`, float64(s.reqQuery.Load()))
 	writeMetric("geoblocksd_requests_total", `endpoint="stats"`, float64(s.reqStats.Load()))
 	writeMetric("geoblocksd_requests_total", `endpoint="metrics"`, float64(s.reqMetrics.Load()))
+	writeMetric("geoblocksd_requests_total", `endpoint="ingest"`, float64(s.reqIngest.Load()))
+	writeMetric("geoblocksd_ingested_rows_total", "", float64(s.ingestedRows.Load()))
 
 	// Residency series exist exactly when the daemon runs with mmap
 	// serving — a per-process configuration, so they are stable for the
@@ -775,6 +788,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeMetric("geoblocks_resultcache_misses_total", l, rcMisses)
 		writeMetric("geoblocks_resultcache_evictions_total", l, rcEvictions)
 		writeMetric("geoblocks_resultcache_bytes", l, rcBytes)
+		// Ingest/compaction series exist for every writable (non-mapped)
+		// dataset, zeros included, so dashboards see stable series from
+		// the moment a dataset is created.
+		if ing := st.Ingest; ing != nil {
+			writeMetric("geoblocks_ingest_batches_total", l, float64(ing.Batches))
+			writeMetric("geoblocks_ingest_rows_total", l, float64(ing.Rows))
+			writeMetric("geoblocks_ingest_delta_rows", l, float64(ing.DeltaRows))
+			writeMetric("geoblocks_ingest_backpressure_total", l, float64(ing.Backpressured))
+			writeMetric("geoblocks_ingest_seq", l, float64(ing.IngestSeq))
+			writeMetric("geoblocks_ingest_folded_seq", l, float64(ing.FoldedSeq))
+			writeMetric("geoblocks_compactions_total", l, float64(ing.Compactions))
+			writeMetric("geoblocks_compacted_rows_total", l, float64(ing.CompactedRows))
+			writeMetric("geoblocks_ingest_wal_bytes", l, float64(ing.WALBytes))
+		}
 	}
 	_, _ = w.Write([]byte(b.String()))
 }

@@ -1,0 +1,289 @@
+package httpapi
+
+// Streaming ingest endpoints:
+//
+//	POST /v1/datasets/{name}/rows    — append a batch of rows
+//	POST /v1/datasets/{name}/compact — fold pending rows into the base
+//
+// The rows endpoint accepts two encodings. The default is a JSON object
+// {"columns": [...], "rows": [[x, y, v...], ...]} where the optional
+// columns array names the order of the per-row values (omitted = schema
+// order). With a Content-Type containing "ndjson", the body is one JSON
+// array per line, [x, y, v...] in schema order — the natural shape for
+// piping a row stream through curl.
+//
+// Ingest is all-or-nothing: the whole batch is parsed and validated
+// before the store sees it, and the store validates again before applying
+// anything, so a 4xx/5xx response means no row of the batch was applied
+// (and none was logged). A 200 means the batch is visible to subsequent
+// queries and — when the daemon runs with a data dir — fsynced to the
+// dataset's write-ahead log.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"geoblocks"
+	"geoblocks/internal/geom"
+	"geoblocks/internal/store"
+)
+
+// maxIngestRows caps one ingest batch: bigger streams should be split
+// into batches (each batch is one WAL fsync, so very large batches also
+// hold the ingest lock longer than necessary).
+const maxIngestRows = 100_000
+
+// maxIngestBodyBytes caps the rows endpoint's body independently of the
+// (smaller) general POST cap: 100k NDJSON rows of a few columns fit
+// comfortably.
+const maxIngestBodyBytes = 32 << 20
+
+// ingestRequest is the JSON-object form of the rows endpoint body.
+type ingestRequest struct {
+	// Columns optionally names the value order of each row's tail
+	// (positions after x and y). Must be a permutation of the dataset
+	// schema when present.
+	Columns []string `json:"columns,omitempty"`
+	// Rows are [x, y, v...] tuples.
+	Rows [][]float64 `json:"rows"`
+}
+
+// ingestResponse acknowledges an applied batch.
+type ingestResponse struct {
+	Dataset string `json:"dataset"`
+	Rows    int    `json:"rows"`
+	// Seq is the batch's ingest sequence number: after a restart, a
+	// sequence at or below the dataset's ingest_seq is guaranteed
+	// replayed or folded.
+	Seq uint64 `json:"seq"`
+	// DeltaRows is the dataset's pending (unfolded) row count after this
+	// batch — a growing value means the compactor is behind.
+	DeltaRows int64 `json:"delta_rows"`
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// columnPerm resolves an optional column-name list into value-position →
+// schema-index, validating it is a full permutation of the schema.
+func columnPerm(schema geoblocks.Schema, names []string) ([]int, error) {
+	if len(names) == 0 {
+		perm := make([]int, schema.NumCols())
+		for i := range perm {
+			perm[i] = i
+		}
+		return perm, nil
+	}
+	if len(names) != schema.NumCols() {
+		return nil, fmt.Errorf("columns lists %d names, schema has %d (%s)",
+			len(names), schema.NumCols(), strings.Join(schema.Names, ", "))
+	}
+	perm := make([]int, len(names))
+	seen := make(map[int]bool, len(names))
+	for i, name := range names {
+		idx := -1
+		for c, n := range schema.Names {
+			if n == name {
+				idx = c
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("unknown column %q (schema: %s)", name, strings.Join(schema.Names, ", "))
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("duplicate column %q", name)
+		}
+		seen[idx] = true
+		perm[i] = idx
+	}
+	return perm, nil
+}
+
+// appendRow validates one [x, y, v...] tuple and appends it to the batch
+// under construction.
+func appendRow(row []float64, perm []int, pts *[]geom.Point, cols [][]float64, rowIdx int) error {
+	if len(row) != 2+len(perm) {
+		return fmt.Errorf("row %d has %d values, want %d (x, y, %d columns)", rowIdx, len(row), 2+len(perm), len(perm))
+	}
+	*pts = append(*pts, geom.Pt(row[0], row[1]))
+	for i, c := range perm {
+		cols[c] = append(cols[c], row[2+i])
+	}
+	return nil
+}
+
+// parseIngestJSON decodes the JSON-object body form.
+func parseIngestJSON(r *http.Request, schema geoblocks.Schema) ([]geom.Point, [][]float64, int, error) {
+	var req ingestRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("malformed request body: %v", err)
+	}
+	if len(req.Rows) == 0 {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("missing rows")
+	}
+	if len(req.Rows) > maxIngestRows {
+		return nil, nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d rows exceeds the %d-row cap; split it", len(req.Rows), maxIngestRows)
+	}
+	perm, err := columnPerm(schema, req.Columns)
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	pts := make([]geom.Point, 0, len(req.Rows))
+	cols := make([][]float64, schema.NumCols())
+	for c := range cols {
+		cols[c] = make([]float64, 0, len(req.Rows))
+	}
+	for i, row := range req.Rows {
+		if err := appendRow(row, perm, &pts, cols, i); err != nil {
+			return nil, nil, http.StatusBadRequest, err
+		}
+	}
+	return pts, cols, 0, nil
+}
+
+// parseIngestNDJSON decodes the newline-delimited body form: one JSON
+// array [x, y, v...] per line, schema column order. A truncated or
+// malformed line rejects the whole batch — NDJSON is not applied
+// line-by-line.
+func parseIngestNDJSON(r *http.Request, schema geoblocks.Schema) ([]geom.Point, [][]float64, int, error) {
+	perm, err := columnPerm(schema, nil)
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	var pts []geom.Point
+	cols := make([][]float64, schema.NumCols())
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		line++
+		if text == "" {
+			continue
+		}
+		var row []float64
+		if err := json.Unmarshal([]byte(text), &row); err != nil {
+			return nil, nil, http.StatusBadRequest, fmt.Errorf("line %d: malformed row: %v", line, err)
+		}
+		if len(pts) >= maxIngestRows {
+			return nil, nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch exceeds the %d-row cap; split it", maxIngestRows)
+		}
+		if err := appendRow(row, perm, &pts, cols, line-1); err != nil {
+			return nil, nil, http.StatusBadRequest, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, bodyErrStatus(err), fmt.Errorf("reading body: %v", err)
+	}
+	if len(pts) == 0 {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("missing rows")
+	}
+	return pts, cols, 0, nil
+}
+
+// bodyErrStatus distinguishes an over-limit body (413) from transport
+// garbage (400).
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// ingestStatus maps a store ingest error to an HTTP status. Every 4xx/
+// 5xx here implies nothing was applied: ingest validates whole batches
+// up front.
+func ingestStatus(err error) int {
+	switch {
+	case errors.Is(err, store.ErrBackpressure):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, geoblocks.ErrReadOnly), errors.Is(err, geoblocks.ErrRebuildRequired):
+		// The dataset cannot absorb these rows in its current shape —
+		// a conflict with dataset state, not a malformed request.
+		return http.StatusConflict
+	case errors.Is(err, store.ErrBadValue), errors.Is(err, store.ErrOutOfBounds):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.reqIngest.Add(1)
+	name := r.PathValue("name")
+	d, ok := s.store.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxIngestBodyBytes)
+
+	start := time.Now()
+	var pts []geom.Point
+	var cols [][]float64
+	var status int
+	var err error
+	if strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
+		pts, cols, status, err = parseIngestNDJSON(r, d.Schema())
+	} else {
+		pts, cols, status, err = parseIngestJSON(r, d.Schema())
+	}
+	if err != nil {
+		if status == http.StatusBadRequest {
+			status = bodyErrStatus(err) // over-limit body surfaces as a decode error
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	seq, err := d.Ingest(pts, cols)
+	if err != nil {
+		st := ingestStatus(err)
+		if st == http.StatusServiceUnavailable {
+			// The compactor was kicked; the backlog drains in roughly one
+			// fold pass.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, st, "ingest: %v", err)
+		return
+	}
+	s.ingestedRows.Add(uint64(len(pts)))
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Dataset:   name,
+		Rows:      len(pts),
+		Seq:       seq,
+		DeltaRows: d.DeltaRows(),
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
+func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	s.reqIngest.Add(1)
+	name := r.PathValue("name")
+	d, ok := s.store.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
+		return
+	}
+	st, err := d.Compact()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, geoblocks.ErrReadOnly) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "compact: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Dataset string `json:"dataset"`
+		store.CompactionStats
+	}{Dataset: name, CompactionStats: st})
+}

@@ -169,6 +169,8 @@ type Cache struct {
 	rejectedColder atomic.Uint64
 	evictions      atomic.Uint64
 	invalidations  atomic.Uint64
+	appendInvals   atomic.Uint64
+	foldInvals     atomic.Uint64
 }
 
 // New creates a result cache. MaxBytes must be positive and MinHits
@@ -201,6 +203,28 @@ func (c *Cache) Generation() uint64 { return c.gen.Load() }
 func (c *Cache) Invalidate() {
 	c.gen.Add(1)
 	c.invalidations.Add(1)
+}
+
+// InvalidateAppend is Invalidate for a delta append (streaming ingest):
+// one generation bump per acknowledged batch, taken after the rows are
+// visible to queries and before the ingest is acknowledged, so no cached
+// answer computed without the batch can be served after its ack. The bump
+// semantics are identical to Invalidate — memoized coverings survive, and
+// entries are reclaimed lazily — only the accounting differs.
+func (c *Cache) InvalidateAppend() {
+	c.appendInvals.Add(1)
+	c.Invalidate()
+}
+
+// InvalidateFold is Invalidate for a compaction fold: exactly one
+// generation bump per fold, taken under the same write lock that swaps
+// the folded blocks in. A fold moves rows from delta to base without
+// changing any query answer, but the swap also replaces the per-shard
+// aggtrie caches and pyramid levels, so cached results must be recomputed
+// rather than replayed against re-associated sums.
+func (c *Cache) InvalidateFold() {
+	c.foldInvals.Add(1)
+	c.Invalidate()
 }
 
 // Lookup resolves a query against the cache at the given generation
@@ -453,6 +477,12 @@ type Stats struct {
 	RejectedColder uint64 `json:"rejected_colder"`
 	Evictions      uint64 `json:"evictions"`
 	Invalidations  uint64 `json:"invalidations"`
+	// AppendInvalidations and FoldInvalidations break Invalidations down
+	// by cause on the streaming write path: one per acknowledged ingest
+	// batch, and exactly one per compaction fold. The remainder are
+	// generic (Update/Drop/reconfigure) invalidations.
+	AppendInvalidations uint64 `json:"append_invalidations"`
+	FoldInvalidations   uint64 `json:"fold_invalidations"`
 	// HotnessTracked / HotnessDropped describe the admission tracker:
 	// footprints currently scored, and candidates discarded by its
 	// capacity bound.
@@ -476,22 +506,24 @@ func (c *Cache) Stats() Stats {
 	entries, coverings, bytes := len(c.entries), len(c.index), c.bytes
 	c.mu.Unlock()
 	return Stats{
-		MaxBytes:       c.maxBytes,
-		Bytes:          bytes,
-		Entries:        entries,
-		Coverings:      coverings,
-		MinHits:        c.minHits,
-		Generation:     c.gen.Load(),
-		Hits:           c.hits.Load(),
-		Misses:         c.misses.Load(),
-		StaleMisses:    c.staleMisses.Load(),
-		Admissions:     c.admissions.Load(),
-		RejectedCold:   c.rejectedCold.Load(),
-		RejectedColder: c.rejectedColder.Load(),
-		Evictions:      c.evictions.Load(),
-		Invalidations:  c.invalidations.Load(),
-		HotnessTracked: c.hot.tracked(),
-		HotnessDropped: c.hot.dropped.Load(),
+		MaxBytes:            c.maxBytes,
+		Bytes:               bytes,
+		Entries:             entries,
+		Coverings:           coverings,
+		MinHits:             c.minHits,
+		Generation:          c.gen.Load(),
+		Hits:                c.hits.Load(),
+		Misses:              c.misses.Load(),
+		StaleMisses:         c.staleMisses.Load(),
+		Admissions:          c.admissions.Load(),
+		RejectedCold:        c.rejectedCold.Load(),
+		RejectedColder:      c.rejectedColder.Load(),
+		Evictions:           c.evictions.Load(),
+		Invalidations:       c.invalidations.Load(),
+		AppendInvalidations: c.appendInvals.Load(),
+		FoldInvalidations:   c.foldInvals.Load(),
+		HotnessTracked:      c.hot.tracked(),
+		HotnessDropped:      c.hot.dropped.Load(),
 	}
 }
 

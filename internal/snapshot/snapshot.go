@@ -98,6 +98,13 @@ type Manifest struct {
 	// which read as 0 (no result cache) within the same format version.
 	ResultCacheBytes   int64 `json:"result_cache_bytes,omitempty"`
 	ResultCacheMinHits int   `json:"result_cache_min_hits,omitempty"`
+	// IngestSeq is the highest streaming-ingest batch sequence number
+	// whose rows are folded into the snapshotted base blocks. A restore
+	// replays only WAL batches with seq > IngestSeq (see wal.go), so a
+	// snapshot plus its ingest WAL is a complete recovery point with no
+	// row lost or double-counted. Absent in pre-ingest snapshots, which
+	// read as 0 (replay the whole WAL) within the same format version.
+	IngestSeq uint64 `json:"ingest_seq,omitempty"`
 	// Bound is the dataset domain as [minX, minY, maxX, maxY].
 	Bound [4]float64 `json:"bound"`
 	// Columns are the value-column names, in schema order.

@@ -1,0 +1,361 @@
+package snapshot
+
+// The ingest write-ahead log (WAL): the replayable sidecar that makes a
+// snapshot plus its delta rows a true recovery point. Every acknowledged
+// ingest batch is appended as one CRC32C-framed record and fsynced BEFORE
+// the acknowledgement, so an acknowledged row is always recoverable; a
+// crash mid-append leaves a torn tail that the next open truncates away —
+// by construction those rows were never acknowledged. Batches carry a
+// strictly increasing sequence number; restore replays only batches with
+// seq greater than the snapshot manifest's IngestSeq, so no row is ever
+// double-counted. docs/FORMAT.md Sec. 9 specifies the bytes.
+//
+// Layout (all integers little-endian):
+//
+//	header:  magic "GBWAL001" (8) | numCols u32 | reserved u32
+//	frame:   seq u64 | nrows u32 | crc32c u32 | payload
+//	payload: nrows×{x f64, y f64} then, per column, nrows×f64
+//
+// The frame CRC covers seq, nrows and the payload.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"geoblocks/internal/core"
+	"geoblocks/internal/geom"
+)
+
+// walMagic identifies an ingest WAL file.
+var walMagic = [8]byte{'G', 'B', 'W', 'A', 'L', '0', '0', '1'}
+
+const (
+	walHeaderSize = 16
+	walFrameHead  = 16
+	// walMaxFrameRows bounds nrows so a corrupt frame header cannot
+	// trigger a huge allocation; frames above it read as torn/corrupt.
+	walMaxFrameRows = 1 << 24
+)
+
+// ErrWALCorrupt reports an ingest WAL whose non-tail bytes fail
+// validation (bad magic or a column count contradicting the dataset). A
+// merely torn tail — the expected shape after a crash mid-append — is
+// NOT an error: replay stops before it and open truncates it away.
+var ErrWALCorrupt = errors.New("snapshot: corrupt ingest wal")
+
+// WALBatch is one replayable ingest batch.
+type WALBatch struct {
+	Seq    uint64
+	Points []geom.Point
+	// Cols holds one value slice per schema column, aligned with Points.
+	Cols [][]float64
+}
+
+// WAL is an append-only ingest log for one dataset. Append and
+// TruncateThrough are safe for concurrent use; replay happens once at
+// open time, before the handle is shared.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	cols    int
+	lastSeq uint64
+	batches uint64 // frames appended this process (stats)
+}
+
+// WALPath returns the conventional sidecar path of a dataset's ingest WAL
+// next to (not inside) its snapshot directory: <dataDir>/<name>.wal. The
+// WAL must not live inside the snapshot directory because snapshots are
+// replaced by atomic directory swap.
+func WALPath(dataDir, dataset string) string {
+	return filepath.Join(dataDir, dataset+".wal")
+}
+
+// OpenWAL opens (or creates) the ingest WAL at path for a dataset with
+// the given column count and returns every intact batch in log order for
+// replay. A torn tail — short frame, payload shorter than its header
+// claims, or CRC mismatch on the final frame region — is truncated away
+// so the handle appends after the last intact frame. A magic or column
+// count mismatch wraps ErrWALCorrupt.
+func OpenWAL(path string, cols int) (*WAL, []WALBatch, error) {
+	if cols < 0 {
+		return nil, nil, fmt.Errorf("snapshot: negative wal column count %d", cols)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{f: f, path: path, cols: cols}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		// Fresh log: write and sync the header.
+		var hdr [walHeaderSize]byte
+		copy(hdr[:8], walMagic[:])
+		binary.LittleEndian.PutUint32(hdr[8:12], uint32(cols))
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return w, nil, nil
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	batches, validEnd, err := parseWAL(data, cols)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if int64(validEnd) != st.Size() {
+		// Torn tail from a crash mid-append: those rows were never
+		// acknowledged (ack happens strictly after fsync), so dropping
+		// them is the correct recovery.
+		if err := f.Truncate(int64(validEnd)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(validEnd), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if n := len(batches); n > 0 {
+		w.lastSeq = batches[n-1].Seq
+	}
+	return w, batches, nil
+}
+
+// parseWAL decodes every intact frame of a WAL image and returns the
+// batches plus the byte offset after the last intact frame. Structural
+// violations of the header (magic, column count) are errors; anything
+// wrong at or after the first bad frame is treated as the torn tail.
+func parseWAL(data []byte, cols int) ([]WALBatch, int, error) {
+	if len(data) < walHeaderSize {
+		// Shorter than a header: a torn creation; treat as empty.
+		return nil, 0, nil
+	}
+	if [8]byte(data[:8]) != walMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrWALCorrupt)
+	}
+	if got := binary.LittleEndian.Uint32(data[8:12]); got != uint32(cols) {
+		return nil, 0, fmt.Errorf("%w: wal has %d columns, dataset has %d", ErrWALCorrupt, got, cols)
+	}
+	var batches []WALBatch
+	off := walHeaderSize
+	var lastSeq uint64
+	for {
+		if len(data)-off < walFrameHead {
+			break // torn or clean end
+		}
+		seq := binary.LittleEndian.Uint64(data[off : off+8])
+		nrows := binary.LittleEndian.Uint32(data[off+8 : off+12])
+		crc := binary.LittleEndian.Uint32(data[off+12 : off+16])
+		if nrows > walMaxFrameRows || seq <= lastSeq {
+			break // garbage header: torn tail
+		}
+		payload := int(nrows) * (2 + cols) * 8
+		if len(data)-off-walFrameHead < payload {
+			break // torn payload
+		}
+		frame := data[off+walFrameHead : off+walFrameHead+payload]
+		sum := core.CRC32C(data[off : off+12])
+		sum = core.CRC32CUpdate(sum, frame)
+		if sum != crc {
+			break // torn or bit-rotted tail frame
+		}
+		b := WALBatch{Seq: seq, Points: make([]geom.Point, nrows), Cols: make([][]float64, cols)}
+		p := 0
+		for i := range b.Points {
+			b.Points[i].X = math.Float64frombits(binary.LittleEndian.Uint64(frame[p:]))
+			b.Points[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(frame[p+8:]))
+			p += 16
+		}
+		for c := 0; c < cols; c++ {
+			b.Cols[c] = make([]float64, nrows)
+			for i := range b.Cols[c] {
+				b.Cols[c][i] = math.Float64frombits(binary.LittleEndian.Uint64(frame[p:]))
+				p += 8
+			}
+		}
+		batches = append(batches, b)
+		lastSeq = seq
+		off += walFrameHead + payload
+	}
+	return batches, off, nil
+}
+
+// encodeFrame serialises one batch into a framed record.
+func encodeFrame(seq uint64, pts []geom.Point, cols [][]float64) []byte {
+	payload := len(pts) * (2 + len(cols)) * 8
+	buf := make([]byte, walFrameHead+payload)
+	binary.LittleEndian.PutUint64(buf[0:8], seq)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(pts)))
+	p := walFrameHead
+	for _, pt := range pts {
+		binary.LittleEndian.PutUint64(buf[p:], math.Float64bits(pt.X))
+		binary.LittleEndian.PutUint64(buf[p+8:], math.Float64bits(pt.Y))
+		p += 16
+	}
+	for _, col := range cols {
+		for _, v := range col {
+			binary.LittleEndian.PutUint64(buf[p:], math.Float64bits(v))
+			p += 8
+		}
+	}
+	sum := core.CRC32C(buf[0:12])
+	sum = core.CRC32CUpdate(sum, buf[walFrameHead:])
+	binary.LittleEndian.PutUint32(buf[12:16], sum)
+	return buf
+}
+
+// Append writes one batch frame and fsyncs it. It returns only after the
+// bytes are durable — callers acknowledge the ingest strictly after
+// Append returns, which is what makes torn-tail truncation safe. seq must
+// exceed every previously appended sequence number.
+func (w *WAL) Append(seq uint64, pts []geom.Point, cols [][]float64) error {
+	if len(cols) != w.cols {
+		return fmt.Errorf("snapshot: wal append with %d columns, wal has %d", len(cols), w.cols)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if seq <= w.lastSeq {
+		return fmt.Errorf("snapshot: wal append seq %d not after %d", seq, w.lastSeq)
+	}
+	if _, err := w.f.Write(encodeFrame(seq, pts, cols)); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.lastSeq = seq
+	w.batches++
+	return nil
+}
+
+// LastSeq returns the highest sequence number in the log.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSeq
+}
+
+// SizeBytes returns the current log size on disk.
+func (w *WAL) SizeBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st, err := w.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// TruncateThrough drops every frame with seq <= through — called after a
+// snapshot made those batches durable in the base blocks (the manifest's
+// IngestSeq). The rewrite is atomic (temp file + rename); a crash leaves
+// either the old log (replay skips the folded batches by seq) or the new
+// one, both correct. Concurrent Appends are serialised against it.
+func (w *WAL) TruncateThrough(through uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	data, err := io.ReadAll(w.f)
+	if err != nil {
+		return err
+	}
+	batches, _, err := parseWAL(data, w.cols)
+	if err != nil {
+		return err
+	}
+	tmpPath := w.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [walHeaderSize]byte
+	copy(hdr[:8], walMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(w.cols))
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	for _, b := range batches {
+		if b.Seq <= through {
+			continue
+		}
+		if _, err := tmp.Write(encodeFrame(b.Seq, b.Points, b.Cols)); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := syncDir(filepath.Dir(w.path)); err != nil {
+		return err
+	}
+	// Swap the handle to the new file, positioned at its end.
+	nf, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return err
+	}
+	w.f.Close()
+	w.f = nf
+	return nil
+}
+
+// Close closes the log handle. Appends after Close fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// RemoveWAL deletes a dataset's ingest WAL, for purges alongside
+// snapshot directory removal. Missing files are not an error.
+func RemoveWAL(dataDir, dataset string) error {
+	err := os.Remove(WALPath(dataDir, dataset))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package store
+
+// Background compaction: folding shard deltas into the immutable base
+// blocks off the query path. A fold never mutates a serving block — it
+// builds a replacement aside (core.FoldRows via geoblocks.Fold, pyramid
+// and cache re-derived) while queries keep answering base+delta, then
+// swaps the new block in and drops the folded delta prefix under one
+// short write-lock section. The result-cache generation is bumped exactly
+// once per fold, in that same section, because folding may reassociate
+// SUM (bound-equal, not bit-equal) relative to the pre-fold merge order.
+//
+// Lock order: compactMu → ingestMu, and compactMu → d.mu. Update takes
+// compactMu too: it mutates base arrays in place, and a fold that read
+// the base before such a mutation would discard it at swap time.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geoblocks"
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/core"
+)
+
+// CompactionStats reports one fold.
+type CompactionStats struct {
+	// Rows is the number of delta rows folded into base blocks.
+	Rows int `json:"rows"`
+	// Shards is the number of shards that received a new base block.
+	Shards int `json:"shards"`
+	// Seq is the highest ingest batch sequence now durable in the base.
+	Seq uint64 `json:"seq"`
+	// Micros is the wall time of the fold (cut + build + swap).
+	Micros int64 `json:"micros"`
+}
+
+// Compact folds every pending delta row into its shard's base block and
+// re-derives the affected pyramids and caches. Safe concurrently with
+// ingest and queries: the cut is a consistent prefix (rows of batches up
+// to the returned Seq), the fold itself runs under the read lock, and
+// only the pointer swap takes the write lock. Rows ingested during the
+// fold stay in the deltas for the next pass. A no-op (empty deltas)
+// returns zero stats.
+func (d *Dataset) Compact() (CompactionStats, error) {
+	if d.residency != nil {
+		return CompactionStats{}, fmt.Errorf("store: dataset %q is mapped read-only: %w", d.name, core.ErrReadOnly)
+	}
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+	start := time.Now()
+
+	// Cut: under ingestMu no batch is mid-application, so per-shard delta
+	// lengths form a consistent prefix — exactly the rows of batches with
+	// seq <= cutSeq, because application is serialised in seq order.
+	d.ingestMu.Lock()
+	cutSeq := d.ingestSeq.Load()
+	cuts := make([]int, len(d.shards))
+	total := 0
+	for i := range d.shards {
+		if dl := d.shards[i].delta; dl != nil {
+			cuts[i] = dl.size()
+			total += cuts[i]
+		}
+	}
+	d.ingestMu.Unlock()
+	if total == 0 {
+		return CompactionStats{Seq: d.foldedSeq.Load()}, nil
+	}
+
+	// Fold each dirty shard aside, under the read lock: Update (write
+	// lock) cannot mutate base arrays underneath the fold, and queries
+	// keep serving the old blocks. Parallelism is deliberately bounded to
+	// a fraction of the cores: a fold rebuilds whole shard blocks (pyramid
+	// and cache included), and an unbounded goroutine-per-shard burst
+	// would periodically saturate the machine and show up as read-latency
+	// spikes — the opposite of "compaction off the query path".
+	type folded struct {
+		idx   int
+		block *geoblocks.GeoBlock
+		err   error
+	}
+	d.mu.RLock()
+	dirty := make([]int, 0, len(d.shards))
+	for i, n := range cuts {
+		if n > 0 {
+			dirty = append(dirty, i)
+		}
+	}
+	results := make([]folded, len(dirty))
+	workers := runtime.GOMAXPROCS(0) / 4
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(dirty) {
+		workers = len(dirty)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(dirty) {
+					return
+				}
+				i := dirty[k]
+				leaves, cols := d.shards[i].delta.viewPrefix(cuts[i])
+				sl, sc := sortRowsByLeaf(leaves, cols)
+				nb, err := d.shards[i].block.Fold(sl, sc)
+				results[k] = folded{idx: i, block: nb, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	d.mu.RUnlock()
+	for _, r := range results {
+		if r.err != nil {
+			return CompactionStats{}, fmt.Errorf("store: folding shard %v: %w", d.shards[r.idx].cell, r.err)
+		}
+	}
+
+	// Swap: new blocks in, folded prefixes out, generation bumped — one
+	// write-lock section, so no query ever sees a folded base together
+	// with the rows it absorbed still in the delta (double counting).
+	d.mu.Lock()
+	for _, r := range results {
+		d.shards[r.idx].block = r.block
+		d.shards[r.idx].delta.drop(cuts[r.idx])
+	}
+	d.foldedSeq.Store(cutSeq)
+	if d.results != nil {
+		d.results.InvalidateFold()
+	}
+	d.mu.Unlock()
+
+	d.deltaRows.Add(int64(-total))
+	d.compactions.Add(1)
+	d.compactedRows.Add(uint64(total))
+	st := CompactionStats{
+		Rows:   total,
+		Shards: len(dirty),
+		Seq:    cutSeq,
+		Micros: time.Since(start).Microseconds(),
+	}
+	d.lastCompactMicros.Store(st.Micros)
+	return st, nil
+}
+
+// sortRowsByLeaf returns the rows stably sorted by leaf id, as FoldRows
+// requires. The inputs are delta snapshots shared with readers, so the
+// sort permutes fresh copies.
+func sortRowsByLeaf(leaves []cellid.ID, cols [][]float64) ([]cellid.ID, [][]float64) {
+	idx := make([]int, len(leaves))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return leaves[idx[a]] < leaves[idx[b]] })
+	outL := make([]cellid.ID, len(leaves))
+	outC := make([][]float64, len(cols))
+	for c := range cols {
+		outC[c] = make([]float64, len(leaves))
+	}
+	for k, i := range idx {
+		outL[k] = leaves[i]
+		for c := range cols {
+			outC[c][k] = cols[c][i]
+		}
+	}
+	return outL, outC
+}
+
+// Compactor folds a dataset's deltas in the background: on a fixed
+// interval, and immediately when kicked (ingest backpressure's soft
+// threshold kicks it). Start it after the dataset is serving; Close
+// stops the loop and waits for an in-flight fold to finish.
+type Compactor struct {
+	d        *Dataset
+	interval time.Duration
+	kick     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	// OnError, when set before Start, observes background fold errors
+	// (the loop keeps running).
+	OnError func(error)
+}
+
+// NewCompactor creates a compactor for d. interval <= 0 disables the
+// timer — the compactor then folds only when kicked.
+func NewCompactor(d *Dataset, interval time.Duration) *Compactor {
+	return &Compactor{
+		d:        d,
+		interval: interval,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the background loop and wires the dataset's soft-cap
+// kick to it.
+func (c *Compactor) Start() {
+	kick := c.Kick
+	c.d.compactKick.Store(&kick)
+	go c.run()
+}
+
+// Kick requests a fold as soon as possible. Non-blocking; kicks received
+// during a fold coalesce into one follow-up pass.
+func (c *Compactor) Kick() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the loop. Safe to call once.
+func (c *Compactor) Close() {
+	c.d.compactKick.Store(nil)
+	close(c.stop)
+	<-c.done
+}
+
+func (c *Compactor) run() {
+	defer close(c.done)
+	var tick <-chan time.Time
+	if c.interval > 0 {
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick:
+		case <-c.kick:
+		}
+		if c.d.DeltaRows() == 0 {
+			continue
+		}
+		if _, err := c.d.Compact(); err != nil && c.OnError != nil {
+			c.OnError(err)
+		}
+	}
+}

@@ -56,6 +56,12 @@ type Options struct {
 	// a query footprint must repeat before its result is cached. 0 admits
 	// on first miss. Ignored unless ResultCacheBytes is positive.
 	ResultCacheMinHits int
+	// DeltaMaxRows caps the dataset's pending (unfolded) ingest delta
+	// rows: an ingest that would exceed it is rejected with
+	// ErrBackpressure, and half the cap kicks the background compactor.
+	// 0 disables the cap. Runtime-only — not persisted in snapshots; the
+	// daemon re-applies its flag on restore.
+	DeltaMaxRows int64
 }
 
 func (o Options) validate() error {
@@ -80,6 +86,9 @@ func (o Options) validate() error {
 	if o.ResultCacheMinHits < 0 {
 		return fmt.Errorf("store: result cache min hits must be >= 0, got %d", o.ResultCacheMinHits)
 	}
+	if o.DeltaMaxRows < 0 {
+		return fmt.Errorf("store: delta max rows must be >= 0, got %d", o.DeltaMaxRows)
+	}
 	return nil
 }
 
@@ -96,6 +105,10 @@ type shard struct {
 	cell  cellid.ID
 	block *geoblocks.GeoBlock
 	lazy  *lazyShard
+	// delta is the shard's mutable ingest tail (ingest.go), merged after
+	// the base on every query and folded into a replacement base block by
+	// compaction. Nil on mapped (read-only) datasets.
+	delta *delta
 }
 
 // noopRelease is the release func of eagerly-held blocks, shared to keep
@@ -139,6 +152,11 @@ type Dataset struct {
 	// read-only (Update is rejected — the aggregate arrays are views of
 	// a read-only mapping).
 	residency *Residency
+	// restored marks a dataset loaded from a snapshot (Open/OpenMapped)
+	// rather than built fresh: only restored datasets may replay an
+	// existing WAL (store.attachIngest) — a fresh build of the same name
+	// supersedes any stale log.
+	restored bool
 
 	// mu orders queries (read side) against structural mutations —
 	// Update, EnableResultCache, RefreshCaches (write side). The shard
@@ -160,6 +178,38 @@ type Dataset struct {
 
 	// queries counts routed queries (each batch element counts once).
 	queries atomic.Uint64
+
+	// Streaming write path (ingest.go, compact.go). ingestMu serialises
+	// batch application so per-shard delta rows land in sequence order —
+	// a length prefix is then a consistent cut; compactMu serialises
+	// folds against each other and against Update (which mutates base
+	// arrays in place — a fold racing it would discard the mutation at
+	// swap time). Lock order: compactMu → d.mu → ingestMu.
+	ingestMu  sync.Mutex
+	compactMu sync.Mutex
+	// wal is the attached write-ahead log, nil until EnableWAL. Guarded
+	// by d.mu for attach/detach; the WAL serialises its own appends.
+	wal *snapshot.WAL
+	// ingestSeq is the highest acknowledged batch sequence; foldedSeq the
+	// highest sequence folded into the base blocks. foldedSeq advances
+	// only under d.mu write lock (the fold swap), so a read-locked holder
+	// sees it consistent with the blocks.
+	ingestSeq atomic.Uint64
+	foldedSeq atomic.Uint64
+	// deltaRows tracks pending rows across all shard deltas, against the
+	// deltaMaxRows backpressure cap.
+	deltaRows    atomic.Int64
+	deltaMaxRows atomic.Int64
+	// compactKick, when set, nudges the attached background compactor.
+	compactKick atomic.Pointer[func()]
+
+	ingestBatches     atomic.Uint64
+	ingestRowsTotal   atomic.Uint64
+	replayedRows      atomic.Uint64
+	backpressured     atomic.Uint64
+	compactions       atomic.Uint64
+	compactedRows     atomic.Uint64
+	lastCompactMicros atomic.Int64
 }
 
 // Build partitions the raw rows by shard-level cell prefix and builds one
@@ -253,8 +303,9 @@ func Build(name string, bound geom.Rect, schema geoblocks.Schema, pts []geom.Poi
 		if err := blk.BuildPyramid(opts.PyramidLevels); err != nil {
 			return nil, fmt.Errorf("store: pyramid of shard %v: %w", cell, err)
 		}
-		d.shards = append(d.shards, shard{cell: cell, block: blk})
+		d.shards = append(d.shards, shard{cell: cell, block: blk, delta: newDelta(schema.NumCols())})
 	}
+	d.deltaMaxRows.Store(opts.DeltaMaxRows)
 	if err := d.initCoverers(); err != nil {
 		return nil, err
 	}
@@ -590,13 +641,36 @@ func levelBlock(blk *geoblocks.GeoBlock, lvl int) *geoblocks.GeoBlock {
 // outlive the scan: a returned Accumulator holds pre-combined scalar
 // state, so merging and finalising it never touch the (possibly
 // evicted) shard arrays again.
+//
+// When the shard carries pending ingest rows, the delta partial is
+// merged AFTER the base partial, always — the fixed base-then-delta
+// order keeps COUNT/MIN/MAX bit-identical to a rebuilt dataset and makes
+// SUM's reassociation deterministic for a given delta state. The
+// leaf-containment test inside QueryRowsPartial is exact at every
+// pyramid level, so delta rows answer planned (coarse-level) queries
+// with the same spatial semantics as base rows.
 func shardPartial(sh *shard, sub []cellid.ID, lvl int, opts geoblocks.QueryOptions, reqs []geoblocks.AggRequest) (*geoblocks.Accumulator, error) {
 	blk, release, err := sh.acquire()
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	return levelBlock(blk, lvl).QueryCoveringPartialOpts(sub, opts, reqs...)
+	acc, err := levelBlock(blk, lvl).QueryCoveringPartialOpts(sub, opts, reqs...)
+	if err != nil || sh.delta == nil || len(sub) == 0 {
+		return acc, err
+	}
+	leaves, cols := sh.delta.view()
+	if len(leaves) == 0 {
+		return acc, nil
+	}
+	dacc, err := blk.QueryRowsPartial(sub, leaves, cols, reqs...)
+	if err != nil {
+		return nil, err
+	}
+	if err := acc.MergeFrom(dacc); err != nil {
+		return nil, err
+	}
+	return acc, nil
 }
 
 // queryCovering executes one planned query: cov must have been computed
@@ -819,13 +893,23 @@ func (d *Dataset) SnapshotV3(dir string) (snapshot.Manifest, error) {
 }
 
 func (d *Dataset) snapshot(dir string, formatVersion int) (snapshot.Manifest, error) {
+	// Fold pending ingest rows into the base first, so the snapshotted
+	// blocks cover every batch up to the manifest's IngestSeq and the
+	// snapshot+WAL pair is a true recovery point. Rows acknowledged after
+	// this fold stay recoverable: they hold sequences above IngestSeq and
+	// the WAL keeps them.
+	if d.residency == nil && d.deltaRows.Load() > 0 {
+		if _, err := d.Compact(); err != nil {
+			return snapshot.Manifest{}, err
+		}
+	}
 	d.mu.RLock()
-	defer d.mu.RUnlock()
 	// A mapped dataset already IS its snapshot: clone the backing
 	// directory byte for byte (manifest checksums included) instead of
 	// faulting every shard in to re-encode unchanged data. Cloning onto
 	// the backing directory itself is a durable no-op.
 	if d.srcDir != "" {
+		defer d.mu.RUnlock()
 		return snapshot.Clone(d.srcDir, dir)
 	}
 	bound := d.dom.Bound()
@@ -839,14 +923,31 @@ func (d *Dataset) snapshot(dir string, formatVersion int) (snapshot.Manifest, er
 		PyramidLevels:      d.opts.PyramidLevels,
 		ResultCacheBytes:   d.opts.ResultCacheBytes,
 		ResultCacheMinHits: d.opts.ResultCacheMinHits,
-		Bound:              [4]float64{bound.Min.X, bound.Min.Y, bound.Max.X, bound.Max.Y},
-		Columns:            d.schema.Names,
+		// foldedSeq only advances under the write lock (the fold swap),
+		// so reading it under the read lock pins it to exactly the block
+		// states serialised below.
+		IngestSeq: d.foldedSeq.Load(),
+		Bound:     [4]float64{bound.Min.X, bound.Min.Y, bound.Max.X, bound.Max.Y},
+		Columns:   d.schema.Names,
 	}
 	shards := make([]snapshot.Shard, len(d.shards))
 	for i := range d.shards {
 		shards[i] = snapshot.Shard{Cell: d.shards[i].cell, Block: d.shards[i].block}
 	}
-	return snapshot.Save(dir, m, shards)
+	wal := d.wal
+	m, err := snapshot.Save(dir, m, shards)
+	d.mu.RUnlock()
+	if err != nil {
+		return m, err
+	}
+	// The batches up to IngestSeq are durable in the base now; drop them
+	// from the log so it stays proportional to the un-snapshotted tail.
+	if wal != nil {
+		if err := wal.TruncateThrough(m.IngestSeq); err != nil {
+			return m, fmt.Errorf("store: truncating ingest wal: %w", err)
+		}
+	}
+	return m, nil
 }
 
 // Open loads a snapshot directory into a Dataset without registering it:
@@ -886,12 +987,13 @@ func Open(dir, name string) (*Dataset, error) {
 		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
 	}
 	d := &Dataset{
-		name:    name,
-		opts:    opts,
-		dom:     dom,
-		schema:  geoblocks.NewSchema(m.Columns...),
-		coverer: cov,
-		shards:  make([]shard, len(shards)),
+		name:     name,
+		opts:     opts,
+		dom:      dom,
+		schema:   geoblocks.NewSchema(m.Columns...),
+		coverer:  cov,
+		shards:   make([]shard, len(shards)),
+		restored: true,
 	}
 	for i, sh := range shards {
 		if opts.CacheThreshold > 0 {
@@ -905,8 +1007,12 @@ func Open(dir, name string) (*Dataset, error) {
 		if err := sh.Block.BuildPyramid(opts.PyramidLevels); err != nil {
 			return nil, fmt.Errorf("%w: rebuilding shard pyramid: %v", snapshot.ErrCorrupt, err)
 		}
-		d.shards[i] = shard{cell: sh.Cell, block: sh.Block}
+		d.shards[i] = shard{cell: sh.Cell, block: sh.Block, delta: newDelta(len(m.Columns))}
 	}
+	// The snapshotted base already covers every batch up to the recorded
+	// IngestSeq; WAL replay (EnableWAL) applies only what came after.
+	d.foldedSeq.Store(m.IngestSeq)
+	d.ingestSeq.Store(m.IngestSeq)
 	if err := d.initCoverers(); err != nil {
 		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
 	}
@@ -976,6 +1082,7 @@ func OpenMapped(dir, name string, res *Residency) (*Dataset, error) {
 		shards:    make([]shard, len(lazies)),
 		srcDir:    absDir,
 		residency: res,
+		restored:  true,
 	}
 	cfg := materializeCfg{
 		cacheThreshold:   opts.CacheThreshold,
@@ -1057,6 +1164,12 @@ func (d *Dataset) Update(batch *geoblocks.UpdateBatch) error {
 			return fmt.Errorf("store: update column %d has %d rows, want %d", c, len(batch.Cols[c]), len(batch.Points))
 		}
 	}
+	// Update mutates base arrays in place. A fold (Compact) that read the
+	// base before this mutation would discard it when its replacement
+	// block swaps in, so updates serialise against the whole fold window,
+	// not just the swap. Lock order: compactMu before d.mu.
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.results != nil {
@@ -1236,6 +1349,11 @@ type DatasetStats struct {
 	MappedBytes    int64 `json:"mapped_bytes,omitempty"`
 	ResidentBytes  int64 `json:"resident_bytes,omitempty"`
 	ResidentShards int   `json:"resident_shards,omitempty"`
+	// Ingest holds the streaming write path's counters (pending delta
+	// rows, acknowledged batches, compactions); nil on mapped datasets,
+	// which are read-only. Tuples counts base rows only — pending delta
+	// rows are reported here until a fold moves them into the base.
+	Ingest *IngestStats `json:"ingest,omitempty"`
 	// ResultCache holds the dataset-level result cache's effectiveness
 	// counters, nil when no result cache is enabled.
 	ResultCache *resultcache.Stats `json:"result_cache,omitempty"`
@@ -1281,6 +1399,10 @@ func (d *Dataset) stats(includeShards bool) DatasetStats {
 	st.PyramidLevels = len(d.pyramidLevelList())
 	st.ErrorBound = d.dom.CellDiagonal(d.opts.Level)
 	st.Mapped = d.residency != nil
+	if d.residency == nil {
+		is := d.ingestStatsLocked()
+		st.Ingest = &is
+	}
 	for i := range d.shards {
 		sh := &d.shards[i]
 		if sh.lazy != nil {

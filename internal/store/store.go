@@ -4,7 +4,28 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"geoblocks/internal/snapshot"
 )
+
+// IngestConfig is the store-wide streaming-ingest policy, applied to
+// every writable dataset as it is registered (EnableIngest).
+type IngestConfig struct {
+	// WALDir, when non-empty, attaches a write-ahead log at
+	// <WALDir>/<name>.wal to each registered dataset: acknowledged
+	// ingests are fsynced before the ack and replayed on restore. Empty
+	// keeps ingest volatile.
+	WALDir string
+	// DeltaMaxRows is the per-dataset backpressure cap on pending delta
+	// rows (0 = uncapped); half of it kicks the compactor.
+	DeltaMaxRows int64
+	// CompactInterval is the background fold cadence; <= 0 folds only on
+	// backpressure kicks.
+	CompactInterval time.Duration
+	// OnError observes background compaction errors (may be nil).
+	OnError func(error)
+}
 
 // Store is a registry of named datasets. The zero value is not usable;
 // call New.
@@ -16,11 +37,95 @@ type Store struct {
 	// place (OpenMapped) and budgets the materialised shards of every
 	// mapped dataset through one shared manager.
 	residency *Residency
+
+	// ingestCfg, when non-nil, is applied to every writable dataset at
+	// Add time: delta cap, WAL attach+replay, background compactor.
+	ingestCfg  *IngestConfig
+	compactors map[string]*Compactor
 }
 
 // New creates an empty store.
 func New() *Store {
-	return &Store{datasets: make(map[string]*Dataset)}
+	return &Store{
+		datasets:   make(map[string]*Dataset),
+		compactors: make(map[string]*Compactor),
+	}
+}
+
+// EnableIngest makes every subsequently registered writable (non-mapped)
+// dataset streaming-ready: its delta cap is set, a WAL is attached (and
+// replayed) when cfg.WALDir is set, and a background compactor starts.
+// Call before restoring or building datasets; already-registered
+// datasets are unaffected.
+func (s *Store) EnableIngest(cfg IngestConfig) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ingestCfg = &cfg
+}
+
+// attachIngest applies the store's ingest policy to one dataset. Called
+// with s.mu held, before the dataset becomes visible in the registry, so
+// WAL replay finishes before any query or ingest can reach it.
+func (s *Store) attachIngest(d *Dataset) error {
+	cfg := s.ingestCfg
+	if cfg == nil || d.Mapped() {
+		return nil
+	}
+	d.SetDeltaMaxRows(cfg.DeltaMaxRows)
+	if cfg.WALDir != "" {
+		if !d.restored {
+			// A freshly built dataset starts a fresh log: a stale WAL left
+			// by a dropped-but-not-purged predecessor of the same name
+			// holds rows of different data and must not replay into it.
+			if err := snapshot.RemoveWAL(cfg.WALDir, d.Name()); err != nil {
+				return err
+			}
+		}
+		if err := d.EnableWAL(cfg.WALDir); err != nil {
+			return err
+		}
+	}
+	c := NewCompactor(d, cfg.CompactInterval)
+	c.OnError = cfg.OnError
+	c.Start()
+	s.compactors[d.Name()] = c
+	return nil
+}
+
+// detachIngest stops a dropped dataset's compactor and closes its WAL.
+// Called without s.mu held: Compactor.Close waits for an in-flight fold.
+func (s *Store) detachIngest(name string, d *Dataset) {
+	s.mu.Lock()
+	c := s.compactors[name]
+	delete(s.compactors, name)
+	s.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	_ = d.CloseWAL()
+}
+
+// Close stops every background compactor and closes every attached WAL.
+// Call during shutdown, before exit-time snapshots, so folds and log
+// writes are quiesced.
+func (s *Store) Close() {
+	s.mu.Lock()
+	cs := make([]*Compactor, 0, len(s.compactors))
+	ds := make([]*Dataset, 0, len(s.compactors))
+	for name, c := range s.compactors {
+		cs = append(cs, c)
+		if d, ok := s.datasets[name]; ok {
+			ds = append(ds, d)
+		}
+	}
+	s.compactors = make(map[string]*Compactor)
+	s.mu.Unlock()
+	for _, c := range cs {
+		c.Close()
+	}
+	for _, d := range ds {
+		_ = d.CloseWAL()
+	}
 }
 
 // EnableMmap makes subsequent Restores serve format-v3 snapshots in
@@ -43,12 +148,18 @@ func (s *Store) Residency() *Residency {
 }
 
 // Add registers a dataset under its name. It fails when the name is
-// already taken; Drop first to replace.
+// already taken; Drop first to replace. With EnableIngest configured,
+// registration also makes a writable dataset streaming-ready (WAL
+// replayed before the dataset becomes visible); an attach failure
+// registers nothing.
 func (s *Store) Add(d *Dataset) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.datasets[d.Name()]; ok {
 		return fmt.Errorf("store: dataset %q already exists", d.Name())
+	}
+	if err := s.attachIngest(d); err != nil {
+		return fmt.Errorf("store: attaching ingest to %q: %w", d.Name(), err)
 	}
 	s.datasets[d.Name()] = d
 	return nil
@@ -103,6 +214,10 @@ func (s *Store) Drop(name string) bool {
 	s.mu.Unlock()
 	if ok {
 		d.Invalidate()
+		// Quiesce the write path: stop the background compactor and close
+		// the WAL (the log file itself stays on disk unless purged — a
+		// dropped dataset's snapshot+WAL pair remains a recovery point).
+		s.detachIngest(name, d)
 	}
 	return ok
 }

@@ -6,8 +6,10 @@
 # restart with -mmap against the v2 snapshot (eager fallback must serve
 # it), re-snapshot (which writes format v3), and restart with -mmap
 # once more (true mapped serving, shards faulted on demand) — the
-# answers must be byte-identical across all four runs. Run from
-# anywhere inside the repository:
+# answers must be byte-identical across all four runs. Finally the
+# ingest leg: acknowledge row batches over the WAL, SIGKILL the daemon
+# (no graceful shutdown, no snapshot), restart, and verify every acked
+# row survived exactly once. Run from anywhere inside the repository:
 #
 #   scripts/snapshot_smoke.sh [port]
 set -eu
@@ -128,4 +130,81 @@ kill -TERM "$pid"
 wait "$pid" || fail "fourth daemon did not exit cleanly"
 pid=""
 
-echo "snapshot_smoke: OK (restored, eager-fallback and mapped answers are identical)"
+# --- Ingest leg: acked batches must survive a SIGKILL exactly once. ---
+
+# count runs the smoke query and extracts the COUNT aggregate.
+count() {
+	curl -sf "$base/v1/query" -d '{
+	  "dataset": "taxi", "rect": [-74.05, 40.60, -73.85, 40.85],
+	  "aggs": [{"func":"count"}]
+	}' | sed -n 's/.*"count":[[:space:]]*\([0-9]*\).*/\1/p'
+}
+
+# ingest_batch posts one 5-row batch (all rows inside the smoke query
+# rect) and fails unless the daemon acknowledges it with a sequence.
+ingest_batch() {
+	curl -sf "$base/v1/datasets/taxi/rows" -d '{"rows": [
+	  [-73.98, 40.75, 12.5, 3.1, 2.0, 0.16, 1, 14, 1],
+	  [-73.97, 40.74, 8.0, 1.2, 1.0, 0.12, 2, 9, 1],
+	  [-73.96, 40.73, 22.5, 7.9, 4.5, 0.20, 1, 18, 2],
+	  [-73.95, 40.76, 6.5, 0.8, 0.0, 0.00, 3, 23, 2],
+	  [-73.99, 40.77, 15.0, 4.4, 3.0, 0.20, 1, 7, 1]
+	]}' | grep -q '"seq"'
+}
+
+echo "snapshot_smoke: fifth run (ingest over the WAL, then SIGKILL)"
+ingdir="$work/ingest-data"
+"$work/geoblocksd" -addr "127.0.0.1:$port" -data-dir "$ingdir" \
+	-load taxi:30000 -shard-level 2 -compact-interval 500ms >"$work/daemon.log" 2>&1 &
+pid=$!
+wait_ready
+
+# The snapshot is the recovery base; everything acked after it lives
+# only in the write-ahead log until the crash.
+curl -sf -X POST "$base/v1/datasets/taxi/snapshot" >/dev/null ||
+	fail "ingest-leg snapshot failed"
+base_count=$(count)
+[ -n "$base_count" ] || fail "ingest-leg baseline query returned no count"
+
+ingest_batch || fail "ingest batch 1 not acknowledged"
+ingest_batch || fail "ingest batch 2 not acknowledged"
+# Fold the first two batches into the in-memory base: after the kill,
+# recovery must replay them from the WAL without double-counting the
+# fold. The third batch stays in the delta across the crash.
+curl -sf -X POST "$base/v1/datasets/taxi/compact" >/dev/null ||
+	fail "ingest-leg compact failed"
+ingest_batch || fail "ingest batch 3 not acknowledged"
+[ -f "$ingdir/taxi.wal" ] || fail "no write-ahead log written"
+
+live_count=$(count)
+[ "$live_count" = "$((base_count + 15))" ] ||
+	fail "pre-crash count $live_count, want $((base_count + 15))"
+
+kill -KILL "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "snapshot_smoke: sixth run (recover acked rows from the WAL)"
+"$work/geoblocksd" -addr "127.0.0.1:$port" -data-dir "$ingdir" \
+	>"$work/daemon.log" 2>&1 &
+pid=$!
+wait_ready
+grep -q "restored taxi" "$work/daemon.log" || fail "daemon did not restore after SIGKILL"
+
+recovered=$(count)
+[ "$recovered" = "$((base_count + 15))" ] ||
+	fail "post-crash count $recovered, want $((base_count + 15)): acked rows lost or double-counted"
+
+# Ingest keeps working after recovery, and folding changes nothing.
+ingest_batch || fail "post-recovery ingest batch not acknowledged"
+curl -sf -X POST "$base/v1/datasets/taxi/compact" >/dev/null ||
+	fail "post-recovery compact failed"
+final=$(count)
+[ "$final" = "$((base_count + 20))" ] ||
+	fail "post-recovery count $final, want $((base_count + 20))"
+
+kill -TERM "$pid"
+wait "$pid" || fail "sixth daemon did not exit cleanly"
+pid=""
+
+echo "snapshot_smoke: OK (restored, eager-fallback and mapped answers identical; acked ingest survived SIGKILL exactly once)"
