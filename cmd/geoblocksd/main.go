@@ -10,6 +10,7 @@
 //	           [-data-dir DIR] [-snapshot-on-exit]
 //	           [-compact-interval D] [-delta-max-rows N]
 //	           [-mmap] [-resident-budget BYTES]
+//	           [-cluster-config FILE] [-coordinator] [-peer-addr ADDR]
 //
 // Each -load builds one synthetic dataset at startup (spec taxi, tweets
 // or osm; default 100000 rows), registered under the spec name. More
@@ -60,6 +61,22 @@
 // bytes, shard faults and evictions. docs/OPERATIONS.md Sec. "Serving
 // snapshots from disk" is the runbook.
 //
+// Cluster mode (-cluster-config FILE) makes the node a member of a
+// geoblocksd cluster: FILE is the shard→node assignment (a JSON map of
+// named nodes, a replication factor and an epoch — docs/OPERATIONS.md
+// "Cluster serving" specifies it), -peer-addr names which entry this
+// process is (matched against node name or addr; defaults to the single
+// entry whose addr matches -addr), and the node serves the internal
+// partial-query endpoint peers scatter to. With -coordinator, /v1/query
+// additionally routes through the cluster scatter-gather: shards this
+// node owns answer in process, remote shards are fetched from their
+// replica chains (per-request timeouts, bounded retries with backoff,
+// hedged requests, failover) and merged in global shard order — answers
+// are bit-identical to single-node for COUNT/MIN/MAX, SUM within the
+// documented bound. SIGHUP reloads the assignment file (epoch must
+// change); a shard with no live replica fails the query with a typed
+// 503 naming the shard, never a silently partial answer.
+//
 // Endpoints (full reference with curl examples in docs/OPERATIONS.md):
 //
 //	GET    /v1/datasets                 list datasets
@@ -69,6 +86,7 @@
 //	POST   /v1/datasets/{name}/compact  fold pending delta rows into the base
 //	POST   /v1/datasets/{name}/snapshot write a durable snapshot
 //	POST   /v1/query                    polygon / rect / batch aggregate query
+//	POST   /internal/v1/partial         peer partial query (cluster mode only)
 //	GET    /v1/stats                    detailed statistics (?dataset=NAME)
 //	GET    /metrics                     Prometheus-style counters
 //
@@ -91,6 +109,7 @@ import (
 	"syscall"
 	"time"
 
+	"geoblocks/internal/cluster"
 	"geoblocks/internal/httpapi"
 	"geoblocks/internal/resultcache"
 	"geoblocks/internal/snapshot"
@@ -138,6 +157,9 @@ func main() {
 		deltaMaxRows = flag.Int64("delta-max-rows", 2_000_000, "ingest backpressure cap on pending delta rows per dataset (0 = uncapped)")
 		mmapServe    = flag.Bool("mmap", false, "serve format-v3 snapshots in place via mmap: metadata-only restore, shards fault in on first query; snapshots are written in format v3")
 		residentMax  = flag.Int64("resident-budget", 0, "resident-memory budget in bytes for mmap-served shards, LRU-evicted above it (0 = unlimited; needs -mmap)")
+		clusterCfg   = flag.String("cluster-config", "", "cluster assignment file (JSON; see docs/OPERATIONS.md): join a geoblocksd cluster and serve the internal partial endpoint; SIGHUP reloads it")
+		coordinator  = flag.Bool("coordinator", false, "route /v1/query through the cluster scatter-gather (needs -cluster-config)")
+		peerAddr     = flag.String("peer-addr", "", "this node's identity in the assignment, matched against node name or addr (default: the node whose addr matches -addr)")
 	)
 	var loads []loadSpec
 	flag.Func("load", "synthetic dataset to serve, spec[:rows] (taxi, tweets, osm); repeatable", func(arg string) error {
@@ -151,6 +173,12 @@ func main() {
 	flag.Parse()
 	if *snapOnExit && *dataDir == "" {
 		log.Fatalf("geoblocksd: -snapshot-on-exit requires -data-dir")
+	}
+	if *coordinator && *clusterCfg == "" {
+		log.Fatalf("geoblocksd: -coordinator requires -cluster-config")
+	}
+	if *peerAddr != "" && *clusterCfg == "" {
+		log.Fatalf("geoblocksd: -peer-addr requires -cluster-config")
 	}
 	if *residentMax != 0 && !*mmapServe {
 		log.Fatalf("geoblocksd: -resident-budget requires -mmap")
@@ -217,7 +245,56 @@ func main() {
 			s.Name, s.Tuples, s.NumShards, s.ShardLevel, s.Level, time.Since(start).Round(time.Millisecond))
 	}
 
-	handler := httpapi.NewHandler(st, httpapi.Config{DataDir: *dataDir, SnapshotV3: *mmapServe})
+	var co *cluster.Coordinator
+	if *clusterCfg != "" {
+		cfg, err := cluster.LoadFile(*clusterCfg)
+		if err != nil {
+			log.Fatalf("geoblocksd: %v", err)
+		}
+		self, err := resolveSelf(cfg, *peerAddr, *addr)
+		if err != nil {
+			log.Fatalf("geoblocksd: %v", err)
+		}
+		co, err = cluster.New(st, cfg, self)
+		if err != nil {
+			log.Fatalf("geoblocksd: %v", err)
+		}
+		role := "peer"
+		if *coordinator {
+			role = "coordinator"
+		}
+		if self == "" {
+			log.Printf("cluster mode: not in the assignment's node list; acting as a pure router")
+		}
+		log.Printf("cluster mode (%s): self %q, epoch %d, %d node(s), replication %d",
+			role, self, co.Epoch(), len(cfg.Nodes), co.Assignment().Replication())
+		// SIGHUP reloads the assignment file: placement, epoch and client
+		// tuning swap in for subsequent queries; a bad file is rejected
+		// and the running assignment stays.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				cfg, err := cluster.LoadFile(*clusterCfg)
+				if err != nil {
+					log.Printf("ERROR: reloading cluster config: %v", err)
+					continue
+				}
+				if err := co.Reload(cfg); err != nil {
+					log.Printf("ERROR: reloading cluster config: %v", err)
+					continue
+				}
+				log.Printf("cluster assignment reloaded: epoch %d, %d node(s)", cfg.Epoch, len(cfg.Nodes))
+			}
+		}()
+	}
+
+	handler := httpapi.NewHandler(st, httpapi.Config{
+		DataDir:     *dataDir,
+		SnapshotV3:  *mmapServe,
+		Cluster:     co,
+		Coordinator: *coordinator,
+	})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("geoblocksd: %v", err)
@@ -239,6 +316,29 @@ func main() {
 	}
 	st.Close()
 	log.Printf("shut down cleanly")
+}
+
+// resolveSelf identifies this process in the assignment's node list:
+// by -peer-addr (matched against node name, then addr; a mismatch is
+// fatal — a mis-identified node would answer shards it doesn't own the
+// stats for), or by the listen address. No match without an explicit
+// -peer-addr means the node runs as a pure router (empty self): it
+// coordinates but owns no shards.
+func resolveSelf(cfg *cluster.Config, peerAddr, listenAddr string) (string, error) {
+	if peerAddr != "" {
+		for _, n := range cfg.Nodes {
+			if n.Name == peerAddr || n.Addr == peerAddr {
+				return n.Name, nil
+			}
+		}
+		return "", fmt.Errorf("-peer-addr %q matches no assignment node (by name or addr)", peerAddr)
+	}
+	for _, n := range cfg.Nodes {
+		if n.Addr == listenAddr {
+			return n.Name, nil
+		}
+	}
+	return "", nil
 }
 
 // restoreDataDir sweeps crash remnants of interrupted saves

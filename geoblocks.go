@@ -465,6 +465,24 @@ func (g *GeoBlock) QueryCoveringPartialOpts(cov []CellID, opts QueryOptions, req
 	return g.inner.SelectCoveringPartial(cov, specs)
 }
 
+// DecodePartial parses an accumulator partial frame produced by
+// Accumulator.EncodePartial on another node, validating its checksum and
+// requiring its aggregate signature to match reqs resolved against this
+// block's schema. It is the receive half of the cluster scatter-gather
+// wire: a coordinator decodes peer frames into accumulators bound to a
+// local block and merges them with MergeFrom in shard order, so cluster
+// answers inherit the single-node merge contract bit for bit
+// (COUNT/MIN/MAX exact, SUM within the DESIGN.md Sec. 6 bound).
+// Malformed frames return errors wrapping ErrCorruptBlock; an unknown
+// wire version wraps ErrBlockVersion.
+func (g *GeoBlock) DecodePartial(data []byte, reqs ...AggRequest) (*Accumulator, error) {
+	specs, err := resolveSpecs(g.inner.Schema(), reqs)
+	if err != nil {
+		return nil, err
+	}
+	return g.inner.DecodePartial(data, specs)
+}
+
 // SplitCovering returns the sub-covering of cov that intersects cell's
 // leaf range — the cells a shard owning cell must answer. cov must be
 // sorted ascending with disjoint cells (the form Cover and CoverRect

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"geoblocks/internal/cellid"
+)
+
+func threeNodes() []Node {
+	return []Node{
+		{Name: "a", Addr: "127.0.0.1:7001"},
+		{Name: "b", Addr: "127.0.0.1:7002"},
+		{Name: "c", Addr: "127.0.0.1:7003"},
+	}
+}
+
+func TestParseValidation(t *testing.T) {
+	good := `{"epoch":1,"nodes":[{"name":"a","addr":"127.0.0.1:7001"}]}`
+	if _, err := Parse([]byte(good)); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	tok := CellToken(cellid.FromIJ(0, 0, 1))
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"bad json", `{`, "parsing assignment"},
+		{"zero epoch", `{"epoch":0,"nodes":[{"name":"a","addr":"x:1"}]}`, "epoch"},
+		{"no nodes", `{"epoch":1,"nodes":[]}`, "no nodes"},
+		{"missing addr", `{"epoch":1,"nodes":[{"name":"a"}]}`, "name and addr"},
+		{"missing name", `{"epoch":1,"nodes":[{"addr":"x:1"}]}`, "name and addr"},
+		{"dup name", `{"epoch":1,"nodes":[{"name":"a","addr":"x:1"},{"name":"a","addr":"x:2"}]}`, "duplicate"},
+		{"negative replication", `{"epoch":1,"replication":-1,"nodes":[{"name":"a","addr":"x:1"}]}`, "replication"},
+		{"static bad token", `{"epoch":1,"nodes":[{"name":"a","addr":"x:1"}],"shards":{"zz":["a"]}}`, "cell token"},
+		{"static empty chain", fmt.Sprintf(`{"epoch":1,"nodes":[{"name":"a","addr":"x:1"}],"shards":{%q:[]}}`, tok), "empty replica chain"},
+		{"static unknown node", fmt.Sprintf(`{"epoch":1,"nodes":[{"name":"a","addr":"x:1"}],"shards":{%q:["ghost"]}}`, tok), "unknown node"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if got := c.Timeout(); got != 2*time.Second {
+		t.Errorf("default timeout = %v", got)
+	}
+	if got := c.Backoff(); got != 25*time.Millisecond {
+		t.Errorf("default backoff = %v", got)
+	}
+	if got := c.Hedge(); got != 0 {
+		t.Errorf("default hedge = %v, want disabled", got)
+	}
+	if got := c.RetryBudget(); got != 1 {
+		t.Errorf("default retry budget = %d, want 1", got)
+	}
+	c = Config{TimeoutMS: 150, Retries: 3, BackoffMS: 5, HedgeMS: 40}
+	if got := c.Timeout(); got != 150*time.Millisecond {
+		t.Errorf("timeout = %v", got)
+	}
+	if got := c.RetryBudget(); got != 3 {
+		t.Errorf("retry budget = %d", got)
+	}
+	if got := c.Backoff(); got != 5*time.Millisecond {
+		t.Errorf("backoff = %v", got)
+	}
+	if got := c.Hedge(); got != 40*time.Millisecond {
+		t.Errorf("hedge = %v", got)
+	}
+	// Retries -1 means "no retries at all", distinct from the unset
+	// default of one retry.
+	c = Config{Retries: -1}
+	if got := c.RetryBudget(); got != 0 {
+		t.Errorf("retries=-1 budget = %d, want 0", got)
+	}
+}
+
+func TestCellTokenRoundTrip(t *testing.T) {
+	cells := []cellid.ID{
+		cellid.Root(),
+		cellid.FromIJ(0, 0, 1),
+		cellid.FromIJ(3, 1, 2),
+		cellid.FromIJ(1234, 4321, 15),
+	}
+	for _, c := range cells {
+		tok := CellToken(c)
+		got, err := ParseCell(tok)
+		if err != nil {
+			t.Fatalf("ParseCell(%q): %v", tok, err)
+		}
+		if got != c {
+			t.Fatalf("round trip %q: got %v, want %v", tok, got, c)
+		}
+	}
+	for _, tok := range []string{"", "zz", "0x0", "0", "18446744073709551616"} {
+		if _, err := ParseCell(tok); err == nil {
+			t.Errorf("ParseCell(%q) accepted", tok)
+		}
+	}
+}
+
+func TestRendezvousDeterminismAndSpread(t *testing.T) {
+	cfg := &Config{Epoch: 1, Replication: 2, Nodes: threeNodes()}
+	a1 := NewAssignment(cfg)
+	a2 := NewAssignment(cfg)
+
+	primaries := make(map[string]int)
+	for i := uint32(0); i < 8; i++ {
+		for j := uint32(0); j < 8; j++ {
+			cell := cellid.FromIJ(i, j, 3)
+			c1 := a1.Owners(cell)
+			c2 := a2.Owners(cell)
+			if len(c1) != 2 {
+				t.Fatalf("chain length %d, want 2", len(c1))
+			}
+			if c1[0] == c1[1] {
+				t.Fatalf("chain for %v repeats node %q", cell, c1[0].Name)
+			}
+			for k := range c1 {
+				if c1[k] != c2[k] {
+					t.Fatalf("assignment not deterministic for %v: %v vs %v", cell, c1, c2)
+				}
+			}
+			primaries[c1[0].Name]++
+		}
+	}
+	// 64 shards over 3 nodes: rendezvous should give every node a share.
+	for _, n := range threeNodes() {
+		if primaries[n.Name] == 0 {
+			t.Errorf("node %q is primary for no shard: %v", n.Name, primaries)
+		}
+	}
+}
+
+func TestRendezvousStability(t *testing.T) {
+	full := NewAssignment(&Config{Epoch: 1, Nodes: threeNodes()})
+	reduced := NewAssignment(&Config{Epoch: 2, Nodes: threeNodes()[:2]})
+
+	moved, kept := 0, 0
+	for i := uint32(0); i < 8; i++ {
+		for j := uint32(0); j < 8; j++ {
+			cell := cellid.FromIJ(i, j, 3)
+			before := full.Owners(cell)[0].Name
+			after := reduced.Owners(cell)[0].Name
+			if before == "c" {
+				moved++
+				continue
+			}
+			// Shards that did not live on the removed node must not move:
+			// that is the point of rendezvous hashing.
+			if before != after {
+				t.Fatalf("shard %v moved %s -> %s though node c was not its primary", cell, before, after)
+			}
+			kept++
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate placement: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestReplicationClamp(t *testing.T) {
+	a := NewAssignment(&Config{Epoch: 1, Replication: 9, Nodes: threeNodes()})
+	if got := a.Replication(); got != 3 {
+		t.Fatalf("replication clamped to %d, want 3", got)
+	}
+	chain := a.Owners(cellid.FromIJ(2, 2, 3))
+	if len(chain) != 3 {
+		t.Fatalf("chain length %d, want 3", len(chain))
+	}
+	a = NewAssignment(&Config{Epoch: 1, Nodes: threeNodes()})
+	if got := a.Replication(); got != 1 {
+		t.Fatalf("default replication = %d, want 1", got)
+	}
+}
+
+func TestStaticOverride(t *testing.T) {
+	cell := cellid.FromIJ(5, 5, 3)
+	tok := CellToken(cell)
+	cfg, err := Parse([]byte(fmt.Sprintf(
+		`{"epoch":1,"replication":2,"nodes":[{"name":"a","addr":"x:1"},{"name":"b","addr":"x:2"},{"name":"c","addr":"x:3"}],"shards":{%q:["c","a"]}}`, tok)))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	a := NewAssignment(cfg)
+	chain := a.Owners(cell)
+	if len(chain) != 2 || chain[0].Name != "c" || chain[1].Name != "a" {
+		t.Fatalf("static chain = %v, want [c a]", chain)
+	}
+	// A neighbouring cell without an override still places by hash.
+	other := a.Owners(cellid.FromIJ(5, 6, 3))
+	if len(other) != 2 {
+		t.Fatalf("hashed chain length %d, want 2", len(other))
+	}
+}

@@ -1,0 +1,30 @@
+// Package cluster lifts the store's covering-split scatter-gather one
+// level, from goroutines over local shards to HTTP requests over peer
+// geoblocksd nodes.
+//
+// A cluster is a set of geoblocksd processes serving the same dataset
+// builds. An assignment file (Config) maps each shard prefix cell to an
+// ordered replica chain of nodes — statically, or by rendezvous hashing
+// over the shard cell — and stamps the mapping with an epoch so peers
+// can reject requests planned under a different generation.
+//
+// The Coordinator plans a query exactly like a single-node router: one
+// pyramid level, one covering at that level, split into per-shard
+// sub-coverings (store.PlanCover + store.ShardSubs). Sub-coverings whose
+// shard this node owns are answered in process; the rest are batched per
+// replica chain and sent to peers as POST /internal/v1/partial requests.
+// Peers answer with serialized accumulator frames (core wire codec),
+// which the coordinator decodes and merges with Accumulator.MergeFrom in
+// ascending shard-cell order — the same merge tree as a single-node
+// query, so cluster answers are bit-identical for COUNT/MIN/MAX and SUM
+// stays within the DESIGN.md Sec. 6 reassociation bound. Level and
+// error-bound reporting are data-independent (derived from the covering
+// alone), so they are identical by construction.
+//
+// The Client tolerates peer faults: per-request timeouts, bounded
+// retries with exponential backoff, hedged requests to later replicas
+// after a configurable delay, and failover down the replica chain. A
+// shard whose whole chain is exhausted fails the query with an
+// UnavailableError naming every unreachable shard — a cluster answer is
+// always complete or refused, never silently partial.
+package cluster

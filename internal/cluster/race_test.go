@@ -1,0 +1,273 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geoblocks"
+	"geoblocks/internal/cluster"
+	"geoblocks/internal/geom"
+	"geoblocks/internal/httpapi"
+	"geoblocks/internal/store"
+)
+
+// uniformPts generates n points strictly inside the test bound (no
+// build-time outlier cleaning applies), with deterministic columns.
+func uniformPts(n int, seed int64) ([]geom.Point, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	ints := make([]float64, n)
+	floats := make([]float64, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		ints[i] = float64(rng.Intn(1000))
+		floats[i] = rng.NormFloat64()
+	}
+	return pts, [][]float64{ints, floats}
+}
+
+// TestClusterStress runs the cluster under concurrent load with chaos:
+// queries through the coordinator race with ingest on every replica,
+// simulated peer outages (dropped connections and killed in-flight
+// requests) and live assignment reloads. Meant for -race. Invariants:
+// most queries succeed (the only tolerated failure is a typed
+// unavailability while an outage window straddles both replicas of a
+// chain), reads through the coordinator observe every acknowledged
+// write, and after the chaos stops a rolling epoch bump leaves a
+// healthy cluster.
+func TestClusterStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const rows = 6000
+	const seed = 31
+	opts := store.Options{Level: 12, ShardLevel: 2, PyramidLevels: 2}
+
+	cfg := &cluster.Config{Epoch: 1, Replication: 2, TimeoutMS: 2000, Retries: 1, BackoffMS: 1, HedgeMS: 20}
+
+	type peer struct {
+		ds    *store.Dataset
+		co    *cluster.Coordinator
+		srv   *httptest.Server
+		proxy *flakyProxy
+	}
+	var peers []*peer
+
+	// Node 0 is the coordinator and a data node, reached in process.
+	// Nodes 1 and 2 sit behind flaky proxies so the chaos worker can
+	// take them off the network without tearing down listeners.
+	stores := make([]*store.Store, 3)
+	for i := 0; i < 3; i++ {
+		stores[i] = store.New()
+		ds := buildDataset(t, rows, seed, opts)
+		if err := stores[i].Add(ds); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		peers = append(peers, &peer{ds: ds})
+	}
+	for i := 1; i <= 2; i++ {
+		name := fmt.Sprintf("n%d", i)
+		co, err := cluster.New(stores[i], &cluster.Config{Epoch: 1, Nodes: []cluster.Node{{Name: name, Addr: "unused:1"}}}, name)
+		if err != nil {
+			t.Fatalf("peer %s: %v", name, err)
+		}
+		peers[i].co = co
+		peers[i].srv = httptest.NewServer(httpapi.NewHandler(stores[i], httpapi.Config{Cluster: co}))
+		t.Cleanup(peers[i].srv.Close)
+		peers[i].proxy = newFlakyProxy(t, peers[i].srv.Listener.Addr().String())
+	}
+	cfg.Nodes = []cluster.Node{
+		{Name: "n0", Addr: "127.0.0.1:1"}, // never dialed: the coordinator answers its own shards in process
+		{Name: "n1", Addr: peers[1].proxy.addr()},
+		{Name: "n2", Addr: peers[2].proxy.addr()},
+	}
+	co, err := cluster.New(stores[0], cfg, "n0")
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	peers[0].co = co
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var successes, unavailable atomic.Uint64
+
+	tolerate := func(err error) bool {
+		var ue *cluster.UnavailableError
+		return errors.As(err, &ue)
+	}
+
+	// Query workers: random polygons and rectangles at mixed error
+	// budgets.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				qo := geoblocks.QueryOptions{MaxError: []float64{0, 0.3, 3}[rng.Intn(3)]}
+				var err error
+				if rng.Intn(2) == 0 {
+					poly := geoblocks.RegularPolygon(geom.Pt(rng.Float64()*100, rng.Float64()*100), 2+rng.Float64()*30, 5)
+					_, err = co.Query(ctx, "taxi", poly, qo, testReqs)
+				} else {
+					r := geom.RectFromCenter(geom.Pt(rng.Float64()*100, rng.Float64()*100), 5+rng.Float64()*40, 5+rng.Float64()*40)
+					_, err = co.QueryRect(ctx, "taxi", r, qo, testReqs)
+				}
+				switch {
+				case err == nil:
+					successes.Add(1)
+				case tolerate(err):
+					unavailable.Add(1)
+				default:
+					t.Errorf("query worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Single writer: ingest the same batch on every replica, then read
+	// it back through the coordinator. The count must reflect every
+	// acknowledged batch — read-your-writes across the wire.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		full := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)}
+		countThrough := func() (uint64, error) {
+			for try := 0; ; try++ {
+				res, err := co.QueryRect(ctx, "taxi", full, geoblocks.QueryOptions{}, []geoblocks.AggRequest{geoblocks.Count()})
+				if err == nil {
+					return res.Count, nil
+				}
+				if !tolerate(err) || try >= 20 {
+					return 0, err
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		base, err := countThrough()
+		if err != nil {
+			t.Errorf("writer: initial count: %v", err)
+			return
+		}
+		var written uint64
+		for batch := int64(0); ; batch++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pts, cols := uniformPts(50, 9000+batch)
+			for i, p := range peers {
+				if _, err := p.ds.Ingest(pts, cols); err != nil {
+					t.Errorf("writer: ingest on node %d: %v", i, err)
+					return
+				}
+			}
+			written += 50
+			got, err := countThrough()
+			if err != nil {
+				t.Errorf("writer: count after batch %d: %v", batch, err)
+				return
+			}
+			if got != base+written {
+				t.Errorf("read-your-writes violated: count %d, want %d after %d batches", got, base+written, batch+1)
+				return
+			}
+		}
+	}()
+
+	// Chaos: alternate outage windows on the two remote peers — drop new
+	// connections at the proxy and kill in-flight requests on the real
+	// server — so retries, hedges and failovers all fire under load.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := peers[1+(i%2)]
+			p.proxy.arm("drop", -1, 0)
+			p.srv.CloseClientConnections()
+			time.Sleep(25 * time.Millisecond)
+			p.proxy.arm("ok", 0, 0)
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	// Reload worker: live same-epoch retunes of the assignment under
+	// running queries.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tuned := *cfg
+			tuned.TimeoutMS = []int{1500, 2000}[i%2]
+			tuned.HedgeMS = []int{10, 20}[i%2]
+			if err := co.Reload(&tuned); err != nil {
+				t.Errorf("reload: %v", err)
+				return
+			}
+			time.Sleep(15 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(700 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if s := successes.Load(); s == 0 {
+		t.Fatalf("no successful queries under chaos (unavailable: %d)", unavailable.Load())
+	}
+	stats := co.Stats()
+	var disturbed uint64
+	for _, p := range stats.Peers {
+		disturbed += p.Errors + p.Failovers + p.Retries + p.Hedges
+	}
+	if disturbed == 0 {
+		t.Errorf("chaos had no observable effect on peer counters: %+v", stats.Peers)
+	}
+
+	// Rolling epoch bump after the storm: peers first, coordinator last,
+	// then the cluster must be healthy at the new epoch.
+	bumped := *cfg
+	bumped.Epoch = 2
+	for i := 1; i <= 2; i++ {
+		peerCfg := cluster.Config{Epoch: 2, Nodes: []cluster.Node{{Name: fmt.Sprintf("n%d", i), Addr: "unused:1"}}}
+		if err := peers[i].co.Reload(&peerCfg); err != nil {
+			t.Fatalf("peer %d epoch bump: %v", i, err)
+		}
+		peers[i].proxy.arm("ok", 0, 0)
+	}
+	if err := co.Reload(&bumped); err != nil {
+		t.Fatalf("coordinator epoch bump: %v", err)
+	}
+	if got := co.Epoch(); got != 2 {
+		t.Fatalf("coordinator epoch = %d, want 2", got)
+	}
+	full := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)}
+	if _, err := co.QueryRect(ctx, "taxi", full, geoblocks.QueryOptions{}, testReqs); err != nil {
+		t.Fatalf("query after epoch bump: %v", err)
+	}
+}

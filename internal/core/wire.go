@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Accumulator partial wire format (cluster scatter-gather, DESIGN.md
+// Sec. 6 contract over the wire). A partial frame carries the exact
+// internal state of an Accumulator — the running count, the visited-cell
+// work counter and one raw float64 per aggregate spec — so a coordinator
+// that decodes peer frames and merges them with MergeFrom in shard order
+// produces bit-identical COUNT/MIN/MAX to a single-node merge of the same
+// shard partials.
+//
+// Layout (little-endian):
+//
+//	offset  size  field
+//	0       4     magic "GBP1"
+//	4       2     wire version (currently 1)
+//	6       2     nspecs
+//	8       3*n   spec signature: per spec u8 func, u16 col
+//	...     8     count (u64)
+//	...     8     visited (u64)
+//	...     8*n   per-spec value as IEEE-754 bits (u64)
+//	...     4     CRC32-C of everything before
+//
+// Values travel as raw float64 bits (not decimal text) so ±Inf identity
+// elements, NaN and every finite value round-trip bit-exactly.
+const (
+	partialMagic   = "GBP1"
+	partialVersion = 1
+)
+
+// partialFrameSize returns the encoded size for n aggregate specs.
+func partialFrameSize(n int) int {
+	return 4 + 2 + 2 + 3*n + 8 + 8 + 8*n + 4
+}
+
+// EncodePartial serialises the accumulator's partial state into a
+// self-checking frame for transport between cluster nodes.
+func (a *Accumulator) EncodePartial() []byte {
+	n := len(a.inner.specs)
+	buf := make([]byte, 0, partialFrameSize(n))
+	buf = append(buf, partialMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, partialVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(n))
+	for _, s := range a.inner.specs {
+		buf = append(buf, byte(s.Func))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(s.Col))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, a.inner.count)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(a.visited))
+	for _, v := range a.inner.vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, CRC32C(buf))
+	return buf
+}
+
+// DecodePartial parses a partial frame produced by EncodePartial into an
+// Accumulator bound to b, validating the checksum and requiring the
+// frame's spec signature to match specs exactly (same functions over the
+// same columns, in the same order). Malformed frames return errors
+// wrapping ErrCorrupt; an unknown wire version wraps ErrVersion.
+func (b *GeoBlock) DecodePartial(data []byte, specs []AggSpec) (*Accumulator, error) {
+	if err := b.validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	if len(data) < partialFrameSize(0) {
+		return nil, fmt.Errorf("%w: partial frame truncated at %d bytes", ErrCorrupt, len(data))
+	}
+	if string(data[:4]) != partialMagic {
+		return nil, fmt.Errorf("%w: bad partial magic %q", ErrCorrupt, data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != partialVersion {
+		return nil, fmt.Errorf("%w: partial wire version %d (this build speaks version %d)",
+			ErrVersion, v, partialVersion)
+	}
+	n := int(binary.LittleEndian.Uint16(data[6:]))
+	if n != len(specs) {
+		return nil, fmt.Errorf("%w: partial frame carries %d specs, expected %d",
+			ErrCorrupt, n, len(specs))
+	}
+	if len(data) != partialFrameSize(n) {
+		return nil, fmt.Errorf("%w: partial frame is %d bytes, expected %d for %d specs",
+			ErrCorrupt, len(data), partialFrameSize(n), n)
+	}
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := CRC32C(data[:len(data)-4]); got != sum {
+		return nil, fmt.Errorf("%w: partial frame checksum %#x, stored %#x", ErrCorrupt, got, sum)
+	}
+	off := 8
+	for i, s := range specs {
+		fn := AggFunc(data[off])
+		col := int(binary.LittleEndian.Uint16(data[off+1:]))
+		off += 3
+		if fn != s.Func || col != s.Col {
+			return nil, fmt.Errorf("%w: partial spec %d is (func=%d col=%d), expected (func=%d col=%d)",
+				ErrCorrupt, i, fn, col, s.Func, s.Col)
+		}
+	}
+	acc := &Accumulator{b: b, inner: newAccumulator(specs)}
+	acc.inner.count = binary.LittleEndian.Uint64(data[off:])
+	acc.visited = int(binary.LittleEndian.Uint64(data[off+8:]))
+	off += 16
+	for i := range acc.inner.vals {
+		acc.inner.vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+	}
+	// The partial consumed its covering on the remote side; the decoded
+	// accumulator exists only to be merged, never to scan further.
+	acc.cursor = len(b.keys)
+	return acc, nil
+}

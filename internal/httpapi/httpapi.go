@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"geoblocks"
+	"geoblocks/internal/cluster"
 	"geoblocks/internal/dataset"
 	"geoblocks/internal/geom"
 	"geoblocks/internal/snapshot"
@@ -58,6 +59,17 @@ type Config struct {
 	// snapshots restore in place on the next start. Mapped datasets
 	// clone their backing directory either way.
 	SnapshotV3 bool
+	// Cluster, when non-nil, puts the node in cluster mode: it serves
+	// the internal partial-query endpoint (peers answer shard
+	// sub-coverings as serialized accumulators) and exports cluster
+	// stats and metrics. Built by the daemon from -cluster-config.
+	Cluster *cluster.Coordinator
+	// Coordinator additionally routes /v1/query through the cluster
+	// scatter-gather: local shards in process, remote shards via peer
+	// partial requests, merged in global shard order. Requires Cluster.
+	// The dataset-level result cache is bypassed on this path (cluster
+	// answers are merged fresh each query; see docs/ARCHITECTURE.md).
+	Coordinator bool
 }
 
 // server holds the daemon state behind the HTTP handlers: the dataset
@@ -82,6 +94,7 @@ type server struct {
 	reqStats    atomic.Uint64
 	reqMetrics  atomic.Uint64
 	reqIngest   atomic.Uint64
+	reqPartial  atomic.Uint64
 	// ingestedRows counts rows acknowledged through the rows endpoint.
 	ingestedRows atomic.Uint64
 }
@@ -115,6 +128,9 @@ func newServer(st *store.Store, cfg Config) (*server, http.Handler) {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Cluster != nil {
+		mux.HandleFunc("POST /internal/v1/partial", s.handlePartial)
+	}
 	return s, mux
 }
 
@@ -146,13 +162,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// errorResponse is the uniform error body.
+// errorResponse is the uniform error body. Code is a stable
+// machine-readable tag, set by cluster-mode endpoints so coordinators
+// and operators can branch without parsing messages; Shards names the
+// shard cells behind a per-shard failure (the typed 503 of an
+// unavailable replica chain).
 type errorResponse struct {
-	Error string `json:"error"`
+	Error  string   `json:"error"`
+	Code   string   `json:"code,omitempty"`
+	Shards []string `json:"shards,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeTypedError is writeError with a machine-readable code and
+// optional per-shard attribution.
+func writeTypedError(w http.ResponseWriter, status int, code string, shards []string, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Code: code, Shards: shards})
 }
 
 // jsonFloat marshals NaN and ±Inf (legal aggregate results: the MIN of an
@@ -338,6 +366,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if s.cfg.Coordinator && s.cfg.Cluster != nil {
+		s.handleClusterQuery(w, r, req, opts, reqs)
+		return
+	}
 
 	start := time.Now()
 	resp := queryResponse{Dataset: req.Dataset}
@@ -400,6 +432,10 @@ type datasetsResponse struct {
 	// materialised, against what budget, and the fault/eviction churn.
 	// Absent when the daemon serves decoded heap blocks.
 	Residency *store.ResidencyStats `json:"residency,omitempty"`
+	// Cluster reports the node's cluster coordinator state (assignment
+	// epoch, per-peer request/hedge/failover counters). Absent outside
+	// cluster mode.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 func (s *server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
@@ -715,6 +751,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		rs := res.Stats()
 		resp.Residency = &rs
 	}
+	if s.cfg.Cluster != nil {
+		cs := s.cfg.Cluster.Stats()
+		resp.Cluster = &cs
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -739,6 +779,31 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric("geoblocksd_requests_total", `endpoint="metrics"`, float64(s.reqMetrics.Load()))
 	writeMetric("geoblocksd_requests_total", `endpoint="ingest"`, float64(s.reqIngest.Load()))
 	writeMetric("geoblocksd_ingested_rows_total", "", float64(s.ingestedRows.Load()))
+
+	// Cluster series exist exactly when the daemon runs with a cluster
+	// assignment (-cluster-config), a per-process configuration.
+	if s.cfg.Cluster != nil {
+		writeMetric("geoblocksd_requests_total", `endpoint="partial"`, float64(s.reqPartial.Load()))
+		cs := s.cfg.Cluster.Stats()
+		writeMetric("geoblocksd_cluster_assignment_epoch", "", float64(cs.Epoch))
+		writeMetric("geoblocksd_cluster_nodes", "", float64(cs.Nodes))
+		writeMetric("geoblocksd_cluster_replication", "", float64(cs.Replication))
+		writeMetric("geoblocksd_cluster_queries_total", "", float64(cs.Queries))
+		writeMetric("geoblocksd_cluster_local_partials_total", "", float64(cs.LocalParts))
+		writeMetric("geoblocksd_cluster_remote_calls_total", "", float64(cs.RemoteCalls))
+		writeMetric("geoblocksd_cluster_unavailable_total", "", float64(cs.Unavailable))
+		writeMetric("geoblocksd_cluster_assignment_reloads_total", "", float64(cs.Reloads))
+		for _, p := range cs.Peers {
+			l := fmt.Sprintf("peer=%q", p.Name)
+			writeMetric("geoblocksd_cluster_peer_requests_total", l, float64(p.Requests))
+			writeMetric("geoblocksd_cluster_peer_errors_total", l, float64(p.Errors))
+			writeMetric("geoblocksd_cluster_peer_retries_total", l, float64(p.Retries))
+			writeMetric("geoblocksd_cluster_peer_hedges_total", l, float64(p.Hedges))
+			writeMetric("geoblocksd_cluster_peer_failovers_total", l, float64(p.Failovers))
+			writeMetric("geoblocksd_cluster_peer_successes_total", l, float64(p.Successes))
+			writeMetric("geoblocksd_cluster_peer_latency_micros_total", l, float64(p.LatencyTotalMicros))
+		}
+	}
 
 	// Residency series exist exactly when the daemon runs with mmap
 	// serving — a per-process configuration, so they are stable for the

@@ -105,6 +105,13 @@ type Manifest struct {
 	// row lost or double-counted. Absent in pre-ingest snapshots, which
 	// read as 0 (replay the whole WAL) within the same format version.
 	IngestSeq uint64 `json:"ingest_seq,omitempty"`
+	// AssignmentEpoch is the epoch of the cluster shard→node assignment
+	// the serving node held when the snapshot was taken (cmd/geoblocksd
+	// -cluster-config). Purely informational for single-node restores;
+	// a cluster operator uses it to tell which assignment generation a
+	// snapshot was serving under. Absent (0) outside cluster mode and in
+	// pre-cluster snapshots within the same format version.
+	AssignmentEpoch uint64 `json:"assignment_epoch,omitempty"`
 	// Bound is the dataset domain as [minX, minY, maxX, maxY].
 	Bound [4]float64 `json:"bound"`
 	// Columns are the value-column names, in schema order.

@@ -200,6 +200,11 @@ type Dataset struct {
 	// deltaMaxRows backpressure cap.
 	deltaRows    atomic.Int64
 	deltaMaxRows atomic.Int64
+	// assignEpoch is the cluster assignment epoch this dataset last
+	// served under (0 outside cluster mode). Stamped by the store when a
+	// coordinator loads or reloads its assignment, persisted in the
+	// snapshot manifest for operator forensics.
+	assignEpoch atomic.Uint64
 	// compactKick, when set, nudges the attached background compactor.
 	compactKick atomic.Pointer[func()]
 
@@ -926,9 +931,10 @@ func (d *Dataset) snapshot(dir string, formatVersion int) (snapshot.Manifest, er
 		// foldedSeq only advances under the write lock (the fold swap),
 		// so reading it under the read lock pins it to exactly the block
 		// states serialised below.
-		IngestSeq: d.foldedSeq.Load(),
-		Bound:     [4]float64{bound.Min.X, bound.Min.Y, bound.Max.X, bound.Max.Y},
-		Columns:   d.schema.Names,
+		IngestSeq:       d.foldedSeq.Load(),
+		AssignmentEpoch: d.assignEpoch.Load(),
+		Bound:           [4]float64{bound.Min.X, bound.Min.Y, bound.Max.X, bound.Max.Y},
+		Columns:         d.schema.Names,
 	}
 	shards := make([]snapshot.Shard, len(d.shards))
 	for i := range d.shards {
@@ -1013,6 +1019,7 @@ func Open(dir, name string) (*Dataset, error) {
 	// IngestSeq; WAL replay (EnableWAL) applies only what came after.
 	d.foldedSeq.Store(m.IngestSeq)
 	d.ingestSeq.Store(m.IngestSeq)
+	d.assignEpoch.Store(m.AssignmentEpoch)
 	if err := d.initCoverers(); err != nil {
 		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
 	}
@@ -1094,6 +1101,7 @@ func OpenMapped(dir, name string, res *Residency) (*Dataset, error) {
 		res.register(lsh)
 		d.shards[i] = shard{cell: ls.Cell, lazy: lsh}
 	}
+	d.assignEpoch.Store(m.AssignmentEpoch)
 	if err := d.initCoverers(); err != nil {
 		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
 	}

@@ -42,6 +42,10 @@ type Store struct {
 	// Add time: delta cap, WAL attach+replay, background compactor.
 	ingestCfg  *IngestConfig
 	compactors map[string]*Compactor
+
+	// assignEpoch is the cluster assignment epoch stamped onto every
+	// registered dataset (0 outside cluster mode); see SetAssignmentEpoch.
+	assignEpoch uint64
 }
 
 // New creates an empty store.
@@ -161,8 +165,26 @@ func (s *Store) Add(d *Dataset) error {
 	if err := s.attachIngest(d); err != nil {
 		return fmt.Errorf("store: attaching ingest to %q: %w", d.Name(), err)
 	}
+	d.SetAssignmentEpoch(s.assignEpoch)
 	s.datasets[d.Name()] = d
 	return nil
+}
+
+// SetAssignmentEpoch stamps the cluster assignment epoch onto every
+// registered dataset and every dataset registered later, so snapshot
+// manifests record the assignment generation they were serving under.
+// Called by the cluster coordinator on assignment load and reload.
+func (s *Store) SetAssignmentEpoch(epoch uint64) {
+	s.mu.Lock()
+	s.assignEpoch = epoch
+	ds := make([]*Dataset, 0, len(s.datasets))
+	for _, d := range s.datasets {
+		ds = append(ds, d)
+	}
+	s.mu.Unlock()
+	for _, d := range ds {
+		d.SetAssignmentEpoch(epoch)
+	}
 }
 
 // Restore loads the snapshot at dir and registers the resulting dataset

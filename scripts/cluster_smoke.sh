@@ -1,0 +1,149 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end cluster scatter-gather against real
+# geoblocksd processes: a routing coordinator in front of two data
+# peers (full replicas, replication 2), plus an identical single-node
+# control. The cluster's answers must be byte-identical to the
+# control's. Mid-stream, one replica is SIGKILLed: queries must keep
+# answering identically through failover (the coordinator's failover
+# counter must move), and once the second replica dies too the
+# coordinator must refuse with a typed 503 naming the starved shards —
+# never answer partially. Run from anywhere inside the repository:
+#
+#   scripts/cluster_smoke.sh [baseport]
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+baseport=${1:-18090}
+p0=$baseport p1=$((baseport + 1)) p2=$((baseport + 2)) pc=$((baseport + 3))
+co="http://127.0.0.1:$p0"
+ctl="http://127.0.0.1:$pc"
+work=$(mktemp -d)
+pids=""
+
+cleanup() {
+	for pid in $pids; do
+		kill "$pid" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "cluster_smoke: FAIL: $*" >&2
+	for log in "$work"/*.log; do
+		[ -f "$log" ] && sed "s|^|  $(basename "$log"): |" "$log" >&2
+	done
+	exit 1
+}
+
+wait_ready() {
+	i=0
+	until curl -sf "$1/v1/datasets" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && fail "daemon on $1 did not become ready"
+		sleep 0.1
+	done
+}
+
+# The smoke query; elapsed_us is stripped before diffing (it is the
+# only legitimately nondeterministic field).
+qbody='{
+  "dataset": "taxi", "rect": [-74.05, 40.60, -73.85, 40.85],
+  "aggs": [{"func":"count"},{"func":"sum","col":"fare_amount"},
+           {"func":"min","col":"fare_amount"},{"func":"max","col":"fare_amount"},
+           {"func":"avg","col":"trip_distance"}]
+}'
+query() {
+	curl -sf "$1/v1/query" -d "$qbody" | grep -v elapsed_us
+}
+
+echo "cluster_smoke: building geoblocksd"
+go build -o "$work/geoblocksd" "$root/cmd/geoblocksd"
+
+# Every node builds the identical dataset: same spec, rows, seed and
+# build flags, the full-replica model the assignment assumes.
+loadflags="-load taxi:20000 -shard-level 2 -seed 1"
+
+cat >"$work/cluster.json" <<EOF
+{
+  "epoch": 1,
+  "replication": 2,
+  "timeout_ms": 2000,
+  "retries": 2,
+  "backoff_ms": 10,
+  "nodes": [
+    {"name": "n1", "addr": "127.0.0.1:$p1"},
+    {"name": "n2", "addr": "127.0.0.1:$p2"}
+  ]
+}
+EOF
+
+echo "cluster_smoke: starting 2 data peers, 1 coordinator, 1 single-node control"
+"$work/geoblocksd" -addr "127.0.0.1:$p1" $loadflags \
+	-cluster-config "$work/cluster.json" >"$work/n1.log" 2>&1 &
+pid1=$!
+pids="$pids $pid1"
+"$work/geoblocksd" -addr "127.0.0.1:$p2" $loadflags \
+	-cluster-config "$work/cluster.json" >"$work/n2.log" 2>&1 &
+pid2=$!
+pids="$pids $pid2"
+# The coordinator is a pure router here: its address is not in the node
+# list, so every shard is answered over the wire — the strongest
+# equivalence check.
+"$work/geoblocksd" -addr "127.0.0.1:$p0" $loadflags \
+	-cluster-config "$work/cluster.json" -coordinator >"$work/coord.log" 2>&1 &
+pids="$pids $!"
+"$work/geoblocksd" -addr "127.0.0.1:$pc" $loadflags >"$work/control.log" 2>&1 &
+pids="$pids $!"
+
+wait_ready "$ctl"
+wait_ready "http://127.0.0.1:$p1"
+wait_ready "http://127.0.0.1:$p2"
+wait_ready "$co"
+grep -q "pure router" "$work/coord.log" || fail "coordinator did not come up as a pure router"
+
+echo "cluster_smoke: cluster answers must be byte-identical to the single-node control"
+query "$ctl" >"$work/control.json"
+grep -q '"count"' "$work/control.json" || fail "control query returned no count"
+query "$co" >"$work/cluster.json.out"
+diff -u "$work/control.json" "$work/cluster.json.out" ||
+	fail "cluster answer differs from single-node control"
+
+echo "cluster_smoke: SIGKILL replica n2 mid-stream; answers must not change"
+(
+	for i in $(seq 1 30); do
+		query "$co" >"$work/stream-$i.json" || exit 1
+		sleep 0.02
+	done
+) &
+stream=$!
+sleep 0.2
+kill -KILL "$pid2"
+wait "$pid2" 2>/dev/null || true
+wait "$stream" || fail "a mid-stream query failed while replica n2 was killed"
+for f in "$work"/stream-*.json; do
+	diff -u "$work/control.json" "$f" >/dev/null ||
+		fail "mid-stream answer $f differs from control after replica kill"
+done
+
+# The answer after the kill still matches, and the coordinator must
+# have recorded failovers onto the surviving replica.
+query "$co" >"$work/after-kill.json"
+diff -u "$work/control.json" "$work/after-kill.json" ||
+	fail "post-kill cluster answer differs from control"
+curl -sf "$co/metrics" >"$work/metrics.txt"
+awk '/^geoblocksd_cluster_peer_failovers_total/ {sum += $2} END {exit !(sum > 0)}' "$work/metrics.txt" ||
+	fail "failover counter did not move after replica kill"
+
+echo "cluster_smoke: killing the last replica; queries must fail typed, never partially"
+kill -KILL "$pid1"
+wait "$pid1" 2>/dev/null || true
+status=$(curl -s -o "$work/unavail.json" -w '%{http_code}' "$co/v1/query" -d "$qbody")
+[ "$status" = "503" ] || fail "query with no live replicas answered status $status, want 503"
+grep -q 'shards_unavailable' "$work/unavail.json" ||
+	fail "503 body carries no shards_unavailable code: $(cat "$work/unavail.json")"
+grep -q '"shards"' "$work/unavail.json" ||
+	fail "503 body names no shards: $(cat "$work/unavail.json")"
+
+echo "cluster_smoke: OK (cluster byte-identical to control, failover survived SIGKILL, starvation is a typed 503)"
