@@ -36,7 +36,10 @@
 // read stream measured read-only and again while background ingesters
 // append batches and the compactor folds them, with the final row count
 // checked against the acknowledged rows — producing the committed
-// BENCH_PR8.json.
+// BENCH_PR8.json. With -join it runs the pr10 join bench mode — the
+// shared-grid join against N sequential queries (bit-identity and the
+// 5x speedup floor asserted in-run) plus a closed-loop HTTP percentile
+// baseline at 8 workers — producing the committed BENCH_PR10.json.
 package main
 
 import (
@@ -76,6 +79,7 @@ func main() {
 		resCache  = flag.Bool("resultcache", false, "with -perf-json: run the pr6 result-cache bench mode (Zipfian hot-region stream, cached vs uncached) instead of pr1")
 		mmapServe = flag.Bool("mmapserve", false, "with -perf-json: run the pr7 mapped-serving bench mode (v3 mmap restore vs eager v2, child-process RSS) instead of pr1")
 		ingest    = flag.Bool("ingest", false, "with -perf-json: run the pr8 streaming-ingest bench mode (read p50/p99 while ingesting + compacting vs read-only) instead of pr1")
+		joinMode  = flag.Bool("join", false, "with -perf-json: run the pr10 join bench mode (shared-grid join vs N sequential queries + closed-loop HTTP percentiles) instead of pr1")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: geobench [flags] [experiment ...]\n\nexperiments:\n")
@@ -112,14 +116,14 @@ func main() {
 	if *perfJSON != "" {
 		write := writePerfSnapshot
 		modes := 0
-		for _, m := range []bool{*parallel, *sharded, *snapMode, *maxErr, *resCache, *mmapServe, *ingest} {
+		for _, m := range []bool{*parallel, *sharded, *snapMode, *maxErr, *resCache, *mmapServe, *ingest, *joinMode} {
 			if m {
 				modes++
 			}
 		}
 		switch {
 		case modes > 1:
-			fmt.Fprintf(os.Stderr, "geobench: -parallel, -sharded, -snapshot, -maxerror, -resultcache, -mmapserve and -ingest are mutually exclusive\n")
+			fmt.Fprintf(os.Stderr, "geobench: -parallel, -sharded, -snapshot, -maxerror, -resultcache, -mmapserve, -ingest and -join are mutually exclusive\n")
 			os.Exit(2)
 		case *parallel:
 			write = writeParallelSnapshot
@@ -135,6 +139,8 @@ func main() {
 			write = writeMmapServeSnapshot
 		case *ingest:
 			write = writeIngestSnapshot
+		case *joinMode:
+			write = writeJoinSnapshot
 		}
 		if err := write(cfg, *perfJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "geobench: %v\n", err)
@@ -290,6 +296,52 @@ type ingestSnapshot struct {
 	TaxiRows   int                    `json:"taxi_rows"`
 	Seed       int64                  `json:"seed"`
 	Points     []experiments.PR8Point `json:"points"`
+}
+
+// joinSnapshot is the BENCH_PR10.json document: the join-vs-sequential
+// measurements, the closed-loop HTTP percentile baseline, and the
+// machine context needed to read both (concurrency columns saturate at
+// GOMAXPROCS).
+type joinSnapshot struct {
+	Experiment string                      `json:"experiment"`
+	GoVersion  string                      `json:"go_version"`
+	GOARCH     string                      `json:"goarch"`
+	GOMAXPROCS int                         `json:"gomaxprocs"`
+	NumCPU     int                         `json:"num_cpu"`
+	TaxiRows   int                         `json:"taxi_rows"`
+	Seed       int64                       `json:"seed"`
+	JoinPoints []experiments.PR10JoinPoint `json:"join_points"`
+	LoadPoints []experiments.PR10LoadPoint `json:"load_points"`
+}
+
+// writeJoinSnapshot runs the pr10 bench, prints its tables and writes
+// the raw points as indented JSON.
+func writeJoinSnapshot(cfg experiments.Config, path string) error {
+	start := time.Now()
+	tables, joinPoints, loadPoints := experiments.PR10Perf(cfg)
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+	snap := joinSnapshot{
+		Experiment: "pr10",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		TaxiRows:   cfg.TaxiRows,
+		Seed:       cfg.Seed,
+		JoinPoints: joinPoints,
+		LoadPoints: loadPoints,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("join snapshot written to %s in %v\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // writeIngestSnapshot runs the pr8 bench, prints its table and writes

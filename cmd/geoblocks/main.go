@@ -23,6 +23,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"flag"
 
@@ -45,6 +46,8 @@ func main() {
 		err = runInfo(os.Args[2:])
 	case "query":
 		err = runQuery(os.Args[2:])
+	case "join":
+		err = runJoin(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -62,7 +65,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   geoblocks build -dataset taxi|tweets|osm -rows N -level L [-filter "col op val"] -out FILE
   geoblocks info  -block FILE
-  geoblocks query -block FILE -poly "x,y x,y x,y ..." [-agg count,sum:col,...] [-max-error E] [-repeat N]`)
+  geoblocks query -block FILE -poly "x,y x,y x,y ..." [-agg count,sum:col,...] [-max-error E] [-repeat N]
+  geoblocks join  -block FILE (-polys "x,y x,y x,y; x,y x,y x,y; ..." | -window "minx,miny,maxx,maxy" -nx N -ny N)
+                  [-agg count,sum:col,...] [-max-error E] [-compare]`)
 }
 
 func specFor(name string) (dataset.Spec, error) {
@@ -211,6 +216,155 @@ func runQuery(args []string) error {
 		fmt.Printf("%-12s %g\n", name, res.Values[i])
 	}
 	return nil
+}
+
+// runJoin answers one aggregate query per region in a single shared-grid
+// pass over the block — the CLI face of the join operator. Regions come
+// either as semicolon-separated polygon rings (-polys) or as an nx-by-ny
+// tile grid over a window rect. -compare also runs the same regions as
+// sequential queries and reports the speedup.
+func runJoin(args []string) error {
+	fs := flag.NewFlagSet("join", flag.ExitOnError)
+	path := fs.String("block", "block.gb", "block file")
+	polysStr := fs.String("polys", "", "polygons, ';'-separated: \"x,y x,y x,y; x,y x,y x,y\"")
+	windowStr := fs.String("window", "", "window rect \"minx,miny,maxx,maxy\" tiled into -nx by -ny regions")
+	nx := fs.Int("nx", 8, "window tiles along x")
+	ny := fs.Int("ny", 8, "window tiles along y")
+	aggStr := fs.String("agg", "count", "aggregates: count,sum:col,min:col,max:col,avg:col")
+	maxError := fs.Float64("max-error", 0, "acceptable spatial error bound in domain units (0 = exact)")
+	compare := fs.Bool("compare", false, "also run sequential per-region queries and report the speedup")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*polysStr == "") == (*windowStr == "") {
+		return fmt.Errorf("exactly one of -polys or -window must be set")
+	}
+	blk, err := openBlock(*path)
+	if err != nil {
+		return err
+	}
+	reqs, names, err := parseAggs(*aggStr)
+	if err != nil {
+		return err
+	}
+	opts := geoblocks.QueryOptions{MaxError: *maxError}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	if *maxError > 0 {
+		want := blk.Inner().Domain().LevelForMaxDiagonal(*maxError)
+		if n := blk.Level() - want; n > 0 {
+			if err := blk.BuildPyramid(n); err != nil {
+				return err
+			}
+		}
+	}
+
+	var polys []*geoblocks.Polygon
+	if *polysStr != "" {
+		for _, seg := range strings.Split(*polysStr, ";") {
+			seg = strings.TrimSpace(seg)
+			if seg == "" {
+				continue
+			}
+			poly, err := parsePolygon(seg)
+			if err != nil {
+				return err
+			}
+			polys = append(polys, poly)
+		}
+		if len(polys) == 0 {
+			return fmt.Errorf("-polys named no polygons")
+		}
+	} else {
+		polys, err = windowPolys(*windowStr, *nx, *ny)
+		if err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	results, info, err := blk.JoinOpts(polys, opts, reqs...)
+	if err != nil {
+		return err
+	}
+	joinTime := time.Since(start)
+
+	pairs := info.InteriorPairs + info.BoundaryPairs
+	interior := 0.0
+	if pairs > 0 {
+		interior = float64(info.InteriorPairs) / float64(pairs)
+	}
+	fmt.Printf("joined %d regions at level %d (grid level %d, %.0f%% interior pairs, %d fallbacks) in %v\n",
+		len(polys), info.Level, info.GridLevel, 100*interior, info.Fallbacks, joinTime.Round(time.Microsecond))
+	for i, res := range results {
+		fmt.Printf("region %-4d count=%-8d", i, res.Count)
+		for k, name := range names {
+			if name == "count" {
+				continue
+			}
+			fmt.Printf(" %s=%g", name, res.Values[k])
+		}
+		fmt.Println()
+	}
+
+	if *compare {
+		start = time.Now()
+		seqOpts := geoblocks.QueryOptions{MaxError: *maxError, DisableCache: true}
+		for i, poly := range polys {
+			seq, err := blk.QueryOpts(poly, seqOpts, reqs...)
+			if err != nil {
+				return err
+			}
+			if seq.Count != results[i].Count {
+				return fmt.Errorf("region %d: join count %d != sequential count %d", i, results[i].Count, seq.Count)
+			}
+		}
+		seqTime := time.Since(start)
+		fmt.Printf("sequential: %v for %d queries — join speedup %.2fx\n",
+			seqTime.Round(time.Microsecond), len(polys), float64(seqTime)/float64(joinTime))
+	}
+	return nil
+}
+
+// windowPolys tiles "minx,miny,maxx,maxy" into an nx-by-ny grid of
+// rectangular regions, row-major from the minimum corner.
+func windowPolys(s string, nx, ny int) ([]*geoblocks.Polygon, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return nil, fmt.Errorf("window must be \"minx,miny,maxx,maxy\", got %q", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad window coordinate %q: %v", p, err)
+		}
+		v[i] = f
+	}
+	if v[0] >= v[2] || v[1] >= v[3] {
+		return nil, fmt.Errorf("window min must be below max, got %q", s)
+	}
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("window grid must be at least 1x1, got %dx%d", nx, ny)
+	}
+	dx := (v[2] - v[0]) / float64(nx)
+	dy := (v[3] - v[1]) / float64(ny)
+	polys := make([]*geoblocks.Polygon, 0, nx*ny)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			x0, y0 := v[0]+float64(ix)*dx, v[1]+float64(iy)*dy
+			x1, y1 := v[0]+float64(ix+1)*dx, v[1]+float64(iy+1)*dy
+			poly, err := geoblocks.NewPolygon([]geoblocks.Point{
+				geoblocks.Pt(x0, y0), geoblocks.Pt(x1, y0), geoblocks.Pt(x1, y1), geoblocks.Pt(x0, y1),
+			})
+			if err != nil {
+				return nil, err
+			}
+			polys = append(polys, poly)
+		}
+	}
+	return polys, nil
 }
 
 func openBlock(path string) (*geoblocks.GeoBlock, error) {

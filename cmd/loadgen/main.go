@@ -1,0 +1,333 @@
+// Command loadgen drives a running geoblocksd with a closed- or
+// open-loop workload and reports latency percentiles, so serving-tier
+// performance claims are made under concurrency, not from solo-request
+// means.
+//
+// Usage:
+//
+//	loadgen [-addr http://localhost:8080] [-dataset taxi]
+//	        [-mode closed|open] [-workers 8] [-duration 10s] [-rate 500]
+//	        [-mix query=1] [-pool 256] [-zipf 1.3] [-seed 1]
+//	        [-max-error 0] [-no-cache] [-join-polys 64] [-agg count] [-json]
+//
+// The traffic is a Zipfian hotspot stream (workload.ZipfianHotspot): a
+// fixed pool of small polygons over the dataset's bound (fetched from
+// GET /v1/datasets), drawn with rank frequencies following a Zipf law —
+// a few hot regions dominate, the tail stays long, which is the shape
+// the serving tier's result cache adapts to. -mix weights the operation
+// types per request:
+//
+//	query  one POST /v1/query with a single pool polygon
+//	join   one POST /v1/join over -join-polys pool draws
+//
+// e.g. -mix query=0.8,join=0.2. Closed mode runs -workers back-to-back
+// request loops (throughput adapts to latency); open mode schedules
+// requests at -rate per second and measures each latency from its
+// scheduled start, so queueing delay under overload lands in the
+// percentiles instead of being silently omitted (see
+// internal/loadharness). -json emits the loadharness.Report for
+// scripting; the default output is one human-readable line.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"geoblocks/internal/geom"
+	"geoblocks/internal/loadharness"
+	"geoblocks/internal/workload"
+)
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.addr, "addr", "http://localhost:8080", "geoblocksd base URL")
+	flag.StringVar(&cfg.dataset, "dataset", "taxi", "dataset to query")
+	flag.StringVar(&cfg.mode, "mode", "closed", "load mode: closed (workers loop back to back) or open (fixed arrival rate)")
+	flag.IntVar(&cfg.workers, "workers", 8, "concurrent workers")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "run length")
+	flag.Float64Var(&cfg.rate, "rate", 500, "open-loop arrival rate, requests/s")
+	flag.StringVar(&cfg.mix, "mix", "query=1", "operation mix, op=weight comma-separated (ops: query, join)")
+	flag.IntVar(&cfg.pool, "pool", 256, "hotspot polygon pool size")
+	flag.Float64Var(&cfg.zipf, "zipf", 1.3, "Zipf exponent of the hotspot draw (> 1; larger = hotter)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed (pool placement and draw order)")
+	flag.Float64Var(&cfg.maxError, "max-error", 0, "max_error planner bound sent with every request (0 = exact)")
+	flag.BoolVar(&cfg.noCache, "no-cache", false, "send no_cache: bypass the serving tier's result cache")
+	flag.IntVar(&cfg.joinPolys, "join-polys", 64, "polygons per join request")
+	flag.StringVar(&cfg.aggs, "agg", "count", "aggregates, comma-separated func or func:col (count, sum, min, max, avg)")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON instead of the human line")
+	flag.Parse()
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr, dataset, mode string
+	workers             int
+	duration            time.Duration
+	rate                float64
+	mix                 string
+	pool                int
+	zipf                float64
+	seed                int64
+	maxError            float64
+	noCache             bool
+	joinPolys           int
+	aggs                string
+	jsonOut             bool
+}
+
+// op is one weighted entry of the traffic mix.
+type op struct {
+	name   string
+	weight float64
+}
+
+func parseMix(s string) ([]op, error) {
+	var out []op
+	var total float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, ws, has := strings.Cut(part, "=")
+		w := 1.0
+		if has {
+			var err error
+			if w, err = strconv.ParseFloat(ws, 64); err != nil || w < 0 {
+				return nil, fmt.Errorf("bad mix weight %q", part)
+			}
+		}
+		if name != "query" && name != "join" {
+			return nil, fmt.Errorf("unknown mix op %q (query, join)", name)
+		}
+		out = append(out, op{name, w})
+		total += w
+	}
+	if len(out) == 0 || total <= 0 {
+		return nil, fmt.Errorf("empty mix %q", s)
+	}
+	return out, nil
+}
+
+type aggJSON struct {
+	Func string `json:"func"`
+	Col  string `json:"col,omitempty"`
+}
+
+func parseAggs(s string) ([]aggJSON, error) {
+	var out []aggJSON
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fn, col, _ := strings.Cut(part, ":")
+		switch fn {
+		case "count":
+		case "sum", "min", "max", "avg":
+			if col == "" {
+				return nil, fmt.Errorf("aggregate %q needs a column (func:col)", fn)
+			}
+		default:
+			return nil, fmt.Errorf("unknown aggregate %q", fn)
+		}
+		out = append(out, aggJSON{Func: fn, Col: col})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty aggregate list %q", s)
+	}
+	return out, nil
+}
+
+// fetchBound asks the daemon for the dataset's spatial bound, the domain
+// the hotspot pool is placed in.
+func fetchBound(client *http.Client, addr, dataset string) (geom.Rect, error) {
+	resp, err := client.Get(addr + "/v1/datasets")
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return geom.Rect{}, fmt.Errorf("GET /v1/datasets: status %d", resp.StatusCode)
+	}
+	var list struct {
+		Datasets []struct {
+			Name  string     `json:"name"`
+			Bound [4]float64 `json:"bound"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return geom.Rect{}, fmt.Errorf("decoding dataset list: %w", err)
+	}
+	for _, d := range list.Datasets {
+		if d.Name == dataset {
+			return geom.Rect{Min: geom.Pt(d.Bound[0], d.Bound[1]), Max: geom.Pt(d.Bound[2], d.Bound[3])}, nil
+		}
+	}
+	names := make([]string, len(list.Datasets))
+	for i, d := range list.Datasets {
+		names[i] = d.Name
+	}
+	return geom.Rect{}, fmt.Errorf("dataset %q not served (have: %s)", dataset, strings.Join(names, ", "))
+}
+
+// worker is one request loop's private state: its own Zipf draw sequence
+// (deterministic per seed and worker index, no cross-worker locking) and
+// a reusable body buffer.
+type worker struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	buf  bytes.Buffer
+}
+
+// requestBody is the wire form shared by /v1/query (Polygon set) and
+// /v1/join (Polygons set).
+type requestBody struct {
+	Dataset  string         `json:"dataset"`
+	Polygon  [][2]float64   `json:"polygon,omitempty"`
+	Polygons [][][2]float64 `json:"polygons,omitempty"`
+	Aggs     []aggJSON      `json:"aggs"`
+	MaxError float64        `json:"max_error,omitempty"`
+	NoCache  bool           `json:"no_cache,omitempty"`
+}
+
+func run(cfg config, out io.Writer) error {
+	if cfg.mode != "closed" && cfg.mode != "open" {
+		return fmt.Errorf("unknown -mode %q (closed, open)", cfg.mode)
+	}
+	if cfg.workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", cfg.workers)
+	}
+	if cfg.pool < 1 {
+		return fmt.Errorf("-pool must be >= 1, got %d", cfg.pool)
+	}
+	if cfg.joinPolys < 1 {
+		return fmt.Errorf("-join-polys must be >= 1, got %d", cfg.joinPolys)
+	}
+	if cfg.zipf <= 1 {
+		return fmt.Errorf("-zipf must be > 1, got %v", cfg.zipf)
+	}
+	mix, err := parseMix(cfg.mix)
+	if err != nil {
+		return err
+	}
+	aggs, err := parseAggs(cfg.aggs)
+	if err != nil {
+		return err
+	}
+	addr := strings.TrimSuffix(cfg.addr, "/")
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.workers * 2,
+			MaxIdleConnsPerHost: cfg.workers * 2,
+		},
+	}
+
+	bound, err := fetchBound(client, addr, cfg.dataset)
+	if err != nil {
+		return err
+	}
+
+	// The pool itself is shared (same seed → same polygons → cacheable
+	// hot set); each worker draws ranks from its own sampler so the
+	// stream needs no locking and stays deterministic per worker.
+	hot := workload.ZipfianHotspot(bound, cfg.pool, cfg.zipf, cfg.seed)
+	rings := make([][][2]float64, cfg.pool)
+	for i, p := range hot.Pool() {
+		outer := p.Outer()
+		ring := make([][2]float64, len(outer))
+		for j, v := range outer {
+			ring[j] = [2]float64{v.X, v.Y}
+		}
+		rings[i] = ring
+	}
+	var cum []float64
+	var total float64
+	for _, o := range mix {
+		total += o.weight
+		cum = append(cum, total)
+	}
+	ws := make([]*worker, cfg.workers)
+	for w := range ws {
+		rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919 + 1))
+		ws[w] = &worker{
+			rng:  rng,
+			zipf: rand.NewZipf(rng, cfg.zipf, 1, uint64(cfg.pool-1)),
+		}
+	}
+
+	fire := func(wi int) error {
+		w := ws[wi]
+		body := requestBody{
+			Dataset:  cfg.dataset,
+			Aggs:     aggs,
+			MaxError: cfg.maxError,
+			NoCache:  cfg.noCache,
+		}
+		endpoint := "/v1/query"
+		pick := w.rng.Float64() * total
+		o := mix[len(mix)-1]
+		for i, c := range cum {
+			if pick < c {
+				o = mix[i]
+				break
+			}
+		}
+		switch o.name {
+		case "query":
+			body.Polygon = rings[int(w.zipf.Uint64())]
+		case "join":
+			endpoint = "/v1/join"
+			body.Polygons = make([][][2]float64, cfg.joinPolys)
+			for i := range body.Polygons {
+				body.Polygons[i] = rings[int(w.zipf.Uint64())]
+			}
+		}
+		w.buf.Reset()
+		if err := json.NewEncoder(&w.buf).Encode(body); err != nil {
+			return err
+		}
+		resp, err := client.Post(addr+endpoint, "application/json", &w.buf)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		// Drain so the connection is reusable; the payload itself is not
+		// the harness's concern.
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", endpoint, resp.StatusCode)
+		}
+		return nil
+	}
+
+	var rep loadharness.Report
+	if cfg.mode == "closed" {
+		rep = loadharness.RunClosed(cfg.workers, cfg.duration, fire)
+	} else {
+		rep = loadharness.RunOpen(cfg.rate, cfg.workers, cfg.duration, fire)
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	_, err = fmt.Fprintln(out, rep.String())
+	return err
+}

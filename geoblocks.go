@@ -465,6 +465,80 @@ func (g *GeoBlock) QueryCoveringPartialOpts(cov []CellID, opts QueryOptions, req
 	return g.inner.SelectCoveringPartial(cov, specs)
 }
 
+// QueryCoveringMultiPartial answers one SELECT query per covering in a
+// single ordered pass over the block's aggregates (core
+// SelectCoveringMulti): every covering cell becomes a key-range span
+// scattered into its query's accumulator, so K overlapping coverings
+// cost one traversal instead of K. Each returned accumulator is
+// bit-identical to QueryCoveringPartial on its covering alone —
+// including SUM/AVG — which is what lets the join operator promise
+// equivalence with N sequential queries. The multi kernel reads the
+// aggregate arrays directly: it neither probes nor warms the query
+// cache (result caching for joins lives at the store layer).
+func (g *GeoBlock) QueryCoveringMultiPartial(covs [][]CellID, reqs ...AggRequest) ([]*Accumulator, error) {
+	specs, err := resolveSpecs(g.inner.Schema(), reqs)
+	if err != nil {
+		return nil, err
+	}
+	return g.inner.SelectCoveringMulti(covs, specs)
+}
+
+// JoinInfo reports the plan shape of one JoinOpts call: the pyramid
+// level every region was answered at, the shared grid's level, and the
+// (region, grid cell) classification counts — interior pairs were
+// answered wholesale with zero point-in-polygon tests.
+type JoinInfo struct {
+	Level         int
+	GridLevel     int
+	InteriorPairs int
+	BoundaryPairs int
+	Fallbacks     int
+}
+
+// JoinOpts answers one aggregate query per polygon in a single pass over
+// the block: the planner resolves one pyramid level for the whole set,
+// the shared-grid coverer classifies every (polygon, grid cell) pair
+// interior/boundary in one sweep, and the multi-accumulator kernel walks
+// the aggregate arrays once, scattering into per-polygon accumulators.
+// Results align positionally with polys and each is bit-identical to
+// QueryOpts on that polygon alone with the cache disabled (the multi
+// kernel reads the aggregate arrays directly). opts.Workers is ignored —
+// the parallelism is across polygons, not within one.
+func (g *GeoBlock) JoinOpts(polys []*Polygon, opts QueryOptions, reqs ...AggRequest) ([]Result, JoinInfo, error) {
+	target, err := g.plan(opts)
+	if err != nil {
+		return nil, JoinInfo{}, err
+	}
+	regions := make([]cover.Region, len(polys))
+	for i, p := range polys {
+		regions[i] = p
+	}
+	sc := target.coverer.CoverShared(regions)
+	covs := make([][]CellID, len(polys))
+	for i := range polys {
+		covs[i] = sc.Covers[i].Cells
+	}
+	accs, err := target.QueryCoveringMultiPartial(covs, reqs...)
+	if err != nil {
+		return nil, JoinInfo{}, err
+	}
+	results := make([]Result, len(polys))
+	for i, acc := range accs {
+		res := acc.Result()
+		res.Level = target.Level()
+		res.ErrorBound = sc.Bounds[i]
+		results[i] = res
+	}
+	info := JoinInfo{
+		Level:         target.Level(),
+		GridLevel:     sc.GridLevel,
+		InteriorPairs: sc.InteriorPairs,
+		BoundaryPairs: sc.BoundaryPairs,
+		Fallbacks:     sc.Fallbacks,
+	}
+	return results, info, nil
+}
+
 // DecodePartial parses an accumulator partial frame produced by
 // Accumulator.EncodePartial on another node, validating its checksum and
 // requiring its aggregate signature to match reqs resolved against this

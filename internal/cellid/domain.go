@@ -84,8 +84,15 @@ func (d Domain) CellAt(p geom.Point, level int) ID {
 
 // CellRect returns the rectangle in domain coordinates covered by id.
 func (d Domain) CellRect(id ID) geom.Rect {
-	level := id.Level()
 	i, j := id.IJ()
+	return d.CellRectAt(i, j, id.Level())
+}
+
+// CellRectAt returns the rectangle covered by the level-cell with grid
+// coordinates (i, j) — CellRect without the Hilbert decode, for callers
+// that already track grid coordinates. Bit-identical to CellRect of the
+// corresponding id.
+func (d Domain) CellRectAt(i, j uint32, level int) geom.Rect {
 	// Width of one cell at this level, in leaf units.
 	span := uint32(1) << uint(MaxLevel-level)
 	// Convert leaf units back to domain units.

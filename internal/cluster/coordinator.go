@@ -216,6 +216,42 @@ func (c *Coordinator) QueryBatch(ctx context.Context, name string, polys []*geom
 	return results, nil
 }
 
+// Join answers a polygon join cluster-wide: the shared-grid plan is
+// computed once on the coordinator's copy of the dataset (one level, one
+// classification pass — PlanJoin), then each polygon's planned covering
+// scatters through the same per-shard partial machinery as a single
+// query, concurrently across polygons. Because each polygon's partials
+// merge in ascending shard order, per-polygon answers are bit-identical
+// to the single-node Join (and hence to N sequential queries) for
+// COUNT/MIN/MAX.
+func (c *Coordinator) Join(ctx context.Context, name string, polys []*geom.Polygon, opts geoblocks.QueryOptions, reqs []geoblocks.AggRequest) ([]geoblocks.Result, store.JoinStats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, store.JoinStats{}, err
+	}
+	d, ok := c.store.Get(name)
+	if !ok {
+		return nil, store.JoinStats{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	plans, stats := d.PlanJoin(polys, opts.MaxError)
+	results := make([]geoblocks.Result, len(polys))
+	errs := make([]error, len(polys))
+	var wg sync.WaitGroup
+	for i := range polys {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.execute(ctx, d, name, plans[i], opts, reqs)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	return results, stats, nil
+}
+
 // remoteGroup batches the shards of one replica chain into one partial
 // request.
 type remoteGroup struct {

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geoblocks/internal/cellid"
+	"geoblocks/internal/column"
+	"geoblocks/internal/cover"
+	"geoblocks/internal/geom"
+)
+
+// TestSelectCoveringMultiMatchesPartial is the multi-kernel's identity
+// contract: every accumulator of one shared pass must be bit-identical —
+// count, every value's float bits, cells visited — to
+// SelectCoveringPartial run on its covering alone, across overlapping,
+// disjoint, empty and out-of-range coverings.
+func TestSelectCoveringMultiMatchesPartial(t *testing.T) {
+	f := newFixture(t, 20000, 3)
+	b := f.build(t, 12, column.Filter{})
+	c := cover.MustCoverer(f.dom, cover.DefaultOptions(12))
+	rng := rand.New(rand.NewSource(9))
+
+	var covs [][]cellid.ID
+	for i := 0; i < 40; i++ {
+		center := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		if i%3 == 0 {
+			// Deliberately overlapping hotspot rects.
+			center = geom.Pt(30+rng.NormFloat64()*3, 40+rng.NormFloat64()*3)
+		}
+		r := geom.RectFromCenter(center, 0.5+rng.Float64()*15, 0.5+rng.Float64()*15)
+		covs = append(covs, c.CoverRect(r).Cells)
+	}
+	covs = append(covs, nil) // empty covering: identity partial
+	// A covering entirely past the block's key range.
+	covs = append(covs, c.CoverRect(geom.RectFromCenter(geom.Pt(99.9, 99.9), 0.01, 0.01)).Cells)
+
+	specs := allSpecs()
+	accs, err := b.SelectCoveringMulti(covs, specs)
+	if err != nil {
+		t.Fatalf("multi: %v", err)
+	}
+	if len(accs) != len(covs) {
+		t.Fatalf("%d accumulators for %d coverings", len(accs), len(covs))
+	}
+	for i, cov := range covs {
+		want, err := b.SelectCoveringPartial(cov, specs)
+		if err != nil {
+			t.Fatalf("partial %d: %v", i, err)
+		}
+		got, wantRes := accs[i].Result(), want.Result()
+		if got.Count != wantRes.Count {
+			t.Fatalf("covering %d: count %d, serial %d", i, got.Count, wantRes.Count)
+		}
+		if got.CellsVisited != wantRes.CellsVisited {
+			t.Fatalf("covering %d: visited %d, serial %d", i, got.CellsVisited, wantRes.CellsVisited)
+		}
+		for k := range wantRes.Values {
+			if math.Float64bits(got.Values[k]) != math.Float64bits(wantRes.Values[k]) {
+				t.Fatalf("covering %d value %d: %v, serial %v (bits differ)",
+					i, k, got.Values[k], wantRes.Values[k])
+			}
+		}
+	}
+}
+
+// TestSelectCoveringMultiMerges checks that multi-kernel partials from
+// different blocks (shards) merge exactly like serial partials — the
+// store's per-shard join fan-out depends on it.
+func TestSelectCoveringMultiMerges(t *testing.T) {
+	f := newFixture(t, 8000, 5)
+	b1 := f.build(t, 11, column.Filter{})
+	b2 := f.build(t, 11, column.Filter{})
+	c := cover.MustCoverer(f.dom, cover.DefaultOptions(11))
+	cov := c.CoverRect(geom.RectFromCenter(geom.Pt(35, 45), 12, 9)).Cells
+	specs := allSpecs()
+
+	m1, err := b1.SelectCoveringMulti([][]cellid.ID{cov}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := b2.SelectCoveringMulti([][]cellid.ID{cov}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1[0].MergeFrom(m2[0]); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	s1, _ := b1.SelectCoveringPartial(cov, specs)
+	s2, _ := b2.SelectCoveringPartial(cov, specs)
+	if err := s1.MergeFrom(s2); err != nil {
+		t.Fatalf("serial merge: %v", err)
+	}
+	got, want := m1[0].Result(), s1.Result()
+	if got.Count != want.Count || got.CellsVisited != want.CellsVisited {
+		t.Fatalf("merged multi %+v, serial %+v", got, want)
+	}
+	for k := range want.Values {
+		if math.Float64bits(got.Values[k]) != math.Float64bits(want.Values[k]) {
+			t.Fatalf("merged value %d: %v vs %v", k, got.Values[k], want.Values[k])
+		}
+	}
+}
+
+// TestSelectCoveringMultiValidatesSpecs: bad specs fail up front, before
+// any accumulator exists.
+func TestSelectCoveringMultiValidatesSpecs(t *testing.T) {
+	f := newFixture(t, 100, 1)
+	b := f.build(t, 8, column.Filter{})
+	if _, err := b.SelectCoveringMulti(nil, []AggSpec{{Col: 99, Func: AggSum}}); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	accs, err := b.SelectCoveringMulti(nil, allSpecs())
+	if err != nil || len(accs) != 0 {
+		t.Fatalf("empty multi: %v, %d accs", err, len(accs))
+	}
+}

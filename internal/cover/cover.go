@@ -32,6 +32,31 @@ type Region interface {
 	ContainsRect(r geom.Rect) bool
 }
 
+// RectClassifier is an optional Region refinement: a single call that
+// returns the full disjoint/intersects/contains relation. Regions that
+// implement it (geom.Polygon does) pay one geometry pass per cell instead
+// of the IntersectsRect + ContainsRect pair; the result must be exactly
+// equivalent to the pair, which is what keeps coverings byte-identical
+// whichever path classified them.
+type RectClassifier interface {
+	ClassifyRect(r geom.Rect) geom.RectRelation
+}
+
+// classifyRect classifies rect against region through the fused fast path
+// when available, falling back to the two-predicate protocol.
+func classifyRect(region Region, rect geom.Rect) geom.RectRelation {
+	if rc, ok := region.(RectClassifier); ok {
+		return rc.ClassifyRect(rect)
+	}
+	if !region.IntersectsRect(rect) {
+		return geom.RectDisjoint
+	}
+	if region.ContainsRect(rect) {
+		return geom.RectContains
+	}
+	return geom.RectIntersects
+}
+
 // rectRegion adapts geom.Rect to Region so rectangular queries (paper
 // Fig. 15) reuse the same covering machinery — "rectangles are just
 // constrained polygons".
@@ -40,6 +65,15 @@ type rectRegion struct{ r geom.Rect }
 func (rr rectRegion) Bound() geom.Rect                { return rr.r }
 func (rr rectRegion) IntersectsRect(o geom.Rect) bool { return rr.r.Intersects(o) }
 func (rr rectRegion) ContainsRect(o geom.Rect) bool   { return rr.r.ContainsRect(o) }
+func (rr rectRegion) ClassifyRect(o geom.Rect) geom.RectRelation {
+	if rr.r.ContainsRect(o) {
+		return geom.RectContains
+	}
+	if rr.r.Intersects(o) {
+		return geom.RectIntersects
+	}
+	return geom.RectDisjoint
+}
 
 // RectRegion wraps a rectangle as a coverable region.
 func RectRegion(r geom.Rect) Region { return rectRegion{r} }
@@ -182,10 +216,11 @@ func (c *Coverer) Cover(region Region) *Covering {
 	for h.Len() > 0 {
 		cand := heap.Pop(&h).(candidate)
 		rect := c.dom.CellRect(cand.id)
-		if !region.IntersectsRect(rect) {
+		rel := classifyRect(region, rect)
+		if rel == geom.RectDisjoint {
 			continue
 		}
-		contained := region.ContainsRect(rect)
+		contained := rel == geom.RectContains
 		if contained && cand.level >= c.opts.MinLevel {
 			out.Cells = append(out.Cells, cand.id)
 			out.Interior = append(out.Interior, true)
@@ -218,9 +253,9 @@ func (c *Coverer) seedAtLevel(region Region, start cellid.ID, level int, out *Co
 	end := start.ChildEndAt(level)
 	for id := begin; ; id = id.Next() {
 		rect := c.dom.CellRect(id)
-		if region.IntersectsRect(rect) {
+		if rel := classifyRect(region, rect); rel != geom.RectDisjoint {
 			out.Cells = append(out.Cells, id)
-			out.Interior = append(out.Interior, region.ContainsRect(rect))
+			out.Interior = append(out.Interior, rel == geom.RectContains)
 		}
 		if id == end {
 			break
@@ -269,14 +304,19 @@ func (c *Coverer) FixedLevelCover(region Region, level int) []cellid.ID {
 	var walk func(id cellid.ID)
 	walk = func(id cellid.ID) {
 		rect := c.dom.CellRect(id)
-		if !region.IntersectsRect(rect) {
-			return
-		}
 		if id.Level() == level {
-			out = append(out, id)
+			// Leaf: only the intersection test matters, skip the fused
+			// classification's containment work.
+			if region.IntersectsRect(rect) {
+				out = append(out, id)
+			}
 			return
 		}
-		if region.ContainsRect(rect) {
+		rel := classifyRect(region, rect)
+		if rel == geom.RectDisjoint {
+			return
+		}
+		if rel == geom.RectContains {
 			// Whole subtree qualifies: enumerate children at target level.
 			begin := id.ChildBeginAt(level)
 			end := id.ChildEndAt(level)

@@ -174,6 +174,7 @@ func All() []Runner {
 		{ID: "pr6", Desc: "Hot-region result cache vs uncached serving under Zipfian skew", Run: PR6},
 		{ID: "pr7", Desc: "Mapped v3 snapshot serving vs eager v2 restore (startup, RSS, eviction)", Run: PR7},
 		{ID: "pr8", Desc: "Read latency under sustained streaming ingest + background compaction", Run: PR8},
+		{ID: "pr10", Desc: "Shared-grid join vs N sequential queries + serving-tier latency percentiles", Run: PR10},
 	}
 }
 

@@ -1,0 +1,505 @@
+package experiments
+
+// PR10 is the join-operator snapshot: on the taxi dataset it measures
+// the shared-grid join (internal/store Join) against N independent
+// queries over the same 500-polygon workload — the paper-repo claim
+// "one pass over the dataset instead of N" made concrete — at both
+// tiers: in-process (store.Join vs a QueryOpts loop, isolating covering
+// and kernel sharing) and at the serving tier (one POST /v1/join vs 500
+// independent POST /v1/query calls over a kept-alive connection, the
+// comparison a client actually experiences, where per-request transport
+// and JSON costs are real and the join amortises them). It then
+// establishes the serving tier's first latency-percentile baseline by
+// driving the full HTTP stack (httpapi over httptest) with the
+// loadharness closed loop at 8 concurrent workers for three workloads:
+// plain (uncached) queries, cached queries, and joins. Correctness is
+// asserted in-run before any number is reported: every join answer must
+// be bit-identical to its sequential twin, the shared grid must answer
+// every polygon without falling back to the single-region coverer, the
+// warm join must hit the result cache on every polygon, and at full
+// scale the join must win at both tiers — strictly in-process, by at
+// least 5x over HTTP. cmd/geobench serialises everything to
+// BENCH_PR10.json via -perf-json -join.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"geoblocks"
+	"geoblocks/internal/dataset"
+	"geoblocks/internal/geom"
+	"geoblocks/internal/httpapi"
+	"geoblocks/internal/loadharness"
+	"geoblocks/internal/store"
+	"geoblocks/internal/workload"
+)
+
+const (
+	// pr10Level matches the serving daemon's default grid level; the
+	// pyramid gives the planner four coarser levels.
+	pr10Level   = 14
+	pr10Pyramid = 5
+	// pr10MaxError plans the join at the pyramid's coarsest level over
+	// the NYC bound (level-9 cell diagonal ≈ 1.7e-3 degrees ≈ 150 m),
+	// the tract-level approximate regime the join operator targets.
+	pr10MaxError = 0.002
+	// pr10Polys is the headline workload size: the ISSUE's "aggregate
+	// taxi pickups per NYC census tract in one request" scale. The 500
+	// polygons are drawn from a pr10TractPool-tract pool with the serving
+	// tier's Zipfian skew — the dashboard fan-in shape the load baseline
+	// below measures, where hot tracts repeat across one batch.
+	pr10Polys     = 500
+	pr10TractPool = 150
+	// pr10RadiusMin/Max size the polygons (degrees): census-tract-sized,
+	// a few shared-grid cells across — wide enough that interior grid
+	// cells exist, small enough that the shared grid never exceeds its
+	// fallback budget (asserted in-run).
+	pr10RadiusMin = 0.006
+	pr10RadiusMax = 0.014
+	// pr10MinSpeedup is the in-run acceptance floor for the join against
+	// 500 independent queries at the serving tier, asserted at full
+	// scale. In-process the join must win strictly; the 5x floor lives
+	// where the claim matters to a client, with real per-request costs.
+	pr10MinSpeedup = 5.0
+	// pr10FullScaleRows gates the speedup floor: below this the dataset
+	// is a unit-test miniature whose constant costs drown the effect.
+	pr10FullScaleRows = 200_000
+	// pr10LoadWorkers is the closed-loop concurrency of the percentile
+	// baseline; pr10LoadPool/pr10LoadSkew shape its Zipfian stream and
+	// pr10JoinBatch the polygons per join request.
+	pr10LoadWorkers = 8
+	pr10LoadPool    = 200
+	pr10LoadSkew    = 1.5
+	pr10JoinBatch   = 64
+)
+
+// PR10JoinPoint is one configuration of the join-vs-sequential bench.
+type PR10JoinPoint struct {
+	// Config names the pass. In-process: "sequential" (N independent
+	// uncached QueryOpts calls), "join" (one uncached shared-grid join),
+	// "join-cold" (cache on, first pass), "join-warm" (cache on, steady
+	// state). Serving tier: "http-sequential" (N independent POST
+	// /v1/query calls, one kept-alive client) and "http-join" (one POST
+	// /v1/join with all N polygons).
+	Config string `json:"config"`
+	// Polygons is the workload size; UniquePolygons the distinct
+	// geometries after the join's exact dedup (the sequential baseline
+	// answers all Polygons independently either way); ElapsedNS the pass
+	// wall time; PerPolygonUS the per-polygon cost.
+	Polygons       int     `json:"polygons"`
+	UniquePolygons int     `json:"unique_polygons,omitempty"`
+	ElapsedNS      int64   `json:"elapsed_ns"`
+	PerPolygonUS   float64 `json:"per_polygon_us"`
+	// Speedup is the matching sequential baseline's elapsed time over
+	// this pass's: in-process passes compare against "sequential", HTTP
+	// passes against "http-sequential".
+	Speedup float64 `json:"speedup_vs_sequential"`
+	// Level is the planned pyramid level; GridLevel the shared grid's.
+	// Zero on HTTP passes (the wire reports per-polygon levels instead).
+	Level     int `json:"level"`
+	GridLevel int `json:"grid_level"`
+	// InteriorFraction is the share of (polygon, grid cell) pairs
+	// answered wholesale with zero point-in-polygon tests; Fallbacks
+	// counts polygons the shared grid handed back to the single-region
+	// coverer (asserted zero).
+	InteriorFraction float64 `json:"interior_fraction"`
+	Fallbacks        int     `json:"fallbacks"`
+	// CacheHits counts per-polygon result-cache hits inside the pass.
+	CacheHits int `json:"cache_hits"`
+}
+
+// PR10LoadPoint is one workload's percentile report from the closed-loop
+// HTTP baseline.
+type PR10LoadPoint struct {
+	// Workload is "query-nocache", "query-cached" or "join".
+	Workload string `json:"workload"`
+	loadharness.Report
+}
+
+// PR10Perf runs the join bench and the percentile baseline, returning
+// the rendered tables and both raw point sets.
+func PR10Perf(cfg Config) ([]*Table, []PR10JoinPoint, []PR10LoadPoint) {
+	raw := dataset.Generate(dataset.NYCTaxi(), cfg.TaxiRows, cfg.Seed)
+	bound := raw.Spec.Bound
+	clean := raw.CleanRule()
+	ds, err := store.Build("taxi", bound, raw.Spec.Schema, raw.Points, raw.Cols, store.Options{
+		Level:         pr10Level,
+		ShardLevel:    2,
+		PyramidLevels: pr10Pyramid,
+		// Admission floor 0: the cold join pass admits every footprint,
+		// so the warm pass must hit on every polygon (asserted).
+		ResultCacheBytes:   64 << 20,
+		ResultCacheMinHits: 0,
+		Clean:              &clean,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// The tract workload: a pool of small tract polygons spread over the
+	// bound, two thirds clustered on the data's hotspots, from which the
+	// 500-polygon batch is drawn with the serving tier's Zipfian skew —
+	// one dashboard refresh fanning in over the hot tract set, so the
+	// join sees both overlapping coverings and repeated geometries.
+	rng := rand.New(rand.NewSource(cfg.Seed + 10))
+	pool := make([]*geom.Polygon, pr10TractPool)
+	for i := range pool {
+		r := pr10RadiusMin + rng.Float64()*(pr10RadiusMax-pr10RadiusMin)
+		c := geom.Pt(
+			bound.Min.X+r+rng.Float64()*(bound.Width()-2*r),
+			bound.Min.Y+r+rng.Float64()*(bound.Height()-2*r),
+		)
+		if i%3 != 0 {
+			c = geom.Pt(
+				clamp(-73.98+rng.NormFloat64()*0.08, bound.Min.X+r, bound.Max.X-r),
+				clamp(40.74+rng.NormFloat64()*0.06, bound.Min.Y+r, bound.Max.Y-r),
+			)
+		}
+		pool[i] = geom.RegularPolygon(c, r, 4+rng.Intn(5))
+	}
+	zipf := rand.NewZipf(rng, pr10LoadSkew, 1, uint64(len(pool)-1))
+	polys := make([]*geom.Polygon, pr10Polys)
+	for i := range polys {
+		polys[i] = pool[int(zipf.Uint64())]
+	}
+	reqs := []geoblocks.AggRequest{
+		geoblocks.Count(), geoblocks.Sum("fare_amount"),
+		geoblocks.Min("fare_amount"), geoblocks.Max("fare_amount"),
+	}
+	uncached := geoblocks.QueryOptions{MaxError: pr10MaxError, DisableCache: true}
+
+	// Sequential baseline: N independent queries, the pre-join batch
+	// cost (cache disabled on both sides — the comparison is covering
+	// and kernel work, not cache luck).
+	seqResults := make([]geoblocks.Result, len(polys))
+	seqElapsed := timeIt(func() {
+		for i, p := range polys {
+			res, err := ds.QueryOpts(p, uncached, reqs...)
+			if err != nil {
+				panic(err)
+			}
+			seqResults[i] = res
+		}
+	})
+
+	joinPass := func(config string, opts geoblocks.QueryOptions) (PR10JoinPoint, []geoblocks.Result, store.JoinStats) {
+		var results []geoblocks.Result
+		var stats store.JoinStats
+		elapsed := timeIt(func() {
+			var err error
+			results, stats, err = ds.Join(polys, opts, reqs...)
+			if err != nil {
+				panic(err)
+			}
+		})
+		return PR10JoinPoint{
+			Config:           config,
+			Polygons:         len(polys),
+			UniquePolygons:   stats.UniquePolygons,
+			ElapsedNS:        elapsed.Nanoseconds(),
+			PerPolygonUS:     float64(elapsed.Microseconds()) / float64(len(polys)),
+			Speedup:          float64(seqElapsed) / float64(elapsed),
+			Level:            stats.Level,
+			GridLevel:        stats.GridLevel,
+			InteriorFraction: stats.InteriorFraction(),
+			Fallbacks:        stats.Fallbacks,
+			CacheHits:        stats.CacheHits,
+		}, results, stats
+	}
+
+	joinPoint, joinResults, joinStats := joinPass("join", uncached)
+	for i := range joinResults {
+		assertPR10Identical(i, joinResults[i], seqResults[i])
+	}
+	if joinStats.Fallbacks != 0 {
+		panic(fmt.Sprintf("pr10: %d of %d polygons fell back to the single-region coverer", joinStats.Fallbacks, len(polys)))
+	}
+	if joinStats.Level >= pr10Level {
+		panic(fmt.Sprintf("pr10: max_error %g did not plan below full resolution (level %d)", pr10MaxError, joinStats.Level))
+	}
+
+	cached := geoblocks.QueryOptions{MaxError: pr10MaxError}
+	coldPoint, coldResults, _ := joinPass("join-cold", cached)
+	warmPoint, warmResults, warmStats := joinPass("join-warm", cached)
+	for i := range coldResults {
+		assertPR10Identical(i, coldResults[i], seqResults[i])
+		assertPR10Identical(i, warmResults[i], seqResults[i])
+	}
+	if warmStats.CacheHits != warmStats.UniquePolygons {
+		panic(fmt.Sprintf("pr10: warm join hit the result cache on %d of %d unique polygons", warmStats.CacheHits, warmStats.UniquePolygons))
+	}
+
+	// Serving tier: the same comparison as a client sees it, over the
+	// full HTTP stack. One server instance carries the speedup pair and
+	// the percentile baseline below.
+	st := store.New()
+	if err := st.Add(ds); err != nil {
+		panic(err)
+	}
+	srv := httptest.NewServer(httpapi.NewHandler(st, httpapi.Config{}))
+	defer srv.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        pr10LoadWorkers * 2,
+		MaxIdleConnsPerHost: pr10LoadWorkers * 2,
+	}}
+	rings := make([][][2]float64, len(polys))
+	for i, p := range polys {
+		outer := p.Outer()
+		ring := make([][2]float64, len(outer))
+		for j, v := range outer {
+			ring[j] = [2]float64{v.X, v.Y}
+		}
+		rings[i] = ring
+	}
+	httpSeqPoint, httpJoinPoint := pr10HTTPPair(srv, client, rings)
+
+	if cfg.TaxiRows >= pr10FullScaleRows {
+		if joinPoint.Speedup <= 1 {
+			panic(fmt.Sprintf("pr10: in-process join speedup %.2fx does not beat the sequential loop at %d rows", joinPoint.Speedup, cfg.TaxiRows))
+		}
+		if httpJoinPoint.Speedup < pr10MinSpeedup {
+			panic(fmt.Sprintf("pr10: serving-tier join speedup %.1fx below the %.0fx floor at %d rows", httpJoinPoint.Speedup, pr10MinSpeedup, cfg.TaxiRows))
+		}
+	}
+
+	points := []PR10JoinPoint{
+		{
+			Config:       "sequential",
+			Polygons:     len(polys),
+			ElapsedNS:    seqElapsed.Nanoseconds(),
+			PerPolygonUS: float64(seqElapsed.Microseconds()) / float64(len(polys)),
+			Speedup:      1,
+			Level:        joinStats.Level,
+		},
+		joinPoint, coldPoint, warmPoint, httpSeqPoint, httpJoinPoint,
+	}
+
+	joinTbl := &Table{
+		ID:    "pr10",
+		Title: "Shared-grid join vs N independent queries (taxi)",
+		Note: fmt.Sprintf("%d rows, block level %d, shard level 2, %d tract polygons drawn Zipfian (s=%.1f) from a %d-tract pool (%d unique in this batch), max_error %g (planned level %d, grid level %d); every join answer asserted bit-identical to its sequential twin, zero coverer fallbacks; http rows replay the comparison through the serving stack (%d POST /v1/query vs one POST /v1/join), where the %.0fx floor is asserted",
+			cfg.TaxiRows, pr10Level, len(polys), pr10LoadSkew, pr10TractPool, joinStats.UniquePolygons, pr10MaxError, joinStats.Level, joinStats.GridLevel, len(polys), pr10MinSpeedup),
+		Header: []string{"config", "polygons", "unique", "total ms", "per-poly us", "interior", "cache hits", "speedup"},
+	}
+	for _, p := range points {
+		interior, hits := pct(p.InteriorFraction), fmt.Sprintf("%d", p.CacheHits)
+		unique := fmt.Sprintf("%d", p.UniquePolygons)
+		if strings.HasPrefix(p.Config, "http") {
+			interior, hits = "-", "-"
+		}
+		if p.UniquePolygons == 0 {
+			unique = "-"
+		}
+		joinTbl.AddRow(
+			p.Config,
+			fmt.Sprintf("%d", p.Polygons),
+			unique,
+			fmt.Sprintf("%.1f", float64(p.ElapsedNS)/1e6),
+			fmt.Sprintf("%.1f", p.PerPolygonUS),
+			interior,
+			hits,
+			fmt.Sprintf("%.1fx", p.Speedup),
+		)
+	}
+
+	loadPoints := pr10LoadBaseline(cfg, srv, client, bound)
+	loadTbl := &Table{
+		ID:    "pr10-load",
+		Title: "Serving-tier latency percentiles under concurrent load (closed loop, HTTP)",
+		Note: fmt.Sprintf("%d workers over the full httpapi stack, %d-polygon Zipfian pool at s=%.1f, joins of %d polygons/request; open-loop mode and live daemons via cmd/loadgen",
+			pr10LoadWorkers, pr10LoadPool, pr10LoadSkew, pr10JoinBatch),
+		Header: []string{"workload", "requests", "qps", "p50 ms", "p95 ms", "p99 ms", "max ms"},
+	}
+	for _, p := range loadPoints {
+		loadTbl.AddRow(
+			p.Workload,
+			fmt.Sprintf("%d", p.Requests),
+			fmt.Sprintf("%.0f", p.QPS),
+			fmt.Sprintf("%.3f", p.P50MS),
+			fmt.Sprintf("%.3f", p.P95MS),
+			fmt.Sprintf("%.3f", p.P99MS),
+			fmt.Sprintf("%.3f", p.MaxMS),
+		)
+	}
+	return []*Table{joinTbl, loadTbl}, points, loadPoints
+}
+
+// pr10Body is the wire form shared by /v1/query and /v1/join.
+type pr10Body struct {
+	Dataset  string              `json:"dataset"`
+	Polygon  [][2]float64        `json:"polygon,omitempty"`
+	Polygons [][][2]float64      `json:"polygons,omitempty"`
+	Aggs     []map[string]string `json:"aggs"`
+	MaxError float64             `json:"max_error"`
+	NoCache  bool                `json:"no_cache,omitempty"`
+}
+
+// pr10Post sends one request and checks for 200, draining the body so
+// the connection is reused.
+func pr10Post(client *http.Client, base, endpoint string, b pr10Body) error {
+	buf, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+endpoint, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", endpoint, resp.StatusCode)
+	}
+	return nil
+}
+
+// pr10HTTPPair measures the join claim where a client experiences it: a
+// client holding N polygons either issues N independent POST /v1/query
+// calls back to back over a kept-alive connection (the pre-join
+// protocol) or one POST /v1/join carrying all N. Both sides bypass the
+// result cache, use the same aggregates and the same max_error; the
+// sequential side runs once (N requests is its own repetition), the
+// join side takes the best of three.
+func pr10HTTPPair(srv *httptest.Server, client *http.Client, rings [][][2]float64) (seqPt, joinPt PR10JoinPoint) {
+	aggs := []map[string]string{
+		{"func": "count"}, {"func": "sum", "col": "fare_amount"},
+		{"func": "min", "col": "fare_amount"}, {"func": "max", "col": "fare_amount"},
+	}
+	post := func(endpoint string, b pr10Body) {
+		if err := pr10Post(client, srv.URL, endpoint, b); err != nil {
+			panic(fmt.Sprintf("pr10: %v", err))
+		}
+	}
+	seqElapsed := timeIt(func() {
+		for _, ring := range rings {
+			post("/v1/query", pr10Body{Dataset: "taxi", Polygon: ring, Aggs: aggs, MaxError: pr10MaxError, NoCache: true})
+		}
+	})
+	var joinElapsed time.Duration
+	for rep := 0; rep < 3; rep++ {
+		e := timeIt(func() {
+			post("/v1/join", pr10Body{Dataset: "taxi", Polygons: rings, Aggs: aggs, MaxError: pr10MaxError, NoCache: true})
+		})
+		if rep == 0 || e < joinElapsed {
+			joinElapsed = e
+		}
+	}
+	n := len(rings)
+	seqPt = PR10JoinPoint{
+		Config:       "http-sequential",
+		Polygons:     n,
+		ElapsedNS:    seqElapsed.Nanoseconds(),
+		PerPolygonUS: float64(seqElapsed.Microseconds()) / float64(n),
+		Speedup:      1,
+	}
+	joinPt = PR10JoinPoint{
+		Config:       "http-join",
+		Polygons:     n,
+		ElapsedNS:    joinElapsed.Nanoseconds(),
+		PerPolygonUS: float64(joinElapsed.Microseconds()) / float64(n),
+		Speedup:      float64(seqElapsed) / float64(joinElapsed),
+	}
+	return seqPt, joinPt
+}
+
+// pr10LoadBaseline drives the full HTTP stack with the loadharness
+// closed loop: plain queries, cached queries, then joins. Every request
+// must answer 200 (errors fail the run via the report check below).
+func pr10LoadBaseline(cfg Config, srv *httptest.Server, client *http.Client, bound geom.Rect) []PR10LoadPoint {
+	pool := workload.ZipfianHotspot(bound, pr10LoadPool, pr10LoadSkew, cfg.Seed+11).Pool()
+	rings := make([][][2]float64, len(pool))
+	for i, p := range pool {
+		outer := p.Outer()
+		ring := make([][2]float64, len(outer))
+		for j, v := range outer {
+			ring[j] = [2]float64{v.X, v.Y}
+		}
+		rings[i] = ring
+	}
+	aggs := []map[string]string{
+		{"func": "count"}, {"func": "sum", "col": "fare_amount"},
+	}
+
+	duration := 2500 * time.Millisecond
+	if cfg.TaxiRows < pr10FullScaleRows {
+		duration = 800 * time.Millisecond
+	}
+	zipfs := make([]*rand.Zipf, pr10LoadWorkers)
+	for w := range zipfs {
+		r := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919 + 23))
+		zipfs[w] = rand.NewZipf(r, pr10LoadSkew, 1, uint64(len(pool)-1))
+	}
+	post := func(endpoint string, b pr10Body) error {
+		return pr10Post(client, srv.URL, endpoint, b)
+	}
+
+	runs := []struct {
+		workload string
+		fn       func(w int) error
+	}{
+		{"query-nocache", func(w int) error {
+			return post("/v1/query", pr10Body{Dataset: "taxi", Polygon: rings[int(zipfs[w].Uint64())], Aggs: aggs, MaxError: pr10MaxError, NoCache: true})
+		}},
+		{"query-cached", func(w int) error {
+			return post("/v1/query", pr10Body{Dataset: "taxi", Polygon: rings[int(zipfs[w].Uint64())], Aggs: aggs, MaxError: pr10MaxError})
+		}},
+		{"join", func(w int) error {
+			ps := make([][][2]float64, pr10JoinBatch)
+			for i := range ps {
+				ps[i] = rings[int(zipfs[w].Uint64())]
+			}
+			return post("/v1/join", pr10Body{Dataset: "taxi", Polygons: ps, Aggs: aggs, MaxError: pr10MaxError})
+		}},
+	}
+	out := make([]PR10LoadPoint, 0, len(runs))
+	for _, r := range runs {
+		rep := loadharness.RunClosed(pr10LoadWorkers, duration, r.fn)
+		if rep.Errors > 0 {
+			panic(fmt.Sprintf("pr10: %d of %d %s requests failed", rep.Errors, rep.Requests, r.workload))
+		}
+		if rep.Requests == 0 {
+			panic(fmt.Sprintf("pr10: %s recorded no requests", r.workload))
+		}
+		out = append(out, PR10LoadPoint{Workload: r.workload, Report: rep})
+	}
+	return out
+}
+
+// assertPR10Identical panics unless a join answer matches its sequential
+// twin bit for bit — the single-node join's full contract (the dataset
+// carries no per-shard aggregate cache, so even SUM is reassociated in
+// the identical order).
+func assertPR10Identical(i int, got, want geoblocks.Result) {
+	if got.Count != want.Count || got.Level != want.Level || got.ErrorBound != want.ErrorBound {
+		panic(fmt.Sprintf("pr10: polygon %d count/level/bound diverge from the sequential twin", i))
+	}
+	for k := range want.Values {
+		if math.Float64bits(got.Values[k]) != math.Float64bits(want.Values[k]) {
+			panic(fmt.Sprintf("pr10: polygon %d value %d = %v, sequential twin %v", i, k, got.Values[k], want.Values[k]))
+		}
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// PR10 is the Runner entry point.
+func PR10(cfg Config) []*Table {
+	tables, _, _ := PR10Perf(cfg)
+	return tables
+}

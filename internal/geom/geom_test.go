@@ -361,3 +361,60 @@ func TestSegmentIntersectsRect(t *testing.T) {
 		}
 	}
 }
+
+// Property: ClassifyRect is exactly the (IntersectsRect, ContainsRect)
+// pair fused into one pass — RectDisjoint iff not intersecting,
+// RectContains iff contained. The region coverer's bit-identity contract
+// rests on this equivalence, so it is pinned across convex, concave and
+// holed polygons at rect scales from sliver to engulfing.
+func TestQuickClassifyRectMatchesPredicates(t *testing.T) {
+	convex := NewPolygon([]Point{Pt(0, 0), Pt(10, 1), Pt(12, 7), Pt(6, 11), Pt(-1, 6)})
+	concave := NewPolygon([]Point{Pt(0, 0), Pt(12, 0), Pt(12, 10), Pt(6, 3), Pt(0, 10)})
+	holed := NewPolygon([]Point{Pt(0, 0), Pt(12, 0), Pt(12, 12), Pt(0, 12)})
+	if err := holed.AddHole([]Point{Pt(4, 4), Pt(8, 4), Pt(8, 8), Pt(4, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	polys := []*Polygon{convex, concave, holed}
+	f := func(x0, y0, w, h uint16, which uint8) bool {
+		poly := polys[int(which)%len(polys)]
+		r := Rect{
+			Min: Pt(float64(x0)/4096-2, float64(y0)/4096-2),
+			Max: Pt(float64(x0)/4096-2+float64(w)/1024, float64(y0)/4096-2+float64(h)/1024),
+		}
+		want := RectIntersects
+		switch {
+		case poly.ContainsRect(r):
+			want = RectContains
+		case !poly.IntersectsRect(r):
+			want = RectDisjoint
+		}
+		return poly.ClassifyRect(r) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ClassifyRect on hand-picked relations, including grid-aligned cells of
+// the kind the coverer feeds it.
+func TestClassifyRectCases(t *testing.T) {
+	poly := NewPolygon([]Point{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)})
+	cases := []struct {
+		r    Rect
+		want RectRelation
+	}{
+		{Rect{Min: Pt(2, 2), Max: Pt(4, 4)}, RectContains},
+		// Exact overlay: ContainsRect conservatively rejects rects the
+		// ring edges touch, and ClassifyRect must agree.
+		{Rect{Min: Pt(0, 0), Max: Pt(10, 10)}, RectIntersects},
+		{Rect{Min: Pt(-2, -2), Max: Pt(12, 12)}, RectIntersects},
+		{Rect{Min: Pt(8, 8), Max: Pt(12, 12)}, RectIntersects},
+		{Rect{Min: Pt(11, 11), Max: Pt(12, 12)}, RectDisjoint},
+		{Rect{Min: Pt(10, 10), Max: Pt(12, 12)}, RectIntersects}, // corner touch
+	}
+	for i, c := range cases {
+		if got := poly.ClassifyRect(c.r); got != c.want {
+			t.Errorf("case %d: ClassifyRect(%v) = %d, want %d", i, c.r, got, c.want)
+		}
+	}
+}

@@ -91,6 +91,7 @@ type server struct {
 	// per-endpoint-group request counters, exported by /metrics.
 	reqDatasets atomic.Uint64
 	reqQuery    atomic.Uint64
+	reqJoin     atomic.Uint64
 	reqStats    atomic.Uint64
 	reqMetrics  atomic.Uint64
 	reqIngest   atomic.Uint64
@@ -126,6 +127,7 @@ func newServer(st *store.Store, cfg Config) (*server, http.Handler) {
 	mux.HandleFunc("POST /v1/datasets/{name}/compact", s.handleCompact)
 	mux.HandleFunc("POST /v1/datasets/{name}/snapshot", s.handleSnapshotDataset)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/join", s.handleJoin)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.Cluster != nil {
@@ -775,6 +777,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric("geoblocksd_uptime_seconds", "", time.Since(s.start).Seconds())
 	writeMetric("geoblocksd_requests_total", `endpoint="datasets"`, float64(s.reqDatasets.Load()))
 	writeMetric("geoblocksd_requests_total", `endpoint="query"`, float64(s.reqQuery.Load()))
+	writeMetric("geoblocksd_requests_total", `endpoint="join"`, float64(s.reqJoin.Load()))
 	writeMetric("geoblocksd_requests_total", `endpoint="stats"`, float64(s.reqStats.Load()))
 	writeMetric("geoblocksd_requests_total", `endpoint="metrics"`, float64(s.reqMetrics.Load()))
 	writeMetric("geoblocksd_requests_total", `endpoint="ingest"`, float64(s.reqIngest.Load()))
@@ -853,6 +856,27 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeMetric("geoblocks_resultcache_misses_total", l, rcMisses)
 		writeMetric("geoblocks_resultcache_evictions_total", l, rcEvictions)
 		writeMetric("geoblocks_resultcache_bytes", l, rcBytes)
+		// Join counters follow the same always-emit convention: zeros
+		// before the first join, so the interior-fraction ratio
+		// (interior / (interior + boundary)) is computable from stable
+		// series.
+		var jJoins, jPolys, jInterior, jBoundary, jFallbacks, jHits, jMisses float64
+		if jc := st.Join; jc != nil {
+			jJoins = float64(jc.Joins)
+			jPolys = float64(jc.Polygons)
+			jInterior = float64(jc.InteriorPairs)
+			jBoundary = float64(jc.BoundaryPairs)
+			jFallbacks = float64(jc.Fallbacks)
+			jHits = float64(jc.CacheHits)
+			jMisses = float64(jc.CacheMisses)
+		}
+		writeMetric("geoblocks_join_queries_total", l, jJoins)
+		writeMetric("geoblocks_join_polygons_total", l, jPolys)
+		writeMetric("geoblocks_join_interior_pairs_total", l, jInterior)
+		writeMetric("geoblocks_join_boundary_pairs_total", l, jBoundary)
+		writeMetric("geoblocks_join_fallbacks_total", l, jFallbacks)
+		writeMetric("geoblocks_join_cache_hits_total", l, jHits)
+		writeMetric("geoblocks_join_cache_misses_total", l, jMisses)
 		// Ingest/compaction series exist for every writable (non-mapped)
 		// dataset, zeros included, so dashboards see stable series from
 		// the moment a dataset is created.

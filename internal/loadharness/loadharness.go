@@ -1,0 +1,245 @@
+// Package loadharness is the measurement core of cmd/loadgen: an
+// HDR-style log-linear latency histogram plus closed- and open-loop run
+// drivers, so every performance claim the repo makes can be a percentile
+// under concurrency instead of a solo-request mean.
+//
+// Closed loop: W workers issue requests back to back — throughput floats
+// with latency, the classic benchmark shape. Open loop: requests are
+// scheduled on a fixed-rate clock regardless of how the system keeps up,
+// and each latency is measured from the request's *scheduled* start, so
+// queueing delay is charged to the system under test (the
+// coordinated-omission correction — a stalled server cannot hide behind
+// the load generator's own back-off).
+package loadharness
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram is log-linear over microseconds: values below 32 us land
+// in unit-wide buckets; each further power of two is split into 32
+// linear sub-buckets, bounding the relative quantization error at ~3%
+// while covering the full uint64 range in a fixed 1920-slot array.
+const (
+	subBuckets   = 32
+	subBits      = 5 // log2(subBuckets)
+	totalBuckets = (64 - subBits + 1) * subBuckets
+)
+
+// Histogram records latencies with bounded relative error. Concurrent
+// Record calls are safe (per-bucket atomics); Percentile and merges are
+// meant for after the run.
+type Histogram struct {
+	buckets [totalBuckets]atomic.Uint64
+	count   atomic.Uint64
+	maxUS   atomic.Uint64
+}
+
+// bucketIndex maps a microsecond value to its log-linear bucket.
+func bucketIndex(us uint64) int {
+	if us < subBuckets {
+		return int(us)
+	}
+	e := bits.Len64(us) // >= 6
+	// Keep the top subBits bits after the leading one: a value in
+	// [2^(e-1), 2^e) maps to sub-bucket (us >> (e-1-subBits)) in [32, 64).
+	return (e-subBits)*subBuckets + int(us>>(e-1-subBits)) - subBuckets
+}
+
+// bucketUpper returns the inclusive upper edge (in us) of a bucket, the
+// conservative representative reported for percentiles.
+func bucketUpper(idx int) uint64 {
+	if idx < subBuckets {
+		return uint64(idx)
+	}
+	g := idx / subBuckets
+	r := idx % subBuckets
+	return (uint64(subBuckets+r+1) << (g - 1)) - 1
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	us := uint64(d.Microseconds())
+	if d < 0 {
+		us = 0
+	}
+	h.buckets[bucketIndex(us)].Add(1)
+	h.count.Add(1)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Percentile returns the q-th percentile (q in [0, 100]) in
+// microseconds: the upper edge of the bucket holding the q-th
+// observation, clamped to the true maximum for the tail.
+func (h *Histogram) Percentile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q / 100 * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var seen uint64
+	for i := 0; i < totalBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			v := bucketUpper(i)
+			if m := h.maxUS.Load(); v > m {
+				v = m
+			}
+			return v
+		}
+	}
+	return h.maxUS.Load()
+}
+
+// Max returns the largest recorded value in microseconds.
+func (h *Histogram) Max() uint64 { return h.maxUS.Load() }
+
+// Report is one run's summary: counts, achieved throughput and the
+// latency distribution in milliseconds (float, microsecond resolution).
+type Report struct {
+	// Mode is "closed" or "open"; Workers the concurrency; RateHz the
+	// open loop's scheduled arrival rate (0 for closed).
+	Mode    string  `json:"mode"`
+	Workers int     `json:"workers"`
+	RateHz  float64 `json:"rate_hz,omitempty"`
+	// DurationSec is the measured wall time, Requests/Errors the calls
+	// issued, QPS the achieved throughput.
+	DurationSec float64 `json:"duration_sec"`
+	Requests    uint64  `json:"requests"`
+	Errors      uint64  `json:"errors"`
+	QPS         float64 `json:"qps"`
+	P50MS       float64 `json:"p50_ms"`
+	P90MS       float64 `json:"p90_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
+}
+
+// String renders the one-line human form.
+func (r Report) String() string {
+	return fmt.Sprintf("%s loop, %d workers: %d requests (%d errors) in %.1fs = %.0f qps; p50 %.3fms p90 %.3fms p95 %.3fms p99 %.3fms max %.3fms",
+		r.Mode, r.Workers, r.Requests, r.Errors, r.DurationSec, r.QPS,
+		r.P50MS, r.P90MS, r.P95MS, r.P99MS, r.MaxMS)
+}
+
+func report(mode string, workers int, rate float64, elapsed time.Duration, h *Histogram, errs uint64) Report {
+	n := h.Count()
+	rep := Report{
+		Mode:        mode,
+		Workers:     workers,
+		RateHz:      rate,
+		DurationSec: elapsed.Seconds(),
+		Requests:    n,
+		Errors:      errs,
+		P50MS:       float64(h.Percentile(50)) / 1000,
+		P90MS:       float64(h.Percentile(90)) / 1000,
+		P95MS:       float64(h.Percentile(95)) / 1000,
+		P99MS:       float64(h.Percentile(99)) / 1000,
+		MaxMS:       float64(h.Max()) / 1000,
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(n) / elapsed.Seconds()
+	}
+	return rep
+}
+
+// RunClosed drives fn back to back from `workers` goroutines for the
+// given duration: the classic closed loop, where offered load adapts to
+// the system's latency. fn receives its worker index (for per-worker
+// RNGs or connections); a non-nil error counts in Errors but the
+// latency is still recorded.
+func RunClosed(workers int, duration time.Duration, fn func(worker int) error) Report {
+	if workers < 1 {
+		workers = 1
+	}
+	var h Histogram
+	var errs atomic.Uint64
+	start := time.Now()
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				err := fn(w)
+				h.Record(time.Since(t0))
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return report("closed", workers, 0, time.Since(start), &h, errs.Load())
+}
+
+// RunOpen drives fn at a fixed arrival rate (requests per second) from a
+// worker pool, for the given duration. Arrivals are scheduled on a
+// global clock: workers claim ticket n, sleep until start + n/rate, call
+// fn, and record latency from the *scheduled* start — so when the system
+// falls behind, the queueing delay lands in the histogram instead of
+// silently stretching the arrival gaps (coordinated-omission
+// correction). Workers caps in-flight concurrency; saturate it and the
+// measured tail grows, which is exactly the signal an open loop exists
+// to surface.
+func RunOpen(rate float64, workers int, duration time.Duration, fn func(worker int) error) Report {
+	if rate <= 0 {
+		return Report{Mode: "open", Workers: workers, RateHz: rate}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	var h Histogram
+	var errs atomic.Uint64
+	var seq atomic.Uint64
+	start := time.Now()
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				n := seq.Add(1) - 1
+				scheduled := start.Add(time.Duration(n) * interval)
+				if scheduled.After(deadline) {
+					return
+				}
+				if wait := time.Until(scheduled); wait > 0 {
+					time.Sleep(wait)
+				}
+				err := fn(w)
+				h.Record(time.Since(scheduled))
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return report("open", workers, rate, time.Since(start), &h, errs.Load())
+}

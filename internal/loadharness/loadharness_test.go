@@ -1,0 +1,125 @@
+package loadharness
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip: every bucket's upper edge must map back to the
+// same bucket, and indices must be monotone in the value.
+func TestBucketRoundTrip(t *testing.T) {
+	for idx := 0; idx < totalBuckets; idx++ {
+		v := bucketUpper(idx)
+		if got := bucketIndex(v); got != idx {
+			t.Fatalf("bucketIndex(bucketUpper(%d)=%d) = %d", idx, v, got)
+		}
+	}
+	prev := -1
+	for _, us := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1 << 40, math.MaxUint64} {
+		idx := bucketIndex(us)
+		if idx < prev || idx >= totalBuckets {
+			t.Fatalf("bucketIndex(%d) = %d (prev %d, total %d)", us, idx, prev, totalBuckets)
+		}
+		prev = idx
+	}
+}
+
+// TestHistogramPercentiles: a uniform ramp of known latencies must
+// report percentiles within the histogram's ~3% relative error.
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10_000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 10_000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want float64 // exact value in us
+	}{
+		{50, 5000}, {90, 9000}, {99, 9900}, {100, 10_000},
+	}
+	for _, c := range checks {
+		got := float64(h.Percentile(c.q))
+		if got < c.want || got > c.want*1.04 {
+			t.Errorf("p%g = %gus, want within [%g, %g]", c.q, got, c.want, c.want*1.04)
+		}
+	}
+	if h.Max() != 10_000 {
+		t.Errorf("max %dus, want 10000", h.Max())
+	}
+}
+
+// TestHistogramEmpty: zero observations report zero everywhere.
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram reported non-zero")
+	}
+}
+
+// TestRunClosed: workers run fn back to back; counts, errors and QPS
+// must be consistent.
+func TestRunClosed(t *testing.T) {
+	var calls atomic.Uint64
+	rep := RunClosed(4, 150*time.Millisecond, func(w int) error {
+		if w < 0 || w >= 4 {
+			t.Errorf("worker index %d", w)
+		}
+		n := calls.Add(1)
+		time.Sleep(time.Millisecond)
+		if n%5 == 0 {
+			return errors.New("synthetic")
+		}
+		return nil
+	})
+	if rep.Mode != "closed" || rep.Workers != 4 {
+		t.Fatalf("report header %+v", rep)
+	}
+	if rep.Requests == 0 || rep.Requests != calls.Load() {
+		t.Fatalf("requests %d, calls %d", rep.Requests, calls.Load())
+	}
+	if rep.Errors == 0 || rep.Errors > rep.Requests {
+		t.Fatalf("errors %d of %d", rep.Errors, rep.Requests)
+	}
+	if rep.QPS <= 0 || rep.P50MS <= 0 {
+		t.Fatalf("qps %v p50 %v", rep.QPS, rep.P50MS)
+	}
+}
+
+// TestRunOpenRate: a fast fn keeps up with the schedule, so the request
+// count tracks rate*duration and latencies stay tiny.
+func TestRunOpenRate(t *testing.T) {
+	rep := RunOpen(2000, 4, 250*time.Millisecond, func(int) error { return nil })
+	want := 2000 * 0.25
+	if float64(rep.Requests) < want*0.8 || float64(rep.Requests) > want*1.2 {
+		t.Fatalf("open loop issued %d requests, want ~%g", rep.Requests, want)
+	}
+	if rep.Mode != "open" || rep.RateHz != 2000 {
+		t.Fatalf("report header %+v", rep)
+	}
+}
+
+// TestRunOpenCoordinatedOmission: one worker servicing 2ms calls against
+// a 1000/s schedule falls behind immediately; measuring from the
+// *scheduled* start means the recorded tail must reflect the queueing
+// delay (far above the 2ms service time), not hide it.
+func TestRunOpenCoordinatedOmission(t *testing.T) {
+	rep := RunOpen(1000, 1, 300*time.Millisecond, func(int) error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if rep.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+	if rep.P99MS < 10 {
+		t.Fatalf("p99 %.3fms does not reflect queueing delay under overload", rep.P99MS)
+	}
+	if rep.P50MS <= rep.P99MS/100 {
+		t.Logf("p50 %.3fms p99 %.3fms", rep.P50MS, rep.P99MS)
+	}
+}

@@ -215,6 +215,16 @@ type Dataset struct {
 	compactions       atomic.Uint64
 	compactedRows     atomic.Uint64
 	lastCompactMicros atomic.Int64
+
+	// Join counters (join.go): cumulative over every Join/JoinRects/
+	// PlanJoin call, surfaced in DatasetStats and at /metrics.
+	joins           atomic.Uint64
+	joinPolygons    atomic.Uint64
+	joinInterior    atomic.Uint64
+	joinBoundary    atomic.Uint64
+	joinFallbacks   atomic.Uint64
+	joinCacheHits   atomic.Uint64
+	joinCacheMisses atomic.Uint64
 }
 
 // Build partitions the raw rows by shard-level cell prefix and builds one
@@ -1326,6 +1336,9 @@ type DatasetStats struct {
 	ShardLevel int      `json:"shard_level"`
 	NumShards  int      `json:"num_shards"`
 	Columns    []string `json:"columns"`
+	// Bound is the dataset's spatial domain as [minX, minY, maxX, maxY] —
+	// load generators and clients use it to synthesize in-domain queries.
+	Bound [4]float64 `json:"bound"`
 	// ErrorBound is the spatial error bound in domain units (one grid
 	// cell diagonal).
 	ErrorBound float64 `json:"error_bound"`
@@ -1368,7 +1381,27 @@ type DatasetStats struct {
 	// HotFootprints lists the hottest cached query footprints (full Stats
 	// only, nil in summaries and without a result cache).
 	HotFootprints []resultcache.FootprintStat `json:"hot_footprints,omitempty"`
-	Shards        []ShardStats                `json:"shards,omitempty"`
+	// Join holds the join operator's cumulative counters, nil until the
+	// first Join/JoinRects/PlanJoin call.
+	Join   *JoinCounters `json:"join,omitempty"`
+	Shards []ShardStats  `json:"shards,omitempty"`
+}
+
+// JoinCounters is the cumulative join activity of one dataset.
+type JoinCounters struct {
+	// Joins counts join calls; Polygons the total polygons across them.
+	Joins    uint64 `json:"joins"`
+	Polygons uint64 `json:"polygons"`
+	// InteriorPairs / BoundaryPairs total the shared-grid classifications
+	// (interior pairs were answered with zero geometry tests).
+	InteriorPairs uint64 `json:"interior_pairs"`
+	BoundaryPairs uint64 `json:"boundary_pairs"`
+	// Fallbacks totals polygons answered by the single-region coverer.
+	Fallbacks uint64 `json:"fallbacks"`
+	// CacheHits / CacheMisses total per-polygon result-cache outcomes
+	// inside joins.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
 }
 
 // hotFootprintsTopK is how many footprints a full Stats reports.
@@ -1396,12 +1429,25 @@ func (d *Dataset) stats(includeShards bool) DatasetStats {
 		Queries:      d.queries.Load(),
 		CacheEnabled: d.opts.CacheThreshold > 0,
 	}
+	b := d.dom.Bound()
+	st.Bound = [4]float64{b.Min.X, b.Min.Y, b.Max.X, b.Max.Y}
 	if d.results != nil {
 		st.Generation = d.results.Generation()
 		rcs := d.results.Stats()
 		st.ResultCache = &rcs
 		if includeShards {
 			st.HotFootprints = d.results.TopFootprints(hotFootprintsTopK)
+		}
+	}
+	if n := d.joins.Load(); n > 0 {
+		st.Join = &JoinCounters{
+			Joins:         n,
+			Polygons:      d.joinPolygons.Load(),
+			InteriorPairs: d.joinInterior.Load(),
+			BoundaryPairs: d.joinBoundary.Load(),
+			Fallbacks:     d.joinFallbacks.Load(),
+			CacheHits:     d.joinCacheHits.Load(),
+			CacheMisses:   d.joinCacheMisses.Load(),
 		}
 	}
 	st.PyramidLevels = len(d.pyramidLevelList())

@@ -30,7 +30,7 @@ func testRows(n int, seed int64) ([]geom.Point, [][]float64) {
 	return pts, [][]float64{ints, floats}
 }
 
-func buildDataset(t *testing.T, name string, n int, seed int64, opts Options) *Dataset {
+func buildDataset(t testing.TB, name string, n int, seed int64, opts Options) *Dataset {
 	t.Helper()
 	pts, cols := testRows(n, seed)
 	d, err := Build(name, testBound, geoblocks.NewSchema("ival", "fval"), pts, cols, opts)

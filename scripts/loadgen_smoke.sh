@@ -1,0 +1,80 @@
+#!/bin/sh
+# loadgen_smoke.sh — end-to-end load-harness smoke against a real
+# geoblocksd: build the daemon and cmd/loadgen, start the daemon with a
+# generated taxi dataset, then drive it closed-loop for 5 seconds per
+# workload — uncached plain queries, then a query/join mix — and assert
+# each JSON report parses, recorded non-zero error-free traffic, and
+# carries sane percentiles (0 < p50 <= p99). This is the live twin of
+# the in-process pr10 percentile baseline: it proves the percentile
+# pipeline (HDR recording, closed-loop pacing, /v1/query and /v1/join
+# wiring, bound discovery via /v1/datasets) works against a real server,
+# not just httptest. Run from anywhere inside the repository:
+#
+#   scripts/loadgen_smoke.sh [port]
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+port=${1:-18090}
+base="http://127.0.0.1:$port"
+work=$(mktemp -d)
+pid=""
+
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	wait 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "loadgen_smoke: FAIL: $*" >&2
+	[ -f "$work/daemon.log" ] && sed 's/^/  daemon: /' "$work/daemon.log" >&2
+	[ -f "$work/report.json" ] && sed 's/^/  report: /' "$work/report.json" >&2
+	exit 1
+}
+
+command -v jq >/dev/null 2>&1 || { echo "loadgen_smoke: jq not found" >&2; exit 1; }
+
+echo "loadgen_smoke: building geoblocksd and loadgen"
+go build -o "$work/geoblocksd" "$root/cmd/geoblocksd"
+go build -o "$work/loadgen" "$root/cmd/loadgen"
+
+"$work/geoblocksd" -addr "127.0.0.1:$port" -load taxi:30000 -shard-level 2 \
+	>"$work/daemon.log" 2>&1 &
+pid=$!
+i=0
+until curl -sf "$base/v1/datasets" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && fail "daemon did not become ready"
+	sleep 0.1
+done
+
+# run NAME [loadgen flags...] — one closed-loop pass, report checked.
+run() {
+	name=$1
+	shift
+	echo "loadgen_smoke: $name (closed loop, 5s)"
+	"$work/loadgen" -addr "$base" -mode closed -workers 8 -duration 5s \
+		-max-error 0.002 -json "$@" >"$work/report.json" ||
+		fail "$name: loadgen exited non-zero"
+	jq -e . "$work/report.json" >/dev/null || fail "$name: report is not valid JSON"
+	jq -e '.errors == 0' "$work/report.json" >/dev/null ||
+		fail "$name: $(jq .errors "$work/report.json") requests failed"
+	jq -e '.requests > 0 and .qps > 0' "$work/report.json" >/dev/null ||
+		fail "$name: no traffic recorded"
+	jq -e '.p50_ms > 0 and .p50_ms <= .p99_ms and .p99_ms <= .max_ms' "$work/report.json" >/dev/null ||
+		fail "$name: percentiles are not ordered"
+	jq -r '"loadgen_smoke: \(.requests) requests, \(.qps|floor) q/s, p50 \(.p50_ms)ms p99 \(.p99_ms)ms"' \
+		"$work/report.json"
+}
+
+run "plain queries" -mix query=1 -no-cache \
+	-agg count,sum:fare_amount
+run "query/join mix" -mix query=3,join=1 -join-polys 64 \
+	-agg count,sum:fare_amount
+
+kill -TERM "$pid"
+wait "$pid" || fail "daemon did not exit cleanly"
+pid=""
+
+echo "loadgen_smoke: OK (closed-loop reports parsed, non-zero traffic, ordered percentiles)"
